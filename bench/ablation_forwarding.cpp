@@ -1,0 +1,45 @@
+// Ablation — data forwarding parameters (design choices of section 5.2).
+//
+// Sweeps the stream trigger and the readahead window depth on the Table-1
+// sequential walker, plus the effect of disabling the back-pressure guard
+// surrogate (a very large window). Expected: deeper windows approach the
+// wire bandwidth until the walker outruns the push cadence; a too-eager
+// trigger wastes pushes on short streams.
+#include "bench_util.hpp"
+#include "workloads/micro.hpp"
+
+using namespace dqemu;
+using namespace dqemu::bench;
+
+int main() {
+  print_header("Ablation: data forwarding trigger/depth",
+               "design choice behind paper section 5.2 defaults");
+
+  const std::uint32_t bytes = scaled(8u << 20, 4);
+  const auto program =
+      must_program(workloads::memwalk(bytes, 1, true), "memwalk");
+  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+
+  std::printf("%-10s %-8s %12s %12s\n", "trigger", "depth", "MB/s",
+              "forwards");
+  for (const std::uint32_t trigger : {2u, 4u, 8u}) {
+    for (const std::uint32_t depth : {4u, 8u, 16u, 32u, 64u}) {
+      ClusterConfig config = paper_config(1);
+      config.dsm.enable_forwarding = true;
+      config.dsm.forward_trigger = trigger;
+      config.dsm.forward_depth = depth;
+      BenchRun run = run_cluster(config, program);
+      must_ok(run, "forwarding ablation");
+      std::printf("%-10u %-8u %12.2f %12llu\n", trigger, depth,
+                  mb / run.max_worker_seconds(),
+                  static_cast<unsigned long long>(run.stats.get("dir.forwards")));
+    }
+  }
+
+  // Reference: forwarding off.
+  BenchRun off = run_cluster(paper_config(1), program);
+  must_ok(off, "forwarding off");
+  std::printf("%-10s %-8s %12.2f %12u\n", "off", "-",
+              mb / off.max_worker_seconds(), 0);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation — interconnect parameters (where does cross-node stop paying?).
+//
+// Sweeps RTT and bandwidth around the paper's testbed (55 us / 1 Gb/s) on
+// blackscholes with 4 slave nodes, reporting speedup over the QEMU
+// single-node baseline. Expected: faster networks push DQEMU further past
+// QEMU; at high RTT the DSM overhead swallows the extra cores — the
+// crossover the paper's Ethernet numbers sit near.
+#include "bench_util.hpp"
+#include "workloads/parsec.hpp"
+
+using namespace dqemu;
+using namespace dqemu::bench;
+
+int main() {
+  print_header("Ablation: network RTT / bandwidth sweep",
+               "sensitivity of the paper's results to the testbed network");
+
+  workloads::BlackscholesParams params;
+  params.threads = 32;
+  params.options_n = 65536;
+  params.reps = scaled(30, 6);
+  const auto program =
+      must_program(workloads::blackscholes_like(params), "blackscholes");
+
+  BenchRun qemu = run_cluster(paper_config(0), program);
+  must_ok(qemu, "qemu baseline");
+  const double qemu_s = qemu.sim_seconds();
+  std::printf("QEMU single-node baseline: %.4f s\n\n", qemu_s);
+
+  std::printf("%-12s %-12s %14s %16s\n", "rtt_us", "gbps", "dqemu4_sim_s",
+              "speedup_vs_qemu");
+  using time_literals::kUs;
+  for (const std::uint64_t rtt_us : {10ull, 55ull, 200ull, 1000ull}) {
+    for (const double gbps : {1.0, 10.0}) {
+      ClusterConfig config = paper_config(4);
+      config.net.one_way_latency = rtt_us * kUs / 2;
+      config.net.bandwidth_gbps = gbps;
+      // Faster fabrics come with leaner software stacks (RDMA-class).
+      if (gbps > 1.0) {
+        config.net.endpoint_overhead /= 4;
+        config.dsm.manager_service /= 4;
+      }
+      config.dsm.enable_forwarding = true;
+      BenchRun run = run_cluster(config, program);
+      must_ok(run, "netparams run");
+      std::printf("%-12llu %-12.1f %14.4f %15.2fx\n",
+                  static_cast<unsigned long long>(rtt_us), gbps,
+                  run.sim_seconds(), qemu_s / run.sim_seconds());
+    }
+  }
+  return 0;
+}

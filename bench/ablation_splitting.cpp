@@ -1,0 +1,52 @@
+// Ablation — page splitting parameters (design choices of section 5.1).
+//
+// Sweeps the false-sharing trigger threshold and the shard count on the
+// Table-1 false-sharing walker (32 threads x 128-byte sections of one
+// page, 4 slave nodes, hint placement). Expected: lower thresholds split
+// sooner (less transient ping-pong); shard counts that match the per-node
+// section layout (4 shards = 1 KiB = one node's 8 x 128 B sections)
+// eliminate all cross-node sharing, finer shards add no benefit, coarser
+// ones leave residual sharing.
+#include "bench_util.hpp"
+#include "workloads/micro.hpp"
+
+using namespace dqemu;
+using namespace dqemu::bench;
+
+int main() {
+  print_header("Ablation: page splitting threshold/shards",
+               "design choice behind paper section 5.1 defaults");
+
+  const std::uint32_t threads = 32;
+  const std::uint32_t reps = scaled(20000);
+  const auto program = must_program(
+      workloads::false_sharing_walk(threads, 128, reps, 4),
+      "false_sharing_walk");
+  const double mb =
+      static_cast<double>(threads) * 128 * reps / (1024.0 * 1024.0);
+
+  std::printf("%-12s %-8s %12s %10s\n", "threshold", "shards", "MB/s",
+              "splits");
+  for (const std::uint32_t threshold : {4u, 10u, 40u, 200u}) {
+    for (const std::uint32_t shards : {2u, 4u, 8u, 16u}) {
+      ClusterConfig config = paper_config(4);
+      config.sched.policy = SchedPolicy::kHintLocality;
+      config.dsm.enable_splitting = true;
+      config.dsm.split_threshold = threshold;
+      config.dsm.split_shards = shards;
+      BenchRun run = run_cluster(config, program);
+      must_ok(run, "splitting ablation");
+      std::printf("%-12u %-8u %12.2f %10llu\n", threshold, shards,
+                  mb / run.sim_seconds(),
+                  static_cast<unsigned long long>(run.stats.get("dir.splits")));
+    }
+  }
+
+  ClusterConfig off = paper_config(4);
+  off.sched.policy = SchedPolicy::kHintLocality;
+  BenchRun run = run_cluster(off, program);
+  must_ok(run, "splitting off");
+  std::printf("%-12s %-8s %12.2f %10u\n", "off", "-", mb / run.sim_seconds(),
+              0);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 6 — atomic instructions and mutex performance.
+//
+// 32 threads acquire and release a lock. Scenario 1 (worst case): one
+// global lock, 5000 acquisitions per thread — contention grows with node
+// count as the lock page and futex delegation ping-pong across the
+// cluster. Scenario 2 (best case): a private lock per thread (each on its
+// own page), 500K acquisitions — purely intra-node, so more nodes means
+// more cores and *less* time.
+//
+// Paper series (Fig. 6, elapsed seconds):
+//   DQEMU-1 (global):  5.2 6.8 9.5 16.5 21.3 25.6   QEMU-1: 0.48
+//   DQEMU-2 (private): 4.0 2.1 1.6 1.4 1.2 1.2      QEMU-2: 3.4
+#include "bench_util.hpp"
+#include "workloads/micro.hpp"
+
+using namespace dqemu;
+using namespace dqemu::bench;
+
+int main() {
+  print_header("Figure 6: mutex stress, 32 threads, 1-6 slave nodes",
+               "paper Fig.6: global 5.2->25.6s rising; private 4.0->1.2s falling");
+
+  const std::uint32_t threads = 32;
+  const std::uint32_t global_iters = scaled(2000);
+  const std::uint32_t private_iters = scaled(100'000);
+
+  // A finer scheduling quantum makes same-node lock handoffs interleave
+  // realistically (one quantum covers many criticial sections otherwise).
+  const auto global_prog = must_program(
+      workloads::mutex_stress(threads, global_iters, /*global=*/true),
+      "mutex_stress global");
+  const auto private_prog = must_program(
+      workloads::mutex_stress(threads, private_iters, /*global=*/false),
+      "mutex_stress private");
+
+  static const double kPaperGlobal[6] = {5.2, 6.8, 9.5, 16.5, 21.3, 25.6};
+  static const double kPaperPrivate[6] = {4.0, 2.1, 1.6, 1.4, 1.2, 1.2};
+
+  std::printf("%-10s %16s %12s %16s %12s\n", "slaves", "global_sim_s",
+              "paper_rel", "private_sim_s", "paper_rel");
+  double g1 = 0.0;
+  double p1 = 0.0;
+  for (std::uint32_t slaves = 1; slaves <= 6; ++slaves) {
+    ClusterConfig config = paper_config(slaves);
+    config.dbt.quantum_insns = 2000;
+    BenchRun g = run_cluster(config, global_prog);
+    must_ok(g, "fig6 global");
+    BenchRun p = run_cluster(config, private_prog);
+    must_ok(p, "fig6 private");
+    if (slaves == 1) {
+      g1 = g.sim_seconds();
+      p1 = p.sim_seconds();
+    }
+    // paper_rel: the paper's time for this point relative to its 1-node
+    // time — compare against measured/measured-1-node to check the shape.
+    std::printf("%-10u %10.4f (%4.2fx) %10.2f %10.4f (%4.2fx) %10.2f\n",
+                slaves, g.sim_seconds(), g.sim_seconds() / g1,
+                kPaperGlobal[slaves - 1] / kPaperGlobal[0], p.sim_seconds(),
+                p.sim_seconds() / p1, kPaperPrivate[slaves - 1] / kPaperPrivate[0]);
+  }
+
+  ClusterConfig qemu_config = paper_config(0);
+  qemu_config.dbt.quantum_insns = 2000;
+  BenchRun gq = run_cluster(qemu_config, global_prog);
+  must_ok(gq, "fig6 global qemu");
+  BenchRun pq = run_cluster(qemu_config, private_prog);
+  must_ok(pq, "fig6 private qemu");
+  std::printf("QEMU       %10.4f (%4.2fx) %10.2f %10.4f (%4.2fx) %10.2f\n",
+              gq.sim_seconds(), gq.sim_seconds() / g1, 0.48 / 5.2,
+              pq.sim_seconds(), pq.sim_seconds() / p1, 3.4 / 4.0);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 7 — PARSEC blackscholes & swaptions scalability + optimizations.
+//
+// 32 threads, 1..6 slave nodes, speedup normalized to the 1-slave run of
+// the unoptimized ("origin") configuration. blackscholes is data-intensive
+// with a regular access pattern, so data forwarding helps (paper: +17.98%
+// avg) and forwarding+splitting helps more (+23.8% avg); swaptions has
+// little sharing and only gains from splitting (paper: +6.1%..14.7%).
+// The QEMU-4.2.0 single-node baseline is the flat reference.
+#include "bench_util.hpp"
+#include "workloads/parsec.hpp"
+
+using namespace dqemu;
+using namespace dqemu::bench;
+
+namespace {
+
+enum class Variant { kOrigin, kForwarding, kForwardSplit, kSplitOnly };
+
+ClusterConfig variant_config(std::uint32_t slaves, Variant variant) {
+  ClusterConfig config = paper_config(slaves);
+  switch (variant) {
+    case Variant::kOrigin: break;
+    case Variant::kForwarding:
+      config.dsm.enable_forwarding = true;
+      break;
+    case Variant::kForwardSplit:
+      config.dsm.enable_forwarding = true;
+      config.dsm.enable_splitting = true;
+      break;
+    case Variant::kSplitOnly:
+      config.dsm.enable_splitting = true;
+      break;
+  }
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Figure 7: blackscholes & swaptions speedup, 1-6 slave nodes",
+      "paper Fig.7: near-linear blackscholes; forwarding +17.98% avg, "
+      "+splitting +23.8% avg; swaptions splitting +6.1..14.7%");
+
+  // --- blackscholes ------------------------------------------------------
+  {
+    workloads::BlackscholesParams params;
+    params.threads = 32;
+    params.options_n = 65536;  // 2048 options/thread, 16 input pages each
+    params.reps = scaled(30, 6);
+    const auto program =
+        must_program(workloads::blackscholes_like(params), "blackscholes");
+
+    std::printf("\nblackscholes (32 threads, %u options x %u reps)\n",
+                params.options_n, params.reps);
+    std::printf("%-8s %10s %12s %14s %10s\n", "slaves", "origin", "forwarding",
+                "fwd+split", "speedup");
+    double base = 0.0;
+    for (std::uint32_t slaves = 1; slaves <= 6; ++slaves) {
+      BenchRun origin =
+          run_cluster(variant_config(slaves, Variant::kOrigin), program);
+      must_ok(origin, "bs origin");
+      BenchRun fwd =
+          run_cluster(variant_config(slaves, Variant::kForwarding), program);
+      must_ok(fwd, "bs forwarding");
+      BenchRun full =
+          run_cluster(variant_config(slaves, Variant::kForwardSplit), program);
+      must_ok(full, "bs fwd+split");
+      if (slaves == 1) base = origin.sim_seconds();
+      std::printf("%-8u %9.2fx %11.2fx %13.2fx  (+fwd %4.1f%%, +split %4.1f%%)\n",
+                  slaves, base / origin.sim_seconds(),
+                  base / fwd.sim_seconds(), base / full.sim_seconds(),
+                  100.0 * (origin.sim_seconds() / fwd.sim_seconds() - 1.0),
+                  100.0 * (origin.sim_seconds() / full.sim_seconds() - 1.0));
+    }
+    BenchRun qemu = run_cluster(paper_config(0), program);
+    must_ok(qemu, "bs qemu");
+    std::printf("QEMU     %9.2fx  (paper: 1.26)\n",
+                base / qemu.sim_seconds());
+  }
+
+  // --- swaptions -----------------------------------------------------------
+  {
+    workloads::SwaptionsParams params;
+    params.threads = 32;
+    params.swaptions_n = 64;
+    params.trials = scaled(100000, 8);
+    const auto program =
+        must_program(workloads::swaptions_like(params), "swaptions");
+
+    std::printf("\nswaptions (32 threads, %u swaptions x %u trials)\n",
+                params.swaptions_n, params.trials);
+    std::printf("%-8s %10s %12s\n", "slaves", "origin", "splitting");
+    double base = 0.0;
+    for (std::uint32_t slaves = 1; slaves <= 6; ++slaves) {
+      BenchRun origin =
+          run_cluster(variant_config(slaves, Variant::kOrigin), program);
+      must_ok(origin, "sw origin");
+      BenchRun split =
+          run_cluster(variant_config(slaves, Variant::kSplitOnly), program);
+      must_ok(split, "sw splitting");
+      if (slaves == 1) base = origin.sim_seconds();
+      std::printf("%-8u %9.2fx %11.2fx  (+split %4.1f%%)\n", slaves,
+                  base / origin.sim_seconds(), base / split.sim_seconds(),
+                  100.0 * (origin.sim_seconds() / split.sim_seconds() - 1.0));
+    }
+    BenchRun qemu = run_cluster(paper_config(0), program);
+    must_ok(qemu, "sw qemu");
+    std::printf("QEMU     %9.2fx\n", base / qemu.sim_seconds());
+  }
+  return 0;
+}

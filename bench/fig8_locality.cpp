@@ -1,0 +1,112 @@
+// Figure 8 — hint-based locality-aware scheduling on x264 and
+// fluidanimate (128 threads).
+//
+// For each node count the workload runs twice: with the hint-based
+// locality-aware scheduler (left bars in the paper) and with round-robin
+// placement (right bars). Each result is the average per-thread time,
+// normalized to the QEMU-4.2.0 single-node run, broken down into
+// execute / page-fault / syscall shares — the paper's stacked bars. The
+// expected shape: both fall with more nodes, but round-robin's page-fault
+// share explodes while hint placement keeps it small.
+#include "bench_util.hpp"
+#include "workloads/parsec.hpp"
+
+using namespace dqemu;
+using namespace dqemu::bench;
+
+namespace {
+
+struct Breakdown {
+  double execute = 0;
+  double pagefault = 0;
+  double syscall = 0;
+  double idle = 0;  ///< core queueing + futex waits (not stacked by paper)
+
+  [[nodiscard]] double total() const {
+    return execute + pagefault + syscall + idle;
+  }
+};
+
+/// Average per-thread breakdown (seconds) over worker threads.
+Breakdown avg_breakdown(const BenchRun& run) {
+  Breakdown out;
+  std::size_t n = 0;
+  for (const auto& [tid, b] : run.result.per_thread) {
+    if (tid == 1) continue;  // main
+    out.execute += ps_to_seconds(b.execute + b.translate);
+    out.pagefault += ps_to_seconds(b.pagefault);
+    out.syscall += ps_to_seconds(b.syscall);
+    out.idle += ps_to_seconds(b.idle);
+    ++n;
+  }
+  if (n != 0) {
+    out.execute /= double(n);
+    out.pagefault /= double(n);
+    out.syscall /= double(n);
+    out.idle /= double(n);
+  }
+  return out;
+}
+
+void print_bar(const char* label, const Breakdown& b, double norm) {
+  std::printf(
+      "  %-12s total %6.3f  exec %6.3f  fault %6.3f  syscall %6.3f  (idle %5.3f)\n",
+      label, b.total() / norm, b.execute / norm, b.pagefault / norm,
+      b.syscall / norm, b.idle / norm);
+}
+
+template <typename MakeProgram>
+void run_figure(const char* name, MakeProgram make_program) {
+  std::printf("\n%s (128 threads; values normalized to QEMU-4.2.0)\n", name);
+
+  // QEMU baseline: grouping irrelevant on one node; use 4 groups.
+  const auto qemu_prog = make_program(4);
+  BenchRun qemu = run_cluster(paper_config(0), qemu_prog);
+  must_ok(qemu, "fig8 qemu");
+  const double norm = avg_breakdown(qemu).total();
+  std::printf("  QEMU-4.2.0   total %6.3f\n", 1.0);
+
+  for (std::uint32_t slaves = 2; slaves <= 6; slaves += 2) {
+    // Grouping strategy follows the node count (the paper embeds several
+    // strategies and picks by available nodes).
+    const auto program = make_program(slaves);
+    ClusterConfig hint_config = paper_config(slaves);
+    hint_config.sched.policy = SchedPolicy::kHintLocality;
+    BenchRun hint = run_cluster(hint_config, program);
+    must_ok(hint, "fig8 hint");
+    BenchRun rr = run_cluster(paper_config(slaves), program);
+    must_ok(rr, "fig8 rr");
+    std::printf(" %u slave nodes:\n", slaves);
+    print_bar("hint", avg_breakdown(hint), norm);
+    print_bar("round-robin", avg_breakdown(rr), norm);
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 8: hint-based locality-aware scheduling, 128 threads",
+               "paper Fig.8: hint bars lower; round-robin page-fault share "
+               "grows dramatically with node count");
+
+  run_figure("x264-like (pipelined frame groups)", [](std::uint32_t groups) {
+    workloads::X264Params params;
+    params.threads = 128;
+    params.groups = groups;
+    params.rounds = scaled(24, 3);
+    params.frame_bytes = 4096;
+    params.compute_words = scaled(32768, 4);
+    return must_program(workloads::x264_like(params), "x264");
+  });
+
+  run_figure("fluidanimate-like (row stencil)", [](std::uint32_t groups) {
+    workloads::FluidanimateParams params;
+    params.threads = 128;
+    params.rows_per_thread = 4;
+    params.cols = 512;
+    params.iters = scaled(16, 3);
+    params.hint_groups = groups;
+    return must_program(workloads::fluidanimate_like(params), "fluidanimate");
+  });
+  return 0;
+}

@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks of the simulator's own hot paths:
+// instruction decode, the DBT execute loop, translation-cache lookup, the
+// event queue, the LL/SC table and a DSM page round-trip. These measure
+// host performance of the framework (how fast experiments run), not guest
+// performance.
+#include <benchmark/benchmark.h>
+
+#include "common/config.hpp"
+#include "dbt/exec.hpp"
+#include "dbt/llsc_table.hpp"
+#include "dbt/translation.hpp"
+#include "isa/assembler.hpp"
+#include "mem/address_space.hpp"
+#include "mem/shadow_map.hpp"
+#include "sim/event_queue.hpp"
+#include "workloads/micro.hpp"
+
+namespace {
+
+using namespace dqemu;
+
+void BM_Decode(benchmark::State& state) {
+  const std::uint32_t word =
+      isa::encode({isa::Opcode::kAddi, 1, 2, 0, 1234});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::decode(word));
+  }
+}
+BENCHMARK(BM_Decode);
+
+void BM_EncodeDecodeRoundtrip(benchmark::State& state) {
+  isa::Insn insn{isa::Opcode::kBne, 0, 3, 4, -42};
+  for (auto _ : state) {
+    const std::uint32_t word = isa::encode(insn);
+    benchmark::DoNotOptimize(isa::decode(word));
+  }
+}
+BENCHMARK(BM_EncodeDecodeRoundtrip);
+
+void BM_EventQueue(benchmark::State& state) {
+  sim::EventQueue queue;
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    queue.schedule_in(1000, [&counter] { ++counter; });
+    queue.run_one();
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_LlscTable(benchmark::State& state) {
+  dbt::LlscTable table;
+  for (auto _ : state) {
+    table.on_ll(0x1000, 1);
+    benchmark::DoNotOptimize(table.on_sc(0x1000, 1));
+  }
+}
+BENCHMARK(BM_LlscTable);
+
+void BM_ShadowTranslateUnsplit(benchmark::State& state) {
+  mem::ShadowMap shadow(4096, 4);
+  std::uint32_t shadows[4] = {100, 101, 102, 103};
+  shadow.add_split(5, shadows);
+  GuestAddr addr = 0x40000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shadow.translate(addr));
+    addr += 8;
+  }
+}
+BENCHMARK(BM_ShadowTranslateUnsplit);
+
+/// Guest instructions-per-second of the interpreter on a register-only
+/// arithmetic loop (the engine's steady state).
+void BM_ExecuteLoop(benchmark::State& state) {
+  isa::Assembler a;
+  auto loop = a.make_label();
+  a.li(isa::kT0, 1 << 20);
+  a.bind(loop);
+  a.addi(isa::kT1, isa::kT1, 1);
+  a.xor_(isa::kT2, isa::kT1, isa::kT0);
+  a.addi(isa::kT0, isa::kT0, -1);
+  a.bne(isa::kT0, isa::kZero, loop);
+  a.syscall(1);
+  auto program = a.finalize().take();
+
+  mem::AddressSpace space(32u << 20, 4096);
+  space.load_program(program);
+  space.set_all_access(mem::PageAccess::kReadWrite);
+  DbtConfig config;
+  StatsRegistry stats;
+  dbt::LlscTable llsc;
+  dbt::TranslationCache cache(space, config, /*check_protection=*/false,
+                              &stats);
+  dbt::ExecEngine engine(space, nullptr, llsc, cache, config,
+                         /*check_protection=*/false, &stats);
+
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    dbt::CpuContext ctx;
+    ctx.pc = program.entry;
+    ctx.tid = 1;
+    const auto r = engine.run(ctx, 1'000'000);
+    insns += r.insns;
+  }
+  state.counters["guest_insn_per_s"] = benchmark::Counter(
+      static_cast<double>(insns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExecuteLoop)->Unit(benchmark::kMillisecond);
+
+void BM_TranslationCacheLookup(benchmark::State& state) {
+  isa::Assembler a;
+  for (int i = 0; i < 64; ++i) a.nop();
+  a.syscall(1);
+  auto program = a.finalize().take();
+  mem::AddressSpace space(32u << 20, 4096);
+  space.load_program(program);
+  space.set_all_access(mem::PageAccess::kReadWrite);
+  DbtConfig config;
+  dbt::TranslationCache cache(space, config, false, nullptr);
+  (void)cache.translate(program.entry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(program.entry));
+  }
+}
+BENCHMARK(BM_TranslationCacheLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// Table 1 — memory performance of DQEMU.
+//
+// Rows 1-3: a single walker thread reads a master-owned region
+// byte-by-byte — on vanilla QEMU (local), on DQEMU with every page a
+// remote fetch, and on DQEMU with data forwarding pushing pages ahead.
+// Also reports the average remote-page latency (the paper's 410.5 us and
+// 83.2 us column).
+//
+// Rows 4-6: 32 threads write 128-byte sections of one page — on QEMU, on
+// DQEMU across 4 slave nodes with false sharing, and with page splitting.
+//
+// Paper values:
+//   QEMU sequential  173.06 MB/s            | QEMU 128B   20,259 MB/s
+//   remote sequential  7.88 MB/s @ 410.5 us | false shr    2,216 MB/s
+//   forwarding       108.01 MB/s @  83.2 us | splitting   75,294 MB/s
+#include "bench_util.hpp"
+#include "workloads/micro.hpp"
+
+using namespace dqemu;
+using namespace dqemu::bench;
+
+namespace {
+
+struct Row {
+  const char* name;
+  double mbps;
+  double latency_us;  // < 0: not applicable
+  double paper_mbps;
+  double paper_latency_us;
+};
+
+void print_row(const Row& row) {
+  std::printf("%-28s %12.2f", row.name, row.mbps);
+  if (row.latency_us >= 0) {
+    std::printf(" %10.1f", row.latency_us);
+  } else {
+    std::printf(" %10s", "-");
+  }
+  std::printf(" %14.2f", row.paper_mbps);
+  if (row.paper_latency_us >= 0) {
+    std::printf(" %12.1f", row.paper_latency_us);
+  } else {
+    std::printf(" %12s", "-");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 1: memory performance",
+               "paper Table 1 (seq 173/7.88/108 MB/s; 128B 20259/2216/75294 MB/s)");
+
+  const std::uint32_t walk_bytes = scaled(8u << 20, 4);
+  const std::uint32_t walk_reps = 1;
+  const auto walk_prog = must_program(
+      workloads::memwalk(walk_bytes, walk_reps, /*touch_first=*/true),
+      "memwalk");
+  const double walked_mb =
+      static_cast<double>(walk_bytes) * walk_reps / (1024.0 * 1024.0);
+
+  std::printf("%-28s %12s %10s %14s %12s\n", "access type", "MB/s", "lat_us",
+              "paper_MB/s", "paper_lat");
+
+  const double pages_walked = double(walk_bytes) / 4096.0 * walk_reps;
+
+  // Row 1: QEMU sequential access (single-node baseline).
+  {
+    BenchRun run = run_cluster(paper_config(0), walk_prog);
+    must_ok(run, "qemu seq");
+    print_row({"QEMU sequential", walked_mb / run.max_worker_seconds(), -1,
+               173.06, -1});
+  }
+
+  // Row 2: remote sequential access (1 slave, no optimizations).
+  {
+    BenchRun run = run_cluster(paper_config(1), walk_prog);
+    must_ok(run, "remote seq");
+    // Average remote-page service time seen by the walker thread.
+    const auto& walker = run.result.per_thread.rbegin()->second;
+    // Per-page cost of acquiring a remote page, amortized over the walk.
+    const double latency_us = ps_to_us(walker.pagefault) / pages_walked;
+    print_row({"remote sequential", walked_mb / run.max_worker_seconds(),
+               latency_us, 7.88, 410.5});
+  }
+
+  // Row 3: data forwarding enabled.
+  {
+    ClusterConfig config = paper_config(1);
+    config.dsm.enable_forwarding = true;
+    BenchRun run = run_cluster(config, walk_prog);
+    must_ok(run, "forwarding seq");
+    const auto& walker = run.result.per_thread.rbegin()->second;
+    const double latency_us = ps_to_us(walker.pagefault) / pages_walked;
+    print_row({"page forwarding enabled", walked_mb / run.max_worker_seconds(),
+               latency_us, 108.01, 83.2});
+    std::printf("    (forwards sent: %llu, installed: %llu)\n",
+                static_cast<unsigned long long>(run.stats.get("dir.forwards")),
+                static_cast<unsigned long long>(
+                    run.stats.get("dsm.forwards_installed")));
+  }
+
+  // Rows 4-6: 32 threads, 128-byte sections of one page.
+  const std::uint32_t fs_threads = 32;
+  const std::uint32_t fs_section = 128;
+  const std::uint32_t fs_reps = scaled(20000);
+  const auto fs_prog = must_program(
+      workloads::false_sharing_walk(fs_threads, fs_section, fs_reps, 4),
+      "false_sharing_walk");
+  const double fs_mb = static_cast<double>(fs_threads) * fs_section * fs_reps /
+                       (1024.0 * 1024.0);
+
+  // Row 4: QEMU (single node, no coherence).
+  {
+    BenchRun run = run_cluster(paper_config(0), fs_prog);
+    must_ok(run, "qemu 128B");
+    print_row({"QEMU access of 128 bytes", fs_mb / run.sim_seconds(),
+               -1, 20259, -1});
+  }
+
+  // Row 5: false sharing across 4 slave nodes (hint placement, no split).
+  ClusterConfig fs_config = paper_config(4);
+  fs_config.sched.policy = SchedPolicy::kHintLocality;
+  {
+    BenchRun run = run_cluster(fs_config, fs_prog);
+    must_ok(run, "false sharing");
+    print_row({"false sharing of 1 page", fs_mb / run.sim_seconds(),
+               -1, 2216, -1});
+  }
+
+  // Row 6: page splitting enabled.
+  {
+    ClusterConfig config = fs_config;
+    config.dsm.enable_splitting = true;
+    BenchRun run = run_cluster(config, fs_prog);
+    must_ok(run, "page splitting");
+    print_row({"page splitting enabled", fs_mb / run.sim_seconds(), -1,
+               75294, -1});
+    std::printf("    (pages split: %llu)\n",
+                static_cast<unsigned long long>(run.stats.get("dir.splits")));
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Domain example: watching the DSM protocol react to false sharing
+// (paper section 5.1).
+//
+//   $ ./build/examples/dsm_inspector
+//
+// Runs the false-sharing micro-workload (8 threads writing 128-byte
+// sections of ONE page across 4 nodes) twice — with page splitting off
+// and on — and dumps the directory's view: page states, the split event,
+// and the invalidation traffic that disappears once the page is split
+// into shadow pages.
+#include <cstdio>
+
+#include "core/cluster.hpp"
+#include "workloads/micro.hpp"
+
+using namespace dqemu;
+
+namespace {
+
+const char* state_name(dsm::Directory::PageState state) {
+  switch (state) {
+    case dsm::Directory::PageState::kHome: return "Home";
+    case dsm::Directory::PageState::kShared: return "Shared";
+    case dsm::Directory::PageState::kModified: return "Modified";
+    case dsm::Directory::PageState::kSplit: return "Split";
+  }
+  return "?";
+}
+
+void run_once(bool splitting) {
+  auto program = workloads::false_sharing_walk(/*threads=*/8,
+                                               /*section_bytes=*/512,
+                                               /*reps=*/400, /*nodes=*/4);
+  if (!program.is_ok()) return;
+
+  ClusterConfig config;
+  config.slave_nodes = 4;
+  config.sched.policy = SchedPolicy::kHintLocality;
+  config.dsm.enable_splitting = splitting;
+  core::Cluster cluster(config);
+  if (!cluster.load(program.value()).is_ok()) return;
+  auto result = cluster.run();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().to_string().c_str());
+    return;
+  }
+
+  const GuestAddr page_addr = program.value().symbol("shared_page");
+  const std::uint32_t page = page_addr / config.machine.page_size;
+  dsm::Directory* directory = cluster.directory();
+
+  std::printf("--- splitting %s ---\n", splitting ? "ON" : "OFF");
+  std::printf("  shared page %u final state: %s\n", page,
+              state_name(directory->state(page)));
+  if (directory->state(page) == dsm::Directory::PageState::kSplit) {
+    const auto shadows = cluster.node(1).shadow().shadow_pages(page);
+    std::printf("  shadow pages:");
+    for (const auto shadow : shadows) {
+      std::printf(" %u(%s, owner n%u)", shadow,
+                  state_name(directory->state(shadow)),
+                  directory->owner(shadow));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "  virtual time %.3f ms | write reqs %llu | owner recalls %llu | "
+      "invalidations %llu | splits %llu\n\n",
+      ps_to_seconds(result.value().sim_time) * 1e3,
+      static_cast<unsigned long long>(cluster.stats().get("dir.write_reqs")),
+      static_cast<unsigned long long>(cluster.stats().get("dir.owner_recalls")),
+      static_cast<unsigned long long>(
+          cluster.stats().get("dsm.invalidations_received")),
+      static_cast<unsigned long long>(cluster.stats().get("dir.splits")));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "8 threads on 4 nodes, each writing its own 512-byte section of one\n"
+      "guest page (classic false sharing):\n\n");
+  run_once(false);
+  run_once(true);
+  std::printf(
+      "With splitting, each node ends up owning the shadow pages its\n"
+      "threads write, and the invalidation ping-pong disappears.\n");
+  return 0;
+}

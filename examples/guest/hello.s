@@ -1,0 +1,34 @@
+; hello.s — sample guest program for dqemu_run.
+;
+;   ./build/tools/dqemu_run examples/guest/hello.s --nodes 2 --stats
+;
+; Prints a banner, sums the data table, prints nothing else (the sum goes
+; to the exit code so the harness can check it: 1+2+...+8 = 36).
+    .entry main
+
+main:
+    ; write(1, banner, banner_len)
+    li   a0, 1
+    la   a1, banner
+    li   a2, 30
+    syscall 2
+
+    ; sum the table
+    la   t0, table
+    li   t1, 8          ; count
+    li   t2, 0          ; sum
+loop:
+    lw   t3, 0(t0)
+    add  t2, t2, t3
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bne  t1, zero, loop
+
+    ; exit_group(sum)
+    mov  a0, t2
+    syscall 15
+
+    .data
+banner: .asciz "hello from a DQEMU guest :-)\n"
+        .align 4
+table:  .word 1, 2, 3, 4, 5, 6, 7, 8

@@ -1,0 +1,83 @@
+// Quickstart: assemble a guest program from text assembly and run it on a
+// DQEMU cluster with one master and two slave nodes.
+//
+//   $ ./build/examples/quickstart
+//
+// The guest computes 10! iteratively, prints it via write(), and exits.
+// Everything the guest does — translation, execution, page movement,
+// syscall delegation — happens inside the simulated cluster; the host
+// program just loads the image and reads the results.
+#include <cstdio>
+
+#include "core/cluster.hpp"
+#include "isa/text_asm.hpp"
+
+int main() {
+  // GA32 text assembly: see src/isa/text_asm.hpp for the dialect.
+  constexpr const char* kGuestSource = R"(
+      .entry main
+  main:
+      li   t0, 10          ; n
+      li   t1, 1           ; acc
+  loop:
+      mul  t1, t1, t0
+      addi t0, t0, -1
+      bne  t0, zero, loop
+
+      ; convert acc to decimal into buf (backwards)
+      la   t2, buf_end
+      li   t3, 10
+  digits:
+      remu t4, t1, t3
+      addi t4, t4, 48
+      addi t2, t2, -1
+      sb   t4, 0(t2)
+      divu t1, t1, t3
+      bne  t1, zero, digits
+
+      ; write(1, t2, buf_end + 1 - t2)  (include the newline byte)
+      la   a2, buf_end
+      addi a2, a2, 1
+      sub  a2, a2, t2
+      mov  a1, t2
+      li   a0, 1
+      syscall 2            ; SYS_write
+
+      li   a0, 0
+      syscall 15           ; SYS_exit_group
+      .data
+  buf:  .space 16
+  buf_end:
+      .byte 10             ; trailing newline
+  )";
+
+  auto program = dqemu::isa::assemble_text(kGuestSource);
+  if (!program.is_ok()) {
+    std::fprintf(stderr, "assembly failed: %s\n",
+                 program.status().to_string().c_str());
+    return 1;
+  }
+
+  dqemu::ClusterConfig config;
+  config.slave_nodes = 2;  // master + 2 slaves, 4 simulated cores each
+  dqemu::core::Cluster cluster(config);
+
+  if (const auto status = cluster.load(program.value()); !status.is_ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  auto result = cluster.run();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("guest stdout : %s\n", result.value().guest_stdout.c_str());
+  std::printf("exit code    : %u\n", result.value().exit_code);
+  std::printf("guest insns  : %llu\n",
+              static_cast<unsigned long long>(result.value().guest_insns));
+  std::printf("virtual time : %.3f ms\n",
+              dqemu::ps_to_seconds(result.value().sim_time) * 1e3);
+  return 0;
+}

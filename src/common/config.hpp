@@ -1,0 +1,205 @@
+// Cluster-wide configuration.
+//
+// Defaults model the paper's testbed (section 6.1): 7 workstations with
+// Intel i5-6500 quad-core CPUs at 3.3 GHz, connected by a Gigabit switch
+// with an average TCP round-trip latency of 55 microseconds. All costs are
+// configuration, not constants, so the ablation benches can sweep them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace dqemu {
+
+/// Per-node hardware model.
+struct MachineConfig {
+  double cpu_ghz = 3.3;            ///< core frequency (i5-6500)
+  std::uint32_t cores_per_node = 4;
+  std::uint32_t page_size = 4096;  ///< guest/host page size in bytes
+
+  /// Converts core cycles to simulated picoseconds.
+  [[nodiscard]] DurationPs cycles(std::uint64_t n) const {
+    return cycles_to_ps(n, cpu_ghz);
+  }
+};
+
+/// Interconnect model (section 6.1: 1 Gb/s switch, 55 us TCP RTT).
+struct NetworkConfig {
+  double bandwidth_gbps = 1.0;  ///< link bandwidth, gigabits per second
+
+  /// One-way propagation + switching latency. Half the measured 55 us RTT.
+  DurationPs one_way_latency = 27'500 * time_literals::kNs;
+
+  /// Per-message software cost on EACH endpoint (TCP stack, serialization,
+  /// communicator/manager thread wakeup, SIGSEGV handler hand-off). The
+  /// paper measures a 410.5 us average remote-page cost against a 55 us
+  /// RTT + ~33 us page transmission; the difference is this software path.
+  DurationPs endpoint_overhead = 52'500 * time_literals::kNs;
+
+  /// Fixed per-message header bytes added to every payload.
+  std::uint32_t header_bytes = 64;
+
+  /// Delivery latency for node-local (loopback) messages, e.g. a master
+  /// guest thread talking to the directory. Models a function call plus
+  /// lock hand-off rather than the TCP stack.
+  DurationPs loopback_latency = 500 * time_literals::kNs;
+
+  /// Serialization (wire) time for `bytes` on this link.
+  [[nodiscard]] DurationPs wire_time(std::uint64_t bytes) const {
+    // bits / (gigabits per second) = nanoseconds; keep integer math in ps.
+    const double ns = static_cast<double>((bytes + header_bytes) * 8ULL) /
+                      bandwidth_gbps;
+    return static_cast<DurationPs>(ns * 1000.0 + 0.5);
+  }
+};
+
+/// DBT engine cost model.
+struct DbtConfig {
+  /// Host cycles charged per executed guest ALU/branch micro-op. QEMU's
+  /// TCG expands a guest instruction to roughly this many host cycles.
+  std::uint32_t cycles_per_op = 6;
+  /// Extra cycles for a guest memory access (guest->host address
+  /// translation + the software load/store path).
+  std::uint32_t cycles_per_mem_op = 8;
+  /// Extra cycles for FP "libm-class" ops (exp/log/pow/sqrt...).
+  std::uint32_t cycles_per_fp_special = 40;
+  /// One-time translation cost per guest instruction in a block.
+  std::uint32_t translate_cycles_per_insn = 800;
+  /// Cost of taking a page-protection trap into the DSM layer
+  /// (the paper cites ~2000 cycles for a page-fault trap).
+  std::uint32_t fault_trap_cycles = 2000;
+  /// Cost of entering the syscall emulation path.
+  std::uint32_t syscall_trap_cycles = 400;
+  /// Master-side service cost of a delegated syscall (manager thread work).
+  std::uint32_t syscall_service_cycles = 1500;
+  /// Maximum guest instructions executed per scheduling quantum.
+  std::uint32_t quantum_insns = 20'000;
+};
+
+/// DSM protocol + optimizations (sections 4.2, 5.1, 5.2).
+struct DsmConfig {
+  /// Directory lookup / state machine cost on the master, per request.
+  std::uint32_t directory_cycles = 600;
+
+  /// Per-message service time of a slave's manager thread on the master
+  /// (paper Fig. 2: one manager thread per slave). Demand traffic to a
+  /// node serializes on its manager; this is the dominant software cost
+  /// inside the paper's 410 us remote-page figure.
+  DurationPs manager_service = 100 * time_literals::kUs;
+  /// Manager cost of emitting one speculative forward push (no request
+  /// parsing, no fault hand-off: a batched stream operation).
+  DurationPs forward_service = 5 * time_literals::kUs;
+
+  /// Page splitting (5.1): enabled + trigger threshold. A page is split
+  /// after it has been requested by different nodes at different offsets
+  /// more than `split_threshold` times (paper: 10).
+  bool enable_splitting = false;
+  std::uint32_t split_threshold = 10;
+  /// Number of shadow pages a false-sharing page is split into (paper
+  /// figure 4 shows 4).
+  std::uint32_t split_shards = 4;
+
+  /// Data forwarding (5.2): enabled + sequential-stream trigger. Page
+  /// forwarding starts after `forward_trigger` sequential page requests
+  /// (paper: 4) and pushes `forward_depth` pages ahead in Shared state.
+  bool enable_forwarding = false;
+  std::uint32_t forward_trigger = 4;
+  std::uint32_t forward_depth = 32;
+  /// Concurrent streams tracked per node (Linux readahead keeps a table
+  /// too); must cover the threads-per-node that walk disjoint regions.
+  std::uint32_t forward_streams = 48;
+};
+
+/// Guest-thread placement policy (sections 4.1, 5.3).
+enum class SchedPolicy {
+  kRoundRobin,     ///< spread threads evenly over slave nodes
+  kHintLocality,   ///< group threads by their HINT group id (section 5.3)
+};
+
+struct SchedConfig {
+  SchedPolicy policy = SchedPolicy::kRoundRobin;
+};
+
+/// Top-level cluster description.
+struct ClusterConfig {
+  /// Number of slave nodes (the paper sweeps 1..6). The master node is
+  /// additional and hosts the main thread, directory and global syscalls.
+  std::uint32_t slave_nodes = 1;
+
+  /// Single-node baseline mode: run everything on the master with direct
+  /// (uninstrumented) memory access and host atomics. This models the
+  /// "QEMU 4.2.0" baseline used throughout section 6.
+  bool single_node_baseline = false;
+
+  /// Total guest address space reserved per node, bytes (32-bit guest).
+  std::uint32_t guest_mem_bytes = 256u * 1024 * 1024;
+
+  MachineConfig machine;
+  /// Heterogeneous clusters (the paper's introduction motivates DBT
+  /// clusters with "different kinds of physical cores"): when non-empty,
+  /// one entry per node (index 0 = master) overrides `machine` for that
+  /// node. Round-robin placement becomes capacity-weighted.
+  std::vector<MachineConfig> node_machines;
+  NetworkConfig net;
+  DbtConfig dbt;
+  DsmConfig dsm;
+  SchedConfig sched;
+
+  std::uint64_t seed = 42;  ///< seed for all workload/test randomness
+
+  /// Basic sanity validation; returns the first problem found.
+  [[nodiscard]] Status validate() const {
+    using S = Status;
+    if (slave_nodes == 0 && !single_node_baseline)
+      return S::invalid_argument("slave_nodes must be >= 1");
+    if (machine.cores_per_node == 0)
+      return S::invalid_argument("cores_per_node must be >= 1");
+    if (machine.cpu_ghz <= 0.0)
+      return S::invalid_argument("cpu_ghz must be positive");
+    if (machine.page_size == 0 ||
+        (machine.page_size & (machine.page_size - 1)) != 0)
+      return S::invalid_argument("page_size must be a power of two");
+    if (net.bandwidth_gbps <= 0.0)
+      return S::invalid_argument("bandwidth_gbps must be positive");
+    if (dsm.split_shards < 2)
+      return S::invalid_argument("split_shards must be >= 2");
+    if ((machine.page_size % dsm.split_shards) != 0)
+      return S::invalid_argument("split_shards must divide page_size");
+    if (dbt.quantum_insns == 0)
+      return S::invalid_argument("quantum_insns must be >= 1");
+    if (guest_mem_bytes < 16u * 1024 * 1024)
+      return S::invalid_argument("guest_mem_bytes too small (< 16 MiB)");
+    if (!node_machines.empty()) {
+      if (node_machines.size() != total_nodes())
+        return S::invalid_argument(
+            "node_machines must have one entry per node (incl. master)");
+      for (const MachineConfig& m : node_machines) {
+        if (m.cores_per_node == 0 || m.cpu_ghz <= 0.0)
+          return S::invalid_argument("invalid per-node machine override");
+        if (m.page_size != machine.page_size)
+          return S::invalid_argument(
+              "per-node page_size must match the cluster page_size");
+      }
+    }
+    if ((guest_mem_bytes % machine.page_size) != 0)
+      return S::invalid_argument("guest_mem_bytes must be page aligned");
+    return S::ok();
+  }
+
+  /// Number of nodes including the master.
+  [[nodiscard]] std::uint32_t total_nodes() const {
+    return single_node_baseline ? 1 : slave_nodes + 1;
+  }
+
+  /// Hardware model of `node` (per-node override or the cluster default).
+  [[nodiscard]] const MachineConfig& machine_for(NodeId node) const {
+    if (node < node_machines.size()) return node_machines[node];
+    return machine;
+  }
+};
+
+}  // namespace dqemu

@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by design (deterministic event loop), so
+// the logger needs no synchronization. Level is a process-global runtime
+// setting; TRACE is compiled in but off by default because protocol traces
+// are voluminous.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace dqemu {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Current global minimum level.
+[[nodiscard]] LogLevel log_level();
+
+/// True when messages at `level` would be emitted.
+[[nodiscard]] bool log_enabled(LogLevel level);
+
+/// printf-style log emission; prefer the DQEMU_LOG_* macros below which
+/// skip argument evaluation when the level is disabled.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace dqemu
+
+#define DQEMU_LOG_AT(lvl, ...)                                \
+  do {                                                        \
+    if (::dqemu::log_enabled(lvl)) {                          \
+      ::dqemu::log_message(lvl, __VA_ARGS__);                 \
+    }                                                         \
+  } while (false)
+
+#define DQEMU_TRACE(...) DQEMU_LOG_AT(::dqemu::LogLevel::kTrace, __VA_ARGS__)
+#define DQEMU_DEBUG(...) DQEMU_LOG_AT(::dqemu::LogLevel::kDebug, __VA_ARGS__)
+#define DQEMU_INFO(...) DQEMU_LOG_AT(::dqemu::LogLevel::kInfo, __VA_ARGS__)
+#define DQEMU_WARN(...) DQEMU_LOG_AT(::dqemu::LogLevel::kWarn, __VA_ARGS__)
+#define DQEMU_ERROR(...) DQEMU_LOG_AT(::dqemu::LogLevel::kError, __VA_ARGS__)

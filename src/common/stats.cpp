@@ -1,0 +1,44 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace dqemu {
+
+void StatsRegistry::add(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::uint64_t StatsRegistry::get(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool StatsRegistry::has(std::string_view name) const {
+  return counters_.find(name) != counters_.end();
+}
+
+void StatsRegistry::set(std::string_view name, std::uint64_t value) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void StatsRegistry::clear() { counters_.clear(); }
+
+std::string StatsRegistry::to_string() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    out << name << " = " << value << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dqemu

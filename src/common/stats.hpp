@@ -1,0 +1,73 @@
+// Named counter registry + per-thread time breakdown.
+//
+// Every subsystem (DBT, DSM, network, syscall layer) accounts its activity
+// into a StatsRegistry owned by the Cluster; benches and tests read them to
+// reproduce the paper's breakdown figures (Fig. 8) and to assert protocol
+// behaviour (e.g. "page splitting triggered exactly once").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace dqemu {
+
+/// String-keyed monotonic counters. Keys are created on first touch.
+/// Ordered map so dumps are stable for golden tests.
+class StatsRegistry {
+ public:
+  /// Adds `delta` to counter `name` (creating it at zero first).
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Current value; 0 if the counter was never touched.
+  [[nodiscard]] std::uint64_t get(std::string_view name) const;
+
+  /// True if the counter has been created.
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  /// Sets a counter to an absolute value (for gauges like "pages split").
+  void set(std::string_view name, std::uint64_t value);
+
+  /// Removes all counters.
+  void clear();
+
+  /// All counters, for iteration in reports.
+  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>&
+  counters() const {
+    return counters_;
+  }
+
+  /// Multi-line "name = value" dump, sorted by name.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+/// Where a guest thread's virtual time went. Mirrors the breakdown the
+/// paper reports in Figure 8 (execute / page fault / syscall).
+struct TimeBreakdown {
+  DurationPs execute = 0;    ///< running translated code
+  DurationPs translate = 0;  ///< translating guest blocks
+  DurationPs pagefault = 0;  ///< blocked in the DSM protocol
+  DurationPs syscall = 0;    ///< executing or waiting on (delegated) syscalls
+  DurationPs idle = 0;       ///< runnable but waiting for a core / futex-blocked
+
+  [[nodiscard]] DurationPs total() const {
+    return execute + translate + pagefault + syscall + idle;
+  }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& other) {
+    execute += other.execute;
+    translate += other.translate;
+    pagefault += other.pagefault;
+    syscall += other.syscall;
+    idle += other.idle;
+    return *this;
+  }
+};
+
+}  // namespace dqemu

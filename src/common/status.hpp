@@ -1,0 +1,135 @@
+// Lightweight Status / Result error-handling primitives.
+//
+// Expected failures (bad assembly input, invalid configs, guest faults that
+// surface to the embedder) are reported through these types instead of
+// exceptions, per the repository's coding conventions. Programming errors
+// still assert.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dqemu {
+
+/// Coarse error category, patterned after absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Human-readable name of a status code.
+[[nodiscard]] constexpr const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+  }
+  return "UNKNOWN";
+}
+
+/// Value-semantic error descriptor. A default-constructed Status is OK.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return Status(); }
+  [[nodiscard]] static Status invalid_argument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  [[nodiscard]] static Status not_found(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  [[nodiscard]] static Status already_exists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  [[nodiscard]] static Status out_of_range(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  [[nodiscard]] static Status failed_precondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  [[nodiscard]] static Status unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  [[nodiscard]] static Status internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  [[nodiscard]] static Status resource_exhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message" for diagnostics.
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "OK";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of T or an error Status. Accessing the value of a failed
+/// Result is a programming error (asserts).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "Result(Status) requires a failure status");
+  }
+
+  [[nodiscard]] bool is_ok() const { return status_.is_ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& take() {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace dqemu
+
+/// Propagates a failure Status from an expression, absl-style.
+#define DQEMU_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::dqemu::Status dqemu_status_ = (expr);           \
+    if (!dqemu_status_.is_ok()) return dqemu_status_; \
+  } while (false)

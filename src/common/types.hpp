@@ -1,0 +1,74 @@
+// Fundamental type aliases shared by every DQEMU module.
+//
+// The simulator keeps virtual time in integer picoseconds so that both
+// CPU-cycle costs (sub-nanosecond at 3.3 GHz) and network costs (tens of
+// microseconds) can be accumulated without floating-point drift.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dqemu {
+
+/// Virtual time in picoseconds since simulation start.
+using TimePs = std::uint64_t;
+
+/// A duration in picoseconds.
+using DurationPs = std::uint64_t;
+
+/// Guest virtual address. The GA32 guest is a 32-bit architecture.
+using GuestAddr = std::uint32_t;
+
+/// Size of a region in the guest address space.
+using GuestSize = std::uint32_t;
+
+/// Identifier of a cluster node. Node 0 is always the master.
+using NodeId = std::uint16_t;
+
+/// Identifier of a simulated core within a node.
+using CoreId = std::uint16_t;
+
+/// Guest thread identifier (equivalent of a Linux TID in the guest).
+using GuestTid = std::uint32_t;
+
+/// Sentinel meaning "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel meaning "no thread".
+inline constexpr GuestTid kInvalidTid = std::numeric_limits<GuestTid>::max();
+
+/// The master node's id; the directory, futex table and global syscall
+/// state live there (paper section 4).
+inline constexpr NodeId kMasterNode = 0;
+
+namespace time_literals {
+
+/// One nanosecond in picoseconds.
+inline constexpr DurationPs kNs = 1000;
+/// One microsecond in picoseconds.
+inline constexpr DurationPs kUs = 1000 * kNs;
+/// One millisecond in picoseconds.
+inline constexpr DurationPs kMs = 1000 * kUs;
+/// One second in picoseconds.
+inline constexpr DurationPs kSec = 1000 * kMs;
+
+}  // namespace time_literals
+
+/// Converts a cycle count at the given core frequency to picoseconds,
+/// rounding to nearest. 3.3 GHz -> ~303 ps per cycle.
+[[nodiscard]] constexpr DurationPs cycles_to_ps(std::uint64_t cycles, double ghz) {
+  // ps per cycle = 1000 / GHz.
+  return static_cast<DurationPs>(static_cast<double>(cycles) * (1000.0 / ghz) + 0.5);
+}
+
+/// Converts picoseconds to (fractional) seconds for reporting.
+[[nodiscard]] constexpr double ps_to_seconds(TimePs ps) {
+  return static_cast<double>(ps) * 1e-12;
+}
+
+/// Converts picoseconds to (fractional) microseconds for reporting.
+[[nodiscard]] constexpr double ps_to_us(TimePs ps) {
+  return static_cast<double>(ps) * 1e-6;
+}
+
+}  // namespace dqemu

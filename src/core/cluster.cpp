@@ -1,0 +1,287 @@
+#include "core/cluster.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+#include "dsm/wire.hpp"
+#include "sys/wire.hpp"
+
+namespace dqemu::core {
+namespace {
+
+using time_literals::kSec;
+
+/// Memory layout knobs (see DESIGN.md "layout"): the top of the guest
+/// space is reserved for shadow pages, a 1 MiB main stack sits below it,
+/// anonymous mmaps grow from the middle, and brk grows from the end of the
+/// static image.
+constexpr std::uint32_t kMainStackBytes = 1u << 20;
+constexpr std::uint32_t kMaxShadowPoolBytes = 32u << 20;
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      queue_(),
+      network_(queue_, config.net, config.total_nodes(), &stats_) {
+  const Status valid = config_.validate();
+  assert(valid.is_ok() && "invalid ClusterConfig");
+  (void)valid;
+
+  Node::Hooks hooks;
+  hooks.fatal = [this](std::string message) {
+    if (!fatal_.has_value()) fatal_ = std::move(message);
+  };
+  hooks.thread_exited = [](GuestTid) {};
+
+  const std::uint32_t total = config_.total_nodes();
+  nodes_.reserve(total);
+  for (NodeId id = 0; id < total; ++id) {
+    nodes_.push_back(
+        std::make_unique<Node>(id, config_, queue_, network_, &stats_, hooks));
+  }
+
+  // Shadow pool: top of the guest space.
+  const std::uint32_t page = config_.machine.page_size;
+  const std::uint32_t pool_bytes =
+      std::min<std::uint32_t>(kMaxShadowPoolBytes, config_.guest_mem_bytes / 8) /
+      page * page;
+  const std::uint32_t pool_first_page =
+      (config_.guest_mem_bytes - pool_bytes) / page;
+
+  if (!config_.single_node_baseline) {
+    dsm::Directory::Params params;
+    params.dsm = config_.dsm;
+    params.machine = config_.machine;
+    params.node_count = total;
+    params.shadow_pool_first_page = pool_first_page;
+    params.shadow_pool_page_count = pool_bytes / page;
+    directory_.emplace(network_, queue_, nodes_[kMasterNode]->space(), params,
+                       &stats_);
+  } else {
+    // Baseline "QEMU" mode: one node, no DSM, direct memory access.
+    nodes_[kMasterNode]->space().set_all_access(mem::PageAccess::kReadWrite);
+  }
+
+  syscalls_.emplace(network_, queue_, config_.machine,
+                    config_.dbt.syscall_service_cycles, &stats_);
+  sys::MasterSyscalls::Hooks sys_hooks;
+  sys_hooks.on_clone = [this](const sys::SyscallRequest& req) {
+    return on_clone(req);
+  };
+  sys_hooks.on_exit = [this](const sys::SyscallRequest& req) {
+    on_thread_exit(req);
+  };
+  sys_hooks.on_exit_group = [this](std::uint32_t status) {
+    if (!exit_code_.has_value()) exit_code_ = status;
+  };
+  syscalls_->set_hooks(std::move(sys_hooks));
+
+  // Message routing: master traffic splits between the directory, the
+  // syscall engine, migration bookkeeping and the node itself.
+  network_.attach(kMasterNode,
+                  [this](net::Message msg) { master_handler(msg); });
+  for (NodeId id = 1; id < total; ++id) {
+    Node* node = nodes_[id].get();
+    network_.attach(id,
+                    [node](net::Message msg) { node->handle_message(msg); });
+  }
+}
+
+void Cluster::master_handler(const net::Message& msg) {
+  switch (msg.type) {
+    case static_cast<std::uint32_t>(dsm::DsmMsg::kReadReq):
+    case static_cast<std::uint32_t>(dsm::DsmMsg::kWriteReq):
+    case static_cast<std::uint32_t>(dsm::DsmMsg::kInvAck):
+    case static_cast<std::uint32_t>(dsm::DsmMsg::kDowngradeAck):
+      assert(directory_.has_value());
+      directory_->handle_message(msg);
+      return;
+    case static_cast<std::uint32_t>(sys::SysMsg::kSyscallReq):
+      syscalls_->handle_message(msg);
+      return;
+    case static_cast<std::uint32_t>(CoreMsg::kMigrateDone):
+      thread_node_[static_cast<GuestTid>(msg.a)] =
+          static_cast<NodeId>(msg.b);
+      return;
+    default:
+      nodes_[kMasterNode]->handle_message(msg);
+      return;
+  }
+}
+
+Status Cluster::load(const isa::Program& program) {
+  if (loaded_) return Status::failed_precondition("program already loaded");
+
+  const std::uint32_t page = config_.machine.page_size;
+  const std::uint32_t pool_bytes =
+      std::min<std::uint32_t>(kMaxShadowPoolBytes, config_.guest_mem_bytes / 8) /
+      page * page;
+  const GuestAddr pool_start = config_.guest_mem_bytes - pool_bytes;
+  const GuestAddr main_stack_top = pool_start;  // stack grows down from here
+  const GuestAddr mmap_end = main_stack_top - kMainStackBytes;
+  const GuestAddr mmap_start = config_.guest_mem_bytes / 2;
+
+  if (program.brk_start >= mmap_start) {
+    return Status::invalid_argument(
+        "program image overlaps the mmap region; increase guest_mem_bytes");
+  }
+  for (const isa::Section& section : program.sections) {
+    if (static_cast<std::uint64_t>(section.addr) + section.bytes.size() >
+        mmap_start) {
+      return Status::invalid_argument("program section outside image region");
+    }
+  }
+
+  nodes_[kMasterNode]->space().load_program(program);
+  syscalls_->configure_memory(program.brk_start, mmap_start, mmap_end);
+
+  dbt::CpuContext main_ctx;
+  main_ctx.tid = next_tid_++;
+  main_ctx.pc = program.entry;
+  main_ctx.gpr[isa::kSp] = main_stack_top - 16;
+  main_ctx.gpr[isa::kTp] = main_ctx.tid;
+  thread_node_[main_ctx.tid] = kMasterNode;
+  alive_threads_ = 1;
+  nodes_[kMasterNode]->add_thread(main_ctx, /*ctid=*/0, /*hint_group=*/-1);
+
+  loaded_ = true;
+  return Status::ok();
+}
+
+NodeId Cluster::pick_node(std::int32_t hint_group) {
+  if (config_.single_node_baseline || config_.slave_nodes == 0) {
+    return kMasterNode;
+  }
+  if (config_.sched.policy == SchedPolicy::kHintLocality && hint_group >= 0) {
+    return static_cast<NodeId>(
+        1 + static_cast<std::uint32_t>(hint_group) % config_.slave_nodes);
+  }
+  if (!config_.node_machines.empty()) {
+    // Heterogeneous cluster: smooth weighted round-robin over the slaves,
+    // weight = compute capacity, so a big node hosts proportionally more
+    // guest threads while placement stays interleaved.
+    if (rr_credits_.empty()) rr_credits_.assign(config_.slave_nodes, 0);
+    std::int64_t total = 0;
+    NodeId best = 1;
+    for (NodeId n = 0; n < config_.slave_nodes; ++n) {
+      const MachineConfig& m = config_.machine_for(static_cast<NodeId>(n + 1));
+      // Capacity = cores x clock (x10 to keep integer math honest).
+      const auto weight =
+          static_cast<std::int64_t>(m.cores_per_node * m.cpu_ghz * 10.0);
+      rr_credits_[n] += weight;
+      total += weight;
+      if (rr_credits_[n] > rr_credits_[best - 1]) {
+        best = static_cast<NodeId>(n + 1);
+      }
+    }
+    rr_credits_[best - 1] -= total;
+    return best;
+  }
+  const NodeId target = rr_next_;
+  rr_next_ = static_cast<NodeId>(rr_next_ % config_.slave_nodes + 1);
+  return target;
+}
+
+std::int32_t Cluster::on_clone(const sys::SyscallRequest& req) {
+  if (req.payload.size() < dbt::CpuContext::kWireBytes) {
+    return -isa::kEINVAL;
+  }
+  dbt::CpuContext child = dbt::CpuContext::deserialize(req.payload);
+  child.tid = next_tid_++;
+  child.gpr[isa::kSp] = req.args[1];
+  child.gpr[isa::kTp] = child.tid;
+  child.set_a0(0);  // the child observes clone() returning 0
+  const auto hint = static_cast<std::int32_t>(req.args[3]);
+  child.hint_group = hint;
+
+  const NodeId target = pick_node(hint);
+  thread_node_[child.tid] = target;
+  ++alive_threads_;
+  stats_.add("core.clones");
+
+  net::Message msg;
+  msg.src = kMasterNode;
+  msg.dst = target;
+  msg.type = static_cast<std::uint32_t>(CoreMsg::kCreateThread);
+  msg.a = child.tid;
+  msg.b = req.args[2];  // ctid
+  msg.c = static_cast<std::uint64_t>(static_cast<std::uint32_t>(hint));
+  msg.data.resize(dbt::CpuContext::kWireBytes);
+  child.serialize(msg.data);
+  network_.send(std::move(msg));
+  return static_cast<std::int32_t>(child.tid);
+}
+
+void Cluster::on_thread_exit(const sys::SyscallRequest& req) {
+  (void)req;
+  assert(alive_threads_ > 0);
+  if (--alive_threads_ == 0 && !exit_code_.has_value()) {
+    exit_code_ = 0;
+  }
+}
+
+NodeId Cluster::thread_node(GuestTid tid) const {
+  auto it = thread_node_.find(tid);
+  return it == thread_node_.end() ? kInvalidNode : it->second;
+}
+
+Status Cluster::migrate_thread(GuestTid tid, NodeId target) {
+  if (target >= nodes_.size()) {
+    return Status::invalid_argument("migration target out of range");
+  }
+  const NodeId current = thread_node(tid);
+  if (current == kInvalidNode) {
+    return Status::not_found("unknown thread id");
+  }
+  if (current == target) return Status::ok();
+
+  net::Message msg;
+  msg.src = kMasterNode;
+  msg.dst = current;
+  msg.type = static_cast<std::uint32_t>(CoreMsg::kMigrateReq);
+  msg.a = tid;
+  msg.b = target;
+  network_.send(std::move(msg));
+  return Status::ok();
+}
+
+Result<Cluster::RunResult> Cluster::run(RunLimits limits) {
+  if (!loaded_) return Status::failed_precondition("no program loaded");
+
+  while (!exit_code_.has_value() && !fatal_.has_value()) {
+    if (!queue_.run_one()) break;
+    if (queue_.now() > limits.max_sim_time) {
+      return Status::resource_exhausted("simulated time limit exceeded");
+    }
+    if (queue_.fired() > limits.max_events) {
+      return Status::resource_exhausted("event limit exceeded");
+    }
+  }
+
+  if (fatal_.has_value()) {
+    return Status::internal(*fatal_);
+  }
+  if (!exit_code_.has_value()) {
+    std::string dump = "guest deadlock: " +
+                       std::to_string(alive_threads_) +
+                       " live threads but no pending events\n";
+    for (const auto& node : nodes_) dump += node->blocked_dump();
+    return Status::failed_precondition(dump);
+  }
+
+  RunResult result;
+  result.exit_code = *exit_code_;
+  result.sim_time = queue_.now();
+  result.guest_insns = stats_.get("dbt.insns");
+  for (const auto& node : nodes_) {
+    for (const auto& [tid, thread] : node->threads()) {
+      result.per_thread[tid] = thread.breakdown;
+      result.total += thread.breakdown;
+    }
+  }
+  result.guest_stdout = syscalls_->vfs().stdout_text();
+  return result;
+}
+
+}  // namespace dqemu::core

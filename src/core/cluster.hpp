@@ -1,0 +1,118 @@
+// DQEMU public API: a cluster of DQEMU instances (paper figure 2).
+//
+// Typical embedding:
+//
+//     dqemu::ClusterConfig config;
+//     config.slave_nodes = 4;
+//     config.dsm.enable_forwarding = true;
+//     dqemu::core::Cluster cluster(config);
+//     auto status = cluster.load(program);       // master loads the image
+//     auto result = cluster.run();               // event loop to completion
+//     // result.value().sim_time is the virtual wall-clock of the guest run
+//
+// The master node (node 0) hosts the main thread, the coherence directory
+// and the delegated-syscall engine; guest threads created by clone() are
+// placed on slave nodes by the configured scheduling policy.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "core/node.hpp"
+#include "dsm/directory.hpp"
+#include "isa/program.hpp"
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sys/master_syscalls.hpp"
+
+namespace dqemu::core {
+
+class Cluster {
+ public:
+  /// Guardrails for run(): a guest bug (deadlock/livelock) fails the run
+  /// instead of hanging the host process.
+  struct RunLimits {
+    TimePs max_sim_time = 7200 * time_literals::kSec;
+    std::uint64_t max_events = 2'000'000'000ULL;
+  };
+
+  struct RunResult {
+    std::uint32_t exit_code = 0;
+    /// Virtual time from boot to guest completion — the quantity every
+    /// benchmark in the paper reports ratios of.
+    TimePs sim_time = 0;
+    std::uint64_t guest_insns = 0;
+    /// Per guest thread time breakdown (Fig. 8's execute/pagefault/syscall).
+    std::map<GuestTid, TimeBreakdown> per_thread;
+    TimeBreakdown total;
+    std::string guest_stdout;
+  };
+
+  explicit Cluster(ClusterConfig config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Loads a program image on the master and creates the main thread.
+  [[nodiscard]] Status load(const isa::Program& program);
+
+  /// Runs the event loop until the guest exits (exit_group or last thread
+  /// exit), a guest error occurs, or a limit trips.
+  [[nodiscard]] Result<RunResult> run(RunLimits limits);
+  [[nodiscard]] Result<RunResult> run() { return run(RunLimits{}); }
+
+  // ---- introspection ------------------------------------------------------
+  [[nodiscard]] StatsRegistry& stats() { return stats_; }
+  [[nodiscard]] sim::EventQueue& queue() { return queue_; }
+  [[nodiscard]] sys::Vfs& vfs() { return syscalls_->vfs(); }
+  [[nodiscard]] std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
+  /// Null in single-node baseline mode (no DSM).
+  [[nodiscard]] dsm::Directory* directory() {
+    return directory_.has_value() ? &*directory_ : nullptr;
+  }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  /// Node currently hosting `tid` (master bookkeeping), or kInvalidNode.
+  [[nodiscard]] NodeId thread_node(GuestTid tid) const;
+  [[nodiscard]] GuestTid main_tid() const { return 1; }
+
+  /// Requests migration of a live guest thread to `target` (section 4.1's
+  /// remote thread migration); takes effect at the thread's next dispatch.
+  [[nodiscard]] Status migrate_thread(GuestTid tid, NodeId target);
+
+ private:
+  [[nodiscard]] NodeId pick_node(std::int32_t hint_group);
+  void master_handler(const net::Message& msg);
+  std::int32_t on_clone(const sys::SyscallRequest& req);
+  void on_thread_exit(const sys::SyscallRequest& req);
+
+  ClusterConfig config_;
+  StatsRegistry stats_;
+  sim::EventQueue queue_;
+  net::Network network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::optional<dsm::Directory> directory_;
+  std::optional<sys::MasterSyscalls> syscalls_;
+
+  // Master-side global thread table.
+  GuestTid next_tid_ = 1;
+  std::map<GuestTid, NodeId> thread_node_;
+  std::uint32_t alive_threads_ = 0;
+  NodeId rr_next_ = 1;
+  /// Smooth weighted round-robin state for heterogeneous clusters
+  /// (weight = cores per slave node); empty when the cluster is uniform.
+  std::vector<std::int64_t> rr_credits_;
+
+  bool loaded_ = false;
+  std::optional<std::uint32_t> exit_code_;
+  std::optional<std::string> fatal_;
+};
+
+}  // namespace dqemu::core

@@ -1,0 +1,61 @@
+// Per-node state of one guest thread (a "TCG-thread" in the paper).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "dbt/cpu_context.hpp"
+#include "isa/syscall_abi.hpp"
+
+namespace dqemu::core {
+
+enum class ThreadState : std::uint8_t {
+  kRunnable,       ///< queued for a core
+  kRunning,        ///< currently executing a quantum
+  kBlockedPage,    ///< waiting for a DSM page grant
+  kBlockedSyscall, ///< waiting for a delegated syscall response
+  kSleeping,       ///< in nanosleep
+  kExited,
+};
+
+/// A delegated or multi-step syscall in flight. Page pre-faulting and
+/// result commit can each block on the DSM, so the call's progress is
+/// tracked explicitly instead of re-executing the SYSCALL instruction.
+struct PendingSyscall {
+  isa::Sys num = isa::Sys::kExit;
+  std::array<std::uint32_t, 4> args{};
+  enum class Phase : std::uint8_t {
+    kPreFault,  ///< acquiring argument pages
+    kAwaitResponse,
+    kCommit,    ///< writing the response payload to an OUT pointer
+  } phase = Phase::kPreFault;
+  /// True when the blocked time is semantically idle (futex wait), not
+  /// syscall service — keeps Fig.8's syscall share meaningful.
+  bool block_is_idle = false;
+  /// Response payload awaiting commit (read() bytes etc.).
+  std::vector<std::uint8_t> result_payload;
+  std::int64_t result = 0;
+};
+
+struct GuestThread {
+  dbt::CpuContext ctx;
+  ThreadState state = ThreadState::kRunnable;
+  /// Page this thread is blocked on (kBlockedPage).
+  std::uint32_t blocked_page = 0;
+  /// clear-on-exit futex address (Linux CLONE_CHILD_CLEARTID semantics).
+  GuestAddr ctid = 0;
+  /// Placement group assigned at creation (section 5.3); -1 = none.
+  std::int32_t hint_group = -1;
+  std::optional<PendingSyscall> pending_syscall;
+  /// Requested migration target; applied at the next dispatch point.
+  NodeId migrate_target = kInvalidNode;
+
+  TimeBreakdown breakdown;
+  TimePs block_start = 0;  ///< when the current blocked/idle period began
+  TimePs ready_since = 0;  ///< when the thread last became runnable
+};
+
+}  // namespace dqemu::core

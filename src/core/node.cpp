@@ -1,0 +1,650 @@
+#include "core/node.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "dsm/wire.hpp"
+#include "sys/wire.hpp"
+
+namespace dqemu::core {
+namespace {
+
+using time_literals::kNs;
+using time_literals::kSec;
+
+/// Extra simulation-side payload carried by a migration message after the
+/// serialized CPU context: the thread's accumulated time breakdown.
+constexpr std::size_t kBreakdownBytes = 5 * sizeof(std::uint64_t);
+
+}  // namespace
+
+Node::Node(NodeId id, const ClusterConfig& config, sim::EventQueue& queue,
+           net::Network& network, StatsRegistry* stats, Hooks hooks)
+    : id_(id),
+      config_(config),
+      machine_(config.machine_for(id)),
+      queue_(queue),
+      network_(network),
+      stats_(stats),
+      hooks_(std::move(hooks)),
+      space_(config.guest_mem_bytes, config.machine.page_size),
+      shadow_(config.machine.page_size, config.dsm.split_shards),
+      llsc_(stats),
+      tcache_(space_, config.dbt, /*check_protection=*/!config.single_node_baseline,
+              stats),
+      engine_(space_, &shadow_, llsc_, tcache_, config.dbt,
+              /*check_protection=*/!config.single_node_baseline, stats),
+      dsm_(id, network, space_, shadow_, &llsc_, &tcache_, stats,
+           [this](std::uint32_t page) { wake_page_waiters(page); }),
+      core_busy_(machine_.cores_per_node, false) {}
+
+void Node::add_thread(const dbt::CpuContext& ctx, GuestAddr ctid,
+                      std::int32_t hint_group) {
+  assert(!threads_.contains(ctx.tid));
+  GuestThread thread;
+  thread.ctx = ctx;
+  thread.ctid = ctid;
+  thread.hint_group = hint_group;
+  thread.ready_since = queue_.now();
+  threads_.emplace(ctx.tid, std::move(thread));
+  if (stats_ != nullptr) stats_->add("core.threads_created");
+  enqueue(ctx.tid);
+  kick();
+}
+
+std::size_t Node::live_threads() const {
+  std::size_t n = 0;
+  for (const auto& [tid, t] : threads_) {
+    if (t.state != ThreadState::kExited) ++n;
+  }
+  return n;
+}
+
+std::size_t Node::active_threads() const {
+  std::size_t n = 0;
+  for (const auto& [tid, t] : threads_) {
+    if (t.state == ThreadState::kRunnable || t.state == ThreadState::kRunning)
+      ++n;
+  }
+  return n;
+}
+
+std::string Node::blocked_dump() const {
+  std::string out;
+  for (const auto& [tid, t] : threads_) {
+    if (t.state == ThreadState::kExited) continue;
+    char buf[128];
+    const char* state = "?";
+    switch (t.state) {
+      case ThreadState::kRunnable: state = "runnable"; break;
+      case ThreadState::kRunning: state = "running"; break;
+      case ThreadState::kBlockedPage: state = "page"; break;
+      case ThreadState::kBlockedSyscall: state = "syscall"; break;
+      case ThreadState::kSleeping: state = "sleeping"; break;
+      case ThreadState::kExited: state = "exited"; break;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "  node %u tid %u: %s (pc=0x%08x page=%u)\n", unsigned(id_),
+                  tid, state, t.ctx.pc, t.blocked_page);
+    out += buf;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Core scheduling
+// ---------------------------------------------------------------------------
+
+void Node::enqueue(GuestTid tid) {
+  GuestThread& t = threads_.at(tid);
+  t.state = ThreadState::kRunnable;
+  t.ready_since = queue_.now();
+  run_queue_.push_back(tid);
+}
+
+void Node::kick() {
+  while (!run_queue_.empty()) {
+    // Find an idle core.
+    CoreId core = kInvalidNode;
+    for (CoreId c = 0; c < core_busy_.size(); ++c) {
+      if (!core_busy_[c]) {
+        core = c;
+        break;
+      }
+    }
+    if (core == kInvalidNode) return;
+
+    const GuestTid tid = run_queue_.front();
+    run_queue_.pop_front();
+    GuestThread& t = threads_.at(tid);
+    assert(t.state == ThreadState::kRunnable);
+    if (t.migrate_target != kInvalidNode) {
+      send_migration(tid);
+      continue;  // did not consume the core
+    }
+    core_busy_[core] = true;
+    core_run(core, tid);
+  }
+}
+
+void Node::core_run(CoreId core, GuestTid tid) {
+  GuestThread& t = threads_.at(tid);
+  t.breakdown.idle += queue_.now() - t.ready_since;
+  t.state = ThreadState::kRunning;
+
+  const dbt::ExecResult r = engine_.run(t.ctx, config_.dbt.quantum_insns);
+
+  const DurationPs dt_exec = machine_.cycles(r.exec_cycles);
+  const DurationPs dt_translate = machine_.cycles(r.translate_cycles);
+  t.breakdown.execute += dt_exec;
+  t.breakdown.translate += dt_translate;
+  if (stats_ != nullptr) {
+    stats_->add("dbt.insns", r.insns);
+    stats_->add("core.slices");
+  }
+
+  queue_.schedule_in(dt_exec + dt_translate, [this, core, tid, r] {
+    finish_slice(core, tid, r);
+  });
+}
+
+void Node::release_core_after(CoreId core, DurationPs delay) {
+  if (delay == 0) {
+    core_busy_[core] = false;
+    kick();
+    return;
+  }
+  queue_.schedule_in(delay, [this, core] {
+    core_busy_[core] = false;
+    kick();
+  });
+}
+
+void Node::finish_slice(CoreId core, GuestTid tid, const dbt::ExecResult& r) {
+  GuestThread& t = threads_.at(tid);
+  switch (r.reason) {
+    case dbt::StopReason::kQuantum:
+      enqueue(tid);
+      release_core_after(core, 0);
+      return;
+
+    case dbt::StopReason::kPageFault: {
+      const DurationPs trap = machine_.cycles(config_.dbt.fault_trap_cycles);
+      t.breakdown.pagefault += trap;
+      if (stats_ != nullptr) stats_->add("core.page_faults");
+      block_on_page(t, r.fault_addr, r.fault_is_write);
+      release_core_after(core, trap);
+      return;
+    }
+
+    case dbt::StopReason::kSyscall: {
+      const DurationPs trap =
+          machine_.cycles(config_.dbt.syscall_trap_cycles);
+      t.breakdown.syscall += trap;
+      if (stats_ != nullptr) stats_->add("core.syscalls");
+      PendingSyscall call;
+      call.num = static_cast<isa::Sys>(r.syscall_num);
+      for (unsigned i = 0; i < 4; ++i) call.args[i] = t.ctx.arg(i);
+      t.pending_syscall = call;
+      attempt_syscall(tid);
+      release_core_after(core, trap);
+      return;
+    }
+
+    case dbt::StopReason::kGuestError:
+      core_busy_[core] = false;
+      if (hooks_.fatal) {
+        hooks_.fatal("guest error on node " + std::to_string(id_) + " tid " +
+                     std::to_string(tid) + ": " + r.error);
+      }
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Page faults
+// ---------------------------------------------------------------------------
+
+void Node::block_on_page(GuestThread& t, GuestAddr fault_addr, bool write) {
+  const std::uint32_t page = space_.page_of(fault_addr);
+  // The page may have arrived while the faulting slice was "in flight"
+  // (its wall time elapsing); re-check before blocking.
+  const mem::PageAccess access = space_.access(page);
+  const bool satisfied = write ? access == mem::PageAccess::kReadWrite
+                               : access != mem::PageAccess::kNone;
+  if (satisfied) {
+    enqueue(t.ctx.tid);
+    return;
+  }
+  t.state = ThreadState::kBlockedPage;
+  t.blocked_page = page;
+  t.block_start = queue_.now();
+  dsm_.request_page(page, space_.offset_in_page(fault_addr), write, t.ctx.tid);
+}
+
+void Node::wake_page_waiters(std::uint32_t page) {
+  bool any = false;
+  for (auto& [tid, t] : threads_) {
+    if (t.state != ThreadState::kBlockedPage || t.blocked_page != page)
+      continue;
+    t.breakdown.pagefault += queue_.now() - t.block_start;
+    any = true;
+    if (t.pending_syscall.has_value()) {
+      // The fault belonged to syscall argument pre-faulting / commit.
+      t.state = ThreadState::kRunnable;  // attempt may re-block immediately
+      attempt_syscall(tid);
+    } else {
+      enqueue(tid);
+    }
+  }
+  if (any) kick();
+}
+
+// ---------------------------------------------------------------------------
+// Guest memory block access (shadow-map aware)
+// ---------------------------------------------------------------------------
+
+void Node::for_each_chunk(
+    GuestAddr addr, std::uint32_t len,
+    const std::function<void(GuestAddr, std::uint32_t)>& fn) const {
+  // Chunks never cross a shard boundary of the *original* address, so a
+  // chunk maps to one contiguous run inside one (possibly shadow) page.
+  const std::uint32_t boundary = shadow_.empty()
+                                     ? space_.page_size()
+                                     : shadow_.shard_size();
+  std::uint32_t done = 0;
+  while (done < len) {
+    const GuestAddr at = addr + done;
+    const std::uint32_t to_boundary = boundary - (at & (boundary - 1));
+    const std::uint32_t n = std::min(len - done, to_boundary);
+    fn(shadow_.translate(at), n);
+    done += n;
+  }
+}
+
+void Node::read_guest(GuestAddr addr, std::span<std::uint8_t> out) const {
+  std::size_t off = 0;
+  for_each_chunk(addr, static_cast<std::uint32_t>(out.size()),
+                 [&](GuestAddr resolved, std::uint32_t n) {
+                   space_.read_bytes(resolved, out.subspan(off, n));
+                   off += n;
+                 });
+}
+
+void Node::write_guest(GuestAddr addr, std::span<const std::uint8_t> in) {
+  std::size_t off = 0;
+  for_each_chunk(addr, static_cast<std::uint32_t>(in.size()),
+                 [&](GuestAddr resolved, std::uint32_t n) {
+                   space_.write_bytes(resolved, in.subspan(off, n));
+                   if (!llsc_.empty()) {
+                     // Snoop every word the block store touches.
+                     const GuestAddr first = resolved & ~3u;
+                     for (GuestAddr w = first; w < resolved + n; w += 4) {
+                       llsc_.on_store(w, kInvalidTid);
+                     }
+                   }
+                   off += n;
+                 });
+}
+
+// ---------------------------------------------------------------------------
+// Syscalls
+// ---------------------------------------------------------------------------
+
+bool Node::ensure_access(GuestThread& t,
+                         const std::vector<sys::PreAccess>& ranges) {
+  for (const sys::PreAccess& range : ranges) {
+    if (range.len == 0) continue;
+    if (static_cast<std::uint64_t>(range.addr) + range.len > space_.size()) {
+      // Bad guest pointer: fail the syscall rather than the simulation.
+      t.ctx.set_a0(static_cast<std::uint32_t>(-isa::kEINVAL));
+      t.pending_syscall.reset();
+      enqueue(t.ctx.tid);
+      kick();
+      return false;
+    }
+    std::uint32_t missing_page = UINT32_MAX;
+    GuestAddr missing_addr = 0;
+    for_each_chunk(range.addr, range.len,
+                   [&](GuestAddr resolved, std::uint32_t n) {
+                     (void)n;
+                     if (missing_page != UINT32_MAX) return;
+                     const std::uint32_t page = space_.page_of(resolved);
+                     const mem::PageAccess access = space_.access(page);
+                     const bool ok =
+                         config_.single_node_baseline ||
+                         (range.write ? access == mem::PageAccess::kReadWrite
+                                      : access != mem::PageAccess::kNone);
+                     if (!ok) {
+                       missing_page = page;
+                       missing_addr = resolved;
+                     }
+                   });
+    if (missing_page != UINT32_MAX) {
+      t.state = ThreadState::kBlockedPage;
+      t.blocked_page = missing_page;
+      t.block_start = queue_.now();
+      if (stats_ != nullptr) stats_->add("sys.prefault_blocks");
+      dsm_.request_page(missing_page, space_.offset_in_page(missing_addr),
+                        range.write, t.ctx.tid);
+      return false;
+    }
+  }
+  return true;
+}
+
+void Node::attempt_syscall(GuestTid tid) {
+  GuestThread& t = threads_.at(tid);
+  assert(t.pending_syscall.has_value());
+  PendingSyscall& call = *t.pending_syscall;
+
+  switch (call.phase) {
+    case PendingSyscall::Phase::kPreFault: {
+      std::vector<sys::PreAccess> ranges = sys::pre_access(call.num, call.args);
+      if (call.num == isa::Sys::kExit && t.ctid != 0) {
+        ranges.push_back({t.ctid, 4, /*write=*/true});
+      }
+      if (!ensure_access(t, ranges)) return;
+      if (sys::classify(call.num) == sys::SysClass::kLocal) {
+        run_local_syscall(t, call);
+      } else {
+        delegate_syscall(t, call);
+      }
+      return;
+    }
+    case PendingSyscall::Phase::kAwaitResponse:
+      assert(false && "attempt_syscall while awaiting a response");
+      return;
+    case PendingSyscall::Phase::kCommit:
+      commit_syscall(tid);
+      return;
+  }
+}
+
+void Node::run_local_syscall(GuestThread& t, PendingSyscall& call) {
+  using isa::Sys;
+  std::int32_t result = 0;
+  switch (call.num) {
+    case Sys::kGettid: result = static_cast<std::int32_t>(t.ctx.tid); break;
+    case Sys::kGetpid: result = 1; break;
+    case Sys::kGetcpu: result = static_cast<std::int32_t>(id_); break;
+    case Sys::kYield: result = 0; break;
+    case Sys::kClockGettime: {
+      const TimePs now = queue_.now();
+      std::uint32_t out[2];
+      out[0] = static_cast<std::uint32_t>(now / kSec);
+      out[1] = static_cast<std::uint32_t>((now % kSec) / kNs);
+      write_guest(call.args[1],
+                  {reinterpret_cast<const std::uint8_t*>(out), 8});
+      result = 0;
+      break;
+    }
+    case Sys::kNanosleep: {
+      const GuestTid tid = t.ctx.tid;
+      t.state = ThreadState::kSleeping;
+      t.block_start = queue_.now();
+      t.pending_syscall.reset();
+      queue_.schedule_in(std::uint64_t(call.args[0]) * kNs, [this, tid] {
+        GuestThread& sleeper = threads_.at(tid);
+        assert(sleeper.state == ThreadState::kSleeping);
+        sleeper.breakdown.idle += queue_.now() - sleeper.block_start;
+        sleeper.ctx.set_a0(0);
+        enqueue(tid);
+        kick();
+      });
+      return;
+    }
+    case Sys::kUname: {
+      char banner[64] = "DQEMU-GA32 reproduction (distributed DBT)";
+      write_guest(call.args[0],
+                  {reinterpret_cast<const std::uint8_t*>(banner), 64});
+      result = 0;
+      break;
+    }
+    default:
+      result = -isa::kENOSYS;
+      break;
+  }
+  t.ctx.set_a0(static_cast<std::uint32_t>(result));
+  t.pending_syscall.reset();
+  if (stats_ != nullptr) stats_->add("sys.local");
+  enqueue(t.ctx.tid);
+  kick();
+}
+
+void Node::delegate_syscall(GuestThread& t, PendingSyscall& call) {
+  using isa::Sys;
+  std::vector<std::uint8_t> payload;
+
+  switch (call.num) {
+    case Sys::kWrite:
+      payload.resize(call.args[2]);
+      read_guest(call.args[1], payload);
+      break;
+    case Sys::kOpen: {
+      // Capture the path (bounded, NUL-trimmed) for the master.
+      const std::uint32_t window = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(256, space_.size() - call.args[0]));
+      payload.resize(window);
+      read_guest(call.args[0], payload);
+      auto nul = std::find(payload.begin(), payload.end(), 0);
+      payload.resize(
+          static_cast<std::size_t>(std::distance(payload.begin(), nul)) + 1,
+          0);
+      break;
+    }
+    case Sys::kClone: {
+      payload.resize(dbt::CpuContext::kWireBytes);
+      t.ctx.serialize(payload);
+      // The placement hint rides in the unused 4th argument slot.
+      call.args[3] = static_cast<std::uint32_t>(t.ctx.hint_group);
+      break;
+    }
+    case Sys::kFutex:
+      if (call.args[1] == isa::kFutexWait) {
+        // The atomic re-check (section 4.4): we hold a read copy of the
+        // futex page right now, so a racing writer cannot have completed —
+        // its invalidation of this page is ordered after this event, and
+        // its wake after our wait on the master's FIFO channel.
+        const GuestAddr resolved = shadow_.translate(call.args[0]);
+        if ((resolved & 3u) != 0) {
+          t.ctx.set_a0(static_cast<std::uint32_t>(-isa::kEINVAL));
+          t.pending_syscall.reset();
+          enqueue(t.ctx.tid);
+          kick();
+          return;
+        }
+        const auto value = static_cast<std::uint32_t>(space_.load(resolved, 4));
+        call.block_is_idle = true;  // time spent blocked is lock-wait, not work
+        if (value != call.args[2]) {
+          t.ctx.set_a0(static_cast<std::uint32_t>(-isa::kEAGAIN));
+          t.pending_syscall.reset();
+          if (stats_ != nullptr) stats_->add("sys.futex_eagain");
+          enqueue(t.ctx.tid);
+          kick();
+          return;
+        }
+      }
+      break;
+    case Sys::kExit: {
+      // Linux CLONE_CHILD_CLEARTID: store 0 to *ctid through the normal
+      // coherent-write path (page was pre-faulted RW), then let the master
+      // wake joiners and account the exit.
+      if (t.ctid != 0) {
+        const std::uint32_t zero = 0;
+        write_guest(t.ctid,
+                    {reinterpret_cast<const std::uint8_t*>(&zero), 4});
+        call.args[1] = t.ctid;
+      } else {
+        call.args[1] = 0;
+      }
+      network_.send(sys::make_syscall_request(id_, t.ctx.tid, call.num,
+                                              call.args, payload));
+      const GuestTid tid = t.ctx.tid;
+      t.pending_syscall.reset();
+      finish_thread_exit(tid);
+      return;
+    }
+    default:
+      break;
+  }
+
+  network_.send(
+      sys::make_syscall_request(id_, t.ctx.tid, call.num, call.args, payload));
+  t.state = ThreadState::kBlockedSyscall;
+  t.block_start = queue_.now();
+  call.phase = PendingSyscall::Phase::kAwaitResponse;
+  if (stats_ != nullptr) stats_->add("sys.delegated_sent");
+}
+
+void Node::on_syscall_response(const net::Message& msg) {
+  const auto tid = static_cast<GuestTid>(msg.b);
+  auto it = threads_.find(tid);
+  assert(it != threads_.end());
+  GuestThread& t = it->second;
+  assert(t.state == ThreadState::kBlockedSyscall);
+  assert(t.pending_syscall.has_value());
+  if (t.pending_syscall->block_is_idle) {
+    t.breakdown.idle += queue_.now() - t.block_start;
+  } else {
+    t.breakdown.syscall += queue_.now() - t.block_start;
+  }
+  PendingSyscall& call = *t.pending_syscall;
+  call.result = static_cast<std::int64_t>(msg.a);
+
+  if (call.num == isa::Sys::kRead && call.result > 0 && !msg.data.empty()) {
+    call.result_payload = msg.data;
+    call.phase = PendingSyscall::Phase::kCommit;
+    commit_syscall(tid);
+    return;
+  }
+  t.ctx.set_a0(static_cast<std::uint32_t>(call.result));
+  t.pending_syscall.reset();
+  enqueue(tid);
+  kick();
+}
+
+void Node::commit_syscall(GuestTid tid) {
+  GuestThread& t = threads_.at(tid);
+  PendingSyscall& call = *t.pending_syscall;
+  const std::vector<sys::PreAccess> ranges = {
+      {call.args[1], static_cast<std::uint32_t>(call.result_payload.size()),
+       /*write=*/true}};
+  // Access may have been invalidated while the response was in flight;
+  // re-acquire before storing (the syscall itself is NOT re-executed).
+  if (!ensure_access(t, ranges)) return;
+  write_guest(call.args[1], call.result_payload);
+  t.ctx.set_a0(static_cast<std::uint32_t>(call.result));
+  t.pending_syscall.reset();
+  enqueue(tid);
+  kick();
+}
+
+// ---------------------------------------------------------------------------
+// Thread management messages
+// ---------------------------------------------------------------------------
+
+void Node::handle_message(const net::Message& msg) {
+  if (dsm::is_dsm_message(msg.type)) {
+    dsm_.handle_message(msg);
+    return;
+  }
+  if (msg.type == static_cast<std::uint32_t>(sys::SysMsg::kSyscallResp)) {
+    on_syscall_response(msg);
+    return;
+  }
+  switch (static_cast<CoreMsg>(msg.type)) {
+    case CoreMsg::kCreateThread: return on_create_thread(msg);
+    case CoreMsg::kMigrateReq: return on_migrate_req(msg);
+    case CoreMsg::kMigrateThread: return on_migrate_thread(msg);
+    default:
+      if (hooks_.fatal) {
+        hooks_.fatal("node " + std::to_string(id_) +
+                     ": unroutable message type " + std::to_string(msg.type));
+      }
+  }
+}
+
+void Node::on_create_thread(const net::Message& msg) {
+  assert(msg.data.size() >= dbt::CpuContext::kWireBytes);
+  const dbt::CpuContext ctx = dbt::CpuContext::deserialize(msg.data);
+  add_thread(ctx, static_cast<GuestAddr>(msg.b),
+             static_cast<std::int32_t>(msg.c));
+}
+
+void Node::on_migrate_req(const net::Message& msg) {
+  const auto tid = static_cast<GuestTid>(msg.a);
+  auto it = threads_.find(tid);
+  if (it == threads_.end() || it->second.state == ThreadState::kExited) {
+    return;  // raced with exit; nothing to migrate
+  }
+  it->second.migrate_target = static_cast<NodeId>(msg.b);
+  if (stats_ != nullptr) stats_->add("core.migrations_requested");
+  // Runnable threads are peeled off at the next dispatch; blocked threads
+  // migrate once they wake and get dispatched.
+}
+
+void Node::send_migration(GuestTid tid) {
+  GuestThread& t = threads_.at(tid);
+  const NodeId target = t.migrate_target;
+  assert(target != kInvalidNode && target != id_);
+
+  net::Message msg;
+  msg.src = id_;
+  msg.dst = target;
+  msg.type = static_cast<std::uint32_t>(CoreMsg::kMigrateThread);
+  msg.a = tid;
+  msg.b = t.ctid;
+  msg.c = static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(t.hint_group));
+  msg.data.resize(dbt::CpuContext::kWireBytes + kBreakdownBytes);
+  t.ctx.serialize(msg.data);
+  // Simulation bookkeeping (not a real wire field): carry the accumulated
+  // breakdown so per-thread accounting survives the move.
+  const std::uint64_t parts[5] = {t.breakdown.execute, t.breakdown.translate,
+                                  t.breakdown.pagefault, t.breakdown.syscall,
+                                  t.breakdown.idle};
+  std::memcpy(msg.data.data() + dbt::CpuContext::kWireBytes, parts,
+              kBreakdownBytes);
+  network_.send(std::move(msg));
+  threads_.erase(tid);
+  if (stats_ != nullptr) stats_->add("core.migrations_sent");
+}
+
+void Node::on_migrate_thread(const net::Message& msg) {
+  assert(msg.data.size() >= dbt::CpuContext::kWireBytes + kBreakdownBytes);
+  const dbt::CpuContext ctx = dbt::CpuContext::deserialize(msg.data);
+  add_thread(ctx, static_cast<GuestAddr>(msg.b),
+             static_cast<std::int32_t>(static_cast<std::uint32_t>(msg.c)));
+  GuestThread& t = threads_.at(ctx.tid);
+  std::uint64_t parts[5];
+  std::memcpy(parts, msg.data.data() + dbt::CpuContext::kWireBytes,
+              kBreakdownBytes);
+  t.breakdown.execute = parts[0];
+  t.breakdown.translate = parts[1];
+  t.breakdown.pagefault = parts[2];
+  t.breakdown.syscall = parts[3];
+  t.breakdown.idle = parts[4];
+
+  net::Message done;
+  done.src = id_;
+  done.dst = kMasterNode;
+  done.type = static_cast<std::uint32_t>(CoreMsg::kMigrateDone);
+  done.a = ctx.tid;
+  done.b = id_;
+  network_.send(std::move(done));
+}
+
+void Node::finish_thread_exit(GuestTid tid) {
+  GuestThread& t = threads_.at(tid);
+  t.state = ThreadState::kExited;
+  // Drop from the run queue if present (it should not be, but exits from
+  // odd paths stay safe).
+  for (auto it = run_queue_.begin(); it != run_queue_.end();) {
+    it = (*it == tid) ? run_queue_.erase(it) : it + 1;
+  }
+  if (hooks_.thread_exited) hooks_.thread_exited(tid);
+}
+
+}  // namespace dqemu::core

@@ -1,0 +1,137 @@
+// One DQEMU instance: a cluster node.
+//
+// Owns the node's copy of the guest address space, the DBT (translation
+// cache + execution engine + LL/SC table), the DSM client, and the node's
+// guest threads with their core scheduler. The master node additionally
+// hosts the directory and the delegated-syscall engine, but those are owned
+// by the Cluster and merely operate on this node's memory.
+//
+// Scheduling model: `cores_per_node` simulated cores multiplex the node's
+// runnable TCG-threads in FIFO order; one engine call = one quantum of at
+// most `quantum_insns` guest instructions. Blocking events (remote page
+// faults, delegated syscalls, futex waits, sleeps) release the core.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "core/guest_thread.hpp"
+#include "core/wire.hpp"
+#include "dbt/exec.hpp"
+#include "dbt/llsc_table.hpp"
+#include "dbt/translation.hpp"
+#include "dsm/client.hpp"
+#include "mem/address_space.hpp"
+#include "mem/shadow_map.hpp"
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sys/classify.hpp"
+#include "sys/master_syscalls.hpp"
+
+namespace dqemu::core {
+
+class Node {
+ public:
+  struct Hooks {
+    /// Unrecoverable guest/protocol error: the cluster run must fail.
+    std::function<void(std::string)> fatal;
+    /// A guest thread on this node fully exited (after its exit syscall
+    /// was forwarded); cluster-level accounting.
+    std::function<void(GuestTid)> thread_exited;
+  };
+
+  Node(NodeId id, const ClusterConfig& config, sim::EventQueue& queue,
+       net::Network& network, StatsRegistry* stats, Hooks hooks);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] mem::AddressSpace& space() { return space_; }
+  [[nodiscard]] const mem::AddressSpace& space() const { return space_; }
+  [[nodiscard]] mem::ShadowMap& shadow() { return shadow_; }
+  [[nodiscard]] dbt::LlscTable& llsc() { return llsc_; }
+  [[nodiscard]] dsm::DsmClient& dsm_client() { return dsm_; }
+  [[nodiscard]] const std::map<GuestTid, GuestThread>& threads() const {
+    return threads_;
+  }
+  [[nodiscard]] std::map<GuestTid, GuestThread>& threads() { return threads_; }
+
+  /// Creates a TCG-thread on this node and makes it runnable.
+  void add_thread(const dbt::CpuContext& ctx, GuestAddr ctid,
+                  std::int32_t hint_group);
+
+  /// Handles node-addressed messages the cluster routes here: DSM client
+  /// traffic, syscall responses and thread-management messages.
+  void handle_message(const net::Message& msg);
+
+  /// Number of threads not yet exited.
+  [[nodiscard]] std::size_t live_threads() const;
+  /// Number of runnable-or-running threads (diagnostics).
+  [[nodiscard]] std::size_t active_threads() const;
+  /// One-line description of every blocked thread (deadlock reports).
+  [[nodiscard]] std::string blocked_dump() const;
+
+  /// Guest-memory block copy honouring the shadow map (syscall payloads).
+  void read_guest(GuestAddr addr, std::span<std::uint8_t> out) const;
+  void write_guest(GuestAddr addr, std::span<const std::uint8_t> in);
+
+ private:
+  // ---- core scheduling --------------------------------------------------
+  void enqueue(GuestTid tid);
+  void kick();
+  void core_run(CoreId core, GuestTid tid);
+  void finish_slice(CoreId core, GuestTid tid, const dbt::ExecResult& r);
+  void release_core_after(CoreId core, DurationPs delay);
+
+  // ---- fault & syscall plumbing ------------------------------------------
+  void block_on_page(GuestThread& t, GuestAddr fault_addr, bool write);
+  void wake_page_waiters(std::uint32_t page);
+  /// Drives a thread's PendingSyscall state machine until it completes or
+  /// blocks. Returns true if the thread became runnable again.
+  void attempt_syscall(GuestTid tid);
+  /// Ensures local access to `ranges`; if some page is missing, blocks the
+  /// thread on it (DSM request) and returns false.
+  bool ensure_access(GuestThread& t, const std::vector<sys::PreAccess>& ranges);
+  void run_local_syscall(GuestThread& t, PendingSyscall& call);
+  void delegate_syscall(GuestThread& t, PendingSyscall& call);
+  void commit_syscall(GuestTid tid);
+  void on_syscall_response(const net::Message& msg);
+
+  // ---- thread management ---------------------------------------------------
+  void on_create_thread(const net::Message& msg);
+  void on_migrate_req(const net::Message& msg);
+  void on_migrate_thread(const net::Message& msg);
+  void send_migration(GuestTid tid);
+  void finish_thread_exit(GuestTid tid);
+
+  /// Walks [addr, addr+len) in shadow-translated chunks.
+  void for_each_chunk(
+      GuestAddr addr, std::uint32_t len,
+      const std::function<void(GuestAddr resolved, std::uint32_t n)>& fn) const;
+
+  NodeId id_;
+  const ClusterConfig& config_;
+  MachineConfig machine_;  ///< this node's hardware (heterogeneous clusters)
+  sim::EventQueue& queue_;
+  net::Network& network_;
+  StatsRegistry* stats_;
+  Hooks hooks_;
+
+  mem::AddressSpace space_;
+  mem::ShadowMap shadow_;
+  dbt::LlscTable llsc_;
+  dbt::TranslationCache tcache_;
+  dbt::ExecEngine engine_;
+  dsm::DsmClient dsm_;
+
+  std::map<GuestTid, GuestThread> threads_;
+  std::deque<GuestTid> run_queue_;
+  std::vector<bool> core_busy_;
+};
+
+}  // namespace dqemu::core

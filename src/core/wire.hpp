@@ -1,0 +1,27 @@
+// Thread-management wire protocol (paper section 4.1).
+#pragma once
+
+#include <cstdint>
+
+namespace dqemu::core {
+
+enum class CoreMsg : std::uint32_t {
+  /// Master -> node: create a TCG-thread from a cloned CPU context.
+  /// a = child tid, b = ctid address (clear-on-exit), c = hint group
+  /// (int32 widened), data = serialized CpuContext.
+  kCreateThread = 0x300,
+  /// Master -> owner node: migrate thread `a` to node `b` at its next
+  /// quantum boundary.
+  kMigrateReq = 0x301,
+  /// Owner -> target node: the migrating thread's state.
+  /// a = tid, b = ctid, c = hint group, data = serialized CpuContext.
+  kMigrateThread = 0x302,
+  /// Target -> master: thread `a` now runs on node `b` (bookkeeping).
+  kMigrateDone = 0x303,
+};
+
+[[nodiscard]] constexpr bool is_core_message(std::uint32_t type) {
+  return type >= 0x300 && type < 0x400;
+}
+
+}  // namespace dqemu::core

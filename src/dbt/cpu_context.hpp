@@ -1,0 +1,70 @@
+// Guest CPU context — the state DQEMU encapsulates in a TCG-thread.
+//
+// When a guest thread is created on, or migrated to, a remote node
+// (paper section 4.1), this context is what travels over the wire: the
+// parent's register file is cloned, the clone syscall's results are
+// applied, and the remote node resumes execution from it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "common/types.hpp"
+#include "isa/isa.hpp"
+
+namespace dqemu::dbt {
+
+struct CpuContext {
+  std::array<std::uint32_t, isa::kNumGpr> gpr{};  ///< gpr[0] stays 0
+  std::array<double, isa::kNumFpr> fpr{};
+  GuestAddr pc = 0;
+  GuestTid tid = 0;
+  /// Locality group from the last executed HINT instruction (section 5.3);
+  /// inherited by children at clone time.
+  std::int32_t hint_group = -1;
+
+  [[nodiscard]] std::uint32_t a0() const { return gpr[isa::kA0]; }
+  void set_a0(std::uint32_t v) { gpr[isa::kA0] = v; }
+  [[nodiscard]] std::uint32_t arg(unsigned i) const {
+    return gpr[isa::kA0 + i];
+  }
+  [[nodiscard]] std::uint32_t sp() const { return gpr[isa::kSp]; }
+
+  /// Wire size of a serialized context (what thread migration pays for).
+  static constexpr std::size_t kWireBytes =
+      isa::kNumGpr * 4 + isa::kNumFpr * 8 + 4 + 4 + 4;
+
+  /// Serializes into exactly kWireBytes at `out`.
+  void serialize(std::span<std::uint8_t> out) const {
+    std::size_t at = 0;
+    auto put = [&](const void* p, std::size_t n) {
+      std::memcpy(out.data() + at, p, n);
+      at += n;
+    };
+    put(gpr.data(), gpr.size() * 4);
+    put(fpr.data(), fpr.size() * 8);
+    put(&pc, 4);
+    put(&tid, 4);
+    put(&hint_group, 4);
+  }
+
+  /// Inverse of serialize().
+  static CpuContext deserialize(std::span<const std::uint8_t> in) {
+    CpuContext ctx;
+    std::size_t at = 0;
+    auto get = [&](void* p, std::size_t n) {
+      std::memcpy(p, in.data() + at, n);
+      at += n;
+    };
+    get(ctx.gpr.data(), ctx.gpr.size() * 4);
+    get(ctx.fpr.data(), ctx.fpr.size() * 8);
+    get(&ctx.pc, 4);
+    get(&ctx.tid, 4);
+    get(&ctx.hint_group, 4);
+    return ctx;
+  }
+};
+
+}  // namespace dqemu::dbt

@@ -1,0 +1,429 @@
+#include "dbt/exec.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <cstdio>
+#include <limits>
+
+namespace dqemu::dbt {
+namespace {
+
+using isa::Opcode;
+
+std::string format_addr_error(const char* what, GuestAddr addr, GuestAddr pc) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s at guest addr 0x%08x (pc 0x%08x)", what,
+                addr, pc);
+  return buf;
+}
+
+constexpr std::int32_t to_signed(std::uint32_t v) {
+  return static_cast<std::int32_t>(v);
+}
+constexpr std::uint32_t to_unsigned(std::int32_t v) {
+  return static_cast<std::uint32_t>(v);
+}
+
+/// double -> int32 with saturation (avoids UB on out-of-range casts).
+std::int32_t fp_to_int(double v) {
+  if (std::isnan(v)) return 0;
+  if (v >= 2147483647.0) return std::numeric_limits<std::int32_t>::max();
+  if (v <= -2147483648.0) return std::numeric_limits<std::int32_t>::min();
+  return static_cast<std::int32_t>(v);
+}
+
+}  // namespace
+
+ExecEngine::ExecEngine(mem::AddressSpace& space, const mem::ShadowMap* shadow,
+                       LlscTable& llsc, TranslationCache& cache,
+                       const DbtConfig& config, bool check_protection,
+                       StatsRegistry* stats)
+    : space_(space),
+      shadow_(shadow),
+      llsc_(llsc),
+      cache_(cache),
+      config_(config),
+      check_protection_(check_protection),
+      stats_(stats) {}
+
+ExecResult ExecEngine::run(CpuContext& ctx, std::uint64_t max_insns) {
+  ExecResult result;
+
+  auto& gpr = ctx.gpr;
+  auto& fpr = ctx.fpr;
+  auto write_gpr = [&](unsigned rd, std::uint32_t value) {
+    if (rd != 0) gpr[rd] = value;
+  };
+
+  // Resolves a guest data address through the shadow map (page splitting).
+  auto resolve = [&](GuestAddr addr) -> GuestAddr {
+    return shadow_ != nullptr ? shadow_->translate(addr) : addr;
+  };
+
+  // Validates a data access; on failure fills `result` and returns false.
+  // `addr` is already shadow-resolved.
+  auto check_access = [&](GuestAddr addr, unsigned bytes, bool write,
+                          GuestAddr pc) -> bool {
+    if (static_cast<std::uint64_t>(addr) + bytes > space_.size()) {
+      result.reason = StopReason::kGuestError;
+      result.error = format_addr_error("out-of-bounds access", addr, pc);
+      return false;
+    }
+    if ((addr & (bytes - 1)) != 0) {
+      result.reason = StopReason::kGuestError;
+      result.error = format_addr_error("misaligned access", addr, pc);
+      return false;
+    }
+    if (check_protection_) {
+      const mem::PageAccess access = space_.access(space_.page_of(addr));
+      const bool ok = write ? access == mem::PageAccess::kReadWrite
+                            : access != mem::PageAccess::kNone;
+      if (!ok) {
+        result.reason = StopReason::kPageFault;
+        result.fault_addr = addr;
+        result.fault_is_write = write;
+        return false;
+      }
+    }
+    return true;
+  };
+
+  TranslationBlock* tb = nullptr;
+  while (true) {
+    if (result.insns >= max_insns) {
+      result.reason = StopReason::kQuantum;
+      return result;
+    }
+
+    if (tb == nullptr) {
+      tb = cache_.lookup(ctx.pc);
+      if (tb == nullptr) {
+        TranslateResult tr = cache_.translate(ctx.pc);
+        result.translate_cycles += tr.translate_cycles;
+        if (tr.code_fault) {
+          result.reason = StopReason::kPageFault;
+          result.fault_addr = tr.fault_addr;
+          result.fault_is_write = false;
+          result.fault_is_ifetch = true;
+          return result;
+        }
+        if (tr.decode_error) {
+          result.reason = StopReason::kGuestError;
+          result.error =
+              format_addr_error("invalid instruction fetch", tr.fault_addr,
+                                ctx.pc);
+          return result;
+        }
+        tb = tr.tb;
+      }
+    }
+
+    // Execute the block.
+    TranslationBlock* next_tb = nullptr;
+    for (const MicroOp& mop : tb->ops) {
+      const isa::Insn& in = mop.insn;
+      const GuestAddr pc = mop.pc;
+      bool block_done = false;
+
+      switch (in.op) {
+        // ---- integer R-type ------------------------------------------
+        case Opcode::kAdd: write_gpr(in.rd, gpr[in.rs1] + gpr[in.rs2]); break;
+        case Opcode::kSub: write_gpr(in.rd, gpr[in.rs1] - gpr[in.rs2]); break;
+        case Opcode::kMul: write_gpr(in.rd, gpr[in.rs1] * gpr[in.rs2]); break;
+        case Opcode::kDiv: {
+          const std::int32_t a = to_signed(gpr[in.rs1]);
+          const std::int32_t b = to_signed(gpr[in.rs2]);
+          std::int32_t q;
+          if (b == 0) {
+            q = -1;  // RISC-style: division by zero yields all ones
+          } else if (a == std::numeric_limits<std::int32_t>::min() && b == -1) {
+            q = a;   // overflow wraps
+          } else {
+            q = a / b;
+          }
+          write_gpr(in.rd, to_unsigned(q));
+          break;
+        }
+        case Opcode::kDivu: {
+          const std::uint32_t b = gpr[in.rs2];
+          write_gpr(in.rd, b == 0 ? ~0u : gpr[in.rs1] / b);
+          break;
+        }
+        case Opcode::kRem: {
+          const std::int32_t a = to_signed(gpr[in.rs1]);
+          const std::int32_t b = to_signed(gpr[in.rs2]);
+          std::int32_t r;
+          if (b == 0) {
+            r = a;
+          } else if (a == std::numeric_limits<std::int32_t>::min() && b == -1) {
+            r = 0;
+          } else {
+            r = a % b;
+          }
+          write_gpr(in.rd, to_unsigned(r));
+          break;
+        }
+        case Opcode::kRemu: {
+          const std::uint32_t b = gpr[in.rs2];
+          write_gpr(in.rd, b == 0 ? gpr[in.rs1] : gpr[in.rs1] % b);
+          break;
+        }
+        case Opcode::kAnd: write_gpr(in.rd, gpr[in.rs1] & gpr[in.rs2]); break;
+        case Opcode::kOr: write_gpr(in.rd, gpr[in.rs1] | gpr[in.rs2]); break;
+        case Opcode::kXor: write_gpr(in.rd, gpr[in.rs1] ^ gpr[in.rs2]); break;
+        case Opcode::kSll: write_gpr(in.rd, gpr[in.rs1] << (gpr[in.rs2] & 31)); break;
+        case Opcode::kSrl: write_gpr(in.rd, gpr[in.rs1] >> (gpr[in.rs2] & 31)); break;
+        case Opcode::kSra:
+          write_gpr(in.rd, to_unsigned(to_signed(gpr[in.rs1]) >>
+                                       (gpr[in.rs2] & 31)));
+          break;
+        case Opcode::kSlt:
+          write_gpr(in.rd, to_signed(gpr[in.rs1]) < to_signed(gpr[in.rs2]) ? 1 : 0);
+          break;
+        case Opcode::kSltu:
+          write_gpr(in.rd, gpr[in.rs1] < gpr[in.rs2] ? 1 : 0);
+          break;
+
+        // ---- integer I-type ------------------------------------------
+        case Opcode::kAddi:
+          write_gpr(in.rd, gpr[in.rs1] + to_unsigned(in.imm));
+          break;
+        case Opcode::kAndi:
+          write_gpr(in.rd, gpr[in.rs1] & to_unsigned(in.imm));
+          break;
+        case Opcode::kOri:
+          write_gpr(in.rd, gpr[in.rs1] | to_unsigned(in.imm));
+          break;
+        case Opcode::kXori:
+          write_gpr(in.rd, gpr[in.rs1] ^ to_unsigned(in.imm));
+          break;
+        case Opcode::kSlli:
+          write_gpr(in.rd, gpr[in.rs1] << (in.imm & 31));
+          break;
+        case Opcode::kSrli:
+          write_gpr(in.rd, gpr[in.rs1] >> (in.imm & 31));
+          break;
+        case Opcode::kSrai:
+          write_gpr(in.rd, to_unsigned(to_signed(gpr[in.rs1]) >> (in.imm & 31)));
+          break;
+        case Opcode::kSlti:
+          write_gpr(in.rd, to_signed(gpr[in.rs1]) < in.imm ? 1 : 0);
+          break;
+        case Opcode::kSltiu:
+          write_gpr(in.rd, gpr[in.rs1] < to_unsigned(in.imm) ? 1 : 0);
+          break;
+        case Opcode::kLui:
+          write_gpr(in.rd, to_unsigned(in.imm) << 12);
+          break;
+        case Opcode::kAuipc:
+          write_gpr(in.rd, pc + (to_unsigned(in.imm) << 12));
+          break;
+
+        // ---- loads ----------------------------------------------------
+        case Opcode::kLb:
+        case Opcode::kLbu:
+        case Opcode::kLh:
+        case Opcode::kLhu:
+        case Opcode::kLw:
+        case Opcode::kLl: {
+          const unsigned bytes = isa::insn_info(in.op).mem_bytes;
+          const GuestAddr addr = resolve(gpr[in.rs1] + to_unsigned(in.imm));
+          if (!check_access(addr, bytes, /*write=*/false, pc)) {
+            ctx.pc = pc;  // re-execute after the fault is serviced
+            return result;
+          }
+          const std::uint64_t raw = space_.load(addr, bytes);
+          std::uint32_t value = 0;
+          switch (in.op) {
+            case Opcode::kLb:
+              value = to_unsigned(static_cast<std::int8_t>(raw));
+              break;
+            case Opcode::kLbu: value = static_cast<std::uint8_t>(raw); break;
+            case Opcode::kLh:
+              value = to_unsigned(static_cast<std::int16_t>(raw));
+              break;
+            case Opcode::kLhu: value = static_cast<std::uint16_t>(raw); break;
+            default: value = static_cast<std::uint32_t>(raw); break;
+          }
+          write_gpr(in.rd, value);
+          if (in.op == Opcode::kLl) llsc_.on_ll(addr, ctx.tid);
+          break;
+        }
+        case Opcode::kFld: {
+          const GuestAddr addr = resolve(gpr[in.rs1] + to_unsigned(in.imm));
+          if (!check_access(addr, 8, /*write=*/false, pc)) {
+            ctx.pc = pc;
+            return result;
+          }
+          const std::uint64_t raw = space_.load(addr, 8);
+          double value;
+          static_assert(sizeof value == 8);
+          std::memcpy(&value, &raw, 8);
+          fpr[in.rd] = value;
+          break;
+        }
+
+        // ---- stores ---------------------------------------------------
+        case Opcode::kSb:
+        case Opcode::kSh:
+        case Opcode::kSw: {
+          const unsigned bytes = isa::insn_info(in.op).mem_bytes;
+          const GuestAddr addr = resolve(gpr[in.rs1] + to_unsigned(in.imm));
+          if (!check_access(addr, bytes, /*write=*/true, pc)) {
+            ctx.pc = pc;
+            return result;
+          }
+          space_.store(addr, gpr[in.rs2], bytes);
+          llsc_.on_store(addr, ctx.tid);
+          break;
+        }
+        case Opcode::kFsd: {
+          const GuestAddr addr = resolve(gpr[in.rs1] + to_unsigned(in.imm));
+          if (!check_access(addr, 8, /*write=*/true, pc)) {
+            ctx.pc = pc;
+            return result;
+          }
+          std::uint64_t raw;
+          std::memcpy(&raw, &fpr[in.rs2], 8);
+          space_.store(addr, raw, 8);
+          llsc_.on_store(addr, ctx.tid);
+          break;
+        }
+        case Opcode::kSc: {
+          const GuestAddr addr = resolve(gpr[in.rs1]);
+          if (!check_access(addr, 4, /*write=*/true, pc)) {
+            ctx.pc = pc;
+            return result;
+          }
+          if (llsc_.on_sc(addr, ctx.tid)) {
+            space_.store(addr, gpr[in.rs2], 4);
+            write_gpr(in.rd, 0);
+          } else {
+            write_gpr(in.rd, 1);
+          }
+          break;
+        }
+
+        // ---- control flow ---------------------------------------------
+        case Opcode::kBeq:
+        case Opcode::kBne:
+        case Opcode::kBlt:
+        case Opcode::kBge:
+        case Opcode::kBltu:
+        case Opcode::kBgeu: {
+          bool taken = false;
+          switch (in.op) {
+            case Opcode::kBeq: taken = gpr[in.rs1] == gpr[in.rs2]; break;
+            case Opcode::kBne: taken = gpr[in.rs1] != gpr[in.rs2]; break;
+            case Opcode::kBlt:
+              taken = to_signed(gpr[in.rs1]) < to_signed(gpr[in.rs2]);
+              break;
+            case Opcode::kBge:
+              taken = to_signed(gpr[in.rs1]) >= to_signed(gpr[in.rs2]);
+              break;
+            case Opcode::kBltu: taken = gpr[in.rs1] < gpr[in.rs2]; break;
+            default: taken = gpr[in.rs1] >= gpr[in.rs2]; break;
+          }
+          const GuestAddr target =
+              taken ? pc + 4 + to_unsigned(in.imm) * 4u : pc + 4;
+          ctx.pc = target;
+          // Direct-jump chaining (targets are static).
+          TranslationBlock*& slot = taken ? tb->next_taken : tb->next_fall;
+          if (slot != nullptr && slot->start_pc == target) {
+            next_tb = slot;
+            if (stats_ != nullptr) stats_->add("dbt.chain_hit");
+          } else {
+            next_tb = cache_.lookup(target);
+            if (next_tb != nullptr) slot = next_tb;
+          }
+          block_done = true;
+          break;
+        }
+        case Opcode::kJal: {
+          const GuestAddr target = pc + 4 + to_unsigned(in.imm) * 4u;
+          write_gpr(in.rd, pc + 4);
+          ctx.pc = target;
+          TranslationBlock*& slot = tb->next_taken;
+          if (slot != nullptr && slot->start_pc == target) {
+            next_tb = slot;
+            if (stats_ != nullptr) stats_->add("dbt.chain_hit");
+          } else {
+            next_tb = cache_.lookup(target);
+            if (next_tb != nullptr) slot = next_tb;
+          }
+          block_done = true;
+          break;
+        }
+        case Opcode::kJalr: {
+          const GuestAddr target = (gpr[in.rs1] + to_unsigned(in.imm)) & ~3u;
+          write_gpr(in.rd, pc + 4);
+          ctx.pc = target;  // indirect: no chaining
+          block_done = true;
+          break;
+        }
+
+        // ---- system ----------------------------------------------------
+        case Opcode::kFence:
+          break;  // sequential DES: ordering is already total
+        case Opcode::kSyscall:
+          ctx.pc = pc + 4;
+          ++result.insns;
+          result.exec_cycles += mop.cost_cycles;
+          result.reason = StopReason::kSyscall;
+          result.syscall_num = in.imm;
+          return result;
+        case Opcode::kHint:
+          // 0xFFFF is the "no group" sentinel (N-format immediates are
+          // zero-extended on decode).
+          ctx.hint_group = in.imm == 0xFFFF ? -1 : in.imm;
+          if (stats_ != nullptr) stats_->add("dbt.hints");
+          break;
+
+        // ---- FP ---------------------------------------------------------
+        case Opcode::kFadd: fpr[in.rd] = fpr[in.rs1] + fpr[in.rs2]; break;
+        case Opcode::kFsub: fpr[in.rd] = fpr[in.rs1] - fpr[in.rs2]; break;
+        case Opcode::kFmul: fpr[in.rd] = fpr[in.rs1] * fpr[in.rs2]; break;
+        case Opcode::kFdiv: fpr[in.rd] = fpr[in.rs1] / fpr[in.rs2]; break;
+        case Opcode::kFmin: fpr[in.rd] = std::fmin(fpr[in.rs1], fpr[in.rs2]); break;
+        case Opcode::kFmax: fpr[in.rd] = std::fmax(fpr[in.rs1], fpr[in.rs2]); break;
+        case Opcode::kFneg: fpr[in.rd] = -fpr[in.rs1]; break;
+        case Opcode::kFabs: fpr[in.rd] = std::fabs(fpr[in.rs1]); break;
+        case Opcode::kFmov: fpr[in.rd] = fpr[in.rs1]; break;
+        case Opcode::kFcvtdw:
+          fpr[in.rd] = static_cast<double>(to_signed(gpr[in.rs1]));
+          break;
+        case Opcode::kFcvtwd:
+          write_gpr(in.rd, to_unsigned(fp_to_int(fpr[in.rs1])));
+          break;
+        case Opcode::kFlt:
+          write_gpr(in.rd, fpr[in.rs1] < fpr[in.rs2] ? 1 : 0);
+          break;
+        case Opcode::kFle:
+          write_gpr(in.rd, fpr[in.rs1] <= fpr[in.rs2] ? 1 : 0);
+          break;
+        case Opcode::kFeq:
+          write_gpr(in.rd, fpr[in.rs1] == fpr[in.rs2] ? 1 : 0);
+          break;
+        case Opcode::kFsqrt: fpr[in.rd] = std::sqrt(fpr[in.rs1]); break;
+        case Opcode::kFexp: fpr[in.rd] = std::exp(fpr[in.rs1]); break;
+        case Opcode::kFlog: fpr[in.rd] = std::log(fpr[in.rs1]); break;
+        case Opcode::kFpow: fpr[in.rd] = std::pow(fpr[in.rs1], fpr[in.rs2]); break;
+        case Opcode::kFerf: fpr[in.rd] = std::erf(fpr[in.rs1]); break;
+        case Opcode::kFsin: fpr[in.rd] = std::sin(fpr[in.rs1]); break;
+        case Opcode::kFcos: fpr[in.rd] = std::cos(fpr[in.rs1]); break;
+      }
+
+      ++result.insns;
+      result.exec_cycles += mop.cost_cycles;
+      if (block_done) break;
+    }
+
+    if (next_tb == nullptr && !isa::insn_info(tb->ops.back().insn.op).ends_block) {
+      // Block was cut by the length/page limit: fall through.
+      ctx.pc = tb->end_pc();
+    }
+    tb = next_tb;  // nullptr -> re-lookup / translate at top of loop
+  }
+}
+
+}  // namespace dqemu::dbt

@@ -1,0 +1,65 @@
+// DBT execution engine.
+//
+// Runs a guest thread's translated blocks until its scheduling quantum is
+// exhausted or it hits an event the node must handle: a page-protection
+// fault (handed to the DSM layer), a SYSCALL (handed to the delegation
+// layer), or a guest error. Every load/store goes through the shadow-map
+// translation and the page-protection check — the interception point that
+// real DQEMU gets from mprotect + SIGSEGV.
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "dbt/cpu_context.hpp"
+#include "dbt/llsc_table.hpp"
+#include "dbt/translation.hpp"
+#include "mem/address_space.hpp"
+#include "mem/shadow_map.hpp"
+
+namespace dqemu::dbt {
+
+enum class StopReason {
+  kQuantum,    ///< ran out of instruction budget (at a block boundary)
+  kPageFault,  ///< fault_addr/fault_is_write/fault_is_ifetch describe it
+  kSyscall,    ///< syscall_num is set; pc already advanced past SYSCALL
+  kGuestError, ///< error holds a diagnostic; the guest is wedged
+};
+
+struct ExecResult {
+  StopReason reason = StopReason::kQuantum;
+  std::uint64_t insns = 0;            ///< guest instructions retired
+  std::uint64_t exec_cycles = 0;      ///< execution cost (host cycles)
+  std::uint64_t translate_cycles = 0; ///< one-time translation cost incurred
+  GuestAddr fault_addr = 0;
+  bool fault_is_write = false;
+  bool fault_is_ifetch = false;
+  std::int32_t syscall_num = 0;
+  std::string error;
+};
+
+class ExecEngine {
+ public:
+  /// All references must outlive the engine. `shadow` may be null (no page
+  /// splitting). `check_protection` is false only in the single-node
+  /// baseline, where every page is resident and writable.
+  ExecEngine(mem::AddressSpace& space, const mem::ShadowMap* shadow,
+             LlscTable& llsc, TranslationCache& cache, const DbtConfig& config,
+             bool check_protection, StatsRegistry* stats = nullptr);
+
+  /// Executes `ctx` for at most ~max_insns guest instructions (quantum is
+  /// checked at block boundaries, so it can overshoot by one block).
+  ExecResult run(CpuContext& ctx, std::uint64_t max_insns);
+
+ private:
+  mem::AddressSpace& space_;
+  const mem::ShadowMap* shadow_;
+  LlscTable& llsc_;
+  TranslationCache& cache_;
+  DbtConfig config_;
+  bool check_protection_;
+  StatsRegistry* stats_;
+};
+
+}  // namespace dqemu::dbt

@@ -1,0 +1,85 @@
+// Global LL/SC hash table (paper section 4.4).
+//
+// Guest LL/SC pairs are emulated on a CAS-style host without the ABA
+// hazard by tracking open LL reservations per address. Each DQEMU
+// instance (node) keeps one table:
+//   * LL  records (address -> thread id).
+//   * SC  succeeds only if the reservation at the address still belongs
+//     to the storing thread; success consumes the entry.
+//   * While the table is non-empty, every store snoops it and kills
+//     reservations held by *other* threads on the stored address.
+//   * When the DSM invalidates a page, all reservations on that page are
+//     killed — the paper's deliberate false-positive: the SC retries, so
+//     correctness is preserved even though the variable may be unchanged.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace dqemu::dbt {
+
+class LlscTable {
+ public:
+  explicit LlscTable(StatsRegistry* stats = nullptr) : stats_(stats) {}
+
+  /// Opens (or re-targets) a reservation for `tid` at `addr`.
+  void on_ll(GuestAddr addr, GuestTid tid) {
+    table_[addr] = tid;
+    if (stats_ != nullptr) stats_->add("llsc.ll");
+  }
+
+  /// Attempts to commit a SC by `tid` at `addr`. On success the
+  /// reservation is consumed. The caller performs the actual store only
+  /// when this returns true.
+  [[nodiscard]] bool on_sc(GuestAddr addr, GuestTid tid) {
+    auto it = table_.find(addr);
+    if (it == table_.end() || it->second != tid) {
+      if (stats_ != nullptr) stats_->add("llsc.sc_fail");
+      return false;
+    }
+    table_.erase(it);
+    if (stats_ != nullptr) stats_->add("llsc.sc_success");
+    return true;
+  }
+
+  /// Store snoop: a plain store by `tid` to `addr` kills another thread's
+  /// reservation there. Cheap when the table is empty (the common case the
+  /// paper relies on).
+  void on_store(GuestAddr addr, GuestTid tid) {
+    if (table_.empty()) return;
+    auto it = table_.find(addr);
+    if (it != table_.end() && it->second != tid) {
+      table_.erase(it);
+      if (stats_ != nullptr) stats_->add("llsc.store_kill");
+    }
+  }
+
+  /// DSM page invalidation: kill every reservation on the page
+  /// (false-positive by design, see the header comment).
+  void on_page_invalidate(std::uint32_t page, std::uint32_t page_shift) {
+    if (table_.empty()) return;
+    for (auto it = table_.begin(); it != table_.end();) {
+      if ((it->first >> page_shift) == page) {
+        it = table_.erase(it);
+        if (stats_ != nullptr) stats_->add("llsc.page_inval_kill");
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  [[nodiscard]] bool has_reservation(GuestAddr addr) const {
+    return table_.contains(addr);
+  }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] bool empty() const { return table_.empty(); }
+
+ private:
+  std::unordered_map<GuestAddr, GuestTid> table_;
+  StatsRegistry* stats_;
+};
+
+}  // namespace dqemu::dbt

@@ -1,0 +1,225 @@
+#include "dbt/reference_interp.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <optional>
+
+#include "isa/isa.hpp"
+
+namespace dqemu::dbt {
+namespace {
+
+using isa::Opcode;
+
+std::int32_t s32(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+std::uint32_t u32(std::int32_t v) { return static_cast<std::uint32_t>(v); }
+
+}  // namespace
+
+ReferenceResult reference_run(CpuContext& ctx, mem::AddressSpace& space,
+                              std::uint64_t max_insns) {
+  ReferenceResult result;
+  auto& r = ctx.gpr;
+  auto& f = ctx.fpr;
+  // Single private LL reservation (single-threaded reference).
+  // (Plain sentinel instead of optional: GCC's -Wmaybe-uninitialized
+  // false-positives on optional<uint32_t> in this loop.)
+  GuestAddr reservation = ~0u;
+  bool has_reservation = false;
+
+  auto fail = [&](const std::string& what) {
+    result.stop = ReferenceResult::Stop::kError;
+    result.error = what;
+    return result;
+  };
+
+  while (result.insns < max_insns) {
+    if ((ctx.pc & 3u) != 0 || !space.contains(ctx.pc)) {
+      return fail("bad pc");
+    }
+    const auto insn = isa::decode(static_cast<std::uint32_t>(space.load(ctx.pc, 4)));
+    if (!insn.has_value()) return fail("invalid opcode");
+    const isa::Insn& in = *insn;
+    const GuestAddr pc = ctx.pc;
+    GuestAddr next = pc + 4;
+    ++result.insns;
+
+    auto wr = [&](unsigned rd, std::uint32_t v) {
+      if (rd != 0) r[rd] = v;
+    };
+    auto mem_ok = [&](GuestAddr addr, unsigned bytes) {
+      return (addr & (bytes - 1)) == 0 &&
+             static_cast<std::uint64_t>(addr) + bytes <= space.size();
+    };
+
+    switch (in.op) {
+      case Opcode::kAdd: wr(in.rd, r[in.rs1] + r[in.rs2]); break;
+      case Opcode::kSub: wr(in.rd, r[in.rs1] - r[in.rs2]); break;
+      case Opcode::kMul: wr(in.rd, r[in.rs1] * r[in.rs2]); break;
+      case Opcode::kDiv: {
+        const std::int32_t a = s32(r[in.rs1]);
+        const std::int32_t b = s32(r[in.rs2]);
+        wr(in.rd, b == 0 ? ~0u
+                  : (a == std::numeric_limits<std::int32_t>::min() && b == -1)
+                      ? u32(a)
+                      : u32(a / b));
+        break;
+      }
+      case Opcode::kDivu:
+        wr(in.rd, r[in.rs2] == 0 ? ~0u : r[in.rs1] / r[in.rs2]);
+        break;
+      case Opcode::kRem: {
+        const std::int32_t a = s32(r[in.rs1]);
+        const std::int32_t b = s32(r[in.rs2]);
+        wr(in.rd, b == 0 ? u32(a)
+                  : (a == std::numeric_limits<std::int32_t>::min() && b == -1)
+                      ? 0u
+                      : u32(a % b));
+        break;
+      }
+      case Opcode::kRemu:
+        wr(in.rd, r[in.rs2] == 0 ? r[in.rs1] : r[in.rs1] % r[in.rs2]);
+        break;
+      case Opcode::kAnd: wr(in.rd, r[in.rs1] & r[in.rs2]); break;
+      case Opcode::kOr: wr(in.rd, r[in.rs1] | r[in.rs2]); break;
+      case Opcode::kXor: wr(in.rd, r[in.rs1] ^ r[in.rs2]); break;
+      case Opcode::kSll: wr(in.rd, r[in.rs1] << (r[in.rs2] & 31)); break;
+      case Opcode::kSrl: wr(in.rd, r[in.rs1] >> (r[in.rs2] & 31)); break;
+      case Opcode::kSra: wr(in.rd, u32(s32(r[in.rs1]) >> (r[in.rs2] & 31))); break;
+      case Opcode::kSlt: wr(in.rd, s32(r[in.rs1]) < s32(r[in.rs2]) ? 1 : 0); break;
+      case Opcode::kSltu: wr(in.rd, r[in.rs1] < r[in.rs2] ? 1 : 0); break;
+      case Opcode::kAddi: wr(in.rd, r[in.rs1] + u32(in.imm)); break;
+      case Opcode::kAndi: wr(in.rd, r[in.rs1] & u32(in.imm)); break;
+      case Opcode::kOri: wr(in.rd, r[in.rs1] | u32(in.imm)); break;
+      case Opcode::kXori: wr(in.rd, r[in.rs1] ^ u32(in.imm)); break;
+      case Opcode::kSlli: wr(in.rd, r[in.rs1] << (in.imm & 31)); break;
+      case Opcode::kSrli: wr(in.rd, r[in.rs1] >> (in.imm & 31)); break;
+      case Opcode::kSrai: wr(in.rd, u32(s32(r[in.rs1]) >> (in.imm & 31))); break;
+      case Opcode::kSlti: wr(in.rd, s32(r[in.rs1]) < in.imm ? 1 : 0); break;
+      case Opcode::kSltiu: wr(in.rd, r[in.rs1] < u32(in.imm) ? 1 : 0); break;
+      case Opcode::kLui: wr(in.rd, u32(in.imm) << 12); break;
+      case Opcode::kAuipc: wr(in.rd, pc + (u32(in.imm) << 12)); break;
+
+      case Opcode::kLb:
+      case Opcode::kLbu:
+      case Opcode::kLh:
+      case Opcode::kLhu:
+      case Opcode::kLw:
+      case Opcode::kLl: {
+        const unsigned bytes = isa::insn_info(in.op).mem_bytes;
+        const GuestAddr addr = r[in.rs1] + u32(in.imm);
+        if (!mem_ok(addr, bytes)) return fail("bad load");
+        const std::uint64_t raw = space.load(addr, bytes);
+        switch (in.op) {
+          case Opcode::kLb: wr(in.rd, u32(static_cast<std::int8_t>(raw))); break;
+          case Opcode::kLbu: wr(in.rd, static_cast<std::uint8_t>(raw)); break;
+          case Opcode::kLh: wr(in.rd, u32(static_cast<std::int16_t>(raw))); break;
+          case Opcode::kLhu: wr(in.rd, static_cast<std::uint16_t>(raw)); break;
+          default: wr(in.rd, static_cast<std::uint32_t>(raw)); break;
+        }
+        if (in.op == Opcode::kLl) {
+          reservation = addr;
+          has_reservation = true;
+        }
+        break;
+      }
+      case Opcode::kFld: {
+        const GuestAddr addr = r[in.rs1] + u32(in.imm);
+        if (!mem_ok(addr, 8)) return fail("bad fld");
+        const std::uint64_t raw = space.load(addr, 8);
+        std::memcpy(&f[in.rd], &raw, 8);
+        break;
+      }
+      case Opcode::kSb:
+      case Opcode::kSh:
+      case Opcode::kSw: {
+        const unsigned bytes = isa::insn_info(in.op).mem_bytes;
+        const GuestAddr addr = r[in.rs1] + u32(in.imm);
+        if (!mem_ok(addr, bytes)) return fail("bad store");
+        space.store(addr, r[in.rs2], bytes);
+        break;
+      }
+      case Opcode::kFsd: {
+        const GuestAddr addr = r[in.rs1] + u32(in.imm);
+        if (!mem_ok(addr, 8)) return fail("bad fsd");
+        std::uint64_t raw;
+        std::memcpy(&raw, &f[in.rs2], 8);
+        space.store(addr, raw, 8);
+        break;
+      }
+      case Opcode::kSc: {
+        const GuestAddr addr = r[in.rs1];
+        if (!mem_ok(addr, 4)) return fail("bad sc");
+        if (has_reservation && reservation == addr) {
+          space.store(addr, r[in.rs2], 4);
+          wr(in.rd, 0);
+          has_reservation = false;
+        } else {
+          wr(in.rd, 1);
+        }
+        break;
+      }
+      case Opcode::kBeq: if (r[in.rs1] == r[in.rs2]) next = pc + 4 + u32(in.imm) * 4; break;
+      case Opcode::kBne: if (r[in.rs1] != r[in.rs2]) next = pc + 4 + u32(in.imm) * 4; break;
+      case Opcode::kBlt: if (s32(r[in.rs1]) < s32(r[in.rs2])) next = pc + 4 + u32(in.imm) * 4; break;
+      case Opcode::kBge: if (s32(r[in.rs1]) >= s32(r[in.rs2])) next = pc + 4 + u32(in.imm) * 4; break;
+      case Opcode::kBltu: if (r[in.rs1] < r[in.rs2]) next = pc + 4 + u32(in.imm) * 4; break;
+      case Opcode::kBgeu: if (r[in.rs1] >= r[in.rs2]) next = pc + 4 + u32(in.imm) * 4; break;
+      case Opcode::kJal:
+        wr(in.rd, pc + 4);
+        next = pc + 4 + u32(in.imm) * 4;
+        break;
+      case Opcode::kJalr: {
+        const GuestAddr target = (r[in.rs1] + u32(in.imm)) & ~3u;
+        wr(in.rd, pc + 4);
+        next = target;
+        break;
+      }
+      case Opcode::kFence: break;
+      case Opcode::kSyscall:
+        ctx.pc = pc + 4;
+        result.stop = ReferenceResult::Stop::kSyscall;
+        result.syscall_num = in.imm;
+        return result;
+      case Opcode::kHint:
+        ctx.hint_group = in.imm == 0xFFFF ? -1 : in.imm;
+        break;
+
+      case Opcode::kFadd: f[in.rd] = f[in.rs1] + f[in.rs2]; break;
+      case Opcode::kFsub: f[in.rd] = f[in.rs1] - f[in.rs2]; break;
+      case Opcode::kFmul: f[in.rd] = f[in.rs1] * f[in.rs2]; break;
+      case Opcode::kFdiv: f[in.rd] = f[in.rs1] / f[in.rs2]; break;
+      case Opcode::kFmin: f[in.rd] = std::fmin(f[in.rs1], f[in.rs2]); break;
+      case Opcode::kFmax: f[in.rd] = std::fmax(f[in.rs1], f[in.rs2]); break;
+      case Opcode::kFneg: f[in.rd] = -f[in.rs1]; break;
+      case Opcode::kFabs: f[in.rd] = std::fabs(f[in.rs1]); break;
+      case Opcode::kFmov: f[in.rd] = f[in.rs1]; break;
+      case Opcode::kFcvtdw: f[in.rd] = static_cast<double>(s32(r[in.rs1])); break;
+      case Opcode::kFcvtwd: {
+        const double v = f[in.rs1];
+        std::int32_t out;
+        if (std::isnan(v)) out = 0;
+        else if (v >= 2147483647.0) out = std::numeric_limits<std::int32_t>::max();
+        else if (v <= -2147483648.0) out = std::numeric_limits<std::int32_t>::min();
+        else out = static_cast<std::int32_t>(v);
+        wr(in.rd, u32(out));
+        break;
+      }
+      case Opcode::kFlt: wr(in.rd, f[in.rs1] < f[in.rs2] ? 1 : 0); break;
+      case Opcode::kFle: wr(in.rd, f[in.rs1] <= f[in.rs2] ? 1 : 0); break;
+      case Opcode::kFeq: wr(in.rd, f[in.rs1] == f[in.rs2] ? 1 : 0); break;
+      case Opcode::kFsqrt: f[in.rd] = std::sqrt(f[in.rs1]); break;
+      case Opcode::kFexp: f[in.rd] = std::exp(f[in.rs1]); break;
+      case Opcode::kFlog: f[in.rd] = std::log(f[in.rs1]); break;
+      case Opcode::kFpow: f[in.rd] = std::pow(f[in.rs1], f[in.rs2]); break;
+      case Opcode::kFerf: f[in.rd] = std::erf(f[in.rs1]); break;
+      case Opcode::kFsin: f[in.rd] = std::sin(f[in.rs1]); break;
+      case Opcode::kFcos: f[in.rd] = std::cos(f[in.rs1]); break;
+    }
+    ctx.pc = next;
+  }
+  return result;
+}
+
+}  // namespace dqemu::dbt

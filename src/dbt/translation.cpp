@@ -1,0 +1,105 @@
+#include "dbt/translation.hpp"
+
+namespace dqemu::dbt {
+
+TranslationCache::TranslationCache(const mem::AddressSpace& space,
+                                   const DbtConfig& config,
+                                   bool check_protection,
+                                   StatsRegistry* stats)
+    : space_(space),
+      config_(config),
+      check_protection_(check_protection),
+      stats_(stats) {}
+
+TranslationBlock* TranslationCache::lookup(GuestAddr pc) {
+  auto it = blocks_.find(pc);
+  if (it == blocks_.end()) {
+    if (stats_ != nullptr) stats_->add("dbt.tcache_miss");
+    return nullptr;
+  }
+  if (stats_ != nullptr) stats_->add("dbt.tcache_hit");
+  return it->second.get();
+}
+
+std::uint32_t TranslationCache::op_cost(const isa::Insn& insn) const {
+  const isa::InsnInfo& info = isa::insn_info(insn.op);
+  std::uint32_t cost = config_.cycles_per_op;
+  if (info.is_load || info.is_store) cost += config_.cycles_per_mem_op;
+  if (info.is_fp_special) cost += config_.cycles_per_fp_special;
+  return cost;
+}
+
+TranslateResult TranslationCache::translate(GuestAddr pc) {
+  TranslateResult result;
+  if ((pc & 3u) != 0 || !space_.contains(pc)) {
+    result.decode_error = true;
+    result.fault_addr = pc;
+    return result;
+  }
+
+  const std::uint32_t page = space_.page_of(pc);
+  if (check_protection_ &&
+      space_.access(page) == mem::PageAccess::kNone) {
+    result.code_fault = true;
+    result.fault_addr = pc;
+    return result;
+  }
+
+  auto tb = std::make_unique<TranslationBlock>();
+  tb->start_pc = pc;
+  GuestAddr at = pc;
+  // Blocks end at control transfers, at kMaxBlockInsns, or at a page
+  // boundary (so a block's code always lives on one locally-present page).
+  while (tb->ops.size() < kMaxBlockInsns) {
+    const std::uint32_t word =
+        static_cast<std::uint32_t>(space_.load(at, 4));
+    const auto insn = isa::decode(word);
+    if (!insn.has_value()) {
+      if (tb->ops.empty()) {
+        result.decode_error = true;
+        result.fault_addr = at;
+        return result;
+      }
+      break;  // let execution reach and report the bad word precisely
+    }
+    tb->ops.push_back(MicroOp{*insn, at, op_cost(*insn)});
+    at += 4;
+    if (isa::insn_info(insn->op).ends_block) break;
+    if (space_.page_of(at) != page) break;
+  }
+
+  result.translate_cycles =
+      std::uint64_t(config_.translate_cycles_per_insn) * tb->ops.size();
+  if (stats_ != nullptr) {
+    stats_->add("dbt.blocks_translated");
+    stats_->add("dbt.insns_translated", tb->ops.size());
+  }
+  TranslationBlock* raw = tb.get();
+  blocks_[pc] = std::move(tb);
+  result.tb = raw;
+  return result;
+}
+
+void TranslationCache::invalidate_page(std::uint32_t page) {
+  bool dropped = false;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (space_.page_of(it->second->start_pc) == page) {
+      it = blocks_.erase(it);
+      dropped = true;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped) {
+    // Chain pointers may reference erased blocks; reset them all.
+    for (auto& [pc, tb] : blocks_) {
+      tb->next_taken = nullptr;
+      tb->next_fall = nullptr;
+    }
+    if (stats_ != nullptr) stats_->add("dbt.tcache_page_invalidations");
+  }
+}
+
+void TranslationCache::flush() { blocks_.clear(); }
+
+}  // namespace dqemu::dbt

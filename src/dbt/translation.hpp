@@ -1,0 +1,97 @@
+// Translation blocks and the per-node translation cache.
+//
+// The DBT decodes guest basic blocks once into micro-op traces and caches
+// them keyed by guest pc — QEMU's translate-once / execute-many structure.
+// Blocks end at control transfers (branch/jump/syscall) or at kMaxBlockInsns.
+// Direct-jump chaining links a block to its taken/fall-through successors
+// so steady-state execution skips the hash lookup, as in TCG.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "isa/isa.hpp"
+#include "mem/address_space.hpp"
+
+namespace dqemu::dbt {
+
+/// Maximum guest instructions per translation block.
+inline constexpr std::uint32_t kMaxBlockInsns = 64;
+
+/// One translated guest instruction.
+struct MicroOp {
+  isa::Insn insn;
+  GuestAddr pc = 0;            ///< guest address of this instruction
+  std::uint32_t cost_cycles = 0;  ///< per-execution cost from DbtConfig
+};
+
+/// A translated basic block.
+struct TranslationBlock {
+  GuestAddr start_pc = 0;
+  std::vector<MicroOp> ops;
+  /// Chained successors (nullptr until first taken); cleared on cache flush.
+  TranslationBlock* next_taken = nullptr;
+  TranslationBlock* next_fall = nullptr;
+
+  [[nodiscard]] std::uint32_t insn_count() const {
+    return static_cast<std::uint32_t>(ops.size());
+  }
+  /// Guest address just past the block.
+  [[nodiscard]] GuestAddr end_pc() const {
+    return start_pc + insn_count() * 4;
+  }
+};
+
+/// Outcome of a translation attempt.
+struct TranslateResult {
+  TranslationBlock* tb = nullptr;  ///< nullptr on fault/error
+  bool code_fault = false;         ///< code page not readable locally
+  GuestAddr fault_addr = 0;        ///< page-granular faulting code address
+  bool decode_error = false;       ///< invalid opcode encountered
+  std::uint64_t translate_cycles = 0;  ///< one-time cost charged to caller
+};
+
+/// Per-node translation cache.
+class TranslationCache {
+ public:
+  /// `space` must outlive the cache. `check_protection` is false in the
+  /// single-node baseline (no DSM; code is always resident).
+  TranslationCache(const mem::AddressSpace& space, const DbtConfig& config,
+                   bool check_protection, StatsRegistry* stats = nullptr);
+
+  /// Cached block at `pc`, or nullptr.
+  [[nodiscard]] TranslationBlock* lookup(GuestAddr pc);
+
+  /// Translates (and caches) the block at `pc`. If the block's code page
+  /// is not locally readable the result reports a code fault and nothing
+  /// is cached. Blocks never span a page boundary, so one fetched page
+  /// always suffices.
+  TranslateResult translate(GuestAddr pc);
+
+  /// Drops every cached block whose code lies in `page` (guest code was
+  /// invalidated/overwritten). Clears all chain pointers: chains may
+  /// reference dropped blocks.
+  void invalidate_page(std::uint32_t page);
+
+  /// Drops everything.
+  void flush();
+
+  [[nodiscard]] std::size_t size() const { return blocks_.size(); }
+
+ private:
+  [[nodiscard]] std::uint32_t op_cost(const isa::Insn& insn) const;
+
+  const mem::AddressSpace& space_;
+  DbtConfig config_;
+  bool check_protection_;
+  StatsRegistry* stats_;
+  std::unordered_map<GuestAddr, std::unique_ptr<TranslationBlock>> blocks_;
+};
+
+}  // namespace dqemu::dbt

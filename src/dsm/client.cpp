@@ -1,0 +1,168 @@
+#include "dsm/client.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace dqemu::dsm {
+
+DsmClient::DsmClient(NodeId self, net::Network& network,
+                     mem::AddressSpace& space, mem::ShadowMap& shadow,
+                     dbt::LlscTable* llsc, dbt::TranslationCache* tcache,
+                     StatsRegistry* stats,
+                     std::function<void(std::uint32_t)> wake_page)
+    : self_(self),
+      network_(network),
+      space_(space),
+      shadow_(shadow),
+      llsc_(llsc),
+      tcache_(tcache),
+      stats_(stats),
+      wake_page_(std::move(wake_page)) {}
+
+void DsmClient::request_page(std::uint32_t page, std::uint32_t offset,
+                             bool write, GuestTid tid) {
+  auto it = pending_.find(page);
+  if (it != pending_.end()) {
+    // Coalesce: an outstanding request already covers this page. A writer
+    // joining a read request re-faults after the read grant installs.
+    if (stats_ != nullptr) stats_->add("dsm.coalesced_faults");
+    return;
+  }
+  pending_.emplace(page, write);
+  if (stats_ != nullptr) {
+    stats_->add(write ? "dsm.write_requests" : "dsm.read_requests");
+  }
+  net::Message msg;
+  msg.src = self_;
+  msg.dst = kMasterNode;
+  msg.type = static_cast<std::uint32_t>(write ? DsmMsg::kWriteReq
+                                              : DsmMsg::kReadReq);
+  msg.a = page;
+  msg.b = offset;
+  msg.c = tid;
+  network_.send(std::move(msg));
+}
+
+void DsmClient::handle_message(const net::Message& msg) {
+  switch (static_cast<DsmMsg>(msg.type)) {
+    case DsmMsg::kPageData: return on_page_data(msg, /*grant_only=*/false);
+    case DsmMsg::kPageGrant: return on_page_data(msg, /*grant_only=*/true);
+    case DsmMsg::kRetry: return on_retry(msg);
+    case DsmMsg::kInvalidate: return on_invalidate(msg);
+    case DsmMsg::kDowngrade: return on_downgrade(msg);
+    case DsmMsg::kShadowUpdate: return on_shadow_update(msg);
+    case DsmMsg::kForwardData: return on_forward_data(msg);
+    default:
+      assert(false && "non-client DSM message routed to DsmClient");
+  }
+}
+
+void DsmClient::on_page_data(const net::Message& msg, bool grant_only) {
+  const auto page = static_cast<std::uint32_t>(msg.a);
+  if (!grant_only) {
+    assert(msg.data.size() == space_.page_size());
+    std::memcpy(space_.page_data(page).data(), msg.data.data(),
+                msg.data.size());
+  }
+  space_.set_access(page, msg.b == kAccessWrite ? mem::PageAccess::kReadWrite
+                                                : mem::PageAccess::kRead);
+  // Content changed under any cached translations of this page.
+  if (!grant_only && tcache_ != nullptr) tcache_->invalidate_page(page);
+  pending_.erase(page);
+  if (stats_ != nullptr) stats_->add("dsm.grants_received");
+  wake_page_(page);
+}
+
+void DsmClient::on_retry(const net::Message& msg) {
+  const auto page = static_cast<std::uint32_t>(msg.a);
+  pending_.erase(page);
+  if (stats_ != nullptr) stats_->add("dsm.retries");
+  // Threads re-fault; the shadow map (updated by the preceding
+  // kShadowUpdate on this FIFO channel) redirects them to shadow pages.
+  wake_page_(page);
+}
+
+void DsmClient::drop_page_locally(std::uint32_t page) {
+  space_.set_access(page, mem::PageAccess::kNone);
+  if (llsc_ != nullptr) llsc_->on_page_invalidate(page, space_.page_shift());
+  if (tcache_ != nullptr) tcache_->invalidate_page(page);
+}
+
+void DsmClient::on_invalidate(const net::Message& msg) {
+  const auto page = static_cast<std::uint32_t>(msg.a);
+  const bool writeback = msg.b == 1;
+  net::Message ack;
+  ack.src = self_;
+  ack.dst = msg.src;
+  ack.type = static_cast<std::uint32_t>(DsmMsg::kInvAck);
+  ack.a = page;
+  ack.b = 0;
+  if (writeback) {
+    // We were the owner: the directory needs our (only fresh) copy.
+    const auto data = space_.page_data(page);
+    ack.b = 1;
+    ack.data.assign(data.begin(), data.end());
+  }
+  drop_page_locally(page);
+  if (stats_ != nullptr) stats_->add("dsm.invalidations_received");
+  network_.send(std::move(ack));
+}
+
+void DsmClient::on_downgrade(const net::Message& msg) {
+  const auto page = static_cast<std::uint32_t>(msg.a);
+  net::Message ack;
+  ack.src = self_;
+  ack.dst = msg.src;
+  ack.type = static_cast<std::uint32_t>(DsmMsg::kDowngradeAck);
+  ack.a = page;
+  const auto data = space_.page_data(page);
+  ack.data.assign(data.begin(), data.end());
+  space_.set_access(page, mem::PageAccess::kRead);
+  if (stats_ != nullptr) stats_->add("dsm.downgrades_received");
+  network_.send(std::move(ack));
+}
+
+void DsmClient::on_shadow_update(const net::Message& msg) {
+  const auto orig = static_cast<std::uint32_t>(msg.a);
+  assert(msg.data.size() % 4 == 0);
+  std::vector<std::uint32_t> shadows(msg.data.size() / 4);
+  std::memcpy(shadows.data(), msg.data.data(), msg.data.size());
+  shadow_.add_split(orig, shadows);
+  drop_page_locally(orig);
+  if (stats_ != nullptr) stats_->add("dsm.shadow_updates");
+  DQEMU_DEBUG("node %u: page %u split into %zu shadows", unsigned(self_),
+              orig, shadows.size());
+}
+
+void DsmClient::on_forward_data(const net::Message& msg) {
+  const auto page = static_cast<std::uint32_t>(msg.a);
+  assert(msg.data.size() == space_.page_size());
+  // Content is authoritative (the directory marked us a sharer), so it is
+  // always installed; access is granted only if no request is in flight.
+  std::memcpy(space_.page_data(page).data(), msg.data.data(), msg.data.size());
+  if (tcache_ != nullptr) tcache_->invalidate_page(page);
+  const auto pending = pending_.find(page);
+  if (pending == pending_.end()) {
+    if (space_.access(page) == mem::PageAccess::kNone) {
+      space_.set_access(page, mem::PageAccess::kRead);
+      if (stats_ != nullptr) stats_->add("dsm.forwards_installed");
+      wake_page_(page);  // benign if nobody waits
+    } else if (stats_ != nullptr) {
+      stats_->add("dsm.forwards_dropped");
+    }
+  } else if (!pending->second) {
+    // A read request raced with this push: the pushed copy satisfies it
+    // right now (the directory made us a sharer). The in-flight grant for
+    // the queued request is redundant and harmless — per-channel FIFO
+    // orders it before any subsequent invalidation.
+    space_.set_access(page, mem::PageAccess::kRead);
+    if (stats_ != nullptr) stats_->add("dsm.forwards_rescued_read");
+    wake_page_(page);
+  } else if (stats_ != nullptr) {
+    stats_->add("dsm.forwards_dropped");
+  }
+}
+
+}  // namespace dqemu::dsm

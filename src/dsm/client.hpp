@@ -1,0 +1,74 @@
+// Node-side DSM cache controller.
+//
+// One per node (including the master, whose messages loop back). Sends
+// page requests on guest faults, coalesces concurrent faults for the same
+// page, installs granted pages, and complies with invalidate/downgrade/
+// shadow-update traffic from the directory. Invalidation also snoops the
+// node's LL/SC table (section 4.4's false-positive kill) and translation
+// cache (guest code pages).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "dbt/llsc_table.hpp"
+#include "dbt/translation.hpp"
+#include "dsm/wire.hpp"
+#include "mem/address_space.hpp"
+#include "mem/shadow_map.hpp"
+#include "net/network.hpp"
+
+namespace dqemu::dsm {
+
+class DsmClient {
+ public:
+  /// `wake_page` is invoked when a page request completes (grant or
+  /// retry); the node layer unblocks the guest threads parked on it.
+  /// `llsc` / `tcache` may be null in unit tests.
+  DsmClient(NodeId self, net::Network& network, mem::AddressSpace& space,
+            mem::ShadowMap& shadow, dbt::LlscTable* llsc,
+            dbt::TranslationCache* tcache, StatsRegistry* stats,
+            std::function<void(std::uint32_t page)> wake_page);
+
+  /// Issues a read or write request for `page` unless one is already in
+  /// flight (in which case the write intent is merged: a still-unsatisfied
+  /// writer simply re-faults after the read grant lands). `offset` is the
+  /// faulting byte offset within the page, feeding the master's
+  /// false-sharing detector.
+  void request_page(std::uint32_t page, std::uint32_t offset, bool write,
+                    GuestTid tid);
+
+  /// True while a request for `page` is outstanding.
+  [[nodiscard]] bool pending(std::uint32_t page) const {
+    return pending_.contains(page);
+  }
+
+  /// Dispatches an incoming DSM message addressed to this node.
+  void handle_message(const net::Message& msg);
+
+  [[nodiscard]] NodeId self() const { return self_; }
+
+ private:
+  void on_page_data(const net::Message& msg, bool grant_only);
+  void on_retry(const net::Message& msg);
+  void on_invalidate(const net::Message& msg);
+  void on_downgrade(const net::Message& msg);
+  void on_shadow_update(const net::Message& msg);
+  void on_forward_data(const net::Message& msg);
+  void drop_page_locally(std::uint32_t page);
+
+  NodeId self_;
+  net::Network& network_;
+  mem::AddressSpace& space_;
+  mem::ShadowMap& shadow_;
+  dbt::LlscTable* llsc_;
+  dbt::TranslationCache* tcache_;
+  StatsRegistry* stats_;
+  std::function<void(std::uint32_t)> wake_page_;
+  /// page -> write intent of the outstanding request.
+  std::unordered_map<std::uint32_t, bool> pending_;
+};
+
+}  // namespace dqemu::dsm

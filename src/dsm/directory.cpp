@@ -1,0 +1,473 @@
+#include "dsm/directory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace dqemu::dsm {
+
+Directory::Directory(net::Network& network, sim::EventQueue& queue,
+                     mem::AddressSpace& home, Params params,
+                     StatsRegistry* stats)
+    : network_(network),
+      queue_(queue),
+      home_(home),
+      params_(params),
+      stats_(stats),
+      entries_(home.num_pages()),
+      shadow_of_(home.num_pages()),
+      shadow_next_(params.shadow_pool_first_page) {
+  assert(params_.node_count >= 1 && params_.node_count <= 32);
+  assert(params_.shadow_pool_first_page + params_.shadow_pool_page_count <=
+         home.num_pages());
+  streams_.resize(params_.node_count,
+                  StreamDetector(params_.dsm.forward_streams));
+  manager_free_.resize(params_.node_count, 0);
+  // The master boots owning everything (it loaded the program)...
+  home_.set_all_access(mem::PageAccess::kReadWrite);
+  // ...except the shadow pool, which no application code may touch.
+  for (std::uint32_t i = 0; i < params_.shadow_pool_page_count; ++i) {
+    const std::uint32_t page = params_.shadow_pool_first_page + i;
+    entries_[page].state = PageState::kHome;
+    entries_[page].owner = kInvalidNode;
+    home_.set_access(page, mem::PageAccess::kNone);
+  }
+}
+
+net::Message Directory::make(NodeId dst, DsmMsg type, std::uint64_t a,
+                             std::uint64_t b) const {
+  net::Message msg;
+  msg.src = kMasterNode;
+  msg.dst = dst;
+  msg.type = static_cast<std::uint32_t>(type);
+  msg.a = a;
+  msg.b = b;
+  return msg;
+}
+
+void Directory::send(net::Message msg) {
+  // Each slave has a dedicated manager thread on the master (paper
+  // Fig. 2); messages to that slave serialize on it. Directory state
+  // machine work adds a small fixed cost; speculative pushes are batched
+  // stream operations and much cheaper than demand handling.
+  // Cheap messages: speculative pushes (batched stream work), no-payload
+  // grants (no page preparation / fault hand-off), and loopback traffic to
+  // the master's own client (a function call, not a manager wakeup).
+  const bool cheap =
+      msg.type == static_cast<std::uint32_t>(DsmMsg::kForwardData) ||
+      msg.type == static_cast<std::uint32_t>(DsmMsg::kPageGrant) ||
+      msg.dst == kMasterNode;
+  const DurationPs service =
+      params_.machine.cycles(params_.dsm.directory_cycles) +
+      (cheap ? params_.dsm.forward_service : params_.dsm.manager_service);
+  TimePs& manager_free = manager_free_[msg.dst];
+  const TimePs start = std::max(queue_.now(), manager_free);
+  manager_free = start + service;
+  queue_.schedule_at(manager_free, [this, m = std::move(msg)]() mutable {
+    network_.send(std::move(m));
+  });
+}
+
+void Directory::handle_message(const net::Message& msg) {
+  switch (static_cast<DsmMsg>(msg.type)) {
+    case DsmMsg::kReadReq: return on_request(msg, /*write=*/false);
+    case DsmMsg::kWriteReq: return on_request(msg, /*write=*/true);
+    case DsmMsg::kInvAck: return on_inv_ack(msg);
+    case DsmMsg::kDowngradeAck: return on_downgrade_ack(msg);
+    default:
+      assert(false && "non-directory DSM message routed to Directory");
+  }
+}
+
+void Directory::note_write_pattern(Entry& entry, NodeId node,
+                                   std::uint32_t offset) {
+  const std::uint32_t shard_size = home_.page_size() / params_.dsm.split_shards;
+  const auto shard = static_cast<std::uint8_t>(offset / shard_size);
+  if (entry.fs_last_node != kInvalidNode && entry.fs_last_node != node &&
+      entry.fs_last_shard != shard) {
+    ++entry.fs_count;
+  }
+  entry.fs_last_node = node;
+  entry.fs_last_shard = shard;
+}
+
+bool Directory::should_split(const Entry& entry, std::uint32_t page) const {
+  return params_.dsm.enable_splitting &&
+         entry.state != PageState::kSplit && !in_shadow_pool(page) &&
+         entry.fs_count >= params_.dsm.split_threshold &&
+         shadow_next_ + params_.dsm.split_shards <=
+             params_.shadow_pool_first_page + params_.shadow_pool_page_count;
+}
+
+void Directory::on_request(const net::Message& msg, bool write) {
+  const auto page = static_cast<std::uint32_t>(msg.a);
+  assert(page < entries_.size());
+  Entry& entry = entries_[page];
+  if (stats_ != nullptr) {
+    stats_->add(write ? "dir.write_reqs" : "dir.read_reqs");
+  }
+
+  const Request req{msg.src, write,
+                    static_cast<std::uint32_t>(msg.b),
+                    static_cast<GuestTid>(msg.c)};
+
+  // A request that arrives after the page was split raced with the shadow
+  // broadcast: tell the node to re-fault through its (by now updated) map.
+  if (entry.state == PageState::kSplit) {
+    send(make(req.node, DsmMsg::kRetry, page));
+    if (stats_ != nullptr) stats_->add("dir.retries");
+    return;
+  }
+
+  if (write) note_write_pattern(entry, req.node, req.offset);
+
+  if (entry.busy) {
+    entry.queue.push_back(req);
+    if (stats_ != nullptr) stats_->add("dir.queued_reqs");
+    return;
+  }
+  start_transaction(page, req);
+}
+
+void Directory::start_transaction(std::uint32_t page, const Request& req) {
+  Entry& entry = entries_[page];
+  assert(!entry.busy);
+  entry.busy = true;
+  entry.current = req;
+  entry.splitting = false;
+  entry.acks_outstanding = 0;
+
+  if (should_split(entry, page)) {
+    // Recall every cached copy, then split (complete_transaction).
+    entry.splitting = true;
+    if (entry.state == PageState::kModified) {
+      if (entry.owner == kMasterNode) {
+        // Home copy is the owned copy; nothing to recall.
+        home_.set_access(page, mem::PageAccess::kNone);
+      } else {
+        send(make(entry.owner, DsmMsg::kInvalidate, page, 1));
+        ++entry.acks_outstanding;
+      }
+    } else if (entry.state == PageState::kShared) {
+      for (NodeId n = 0; n < params_.node_count; ++n) {
+        if ((entry.sharers >> n) & 1u) {
+          send(make(n, DsmMsg::kInvalidate, page, 0));
+          ++entry.acks_outstanding;
+        }
+      }
+    }
+    if (entry.acks_outstanding == 0) complete_transaction(page);
+    return;
+  }
+
+  if (req.write) {
+    switch (entry.state) {
+      case PageState::kModified:
+        if (entry.owner == req.node) {
+          grant_and_finish(page);  // benign re-grant
+          return;
+        }
+        send(make(entry.owner, DsmMsg::kInvalidate, page, 1));
+        entry.acks_outstanding = 1;
+        if (stats_ != nullptr) stats_->add("dir.owner_recalls");
+        return;
+      case PageState::kShared: {
+        for (NodeId n = 0; n < params_.node_count; ++n) {
+          if (n != req.node && ((entry.sharers >> n) & 1u)) {
+            send(make(n, DsmMsg::kInvalidate, page, 0));
+            ++entry.acks_outstanding;
+          }
+        }
+        if (stats_ != nullptr && entry.acks_outstanding > 0)
+          stats_->add("dir.sharer_invalidations", entry.acks_outstanding);
+        if (entry.acks_outstanding == 0) complete_transaction(page);
+        return;
+      }
+      case PageState::kHome:
+        complete_transaction(page);
+        return;
+      case PageState::kSplit:
+        assert(false);
+        return;
+    }
+  } else {
+    switch (entry.state) {
+      case PageState::kModified:
+        if (entry.owner == req.node) {
+          grant_and_finish(page);
+          return;
+        }
+        send(make(entry.owner, DsmMsg::kDowngrade, page));
+        entry.acks_outstanding = 1;
+        if (stats_ != nullptr) stats_->add("dir.downgrades");
+        return;
+      case PageState::kShared:
+      case PageState::kHome:
+        complete_transaction(page);
+        return;
+      case PageState::kSplit:
+        assert(false);
+        return;
+    }
+  }
+}
+
+void Directory::on_inv_ack(const net::Message& msg) {
+  const auto page = static_cast<std::uint32_t>(msg.a);
+  Entry& entry = entries_[page];
+  assert(entry.busy && entry.acks_outstanding > 0);
+  if (msg.b == 1) {
+    // Writeback from the former owner: refresh home storage.
+    assert(msg.data.size() == home_.page_size());
+    std::memcpy(home_.page_data(page).data(), msg.data.data(),
+                msg.data.size());
+  }
+  if (--entry.acks_outstanding == 0) complete_transaction(page);
+}
+
+void Directory::on_downgrade_ack(const net::Message& msg) {
+  const auto page = static_cast<std::uint32_t>(msg.a);
+  Entry& entry = entries_[page];
+  assert(entry.busy && entry.acks_outstanding > 0);
+  assert(msg.data.size() == home_.page_size());
+  std::memcpy(home_.page_data(page).data(), msg.data.data(), msg.data.size());
+  // The former owner keeps a read-only copy.
+  entry.state = PageState::kShared;
+  entry.sharers = 1u << entry.owner;
+  entry.owner = kInvalidNode;
+  if (--entry.acks_outstanding == 0) complete_transaction(page);
+}
+
+void Directory::complete_transaction(std::uint32_t page) {
+  Entry& entry = entries_[page];
+  if (entry.splitting) {
+    perform_split(page);
+    return;
+  }
+  grant_and_finish(page);
+}
+
+void Directory::grant_and_finish(std::uint32_t page) {
+  Entry& entry = entries_[page];
+  const Request& req = entry.current;
+  const bool already_sharer = ((entry.sharers >> req.node) & 1u) != 0;
+  const bool already_owner =
+      entry.state == PageState::kModified && entry.owner == req.node;
+
+  // A request from the current owner (a duplicate/raced message: owners
+  // never fault) must not demote the entry to Shared — the home copy may
+  // be stale, and only the owner holds the fresh bytes. Re-grant in place.
+  if (already_owner) {
+    send(make(req.node, DsmMsg::kPageGrant, page, kAccessWrite));
+    if (stats_ != nullptr) stats_->add("dir.grants_no_data");
+    finish_entry(page);
+    return;
+  }
+
+  if (req.write) {
+    entry.state = PageState::kModified;
+    entry.owner = req.node;
+    entry.sharers = 0;
+  } else {
+    entry.state = PageState::kShared;
+    entry.sharers |= 1u << req.node;
+    entry.owner = kInvalidNode;
+  }
+
+  const std::uint64_t access = req.write ? kAccessWrite : kAccessRead;
+  if (already_sharer || already_owner) {
+    // Requester's copy is fresh: upgrade/re-grant without content.
+    send(make(req.node, DsmMsg::kPageGrant, page, access));
+    if (stats_ != nullptr) stats_->add("dir.grants_no_data");
+  } else {
+    net::Message msg = make(req.node, DsmMsg::kPageData, page, access);
+    const auto data = home_.page_data(page);
+    msg.data.assign(data.begin(), data.end());
+    send(std::move(msg));
+    if (stats_ != nullptr) stats_->add("dir.grants_with_data");
+  }
+
+  // A write grant makes the home copy stale, including the master's own
+  // mapping of it (unless the master is the new owner).
+  if (req.write && req.node != kMasterNode) {
+    home_.set_access(page, mem::PageAccess::kNone);
+  }
+
+  // Forwarding feeds on read streams only: pushing Shared copies into a
+  // write stream would make every subsequent owner write pay an extra
+  // invalidation round-trip.
+  if (!req.write) maybe_forward(req.node, page);
+  finish_entry(page);
+}
+
+void Directory::finish_entry(std::uint32_t page) {
+  Entry& entry = entries_[page];
+  entry.busy = false;
+  entry.splitting = false;
+  if (!entry.queue.empty()) {
+    const Request next = entry.queue.front();
+    entry.queue.pop_front();
+    if (entry.state == PageState::kSplit) {
+      send(make(next.node, DsmMsg::kRetry, page));
+      if (stats_ != nullptr) stats_->add("dir.retries");
+      finish_entry(page);
+      return;
+    }
+    start_transaction(page, next);
+  }
+}
+
+void Directory::perform_split(std::uint32_t page) {
+  Entry& entry = entries_[page];
+  const std::uint32_t shards = params_.dsm.split_shards;
+  const std::uint32_t shard_size = home_.page_size() / shards;
+  assert(shadow_next_ + shards <=
+         params_.shadow_pool_first_page + params_.shadow_pool_page_count);
+
+  // Allocate shadow pages and distribute the content: shard s keeps its
+  // bytes at the *same page offset* in shadow page s (paper figure 4).
+  std::vector<std::uint32_t> shadows(shards);
+  const auto src = home_.page_data(page);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    shadows[s] = shadow_next_++;
+    auto dst = home_.page_data(shadows[s]);
+    std::memset(dst.data(), 0, dst.size());
+    std::memcpy(dst.data() + s * shard_size, src.data() + s * shard_size,
+                shard_size);
+    Entry& shadow_entry = entries_[shadows[s]];
+    shadow_entry.state = PageState::kHome;
+    shadow_entry.owner = kInvalidNode;
+    shadow_entry.sharers = 0;
+  }
+  shadow_of_[page] = shadows;
+  entry.state = PageState::kSplit;
+  entry.owner = kInvalidNode;
+  entry.sharers = 0;
+  home_.set_access(page, mem::PageAccess::kNone);
+  ++splits_;
+  if (stats_ != nullptr) stats_->add("dir.splits");
+  DQEMU_DEBUG("directory: split page %u into %u shadows starting at %u", page,
+              shards, shadows[0]);
+
+  // Broadcast the mapping-table update, then tell the requester (and any
+  // queued requesters) to re-fault. Per-channel FIFO guarantees every node
+  // updates its map before a retry reaches it.
+  net::Message update = make(0, DsmMsg::kShadowUpdate, page);
+  update.data.resize(shards * 4);
+  std::memcpy(update.data.data(), shadows.data(), shards * 4);
+  for (NodeId n = 0; n < params_.node_count; ++n) {
+    net::Message m = update;
+    m.dst = n;
+    send(std::move(m));
+  }
+  send(make(entry.current.node, DsmMsg::kRetry, page));
+  while (!entry.queue.empty()) {
+    send(make(entry.queue.front().node, DsmMsg::kRetry, page));
+    entry.queue.pop_front();
+  }
+  entry.fs_count = 0;
+  entry.fs_last_node = kInvalidNode;
+  entry.busy = false;
+  entry.splitting = false;
+}
+
+void Directory::maybe_forward(NodeId requester, std::uint32_t page) {
+  if (!params_.dsm.enable_forwarding) return;
+  const std::uint32_t run = streams_[requester].on_request(page);
+  if (run < params_.dsm.forward_trigger) return;
+
+  // Back-pressure: when the master's egress link is already backed up,
+  // speculative pushes would head-of-line-block demand grants. Skip; the
+  // stream stays alive and resumes pushing once the NIC drains.
+  using time_literals::kUs;
+  if (network_.egress_free_at(kMasterNode) > queue_.now() + 2000 * kUs) {
+    if (stats_ != nullptr) stats_->add("dir.forwards_skipped_backpressure");
+    return;
+  }
+
+  // Readahead-style window: grows with the observed run length, capped at
+  // forward_depth — short streams (a thread's partition) overshoot little,
+  // long walks reach the full pipeline depth.
+  const std::uint32_t window = std::min(run, params_.dsm.forward_depth);
+  std::uint32_t last_pushed = page;
+  for (std::uint32_t p = page + 1;
+       p <= page + window && p < entries_.size(); ++p) {
+    Entry& entry = entries_[p];
+    if (entry.busy || entry.state == PageState::kSplit ||
+        in_shadow_pool(p)) {
+      continue;
+    }
+    if ((entry.sharers >> requester) & 1u) continue;  // already cached there
+    // Never push a page some other node has been writing: the Shared copy
+    // would tax every later write with an invalidation round-trip.
+    if (entry.fs_last_node != kInvalidNode && entry.fs_last_node != requester) {
+      continue;
+    }
+    if (entry.state == PageState::kModified) {
+      if (entry.owner == kMasterNode) {
+        // Home copy is the fresh copy: downgrade the master in place so
+        // the page becomes shareable without a recall round-trip.
+        home_.set_access(p, mem::PageAccess::kRead);
+        entry.state = PageState::kShared;
+        entry.sharers = 1u << kMasterNode;
+        entry.owner = kInvalidNode;
+      } else {
+        continue;  // fresh copy is remote; forwarding would need a recall
+      }
+    }
+    entry.state = PageState::kShared;
+    entry.sharers |= 1u << requester;
+    net::Message msg = make(requester, DsmMsg::kForwardData, p);
+    const auto data = home_.page_data(p);
+    msg.data.assign(data.begin(), data.end());
+    send(std::move(msg));
+    last_pushed = p;
+    if (stats_ != nullptr) stats_->add("dir.forwards");
+  }
+  // The pushed pages will not generate requests; keep the stream alive
+  // across the window so the next fault continues the run.
+  if (last_pushed != page) {
+    streams_[requester].retarget(page + 1, last_pushed + 1);
+  }
+}
+
+bool Directory::check_invariants() const {
+  for (std::uint32_t page = 0; page < entries_.size(); ++page) {
+    const Entry& entry = entries_[page];
+    if (entry.busy) continue;  // transitional states are exempt
+    switch (entry.state) {
+      case PageState::kModified:
+        if (entry.sharers != 0 || entry.owner == kInvalidNode ||
+            entry.owner >= params_.node_count) {
+          DQEMU_ERROR("invariant: modified page %u has sharers/bad owner", page);
+          return false;
+        }
+        break;
+      case PageState::kShared:
+        if (entry.sharers == 0) {
+          DQEMU_ERROR("invariant: shared page %u has no sharers", page);
+          return false;
+        }
+        break;
+      case PageState::kSplit:
+        if (entry.sharers != 0 || shadow_of_[page].empty()) {
+          DQEMU_ERROR("invariant: split page %u inconsistent", page);
+          return false;
+        }
+        for (const std::uint32_t shadow : shadow_of_[page]) {
+          if (!in_shadow_pool(shadow)) {
+            DQEMU_ERROR("invariant: shadow page %u outside pool", shadow);
+            return false;
+          }
+        }
+        break;
+      case PageState::kHome:
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace dqemu::dsm

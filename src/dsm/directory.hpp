@@ -1,0 +1,141 @@
+// Centralized page-level directory (paper section 4.2).
+//
+// Lives on the master node; the per-slave manager threads of the paper are
+// modeled as the directory's message handlers plus a service delay. For
+// every guest page the directory tracks one of:
+//   kHome     - content only in home storage (master's memory), no caches
+//   kShared   - home fresh; `sharers` nodes hold read-only copies
+//   kModified - `owner` holds the only fresh, writable copy
+//   kSplit    - page was split for false sharing; accesses are redirected
+// Transactions over a page are serialized with a busy flag and a pending
+// queue. The directory also hosts the two section-5 optimizations: the
+// false-sharing detector + page splitting, and the stream detector + data
+// forwarding.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "dsm/stream_detector.hpp"
+#include "dsm/wire.hpp"
+#include "mem/address_space.hpp"
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+
+namespace dqemu::dsm {
+
+class Directory {
+ public:
+  enum class PageState : std::uint8_t { kHome, kShared, kModified, kSplit };
+
+  struct Params {
+    DsmConfig dsm;
+    MachineConfig machine;
+    std::uint32_t node_count = 0;
+    /// Reserved guest region for shadow pages (never used by applications).
+    std::uint32_t shadow_pool_first_page = 0;
+    std::uint32_t shadow_pool_page_count = 0;
+  };
+
+  /// `home` is the master node's address space (= home storage). The
+  /// directory boots with the master owning every page except the shadow
+  /// pool, which starts kHome with no access anywhere.
+  Directory(net::Network& network, sim::EventQueue& queue,
+            mem::AddressSpace& home, Params params,
+            StatsRegistry* stats = nullptr);
+
+  /// Dispatches a request/ack addressed to the master.
+  void handle_message(const net::Message& msg);
+
+  // ---- introspection (tests / reports) ---------------------------------
+  [[nodiscard]] PageState state(std::uint32_t page) const {
+    return entries_[page].state;
+  }
+  [[nodiscard]] NodeId owner(std::uint32_t page) const {
+    return entries_[page].owner;
+  }
+  [[nodiscard]] std::uint32_t sharer_mask(std::uint32_t page) const {
+    return entries_[page].sharers;
+  }
+  [[nodiscard]] bool busy(std::uint32_t page) const {
+    return entries_[page].busy;
+  }
+  [[nodiscard]] std::uint64_t splits_performed() const { return splits_; }
+
+  /// Structural invariants: Modified pages have no sharers, split pages
+  /// are fully drained, shadow allocations stay in the pool. Returns false
+  /// and logs on violation.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  struct Request {
+    NodeId node = kInvalidNode;
+    bool write = false;
+    std::uint32_t offset = 0;
+    GuestTid tid = 0;
+  };
+
+  struct Entry {
+    PageState state = PageState::kModified;
+    NodeId owner = kMasterNode;
+    std::uint32_t sharers = 0;  ///< node bitmask (node_count <= 32)
+    bool busy = false;
+    bool splitting = false;
+    std::uint32_t acks_outstanding = 0;
+    Request current;
+    std::deque<Request> queue;
+    // False-sharing detector (section 5.1).
+    NodeId fs_last_node = kInvalidNode;
+    std::uint8_t fs_last_shard = 0xFF;
+    std::uint16_t fs_count = 0;
+  };
+
+  void on_request(const net::Message& msg, bool write);
+  void on_inv_ack(const net::Message& msg);
+  void on_downgrade_ack(const net::Message& msg);
+
+  /// Begins servicing `req` on an idle entry (sets busy, sends recalls or
+  /// completes immediately).
+  void start_transaction(std::uint32_t page, const Request& req);
+  /// Called when all recalls have been acknowledged.
+  void complete_transaction(std::uint32_t page);
+  /// Grants the page to the current requester and finishes the entry.
+  void grant_and_finish(std::uint32_t page);
+  /// Pops the next queued request, if any.
+  void finish_entry(std::uint32_t page);
+
+  // Page splitting.
+  [[nodiscard]] bool should_split(const Entry& entry, std::uint32_t page) const;
+  void note_write_pattern(Entry& entry, NodeId node, std::uint32_t offset);
+  void perform_split(std::uint32_t page);
+
+  // Data forwarding.
+  void maybe_forward(NodeId requester, std::uint32_t page);
+
+  void send(net::Message msg);
+  [[nodiscard]] net::Message make(NodeId dst, DsmMsg type,
+                                  std::uint64_t a = 0, std::uint64_t b = 0) const;
+  [[nodiscard]] bool in_shadow_pool(std::uint32_t page) const {
+    return page >= params_.shadow_pool_first_page &&
+           page < params_.shadow_pool_first_page +
+                      params_.shadow_pool_page_count;
+  }
+
+  net::Network& network_;
+  sim::EventQueue& queue_;
+  mem::AddressSpace& home_;
+  Params params_;
+  StatsRegistry* stats_;
+  std::vector<Entry> entries_;
+  std::vector<StreamDetector> streams_;  ///< per requesting node
+  /// Per-slave manager thread occupancy (serializes demand replies).
+  std::vector<TimePs> manager_free_;
+  std::vector<std::vector<std::uint32_t>> shadow_of_;  ///< page -> shadows
+  std::uint32_t shadow_next_;  ///< next unallocated shadow page
+  std::uint64_t splits_ = 0;
+};
+
+}  // namespace dqemu::dsm

@@ -1,0 +1,74 @@
+// Sequential page-stream detector for data forwarding (paper section 5.2).
+//
+// Modeled on the Linux VFS read-ahead framework the paper cites: the
+// master keeps a small per-node table of active streams keyed by the next
+// page each stream expects. A request that matches a stream's expectation
+// extends it; otherwise it seeds a new stream (evicting the least recently
+// used). When a stream's run length reaches the trigger, the caller pushes
+// the next pages ahead of the requester.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace dqemu::dsm {
+
+class StreamDetector {
+ public:
+  /// `max_streams` bounds the per-node table (concurrent walkers).
+  explicit StreamDetector(std::uint32_t max_streams = 8)
+      : max_streams_(max_streams) {}
+
+  /// Records a request for `page` and returns the run length of the
+  /// stream it belongs to (1 for a fresh stream).
+  std::uint32_t on_request(std::uint32_t page) {
+    ++clock_;
+    for (Stream& s : streams_) {
+      if (s.next_page == page) {
+        ++s.run;
+        ++s.next_page;
+        s.last_used = clock_;
+        return s.run;
+      }
+    }
+    // New stream.
+    if (streams_.size() < max_streams_) {
+      streams_.push_back(Stream{page + 1, 1, clock_});
+    } else {
+      auto lru = std::min_element(
+          streams_.begin(), streams_.end(),
+          [](const Stream& a, const Stream& b) { return a.last_used < b.last_used; });
+      *lru = Stream{page + 1, 1, clock_};
+    }
+    return 1;
+  }
+
+  /// After the caller pushed pages so that the node's next *request* will
+  /// be for `new_next`, moves the stream currently expecting
+  /// `expected_next` past the pushed window (keeping its run length), so
+  /// forwarded pages don't break the run.
+  void retarget(std::uint32_t expected_next, std::uint32_t new_next) {
+    for (Stream& s : streams_) {
+      if (s.next_page == expected_next) {
+        s.next_page = new_next;
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t active_streams() const { return streams_.size(); }
+
+ private:
+  struct Stream {
+    std::uint32_t next_page = 0;
+    std::uint32_t run = 0;
+    std::uint64_t last_used = 0;
+  };
+
+  std::uint32_t max_streams_;
+  std::uint64_t clock_ = 0;
+  std::vector<Stream> streams_;
+};
+
+}  // namespace dqemu::dsm

@@ -1,0 +1,38 @@
+// DSM protocol message vocabulary (paper sections 4.2, 5.1, 5.2).
+//
+// Message-type space is partitioned across subsystems:
+//   0x100-0x1FF  DSM coherence protocol (this file)
+//   0x200-0x2FF  syscall delegation (sys/delegation.hpp)
+//   0x300-0x3FF  thread management (core/node.hpp)
+#pragma once
+
+#include <cstdint>
+
+namespace dqemu::dsm {
+
+enum class DsmMsg : std::uint32_t {
+  // Slave -> master (manager thread).
+  kReadReq = 0x100,   ///< a=page, b=faulting offset, c=tid
+  kWriteReq = 0x101,  ///< a=page, b=faulting offset, c=tid
+  kInvAck = 0x102,    ///< a=page, b=1 if dirty content attached (ex-owner)
+  kDowngradeAck = 0x103,  ///< a=page, data=page content
+
+  // Master -> slave (communicator thread).
+  kPageData = 0x110,   ///< a=page, b=access (1=read, 2=rw), data=content
+  kPageGrant = 0x111,  ///< a=page, b=access; no content (upgrade/re-grant)
+  kRetry = 0x112,      ///< a=page: re-fault; the page was just split
+  kInvalidate = 0x113, ///< a=page, b=1 if writeback of dirty content needed
+  kDowngrade = 0x114,  ///< a=page: drop to read-only, send content back
+  kShadowUpdate = 0x115,  ///< a=orig page, data=LE u32 shadow page numbers
+  kForwardData = 0x116,   ///< a=page, data=content; unsolicited push (5.2)
+};
+
+[[nodiscard]] constexpr bool is_dsm_message(std::uint32_t type) {
+  return type >= 0x100 && type < 0x200;
+}
+
+/// Access codes carried in PageData/PageGrant `b` fields.
+inline constexpr std::uint64_t kAccessRead = 1;
+inline constexpr std::uint64_t kAccessWrite = 2;
+
+}  // namespace dqemu::dsm

@@ -1,0 +1,269 @@
+#include "guestlib/runtime.hpp"
+
+#include "isa/syscall_abi.hpp"
+
+namespace dqemu::guestlib {
+
+using isa::Assembler;
+using isa::Sys;
+using enum isa::Reg;
+
+void emit_crt0(Assembler& a, Assembler::Label main_label) {
+  Assembler::Label entry = a.here("_start");
+  a.set_entry(entry);
+  a.call(main_label);
+  a.syscall(static_cast<std::int32_t>(Sys::kExitGroup));  // a0 = main's result
+}
+
+Runtime emit_runtime(Assembler& a, const RuntimeOptions& options) {
+  Runtime rt;
+  rt.mutex_lock = a.make_label("rt_mutex_lock");
+  rt.mutex_unlock = a.make_label("rt_mutex_unlock");
+  rt.barrier_wait = a.make_label("rt_barrier_wait");
+  rt.thread_create = a.make_label("rt_thread_create");
+  rt.thread_join = a.make_label("rt_thread_join");
+  rt.malloc_fn = a.make_label("rt_malloc");
+  rt.print = a.make_label("rt_print");
+  rt.print_u32 = a.make_label("rt_print_u32");
+
+  const auto sys = [](Sys s) { return static_cast<std::int32_t>(s); };
+
+  // Heap lock (one word, zero = free).
+  Assembler::Label heap_lock = a.make_label("rt_heap_lock");
+  a.d_align(4);
+  a.bind_data(heap_lock);
+  a.d_word(0);
+
+  // ---- mutex_lock(a0 = addr) ---------------------------------------------
+  // Three-state futex mutex: 0 free, 1 locked, 2 locked-with-waiters.
+  // Spin with LL/SC first; on persistent contention mark the lock
+  // contended and futex_wait on value 2 (glibc's scheme, section 4.4's
+  // two-level locking: intra-node contention resolves in the spin phase,
+  // cross-node contention falls back to the delegated futex).
+  {
+    a.bind(rt.mutex_lock);
+    Assembler::Label spin = a.make_label();
+    Assembler::Label backoff = a.make_label();
+    Assembler::Label contended = a.make_label();
+    Assembler::Label mark = a.make_label();
+    a.mov(kT0, kA0);
+    a.li(kT2, options.mutex_spin);
+    a.bind(spin);  // fast path: acquire with 1 (uncontended)
+    a.ll(kT1, kT0);
+    a.bne(kT1, kZero, backoff);
+    a.li(kT3, 1);
+    a.sc(kT4, kT0, kT3);
+    a.bne(kT4, kZero, spin);
+    a.ret();  // acquired
+    a.bind(backoff);
+    a.addi(kT2, kT2, -1);
+    a.bne(kT2, kZero, spin);
+    // Slow path (glibc scheme). Once a thread has waited, it must acquire
+    // with value 2: other threads may still be parked, and only value 2
+    // makes the eventual unlock issue a wake. Acquiring with 1 here loses
+    // wakeups (thread A wakes, takes the lock "uncontended", unlocks
+    // without waking B who is still parked).
+    a.bind(contended);
+    a.ll(kT1, kT0);
+    a.bne(kT1, kZero, mark);
+    a.li(kT3, 2);
+    a.sc(kT4, kT0, kT3);
+    a.bne(kT4, kZero, contended);
+    a.ret();  // acquired in contended state
+    a.bind(mark);
+    a.li(kT3, 2);
+    a.sc(kT4, kT0, kT3);  // 1 -> 2; failure is fine (someone changed it)
+    a.mov(kA0, kT0);
+    a.li(kA1, static_cast<std::int32_t>(isa::kFutexWait));
+    a.li(kA2, 2);
+    a.syscall(sys(Sys::kFutex));
+    a.j(contended);  // woken or EAGAIN: retry the slow path
+  }
+
+  // ---- mutex_unlock(a0 = addr) -----------------------------------------
+  {
+    a.bind(rt.mutex_unlock);
+    Assembler::Label retry = a.make_label();
+    Assembler::Label no_waiters = a.make_label();
+    a.mov(kT0, kA0);
+    a.bind(retry);
+    a.ll(kT1, kT0);       // old value (1 or 2)
+    a.sc(kT4, kT0, kZero);
+    a.bne(kT4, kZero, retry);
+    a.li(kT3, 2);
+    a.bne(kT1, kT3, no_waiters);
+    a.mov(kA0, kT0);
+    a.li(kA1, static_cast<std::int32_t>(isa::kFutexWake));
+    a.li(kA2, 1);
+    a.syscall(sys(Sys::kFutex));
+    a.bind(no_waiters);
+    a.ret();
+  }
+
+  // ---- barrier_wait(a0 = addr of {arrived, generation, total}) ----------
+  {
+    a.bind(rt.barrier_wait);
+    Assembler::Label inc = a.make_label();
+    Assembler::Label wait_loop = a.make_label();
+    Assembler::Label done = a.make_label();
+    a.mov(kT0, kA0);
+    a.lw(kT3, kT0, 4);  // my generation
+    a.bind(inc);
+    a.ll(kT1, kT0);
+    a.addi(kT1, kT1, 1);
+    a.sc(kT4, kT0, kT1);
+    a.bne(kT4, kZero, inc);
+    a.lw(kT2, kT0, 8);  // total
+    a.bne(kT1, kT2, wait_loop);
+    // Last arriver: reset, advance the generation, wake everyone.
+    a.sw(kT0, kZero, 0);
+    a.addi(kT3, kT3, 1);
+    a.sw(kT0, kT3, 4);
+    a.addi(kA0, kT0, 4);
+    a.li(kA1, static_cast<std::int32_t>(isa::kFutexWake));
+    a.li(kA2, 0x7FFF);
+    a.syscall(sys(Sys::kFutex));
+    a.ret();
+    a.bind(wait_loop);
+    a.lw(kT1, kT0, 4);
+    a.bne(kT1, kT3, done);  // generation advanced: released
+    a.addi(kA0, kT0, 4);
+    a.li(kA1, static_cast<std::int32_t>(isa::kFutexWait));
+    a.mov(kA2, kT3);  // expected: still my generation
+    a.syscall(sys(Sys::kFutex));
+    a.j(wait_loop);
+    a.bind(done);
+    a.ret();
+  }
+
+  // ---- malloc(a0 = size) --------------------------------------------------
+  {
+    a.bind(rt.malloc_fn);
+    a.addi(kSp, kSp, -16);
+    a.sw(kSp, kRa, 0);
+    a.sw(kSp, kA0, 4);
+    a.la(kA0, heap_lock);
+    a.call(rt.mutex_lock);
+    a.li(kA0, 0);
+    a.syscall(sys(Sys::kBrk));  // query current break
+    a.addi(kA0, kA0, 7);
+    a.andi(kA0, kA0, -8);       // 8-byte align
+    a.sw(kSp, kA0, 8);          // result
+    a.lw(kT1, kSp, 4);
+    a.add(kA0, kA0, kT1);
+    a.syscall(sys(Sys::kBrk));  // extend
+    a.la(kA0, heap_lock);
+    a.call(rt.mutex_unlock);
+    a.lw(kA0, kSp, 8);
+    a.lw(kRa, kSp, 0);
+    a.addi(kSp, kSp, 16);
+    a.ret();
+  }
+
+  // ---- thread_create(a0 = fn, a1 = arg) -> handle -------------------------
+  {
+    a.bind(rt.thread_create);
+    Assembler::Label child = a.make_label();
+    a.addi(kSp, kSp, -32);
+    a.sw(kSp, kRa, 0);
+    a.sw(kSp, kA0, 4);  // fn
+    a.sw(kSp, kA1, 8);  // arg
+    // Join handle (ctid word): one heap word set to 1 while alive.
+    a.li(kA0, 16);
+    a.call(rt.malloc_fn);
+    a.sw(kSp, kA0, 12);  // handle
+    a.li(kT1, 1);
+    a.sw(kA0, kT1, 0);
+    // Child stack.
+    a.li(kA0, static_cast<std::int64_t>(options.thread_stack_bytes));
+    a.syscall(sys(Sys::kMmap));
+    a.li(kT1, static_cast<std::int64_t>(options.thread_stack_bytes - 32));
+    a.add(kT2, kA0, kT1);  // child sp
+    a.lw(kT3, kSp, 4);
+    a.sw(kT2, kT3, 0);     // [child_sp+0] = fn
+    a.lw(kT3, kSp, 8);
+    a.sw(kT2, kT3, 4);     // [child_sp+4] = arg
+    // clone(flags=0, child_sp, ctid=handle)
+    a.li(kA0, 0);
+    a.mov(kA1, kT2);
+    a.lw(kA2, kSp, 12);
+    a.syscall(sys(Sys::kClone));
+    a.beq(kA0, kZero, child);
+    // Parent: return the handle.
+    a.lw(kA0, kSp, 12);
+    a.lw(kRa, kSp, 0);
+    a.addi(kSp, kSp, 32);
+    a.ret();
+    // Child: sp points at {fn, arg}; run fn(arg), then exit(ret).
+    a.bind(child);
+    a.lw(kT1, kSp, 0);
+    a.lw(kA0, kSp, 4);
+    a.addi(kSp, kSp, -16);
+    a.jalr(kRa, kT1, 0);
+    a.syscall(sys(Sys::kExit));  // a0 = fn's return value
+  }
+
+  // ---- thread_join(a0 = handle) -----------------------------------------
+  // CLONE_CHILD_CLEARTID semantics: the kernel (node layer) stores 0 to
+  // the handle and futex-wakes it when the thread exits.
+  {
+    a.bind(rt.thread_join);
+    Assembler::Label loop = a.make_label();
+    Assembler::Label done = a.make_label();
+    a.mov(kT0, kA0);
+    a.bind(loop);
+    a.lw(kT1, kT0, 0);
+    a.beq(kT1, kZero, done);
+    a.mov(kA0, kT0);
+    a.li(kA1, static_cast<std::int32_t>(isa::kFutexWait));
+    a.mov(kA2, kT1);
+    a.syscall(sys(Sys::kFutex));
+    a.j(loop);
+    a.bind(done);
+    a.ret();
+  }
+
+  // ---- print(a0 = addr, a1 = len) ----------------------------------------
+  {
+    a.bind(rt.print);
+    a.mov(kA2, kA1);
+    a.mov(kA1, kA0);
+    a.li(kA0, static_cast<std::int32_t>(isa::kStdoutFd));
+    a.syscall(sys(Sys::kWrite));
+    a.ret();
+  }
+
+  // ---- print_u32(a0 = value) ----------------------------------------------
+  {
+    a.bind(rt.print_u32);
+    Assembler::Label digits = a.make_label();
+    a.addi(kSp, kSp, -32);
+    a.sw(kSp, kRa, 0);
+    // Build the decimal string backwards; newline at [sp+27].
+    a.li(kT4, '\n');
+    a.sb(kSp, kT4, 27);
+    a.addi(kT0, kSp, 27);  // write cursor (pre-decrement)
+    a.li(kT3, 10);
+    a.mov(kT1, kA0);
+    a.bind(digits);
+    a.remu(kT2, kT1, kT3);
+    a.addi(kT2, kT2, '0');
+    a.addi(kT0, kT0, -1);
+    a.sb(kT0, kT2, 0);
+    a.divu(kT1, kT1, kT3);
+    a.bne(kT1, kZero, digits);
+    // write(1, cursor, sp+28 - cursor)
+    a.addi(kT2, kSp, 28);
+    a.sub(kA2, kT2, kT0);
+    a.mov(kA1, kT0);
+    a.li(kA0, static_cast<std::int32_t>(isa::kStdoutFd));
+    a.syscall(sys(Sys::kWrite));
+    a.lw(kRa, kSp, 0);
+    a.addi(kSp, kSp, 32);
+    a.ret();
+  }
+
+  return rt;
+}
+
+}  // namespace dqemu::guestlib

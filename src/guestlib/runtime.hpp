@@ -1,0 +1,64 @@
+// Guest runtime library ("guest libc") emitted as GA32 code.
+//
+// The paper's benchmarks are ARM binaries with a statically linked libc
+// and pthreads. This module plays that role: it emits, into a workload's
+// Assembler, the runtime routines every guest program uses —
+//
+//   * futex-based mutex (spin-then-wait, contended-state tracking so the
+//     uncontended path never enters the kernel — matching glibc and the
+//     behaviour Fig. 6's best case depends on)
+//   * sense-counting barrier (futex on a generation word)
+//   * thread create/join (clone + CLONE_CHILD_CLEARTID-style join)
+//   * brk-backed malloc under a global heap lock
+//   * write()-based printing helpers
+//
+// All routines follow the GA32 ABI: args/result in a0..a3, ra as the link
+// register; they clobber t0..t4 and a0..a3 unless noted.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/assembler.hpp"
+
+namespace dqemu::guestlib {
+
+/// Default stack size for created guest threads.
+inline constexpr std::uint32_t kThreadStackBytes = 256 * 1024;
+
+/// Labels of the emitted runtime entry points.
+struct Runtime {
+  /// void mutex_lock(a0 = mutex addr). The mutex is one zeroed word.
+  isa::Assembler::Label mutex_lock;
+  /// void mutex_unlock(a0 = mutex addr).
+  isa::Assembler::Label mutex_unlock;
+  /// void barrier_wait(a0 = barrier addr). Barrier layout: three words
+  /// {arrived, generation, total}; `total` must be initialized.
+  isa::Assembler::Label barrier_wait;
+  /// u32 handle thread_create(a0 = fn, a1 = arg). Returns a join handle.
+  /// The new thread runs fn(arg) and exits with its return value.
+  isa::Assembler::Label thread_create;
+  /// void thread_join(a0 = handle from thread_create).
+  isa::Assembler::Label thread_join;
+  /// void* malloc(a0 = size). 8-byte aligned; never freed (arena-style).
+  isa::Assembler::Label malloc_fn;
+  /// void print(a0 = string addr, a1 = length): write(1, ...).
+  isa::Assembler::Label print;
+  /// void print_u32(a0 = value): prints decimal + newline to stdout.
+  isa::Assembler::Label print_u32;
+};
+
+struct RuntimeOptions {
+  /// LL/SC acquisition attempts before falling back to futex_wait.
+  std::int32_t mutex_spin = 64;
+  std::uint32_t thread_stack_bytes = kThreadStackBytes;
+};
+
+/// Emits the runtime's code and data into `a` (at the current position)
+/// and returns the entry labels. Call once per program.
+Runtime emit_runtime(isa::Assembler& a, const RuntimeOptions& options = {});
+
+/// Emits the standard entry stub: call `main_label`, then
+/// exit_group(main's return value). Binds `entry` as the program entry.
+void emit_crt0(isa::Assembler& a, isa::Assembler::Label main_label);
+
+}  // namespace dqemu::guestlib

@@ -1,0 +1,303 @@
+#include "isa/isa.hpp"
+
+#include <array>
+#include <cassert>
+#include <cstdio>
+
+namespace dqemu::isa {
+namespace {
+
+constexpr InsnInfo make(std::string_view mnemonic, Format format,
+                        bool is_load = false, bool is_store = false,
+                        bool ends_block = false, bool is_fp = false,
+                        bool is_fp_special = false,
+                        std::uint8_t mem_bytes = 0) {
+  return InsnInfo{mnemonic, format, is_load, is_store, ends_block,
+                  is_fp, is_fp_special, mem_bytes};
+}
+
+/// 256-entry table indexed by raw opcode byte. Unassigned slots have an
+/// empty mnemonic.
+const std::array<InsnInfo, 256>& info_table() {
+  static const std::array<InsnInfo, 256> table = [] {
+    std::array<InsnInfo, 256> t{};
+    auto set = [&t](Opcode op, InsnInfo info) {
+      t[static_cast<std::size_t>(op)] = info;
+    };
+    using F = Format;
+    // Integer R-type.
+    set(Opcode::kAdd, make("add", F::kR));
+    set(Opcode::kSub, make("sub", F::kR));
+    set(Opcode::kMul, make("mul", F::kR));
+    set(Opcode::kDiv, make("div", F::kR));
+    set(Opcode::kDivu, make("divu", F::kR));
+    set(Opcode::kRem, make("rem", F::kR));
+    set(Opcode::kRemu, make("remu", F::kR));
+    set(Opcode::kAnd, make("and", F::kR));
+    set(Opcode::kOr, make("or", F::kR));
+    set(Opcode::kXor, make("xor", F::kR));
+    set(Opcode::kSll, make("sll", F::kR));
+    set(Opcode::kSrl, make("srl", F::kR));
+    set(Opcode::kSra, make("sra", F::kR));
+    set(Opcode::kSlt, make("slt", F::kR));
+    set(Opcode::kSltu, make("sltu", F::kR));
+    // Integer I-type.
+    set(Opcode::kAddi, make("addi", F::kI));
+    set(Opcode::kAndi, make("andi", F::kI));
+    set(Opcode::kOri, make("ori", F::kI));
+    set(Opcode::kXori, make("xori", F::kI));
+    set(Opcode::kSlli, make("slli", F::kI));
+    set(Opcode::kSrli, make("srli", F::kI));
+    set(Opcode::kSrai, make("srai", F::kI));
+    set(Opcode::kSlti, make("slti", F::kI));
+    set(Opcode::kSltiu, make("sltiu", F::kI));
+    // U-type.
+    set(Opcode::kLui, make("lui", F::kU));
+    set(Opcode::kAuipc, make("auipc", F::kU));
+    // Loads.
+    set(Opcode::kLb, make("lb", F::kI, true, false, false, false, false, 1));
+    set(Opcode::kLbu, make("lbu", F::kI, true, false, false, false, false, 1));
+    set(Opcode::kLh, make("lh", F::kI, true, false, false, false, false, 2));
+    set(Opcode::kLhu, make("lhu", F::kI, true, false, false, false, false, 2));
+    set(Opcode::kLw, make("lw", F::kI, true, false, false, false, false, 4));
+    // Stores.
+    set(Opcode::kSb, make("sb", F::kS, false, true, false, false, false, 1));
+    set(Opcode::kSh, make("sh", F::kS, false, true, false, false, false, 2));
+    set(Opcode::kSw, make("sw", F::kS, false, true, false, false, false, 4));
+    // Branches.
+    set(Opcode::kBeq, make("beq", F::kB, false, false, true));
+    set(Opcode::kBne, make("bne", F::kB, false, false, true));
+    set(Opcode::kBlt, make("blt", F::kB, false, false, true));
+    set(Opcode::kBge, make("bge", F::kB, false, false, true));
+    set(Opcode::kBltu, make("bltu", F::kB, false, false, true));
+    set(Opcode::kBgeu, make("bgeu", F::kB, false, false, true));
+    // Jumps.
+    set(Opcode::kJal, make("jal", F::kU, false, false, true));
+    set(Opcode::kJalr, make("jalr", F::kI, false, false, true));
+    // Atomics & ordering.
+    set(Opcode::kLl, make("ll", F::kI, true, false, false, false, false, 4));
+    set(Opcode::kSc, make("sc", F::kR, false, true, false, false, false, 4));
+    set(Opcode::kFence, make("fence", F::kN));
+    // System. SYSCALL ends the block: it may migrate, block or exit.
+    set(Opcode::kSyscall, make("syscall", F::kN, false, false, true));
+    set(Opcode::kHint, make("hint", F::kN));
+    // FP memory.
+    set(Opcode::kFld, make("fld", F::kI, true, false, false, true, false, 8));
+    set(Opcode::kFsd, make("fsd", F::kS, false, true, false, true, false, 8));
+    // FP arithmetic.
+    set(Opcode::kFadd, make("fadd", F::kR, false, false, false, true));
+    set(Opcode::kFsub, make("fsub", F::kR, false, false, false, true));
+    set(Opcode::kFmul, make("fmul", F::kR, false, false, false, true));
+    set(Opcode::kFdiv, make("fdiv", F::kR, false, false, false, true));
+    set(Opcode::kFmin, make("fmin", F::kR, false, false, false, true));
+    set(Opcode::kFmax, make("fmax", F::kR, false, false, false, true));
+    set(Opcode::kFneg, make("fneg", F::kR, false, false, false, true));
+    set(Opcode::kFabs, make("fabs", F::kR, false, false, false, true));
+    set(Opcode::kFmov, make("fmov", F::kR, false, false, false, true));
+    set(Opcode::kFcvtdw, make("fcvt.d.w", F::kR, false, false, false, true));
+    set(Opcode::kFcvtwd, make("fcvt.w.d", F::kR, false, false, false, true));
+    set(Opcode::kFlt, make("flt", F::kR, false, false, false, true));
+    set(Opcode::kFle, make("fle", F::kR, false, false, false, true));
+    set(Opcode::kFeq, make("feq", F::kR, false, false, false, true));
+    set(Opcode::kFsqrt, make("fsqrt", F::kR, false, false, false, true, true));
+    set(Opcode::kFexp, make("fexp", F::kR, false, false, false, true, true));
+    set(Opcode::kFlog, make("flog", F::kR, false, false, false, true, true));
+    set(Opcode::kFpow, make("fpow", F::kR, false, false, false, true, true));
+    set(Opcode::kFerf, make("ferf", F::kR, false, false, false, true, true));
+    set(Opcode::kFsin, make("fsin", F::kR, false, false, false, true, true));
+    set(Opcode::kFcos, make("fcos", F::kR, false, false, false, true, true));
+    return t;
+  }();
+  return table;
+}
+
+constexpr std::uint32_t mask_bits(std::uint32_t value, unsigned bits) {
+  return value & ((1u << bits) - 1u);
+}
+
+constexpr std::int32_t sign_extend(std::uint32_t value, unsigned bits) {
+  const std::uint32_t sign = 1u << (bits - 1);
+  const std::uint32_t masked = mask_bits(value, bits);
+  return static_cast<std::int32_t>((masked ^ sign) - sign);
+}
+
+}  // namespace
+
+const InsnInfo& insn_info(Opcode op) {
+  return info_table()[static_cast<std::size_t>(op)];
+}
+
+bool is_valid_opcode(std::uint8_t raw) {
+  return !info_table()[raw].mnemonic.empty();
+}
+
+std::uint32_t encode(const Insn& insn) {
+  const InsnInfo& info = insn_info(insn.op);
+  assert(!info.mnemonic.empty() && "encoding an unassigned opcode");
+  const std::uint32_t op = static_cast<std::uint32_t>(insn.op) << 24;
+  switch (info.format) {
+    case Format::kR:
+      assert(insn.rd < kNumGpr && insn.rs1 < kNumGpr && insn.rs2 < kNumGpr);
+      return op | (std::uint32_t(insn.rd) << 20) |
+             (std::uint32_t(insn.rs1) << 16) | (std::uint32_t(insn.rs2) << 12);
+    case Format::kI:
+      assert(fits_imm16(insn.imm));
+      return op | (std::uint32_t(insn.rd) << 20) |
+             (std::uint32_t(insn.rs1) << 16) |
+             mask_bits(static_cast<std::uint32_t>(insn.imm), 16);
+    case Format::kU:
+      assert(insn.op == Opcode::kJal ? fits_imm20(insn.imm)
+                                     : (insn.imm >= 0 && insn.imm < (1 << 20)));
+      return op | (std::uint32_t(insn.rd) << 20) |
+             mask_bits(static_cast<std::uint32_t>(insn.imm), 20);
+    case Format::kB:
+    case Format::kS:
+      assert(fits_imm16(insn.imm));
+      return op | (std::uint32_t(insn.rs1) << 20) |
+             (std::uint32_t(insn.rs2) << 16) |
+             mask_bits(static_cast<std::uint32_t>(insn.imm), 16);
+    case Format::kN:
+      assert(fits_imm16(insn.imm) || (insn.imm >= 0 && insn.imm <= 0xFFFF));
+      return op | mask_bits(static_cast<std::uint32_t>(insn.imm), 16);
+  }
+  return 0;  // unreachable
+}
+
+std::optional<Insn> decode(std::uint32_t word) {
+  const std::uint8_t raw_op = static_cast<std::uint8_t>(word >> 24);
+  if (!is_valid_opcode(raw_op)) return std::nullopt;
+  const Opcode op = static_cast<Opcode>(raw_op);
+  const InsnInfo& info = insn_info(op);
+
+  Insn insn;
+  insn.op = op;
+  switch (info.format) {
+    case Format::kR:
+      insn.rd = static_cast<std::uint8_t>((word >> 20) & 0xF);
+      insn.rs1 = static_cast<std::uint8_t>((word >> 16) & 0xF);
+      insn.rs2 = static_cast<std::uint8_t>((word >> 12) & 0xF);
+      break;
+    case Format::kI:
+      insn.rd = static_cast<std::uint8_t>((word >> 20) & 0xF);
+      insn.rs1 = static_cast<std::uint8_t>((word >> 16) & 0xF);
+      insn.imm = sign_extend(word, 16);
+      break;
+    case Format::kU:
+      insn.rd = static_cast<std::uint8_t>((word >> 20) & 0xF);
+      // JAL offsets are signed; LUI/AUIPC immediates are raw upper bits.
+      insn.imm = (op == Opcode::kJal)
+                     ? sign_extend(word, 20)
+                     : static_cast<std::int32_t>(mask_bits(word, 20));
+      break;
+    case Format::kB:
+    case Format::kS:
+      insn.rs1 = static_cast<std::uint8_t>((word >> 20) & 0xF);
+      insn.rs2 = static_cast<std::uint8_t>((word >> 16) & 0xF);
+      insn.imm = sign_extend(word, 16);
+      break;
+    case Format::kN:
+      insn.imm = static_cast<std::int32_t>(mask_bits(word, 16));
+      break;
+  }
+  return insn;
+}
+
+std::string_view gpr_name(unsigned index) {
+  static constexpr std::string_view kNames[kNumGpr] = {
+      "zero", "a0", "a1", "a2", "a3", "t0", "t1", "t2",
+      "t3",   "t4", "s0", "s1", "tp", "sp", "ra", "s2"};
+  assert(index < kNumGpr);
+  return kNames[index];
+}
+
+std::string_view fpr_name(unsigned index) {
+  static constexpr std::string_view kNames[kNumFpr] = {
+      "f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7",
+      "f8", "f9", "f10", "f11", "f12", "f13", "f14", "f15"};
+  assert(index < kNumFpr);
+  return kNames[index];
+}
+
+std::string disassemble(const Insn& insn, GuestAddr pc) {
+  const InsnInfo& info = insn_info(insn.op);
+  char buf[96];
+  const bool fp = info.is_fp;
+  auto rd = [&](unsigned i) {
+    return fp && insn.op != Opcode::kFcvtwd && insn.op != Opcode::kFlt &&
+                   insn.op != Opcode::kFle && insn.op != Opcode::kFeq
+               ? fpr_name(i)
+               : gpr_name(i);
+  };
+  switch (info.format) {
+    case Format::kR: {
+      // Mixed-file ops need per-operand register-file selection.
+      std::string_view d = rd(insn.rd);
+      std::string_view s1 = fp && insn.op != Opcode::kFcvtdw
+                                ? fpr_name(insn.rs1)
+                                : gpr_name(insn.rs1);
+      if (insn.op == Opcode::kSc) {
+        d = gpr_name(insn.rd);
+        s1 = gpr_name(insn.rs1);
+      }
+      std::string_view s2 = fp ? fpr_name(insn.rs2) : gpr_name(insn.rs2);
+      std::snprintf(buf, sizeof buf, "%.*s %.*s, %.*s, %.*s",
+                    int(info.mnemonic.size()), info.mnemonic.data(),
+                    int(d.size()), d.data(), int(s1.size()), s1.data(),
+                    int(s2.size()), s2.data());
+      break;
+    }
+    case Format::kI:
+      if (info.is_load || insn.op == Opcode::kJalr) {
+        std::string_view d = fp ? fpr_name(insn.rd) : gpr_name(insn.rd);
+        std::snprintf(buf, sizeof buf, "%.*s %.*s, %d(%.*s)",
+                      int(info.mnemonic.size()), info.mnemonic.data(),
+                      int(d.size()), d.data(), insn.imm,
+                      int(gpr_name(insn.rs1).size()), gpr_name(insn.rs1).data());
+      } else {
+        std::snprintf(buf, sizeof buf, "%.*s %.*s, %.*s, %d",
+                      int(info.mnemonic.size()), info.mnemonic.data(),
+                      int(gpr_name(insn.rd).size()), gpr_name(insn.rd).data(),
+                      int(gpr_name(insn.rs1).size()), gpr_name(insn.rs1).data(),
+                      insn.imm);
+      }
+      break;
+    case Format::kU:
+      if (insn.op == Opcode::kJal) {
+        const GuestAddr target =
+            pc + 4 + static_cast<GuestAddr>(insn.imm) * 4u;
+        std::snprintf(buf, sizeof buf, "jal %.*s, 0x%x",
+                      int(gpr_name(insn.rd).size()), gpr_name(insn.rd).data(),
+                      target);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.*s %.*s, 0x%x",
+                      int(info.mnemonic.size()), info.mnemonic.data(),
+                      int(gpr_name(insn.rd).size()), gpr_name(insn.rd).data(),
+                      static_cast<std::uint32_t>(insn.imm));
+      }
+      break;
+    case Format::kB: {
+      const GuestAddr target = pc + 4 + static_cast<GuestAddr>(insn.imm) * 4u;
+      std::snprintf(buf, sizeof buf, "%.*s %.*s, %.*s, 0x%x",
+                    int(info.mnemonic.size()), info.mnemonic.data(),
+                    int(gpr_name(insn.rs1).size()), gpr_name(insn.rs1).data(),
+                    int(gpr_name(insn.rs2).size()), gpr_name(insn.rs2).data(),
+                    target);
+      break;
+    }
+    case Format::kS: {
+      std::string_view src = fp ? fpr_name(insn.rs2) : gpr_name(insn.rs2);
+      std::snprintf(buf, sizeof buf, "%.*s %.*s, %d(%.*s)",
+                    int(info.mnemonic.size()), info.mnemonic.data(),
+                    int(src.size()), src.data(), insn.imm,
+                    int(gpr_name(insn.rs1).size()), gpr_name(insn.rs1).data());
+      break;
+    }
+    case Format::kN:
+      std::snprintf(buf, sizeof buf, "%.*s %d", int(info.mnemonic.size()),
+                    info.mnemonic.data(), insn.imm);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace dqemu::isa

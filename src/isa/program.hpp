@@ -1,0 +1,38 @@
+// A linked guest program image, ready to load into a node's guest memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dqemu::isa {
+
+/// Default load address of the code section; the zero page is never mapped
+/// so null dereferences fault.
+inline constexpr GuestAddr kDefaultCodeOrigin = 0x0001'0000;
+
+/// One contiguous run of initialized bytes in the guest address space.
+struct Section {
+  GuestAddr addr = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Output of the assembler: sections, entry point, symbols and the initial
+/// program break (end of the static image, where the heap starts).
+struct Program {
+  std::vector<Section> sections;
+  GuestAddr entry = kDefaultCodeOrigin;
+  GuestAddr brk_start = 0;
+  std::map<std::string, GuestAddr> symbols;
+
+  /// Address of a named symbol; asserts it exists (test convenience).
+  [[nodiscard]] GuestAddr symbol(const std::string& name) const {
+    auto it = symbols.find(name);
+    return it == symbols.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace dqemu::isa

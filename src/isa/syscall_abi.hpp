@@ -1,0 +1,63 @@
+// Guest syscall ABI.
+//
+// GA32's SYSCALL instruction carries the call number as an immediate;
+// arguments are in a0..a3 and the result returns in a0 (negative errno on
+// failure, Linux style). The set is the 19 calls needed by the workloads —
+// the same count the paper reports implementing (section 4.3).
+#pragma once
+
+#include <cstdint>
+
+namespace dqemu::isa {
+
+enum class Sys : std::uint16_t {
+  kExit = 1,       ///< a0 = status. Terminates the calling guest thread.
+  kWrite = 2,      ///< a0 = fd, a1 = buf, a2 = len -> bytes written
+  kRead = 3,       ///< a0 = fd, a1 = buf, a2 = len -> bytes read
+  kOpen = 4,       ///< a0 = path (asciz), a1 = flags -> fd
+  kClose = 5,      ///< a0 = fd
+  kLseek = 6,      ///< a0 = fd, a1 = offset, a2 = whence -> new position
+  kBrk = 7,        ///< a0 = new break or 0 to query -> current break
+  kMmap = 8,       ///< a0 = length -> address of anonymous RW mapping
+  kClone = 9,      ///< a0 = flags, a1 = child sp, a2 = ctid addr
+                   ///< -> parent: child tid, child: 0. On child exit the
+                   ///< kernel stores 0 to *ctid and futex-wakes it.
+  kFutex = 10,     ///< a0 = addr, a1 = op (0 wait / 1 wake), a2 = val
+  kGettid = 11,    ///< -> calling guest thread id
+  kGetpid = 12,    ///< -> guest process id (always 1)
+  kYield = 13,     ///< relinquish the core
+  kClockGettime = 14,  ///< a0 = clock id, a1 = {u32 sec, u32 nsec} out ptr
+  kExitGroup = 15, ///< a0 = status. Terminates the whole guest process.
+  kUname = 16,     ///< a0 = 64-byte buffer -> "DQEMU" banner
+  kNanosleep = 17, ///< a0 = nanoseconds (32-bit)
+  kMunmap = 18,    ///< a0 = addr, a1 = length (accounting only)
+  kGetcpu = 19,    ///< -> node id the thread currently runs on
+};
+
+/// Futex operations for Sys::kFutex.
+inline constexpr std::uint32_t kFutexWait = 0;
+inline constexpr std::uint32_t kFutexWake = 1;
+
+/// Open flags (subset).
+inline constexpr std::uint32_t kOpenRead = 0;
+inline constexpr std::uint32_t kOpenWrite = 1;
+inline constexpr std::uint32_t kOpenCreate = 0x40;
+
+/// lseek whence values.
+inline constexpr std::uint32_t kSeekSet = 0;
+inline constexpr std::uint32_t kSeekCur = 1;
+inline constexpr std::uint32_t kSeekEnd = 2;
+
+/// Well-known file descriptors.
+inline constexpr std::uint32_t kStdoutFd = 1;
+inline constexpr std::uint32_t kStderrFd = 2;
+
+/// Linux-style errno values returned as -errno in a0.
+inline constexpr std::int32_t kEAGAIN = 11;
+inline constexpr std::int32_t kEBADF = 9;
+inline constexpr std::int32_t kEINVAL = 22;
+inline constexpr std::int32_t kENOENT = 2;
+inline constexpr std::int32_t kENOMEM = 12;
+inline constexpr std::int32_t kENOSYS = 38;
+
+}  // namespace dqemu::isa

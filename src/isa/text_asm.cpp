@@ -1,0 +1,645 @@
+#include "isa/text_asm.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hpp"
+
+namespace dqemu::isa {
+namespace {
+
+/// Tokenized operand: register, FP register, immediate, symbol, or a
+/// mem-style "offset(base)" pair.
+struct Operand {
+  enum class Kind { kGpr, kFpr, kImm, kSym, kMem } kind = Kind::kImm;
+  std::uint8_t reg = 0;
+  std::int64_t imm = 0;
+  double fimm = 0.0;
+  bool is_float = false;
+  std::string sym;
+  std::uint8_t mem_base = 0;
+  std::int64_t mem_off = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source, GuestAddr code_origin)
+      : source_(source), asm_(code_origin) {}
+
+  Result<Program> run() {
+    std::size_t line_start = 0;
+    line_no_ = 0;
+    while (line_start <= source_.size()) {
+      ++line_no_;
+      std::size_t line_end = source_.find('\n', line_start);
+      if (line_end == std::string_view::npos) line_end = source_.size();
+      Status status =
+          parse_line(source_.substr(line_start, line_end - line_start));
+      if (!status.is_ok()) return status;
+      line_start = line_end + 1;
+      if (line_end == source_.size()) break;
+    }
+    if (entry_sym_.has_value()) {
+      auto it = labels_.find(*entry_sym_);
+      if (it == labels_.end())
+        return error("unknown .entry symbol '" + *entry_sym_ + "'");
+      asm_.set_entry(it->second);
+    }
+    return asm_.finalize();
+  }
+
+ private:
+  Status error(std::string message) const {
+    return Status::invalid_argument("line " + std::to_string(line_no_) +
+                                    ": " + std::move(message));
+  }
+
+  static std::string_view strip(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+      s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+      s.remove_suffix(1);
+    return s;
+  }
+
+  static std::string_view strip_comment(std::string_view line) {
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == ';' || c == '#') return line.substr(0, i);
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/')
+        return line.substr(0, i);
+      if (c == '"') {  // skip string literal
+        ++i;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') ++i;
+          ++i;
+        }
+      }
+    }
+    return line;
+  }
+
+  Assembler::Label get_label(const std::string& name) {
+    auto it = labels_.find(name);
+    if (it != labels_.end()) return it->second;
+    Assembler::Label label = asm_.make_label(name);
+    labels_.emplace(name, label);
+    return label;
+  }
+
+  static std::optional<std::uint8_t> parse_gpr(std::string_view name) {
+    static const std::map<std::string_view, std::uint8_t> kMap = {
+        {"zero", 0}, {"a0", 1},  {"a1", 2},  {"a2", 3}, {"a3", 4},
+        {"t0", 5},   {"t1", 6},  {"t2", 7},  {"t3", 8}, {"t4", 9},
+        {"s0", 10},  {"s1", 11}, {"tp", 12}, {"sp", 13},
+        {"ra", 14},  {"s2", 15}};
+    if (auto it = kMap.find(name); it != kMap.end()) return it->second;
+    if (name.size() >= 2 && name[0] == 'r') {
+      unsigned value = 0;
+      auto [p, ec] = std::from_chars(name.data() + 1, name.data() + name.size(), value);
+      if (ec == std::errc() && p == name.data() + name.size() && value < kNumGpr)
+        return static_cast<std::uint8_t>(value);
+    }
+    return std::nullopt;
+  }
+
+  static std::optional<std::uint8_t> parse_fpr(std::string_view name) {
+    if (name.size() >= 2 && name[0] == 'f' && name != "fence") {
+      unsigned value = 0;
+      auto [p, ec] = std::from_chars(name.data() + 1, name.data() + name.size(), value);
+      if (ec == std::errc() && p == name.data() + name.size() && value < kNumFpr)
+        return static_cast<std::uint8_t>(value);
+    }
+    return std::nullopt;
+  }
+
+  static std::optional<std::int64_t> parse_int(std::string_view text) {
+    text = strip(text);
+    if (text.empty()) return std::nullopt;
+    bool negative = false;
+    if (text.front() == '-' || text.front() == '+') {
+      negative = text.front() == '-';
+      text.remove_prefix(1);
+    }
+    int base = 10;
+    if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+      base = 16;
+      text.remove_prefix(2);
+    }
+    std::uint64_t value = 0;
+    auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), value, base);
+    if (ec != std::errc() || p != text.data() + text.size()) return std::nullopt;
+    return negative ? -static_cast<std::int64_t>(value)
+                    : static_cast<std::int64_t>(value);
+  }
+
+  std::optional<Operand> parse_operand(std::string_view text) {
+    text = strip(text);
+    if (text.empty()) return std::nullopt;
+    Operand op;
+    // "offset(base)" memory form.
+    if (const std::size_t paren = text.find('('); paren != std::string_view::npos &&
+                                                  text.back() == ')') {
+      const auto off = parse_int(text.substr(0, paren));
+      const auto base = parse_gpr(strip(
+          text.substr(paren + 1, text.size() - paren - 2)));
+      if (!base.has_value()) return std::nullopt;
+      op.kind = Operand::Kind::kMem;
+      op.mem_base = *base;
+      op.mem_off = off.value_or(0);
+      return op;
+    }
+    if (auto gpr = parse_gpr(text)) {
+      op.kind = Operand::Kind::kGpr;
+      op.reg = *gpr;
+      return op;
+    }
+    if (auto fpr = parse_fpr(text)) {
+      op.kind = Operand::Kind::kFpr;
+      op.reg = *fpr;
+      return op;
+    }
+    if (auto imm = parse_int(text)) {
+      op.kind = Operand::Kind::kImm;
+      op.imm = *imm;
+      return op;
+    }
+    // Floating-point literal (for .double / fli).
+    if (text.find('.') != std::string_view::npos ||
+        text.find('e') != std::string_view::npos) {
+      char* end = nullptr;
+      std::string buf(text);
+      const double value = std::strtod(buf.c_str(), &end);
+      if (end == buf.c_str() + buf.size()) {
+        op.kind = Operand::Kind::kImm;
+        op.is_float = true;
+        op.fimm = value;
+        return op;
+      }
+    }
+    op.kind = Operand::Kind::kSym;
+    op.sym = std::string(text);
+    return op;
+  }
+
+  static std::vector<std::string_view> split_commas(std::string_view s) {
+    std::vector<std::string_view> parts;
+    std::size_t start = 0;
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == '"') in_string = !in_string;
+      if (in_string) continue;
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == ',' && depth == 0) {
+        parts.push_back(s.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    if (start < s.size()) parts.push_back(s.substr(start));
+    return parts;
+  }
+
+  Status parse_line(std::string_view raw) {
+    std::string_view line = strip(strip_comment(raw));
+    if (line.empty()) return Status::ok();
+
+    // Leading "label:" prefixes (possibly several).
+    while (true) {
+      std::size_t colon = std::string_view::npos;
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == ':') {
+          colon = i;
+          break;
+        }
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == '.')) {
+          break;
+        }
+      }
+      if (colon == std::string_view::npos || colon == 0) break;
+      const std::string name(strip(line.substr(0, colon)));
+      Assembler::Label label = get_label(name);
+      if (in_data_) {
+        asm_.bind_data(label);
+      } else {
+        asm_.bind(label);
+      }
+      line = strip(line.substr(colon + 1));
+      if (line.empty()) return Status::ok();
+    }
+
+    // Mnemonic + operand list.
+    std::size_t space = line.find_first_of(" \t");
+    std::string mnemonic(line.substr(0, space));
+    for (char& c : mnemonic)
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    std::string_view rest =
+        space == std::string_view::npos ? std::string_view{} : strip(line.substr(space));
+
+    if (mnemonic[0] == '.') return parse_directive(mnemonic, rest);
+    return parse_instruction(mnemonic, rest);
+  }
+
+  Status parse_directive(const std::string& name, std::string_view rest) {
+    if (name == ".text") {
+      in_data_ = false;
+      return Status::ok();
+    }
+    if (name == ".data") {
+      in_data_ = true;
+      return Status::ok();
+    }
+    if (name == ".entry") {
+      entry_sym_ = std::string(strip(rest));
+      return Status::ok();
+    }
+    if (name == ".align") {
+      const auto value = parse_int(rest);
+      if (!value.has_value() || *value <= 0 || (*value & (*value - 1)) != 0)
+        return error(".align needs a power-of-two argument");
+      asm_.d_align(static_cast<std::uint32_t>(*value));
+      return Status::ok();
+    }
+    if (name == ".space") {
+      const auto value = parse_int(rest);
+      if (!value.has_value() || *value < 0) return error(".space needs a size");
+      asm_.d_space(static_cast<std::uint32_t>(*value));
+      return Status::ok();
+    }
+    if (name == ".word" || name == ".half" || name == ".byte" ||
+        name == ".double") {
+      for (std::string_view part : split_commas(rest)) {
+        part = strip(part);
+        if (name == ".double") {
+          char* end = nullptr;
+          std::string buf(part);
+          const double value = std::strtod(buf.c_str(), &end);
+          if (end != buf.c_str() + buf.size())
+            return error("bad .double literal '" + buf + "'");
+          asm_.d_double(value);
+          continue;
+        }
+        const auto value = parse_int(part);
+        if (!value.has_value())
+          return error("bad integer literal '" + std::string(part) + "'");
+        if (name == ".word")
+          asm_.d_word(static_cast<std::uint32_t>(*value));
+        else if (name == ".half")
+          asm_.d_half(static_cast<std::uint16_t>(*value));
+        else
+          asm_.d_byte(static_cast<std::uint8_t>(*value));
+      }
+      return Status::ok();
+    }
+    if (name == ".asciz" || name == ".ascii") {
+      const std::string_view s = strip(rest);
+      if (s.size() < 2 || s.front() != '"' || s.back() != '"')
+        return error(name + " needs a quoted string");
+      std::string decoded;
+      for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+        char c = s[i];
+        if (c == '\\' && i + 2 < s.size()) {
+          ++i;
+          switch (s[i]) {
+            case 'n': c = '\n'; break;
+            case 't': c = '\t'; break;
+            case '0': c = '\0'; break;
+            case '\\': c = '\\'; break;
+            case '"': c = '"'; break;
+            default: c = s[i]; break;
+          }
+        }
+        decoded.push_back(c);
+      }
+      if (name == ".asciz") {
+        asm_.d_asciz(decoded);
+      } else {
+        asm_.d_bytes({reinterpret_cast<const std::uint8_t*>(decoded.data()),
+                      decoded.size()});
+      }
+      return Status::ok();
+    }
+    return error("unknown directive '" + name + "'");
+  }
+
+  Status parse_instruction(const std::string& mnemonic, std::string_view rest) {
+    if (in_data_) return error("instruction in .data section");
+    std::vector<Operand> ops;
+    for (std::string_view part : split_commas(rest)) {
+      auto op = parse_operand(part);
+      if (!op.has_value())
+        return error("bad operand '" + std::string(strip(part)) + "'");
+      ops.push_back(std::move(*op));
+    }
+    return emit(mnemonic, ops);
+  }
+
+  // Operand accessors with validation.
+  Status need(std::size_t n, const std::vector<Operand>& ops,
+              const std::string& mnemonic) const {
+    if (ops.size() != n)
+      return error(mnemonic + " expects " + std::to_string(n) + " operands");
+    return Status::ok();
+  }
+
+  Status emit(const std::string& m, const std::vector<Operand>& ops);
+
+  std::string_view source_;
+  Assembler asm_;
+  std::map<std::string, Assembler::Label> labels_;
+  std::optional<std::string> entry_sym_;
+  bool in_data_ = false;
+  std::uint64_t line_no_ = 0;
+};
+
+Status Parser::emit(const std::string& m, const std::vector<Operand>& ops) {
+  using K = Operand::Kind;
+  auto gpr = [&](std::size_t i) { return static_cast<Reg>(ops[i].reg); };
+  auto fpr = [&](std::size_t i) { return static_cast<FReg>(ops[i].reg); };
+  auto is = [&](std::size_t i, K k) {
+    return i < ops.size() && ops[i].kind == k;
+  };
+  auto imm = [&](std::size_t i) { return static_cast<std::int32_t>(ops[i].imm); };
+  auto sym_label = [&](std::size_t i) { return get_label(ops[i].sym); };
+
+  // R-type integer three-register ops.
+  static const std::map<std::string, void (Assembler::*)(Reg, Reg, Reg)>
+      kRType = {{"add", &Assembler::add},   {"sub", &Assembler::sub},
+                {"mul", &Assembler::mul},   {"div", &Assembler::div},
+                {"divu", &Assembler::divu}, {"rem", &Assembler::rem},
+                {"remu", &Assembler::remu}, {"and", &Assembler::and_},
+                {"or", &Assembler::or_},    {"xor", &Assembler::xor_},
+                {"sll", &Assembler::sll},   {"srl", &Assembler::srl},
+                {"sra", &Assembler::sra},   {"slt", &Assembler::slt},
+                {"sltu", &Assembler::sltu}};
+  if (auto it = kRType.find(m); it != kRType.end()) {
+    DQEMU_RETURN_IF_ERROR(need(3, ops, m));
+    if (!is(0, K::kGpr) || !is(1, K::kGpr) || !is(2, K::kGpr))
+      return error(m + " expects three integer registers");
+    (asm_.*it->second)(gpr(0), gpr(1), gpr(2));
+    return Status::ok();
+  }
+
+  static const std::map<std::string, void (Assembler::*)(Reg, Reg, std::int32_t)>
+      kIType = {{"addi", &Assembler::addi},   {"andi", &Assembler::andi},
+                {"ori", &Assembler::ori},     {"xori", &Assembler::xori},
+                {"slli", &Assembler::slli},   {"srli", &Assembler::srli},
+                {"srai", &Assembler::srai},   {"slti", &Assembler::slti},
+                {"sltiu", &Assembler::sltiu}};
+  if (auto it = kIType.find(m); it != kIType.end()) {
+    DQEMU_RETURN_IF_ERROR(need(3, ops, m));
+    if (!is(0, K::kGpr) || !is(1, K::kGpr) || !is(2, K::kImm))
+      return error(m + " expects rd, rs1, imm");
+    if (!fits_imm16(ops[2].imm)) return error("immediate out of range");
+    (asm_.*it->second)(gpr(0), gpr(1), imm(2));
+    return Status::ok();
+  }
+
+  // Loads: "lw rd, off(base)" or "lw rd, base, off".
+  static const std::map<std::string, void (Assembler::*)(Reg, Reg, std::int32_t)>
+      kLoads = {{"lb", &Assembler::lb},   {"lbu", &Assembler::lbu},
+                {"lh", &Assembler::lh},   {"lhu", &Assembler::lhu},
+                {"lw", &Assembler::lw}};
+  if (auto it = kLoads.find(m); it != kLoads.end()) {
+    if (ops.size() == 2 && is(0, K::kGpr) && is(1, K::kMem)) {
+      (asm_.*it->second)(gpr(0), static_cast<Reg>(ops[1].mem_base),
+                         static_cast<std::int32_t>(ops[1].mem_off));
+      return Status::ok();
+    }
+    if (ops.size() == 3 && is(0, K::kGpr) && is(1, K::kGpr) && is(2, K::kImm)) {
+      (asm_.*it->second)(gpr(0), gpr(1), imm(2));
+      return Status::ok();
+    }
+    return error(m + " expects rd, off(base)");
+  }
+
+  // Stores: "sw src, off(base)" (note: src first, matching GNU as).
+  static const std::map<std::string, void (Assembler::*)(Reg, Reg, std::int32_t)>
+      kStores = {{"sb", &Assembler::sb}, {"sh", &Assembler::sh},
+                 {"sw", &Assembler::sw}};
+  if (auto it = kStores.find(m); it != kStores.end()) {
+    if (ops.size() == 2 && is(0, K::kGpr) && is(1, K::kMem)) {
+      (asm_.*it->second)(static_cast<Reg>(ops[1].mem_base), gpr(0),
+                         static_cast<std::int32_t>(ops[1].mem_off));
+      return Status::ok();
+    }
+    if (ops.size() == 3 && is(0, K::kGpr) && is(1, K::kGpr) && is(2, K::kImm)) {
+      // "sw base, src, off" builder order for symmetry with the API.
+      (asm_.*it->second)(gpr(0), gpr(1), imm(2));
+      return Status::ok();
+    }
+    return error(m + " expects src, off(base)");
+  }
+
+  static const std::map<std::string,
+                        void (Assembler::*)(Reg, Reg, Assembler::Label)>
+      kBranches = {{"beq", &Assembler::beq},   {"bne", &Assembler::bne},
+                   {"blt", &Assembler::blt},   {"bge", &Assembler::bge},
+                   {"bltu", &Assembler::bltu}, {"bgeu", &Assembler::bgeu}};
+  if (auto it = kBranches.find(m); it != kBranches.end()) {
+    DQEMU_RETURN_IF_ERROR(need(3, ops, m));
+    if (!is(0, K::kGpr) || !is(1, K::kGpr) || !is(2, K::kSym))
+      return error(m + " expects rs1, rs2, label");
+    (asm_.*it->second)(gpr(0), gpr(1), sym_label(2));
+    return Status::ok();
+  }
+
+  if (m == "jal") {
+    if (ops.size() == 1 && is(0, K::kSym)) {
+      asm_.jal(kRa, sym_label(0));
+      return Status::ok();
+    }
+    DQEMU_RETURN_IF_ERROR(need(2, ops, m));
+    if (!is(0, K::kGpr) || !is(1, K::kSym)) return error("jal expects rd, label");
+    asm_.jal(gpr(0), sym_label(1));
+    return Status::ok();
+  }
+  if (m == "jalr") {
+    if (ops.size() == 1 && is(0, K::kGpr)) {
+      asm_.jalr(kRa, gpr(0), 0);
+      return Status::ok();
+    }
+    DQEMU_RETURN_IF_ERROR(need(3, ops, m));
+    if (!is(0, K::kGpr) || !is(1, K::kGpr) || !is(2, K::kImm))
+      return error("jalr expects rd, rs1, imm");
+    asm_.jalr(gpr(0), gpr(1), imm(2));
+    return Status::ok();
+  }
+  if (m == "j") {
+    DQEMU_RETURN_IF_ERROR(need(1, ops, m));
+    if (!is(0, K::kSym)) return error("j expects a label");
+    asm_.j(sym_label(0));
+    return Status::ok();
+  }
+  if (m == "call") {
+    DQEMU_RETURN_IF_ERROR(need(1, ops, m));
+    if (!is(0, K::kSym)) return error("call expects a label");
+    asm_.call(sym_label(0));
+    return Status::ok();
+  }
+  if (m == "ret") {
+    asm_.ret();
+    return Status::ok();
+  }
+  if (m == "nop") {
+    asm_.nop();
+    return Status::ok();
+  }
+  if (m == "mov" || m == "mv") {
+    DQEMU_RETURN_IF_ERROR(need(2, ops, m));
+    if (is(0, K::kFpr) && is(1, K::kFpr)) {
+      asm_.fmov(fpr(0), fpr(1));
+      return Status::ok();
+    }
+    if (!is(0, K::kGpr) || !is(1, K::kGpr)) return error("mov expects rd, rs");
+    asm_.mov(gpr(0), gpr(1));
+    return Status::ok();
+  }
+  if (m == "li") {
+    DQEMU_RETURN_IF_ERROR(need(2, ops, m));
+    if (!is(0, K::kGpr) || !is(1, K::kImm)) return error("li expects rd, imm");
+    asm_.li(gpr(0), ops[1].imm);
+    return Status::ok();
+  }
+  if (m == "la") {
+    DQEMU_RETURN_IF_ERROR(need(2, ops, m));
+    if (!is(0, K::kGpr) || !is(1, K::kSym)) return error("la expects rd, label");
+    asm_.la(gpr(0), sym_label(1));
+    return Status::ok();
+  }
+  if (m == "lui") {
+    DQEMU_RETURN_IF_ERROR(need(2, ops, m));
+    if (!is(0, K::kGpr) || !is(1, K::kImm)) return error("lui expects rd, imm");
+    asm_.lui(gpr(0), imm(1));
+    return Status::ok();
+  }
+  if (m == "auipc") {
+    DQEMU_RETURN_IF_ERROR(need(2, ops, m));
+    if (!is(0, K::kGpr) || !is(1, K::kImm)) return error("auipc expects rd, imm");
+    asm_.auipc(gpr(0), imm(1));
+    return Status::ok();
+  }
+  if (m == "ll") {
+    DQEMU_RETURN_IF_ERROR(need(2, ops, m));
+    if (!is(0, K::kGpr) || !is(1, K::kGpr)) return error("ll expects rd, rs1");
+    asm_.ll(gpr(0), gpr(1));
+    return Status::ok();
+  }
+  if (m == "sc") {
+    DQEMU_RETURN_IF_ERROR(need(3, ops, m));
+    if (!is(0, K::kGpr) || !is(1, K::kGpr) || !is(2, K::kGpr))
+      return error("sc expects rd, addr, src");
+    asm_.sc(gpr(0), gpr(1), gpr(2));
+    return Status::ok();
+  }
+  if (m == "fence") {
+    asm_.fence();
+    return Status::ok();
+  }
+  if (m == "syscall") {
+    DQEMU_RETURN_IF_ERROR(need(1, ops, m));
+    if (!is(0, K::kImm)) return error("syscall expects a number");
+    asm_.syscall(imm(0));
+    return Status::ok();
+  }
+  if (m == "hint") {
+    DQEMU_RETURN_IF_ERROR(need(1, ops, m));
+    if (!is(0, K::kImm)) return error("hint expects a group id");
+    asm_.hint(imm(0));
+    return Status::ok();
+  }
+
+  // FP loads/stores.
+  if (m == "fld") {
+    if (ops.size() == 2 && is(0, K::kFpr) && is(1, K::kMem)) {
+      asm_.fld(fpr(0), static_cast<Reg>(ops[1].mem_base),
+               static_cast<std::int32_t>(ops[1].mem_off));
+      return Status::ok();
+    }
+    return error("fld expects fd, off(base)");
+  }
+  if (m == "fsd") {
+    if (ops.size() == 2 && is(0, K::kFpr) && is(1, K::kMem)) {
+      asm_.fsd(static_cast<Reg>(ops[1].mem_base), fpr(0),
+               static_cast<std::int32_t>(ops[1].mem_off));
+      return Status::ok();
+    }
+    return error("fsd expects fs, off(base)");
+  }
+
+  static const std::map<std::string, void (Assembler::*)(FReg, FReg, FReg)>
+      kFR3 = {{"fadd", &Assembler::fadd}, {"fsub", &Assembler::fsub},
+              {"fmul", &Assembler::fmul}, {"fdiv", &Assembler::fdiv},
+              {"fmin", &Assembler::fmin}, {"fmax", &Assembler::fmax},
+              {"fpow", &Assembler::fpow}};
+  if (auto it = kFR3.find(m); it != kFR3.end()) {
+    DQEMU_RETURN_IF_ERROR(need(3, ops, m));
+    if (!is(0, K::kFpr) || !is(1, K::kFpr) || !is(2, K::kFpr))
+      return error(m + " expects three FP registers");
+    (asm_.*it->second)(fpr(0), fpr(1), fpr(2));
+    return Status::ok();
+  }
+
+  static const std::map<std::string, void (Assembler::*)(FReg, FReg)> kFR2 = {
+      {"fneg", &Assembler::fneg},   {"fabs", &Assembler::fabs_},
+      {"fmov", &Assembler::fmov},   {"fsqrt", &Assembler::fsqrt},
+      {"fexp", &Assembler::fexp},   {"flog", &Assembler::flog},
+      {"ferf", &Assembler::ferf},   {"fsin", &Assembler::fsin},
+      {"fcos", &Assembler::fcos}};
+  if (auto it = kFR2.find(m); it != kFR2.end()) {
+    DQEMU_RETURN_IF_ERROR(need(2, ops, m));
+    if (!is(0, K::kFpr) || !is(1, K::kFpr))
+      return error(m + " expects two FP registers");
+    (asm_.*it->second)(fpr(0), fpr(1));
+    return Status::ok();
+  }
+
+  if (m == "fcvt.d.w") {
+    DQEMU_RETURN_IF_ERROR(need(2, ops, m));
+    if (!is(0, K::kFpr) || !is(1, K::kGpr)) return error("fcvt.d.w expects fd, rs");
+    asm_.fcvt_d_w(fpr(0), gpr(1));
+    return Status::ok();
+  }
+  if (m == "fcvt.w.d") {
+    DQEMU_RETURN_IF_ERROR(need(2, ops, m));
+    if (!is(0, K::kGpr) || !is(1, K::kFpr)) return error("fcvt.w.d expects rd, fs");
+    asm_.fcvt_w_d(gpr(0), fpr(1));
+    return Status::ok();
+  }
+  static const std::map<std::string, void (Assembler::*)(Reg, FReg, FReg)>
+      kFCmp = {{"flt", &Assembler::flt}, {"fle", &Assembler::fle},
+               {"feq", &Assembler::feq}};
+  if (auto it = kFCmp.find(m); it != kFCmp.end()) {
+    DQEMU_RETURN_IF_ERROR(need(3, ops, m));
+    if (!is(0, K::kGpr) || !is(1, K::kFpr) || !is(2, K::kFpr))
+      return error(m + " expects rd, fs1, fs2");
+    (asm_.*it->second)(gpr(0), fpr(1), fpr(2));
+    return Status::ok();
+  }
+  if (m == "fli") {
+    DQEMU_RETURN_IF_ERROR(need(2, ops, m));
+    if (!is(0, K::kFpr) || !is(1, K::kImm)) return error("fli expects fd, literal");
+    asm_.fli(fpr(0), ops[1].is_float ? ops[1].fimm
+                                     : static_cast<double>(ops[1].imm));
+    return Status::ok();
+  }
+
+  return error("unknown mnemonic '" + m + "'");
+}
+
+}  // namespace
+
+Result<Program> assemble_text(std::string_view source, GuestAddr code_origin) {
+  Parser parser(source, code_origin);
+  return parser.run();
+}
+
+}  // namespace dqemu::isa

@@ -1,0 +1,36 @@
+// Text front-end for the GA32 assembler.
+//
+// A classic two-section assembly dialect used by the examples and tests:
+//
+//     ; comment            # comment            // comment
+//     .text                ; switch to the code stream (default)
+//             li   a0, 42
+//             la   a1, greeting
+//     loop:   addi a0, a0, -1
+//             bne  a0, zero, loop
+//             syscall 1            ; exit(a0)
+//     .data
+//     greeting: .asciz "hello"
+//     table:    .word 1, 2, 3
+//               .space 64
+//               .align 8
+//     pi:       .double 3.141592653589793
+//     .entry main          ; optional; defaults to the first instruction
+//
+// Registers accept ABI names (zero, a0..a3, t0..t4, s0..s2, tp, sp, ra),
+// raw names (r0..r15) and FP names (f0..f15). Loads/stores accept both
+// "lw a0, 4(sp)" and "lw a0, sp, 4". Immediates are decimal or 0x hex.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.hpp"
+#include "isa/program.hpp"
+
+namespace dqemu::isa {
+
+/// Assembles `source` into a program image. Errors carry line numbers.
+[[nodiscard]] Result<Program> assemble_text(
+    std::string_view source, GuestAddr code_origin = kDefaultCodeOrigin);
+
+}  // namespace dqemu::isa

@@ -1,0 +1,35 @@
+#include "mem/shadow_map.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace dqemu::mem {
+
+ShadowMap::ShadowMap(std::uint32_t page_size, std::uint32_t shards)
+    : page_size_(page_size), shards_(shards) {
+  assert(page_size != 0 && (page_size & (page_size - 1)) == 0);
+  assert(shards >= 2 && (page_size % shards) == 0);
+  page_shift_ = static_cast<std::uint32_t>(std::countr_zero(page_size));
+  shard_size_ = page_size / shards;
+}
+
+void ShadowMap::add_split(std::uint32_t orig_page,
+                          std::span<const std::uint32_t> shadow_pages) {
+  assert(shadow_pages.size() == shards_);
+  assert(!table_.contains(orig_page) && "page already split");
+  for (const std::uint32_t shadow : shadow_pages) {
+    assert(shadow != orig_page);
+    assert(!table_.contains(shadow) && "shadow page is itself split");
+  }
+  table_.emplace(orig_page, std::vector<std::uint32_t>(shadow_pages.begin(),
+                                                       shadow_pages.end()));
+}
+
+std::span<const std::uint32_t> ShadowMap::shadow_pages(
+    std::uint32_t orig_page) const {
+  const auto it = table_.find(orig_page);
+  if (it == table_.end()) return {};
+  return it->second;
+}
+
+}  // namespace dqemu::mem

@@ -1,0 +1,65 @@
+// Shadow-page mapping table for page splitting (paper section 5.1).
+//
+// When the master detects false sharing on a guest page it splits the page
+// into `shards` shadow pages: the bytes at offsets [s*shard, (s+1)*shard)
+// of the original page live in shadow page s *at the same page offset*
+// (paper Figure 4), so the offset arithmetic of the coherence protocol is
+// untouched and each shard gets its own directory entry and protection.
+// The table is broadcast to every node and consulted during the guest->
+// host address translation step of the DBT, which is why the paper calls
+// the lookup "very minimal additional runtime overhead".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dqemu::mem {
+
+class ShadowMap {
+ public:
+  /// `shard_size` = page_size / shards; both powers of two.
+  ShadowMap(std::uint32_t page_size, std::uint32_t shards);
+
+  [[nodiscard]] std::uint32_t shards() const { return shards_; }
+  [[nodiscard]] std::uint32_t shard_size() const { return shard_size_; }
+  [[nodiscard]] bool empty() const { return table_.empty(); }
+  [[nodiscard]] std::size_t split_count() const { return table_.size(); }
+
+  /// Registers a split: `shadow_pages[s]` backs shard s of `orig_page`.
+  /// A page may be split at most once and shadow pages must be distinct
+  /// from the original.
+  void add_split(std::uint32_t orig_page,
+                 std::span<const std::uint32_t> shadow_pages);
+
+  [[nodiscard]] bool is_split(std::uint32_t orig_page) const {
+    return table_.contains(orig_page);
+  }
+
+  /// Shadow pages of a split page (empty span if not split).
+  [[nodiscard]] std::span<const std::uint32_t> shadow_pages(
+      std::uint32_t orig_page) const;
+
+  /// Redirects an address on a split page to its shadow page, keeping the
+  /// page offset. Identity for unsplit pages. O(1) hash lookup.
+  [[nodiscard]] GuestAddr translate(GuestAddr addr) const {
+    if (table_.empty()) return addr;
+    const auto it = table_.find(addr >> page_shift_);
+    if (it == table_.end()) return addr;
+    const std::uint32_t offset = addr & (page_size_ - 1);
+    const std::uint32_t shard = offset / shard_size_;
+    return (it->second[shard] << page_shift_) | offset;
+  }
+
+ private:
+  std::uint32_t page_size_;
+  std::uint32_t page_shift_;
+  std::uint32_t shards_;
+  std::uint32_t shard_size_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> table_;
+};
+
+}  // namespace dqemu::mem

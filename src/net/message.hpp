@@ -1,0 +1,41 @@
+// Network message envelope.
+//
+// The network layer is protocol-agnostic: a message carries an opaque type
+// tag, four scalar header fields and an optional byte payload (page
+// contents, syscall argument buffers). Higher layers (DSM, syscall
+// delegation, thread migration) define the meaning of the fields. Keeping
+// the scalars unserialized avoids a codec while `wire_bytes()` still gives
+// the byte count the bandwidth model charges for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dqemu::net {
+
+/// One message in flight between two nodes (or looped back to the sender).
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t type = 0;  ///< protocol-defined discriminator
+
+  // Protocol-defined scalar header fields (e.g. guest address, thread id,
+  // request serial). Counted as 32 wire bytes.
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint64_t d = 0;
+
+  /// Bulk payload: page bytes, CPU context snapshots, syscall buffers.
+  std::vector<std::uint8_t> data;
+
+  /// Bytes this message occupies on the wire, excluding the link-level
+  /// header the NetworkConfig adds.
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    return 4 /*type*/ + 4 * 8 /*scalars*/ + data.size();
+  }
+};
+
+}  // namespace dqemu::net

@@ -1,0 +1,63 @@
+// Simulated cluster interconnect.
+//
+// Models the paper's testbed: nodes on a store-and-forward Gigabit switch.
+// Each node has a full-duplex NIC; a message occupies the sender's egress
+// link for its serialization time (so concurrent page pushes queue behind
+// each other — this is what bounds data-forwarding throughput in Table 1),
+// then takes the one-way propagation latency, then pays the receiver-side
+// software overhead. Messages between a given (src, dst) pair are delivered
+// FIFO, like a TCP stream.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "net/message.hpp"
+#include "sim/event_queue.hpp"
+
+namespace dqemu::net {
+
+/// The switch + all NICs. Owned by the Cluster; nodes attach handlers.
+class Network {
+ public:
+  using Handler = std::function<void(Message)>;
+
+  /// `stats` may be null; `queue` must outlive the Network.
+  Network(sim::EventQueue& queue, NetworkConfig config,
+          std::uint32_t node_count, StatsRegistry* stats = nullptr);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers the delivery callback for `node`. Must be called before any
+  /// message addressed to that node is delivered.
+  void attach(NodeId node, Handler handler);
+
+  /// Queues `msg` for delivery. Loopback (src == dst) messages skip the
+  /// wire and pay only `loopback_latency`.
+  void send(Message msg);
+
+  /// Earliest time a new message from `node` could start serializing.
+  [[nodiscard]] TimePs egress_free_at(NodeId node) const {
+    return egress_free_[node];
+  }
+
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+ private:
+  void deliver(Message msg);
+
+  sim::EventQueue& queue_;
+  NetworkConfig config_;
+  StatsRegistry* stats_;
+  std::vector<Handler> handlers_;
+  /// Per-node egress link occupancy (bandwidth serialization point).
+  std::vector<TimePs> egress_free_;
+  /// Per (src,dst) channel: last scheduled delivery time, for FIFO order.
+  std::vector<TimePs> channel_last_;
+  std::uint32_t node_count_;
+};
+
+}  // namespace dqemu::net

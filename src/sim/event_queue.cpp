@@ -1,0 +1,49 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace dqemu::sim {
+
+EventId EventQueue::schedule_at(TimePs when, Callback fn) {
+  assert(fn && "scheduling an empty callback");
+  if (when < now_) when = now_;
+  const Key key{when, next_seq_++};
+  events_.emplace(key, std::move(fn));
+  return EventId{key.time, key.seq};
+}
+
+bool EventQueue::cancel(const EventId& id) {
+  return events_.erase(Key{id.time, id.seq}) > 0;
+}
+
+bool EventQueue::run_one() {
+  if (events_.empty()) return false;
+  auto it = events_.begin();
+  now_ = it->first.time;
+  // Move the callback out before erasing: the callback may schedule or
+  // cancel other events, mutating the map.
+  Callback fn = std::move(it->second);
+  events_.erase(it);
+  ++fired_;
+  fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run_until(TimePs deadline) {
+  std::uint64_t count = 0;
+  while (!events_.empty() && events_.begin()->first.time <= deadline) {
+    run_one();
+    ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+std::uint64_t EventQueue::run(std::uint64_t max_events) {
+  std::uint64_t count = 0;
+  while (count < max_events && run_one()) ++count;
+  return count;
+}
+
+}  // namespace dqemu::sim

@@ -1,0 +1,79 @@
+// Deterministic discrete-event kernel.
+//
+// The whole cluster runs on one virtual clock: every activity (a guest
+// thread's execution quantum, a network message delivery, a futex timeout)
+// is an event. Events at equal times fire in scheduling order (a strictly
+// increasing sequence number breaks ties), which makes every simulation
+// bit-reproducible — the property the integration tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/types.hpp"
+
+namespace dqemu::sim {
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+struct EventId {
+  TimePs time = 0;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+/// Time-ordered event queue with a virtual clock.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time. Advances only as events fire.
+  [[nodiscard]] TimePs now() const { return now_; }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+
+  /// Schedules `fn` at absolute time `when` (>= now). Scheduling in the
+  /// past is clamped to `now` — the event still fires, deterministically
+  /// after everything already queued for `now`.
+  EventId schedule_at(TimePs when, Callback fn);
+
+  /// Schedules `fn` `delay` picoseconds from now.
+  EventId schedule_in(DurationPs delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(const EventId& id);
+
+  /// Fires the earliest pending event, advancing the clock to its time.
+  /// Returns false if the queue was empty.
+  bool run_one();
+
+  /// Runs events until the queue drains or the clock would pass `deadline`
+  /// (events after the deadline remain pending). Returns events fired.
+  std::uint64_t run_until(TimePs deadline);
+
+  /// Runs events until the queue drains or `max_events` fired.
+  /// Returns events fired.
+  std::uint64_t run(std::uint64_t max_events = ~0ULL);
+
+  /// Total events fired since construction.
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+
+ private:
+  struct Key {
+    TimePs time;
+    std::uint64_t seq;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+
+  TimePs now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+  std::map<Key, Callback> events_;
+};
+
+}  // namespace dqemu::sim

@@ -1,0 +1,86 @@
+// Syscall classification and pointer-argument pre-access rules.
+//
+// Section 4.3: local syscalls execute on the node; global syscalls are
+// delegated to the master. Pointer arguments must be coherent around the
+// call; DQEMU achieves this by migrating the pages through the normal
+// coherence protocol. We realize the same contract from the caller's side:
+// before a syscall runs, the node faults the argument pages in (read
+// access for IN-pointers, write access for OUT-pointers), so the data the
+// master sees / the results the caller stores are protocol-coherent. The
+// direction is inverted relative to the paper (pages move to the caller
+// instead of the master) but the traffic shape and the coherence outcome
+// are the same — see DESIGN.md.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/syscall_abi.hpp"
+
+namespace dqemu::sys {
+
+/// Where a syscall executes.
+enum class SysClass {
+  kLocal,   ///< handled on the executing node
+  kGlobal,  ///< delegated to the master
+};
+
+/// One guest memory range a syscall touches before/after executing.
+struct PreAccess {
+  GuestAddr addr = 0;
+  std::uint32_t len = 0;
+  bool write = false;
+};
+
+[[nodiscard]] constexpr SysClass classify(isa::Sys num) {
+  switch (num) {
+    case isa::Sys::kGettid:
+    case isa::Sys::kGetpid:
+    case isa::Sys::kYield:
+    case isa::Sys::kClockGettime:
+    case isa::Sys::kNanosleep:
+    case isa::Sys::kUname:
+    case isa::Sys::kGetcpu:
+      return SysClass::kLocal;
+    default:
+      return SysClass::kGlobal;
+  }
+}
+
+/// Guest ranges that must be locally accessible before `num` executes,
+/// given its register arguments a0..a3.
+[[nodiscard]] inline std::vector<PreAccess> pre_access(
+    isa::Sys num, const std::array<std::uint32_t, 4>& args) {
+  using isa::Sys;
+  std::vector<PreAccess> out;
+  switch (num) {
+    case Sys::kWrite:
+      if (args[2] != 0) out.push_back({args[1], args[2], /*write=*/false});
+      break;
+    case Sys::kRead:
+      if (args[2] != 0) out.push_back({args[1], args[2], /*write=*/true});
+      break;
+    case Sys::kOpen:
+      // Path string: fault in a bounded window (paths are short).
+      out.push_back({args[0], 256, /*write=*/false});
+      break;
+    case Sys::kClockGettime:
+      out.push_back({args[1], 8, /*write=*/true});
+      break;
+    case Sys::kUname:
+      out.push_back({args[0], 64, /*write=*/true});
+      break;
+    case Sys::kFutex:
+      if (args[1] == isa::kFutexWait) {
+        out.push_back({args[0], 4, /*write=*/false});
+      }
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+}  // namespace dqemu::sys

@@ -1,0 +1,59 @@
+// Distributed futex wait-queue table (paper section 4.4).
+//
+// Lives on the master. FUTEX_WAIT enqueues a (node, tid) waiter under the
+// guest address; FUTEX_WAKE dequeues up to `count` waiters in FIFO order.
+// The value re-check happens on the *waiting node* while it still holds a
+// read copy of the futex page; the coherence protocol guarantees any
+// subsequent write (and hence any wake) is ordered after the wait request
+// on the master, so no wakeup can be lost (see DESIGN.md §7).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dqemu::sys {
+
+class FutexTable {
+ public:
+  struct Waiter {
+    NodeId node = kInvalidNode;
+    GuestTid tid = kInvalidTid;
+    friend bool operator==(const Waiter&, const Waiter&) = default;
+  };
+
+  /// Enqueues a waiter blocked on `addr`.
+  void wait(GuestAddr addr, Waiter waiter) { queues_[addr].push_back(waiter); }
+
+  /// Dequeues up to `count` waiters of `addr`, FIFO.
+  [[nodiscard]] std::vector<Waiter> wake(GuestAddr addr, std::uint32_t count) {
+    std::vector<Waiter> woken;
+    auto it = queues_.find(addr);
+    if (it == queues_.end()) return woken;
+    auto& queue = it->second;
+    while (!queue.empty() && woken.size() < count) {
+      woken.push_back(queue.front());
+      queue.pop_front();
+    }
+    if (queue.empty()) queues_.erase(it);
+    return woken;
+  }
+
+  [[nodiscard]] std::size_t waiters(GuestAddr addr) const {
+    auto it = queues_.find(addr);
+    return it == queues_.end() ? 0 : it->second.size();
+  }
+
+  [[nodiscard]] std::size_t total_waiters() const {
+    std::size_t n = 0;
+    for (const auto& [addr, queue] : queues_) n += queue.size();
+    return n;
+  }
+
+ private:
+  std::unordered_map<GuestAddr, std::deque<Waiter>> queues_;
+};
+
+}  // namespace dqemu::sys

@@ -1,0 +1,197 @@
+#include "sys/master_syscalls.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "isa/syscall_abi.hpp"
+
+namespace dqemu::sys {
+
+net::Message make_syscall_request(NodeId src, GuestTid tid, isa::Sys num,
+                                  const std::array<std::uint32_t, 4>& args,
+                                  std::span<const std::uint8_t> payload) {
+  net::Message msg;
+  msg.src = src;
+  msg.dst = kMasterNode;
+  msg.type = static_cast<std::uint32_t>(SysMsg::kSyscallReq);
+  msg.a = static_cast<std::uint64_t>(num);
+  msg.b = tid;
+  msg.data.resize(16 + payload.size());
+  std::memcpy(msg.data.data(), args.data(), 16);
+  if (!payload.empty()) {
+    std::memcpy(msg.data.data() + 16, payload.data(), payload.size());
+  }
+  return msg;
+}
+
+MasterSyscalls::MasterSyscalls(net::Network& network, sim::EventQueue& queue,
+                               MachineConfig machine,
+                               std::uint32_t service_cycles,
+                               StatsRegistry* stats)
+    : network_(network),
+      queue_(queue),
+      machine_(machine),
+      service_cycles_(service_cycles),
+      stats_(stats),
+      page_mask_(machine.page_size - 1) {}
+
+void MasterSyscalls::configure_memory(GuestAddr brk_start,
+                                      GuestAddr mmap_start,
+                                      GuestAddr mmap_end) {
+  assert(brk_start <= mmap_start && mmap_start <= mmap_end);
+  brk_ = brk_start;
+  brk_min_ = brk_start;
+  mmap_cursor_ = mmap_start;
+  mmap_end_ = mmap_end;
+}
+
+void MasterSyscalls::send_response(NodeId dst, GuestTid tid,
+                                   std::int64_t result,
+                                   std::span<const std::uint8_t> payload) {
+  net::Message msg;
+  msg.src = kMasterNode;
+  msg.dst = dst;
+  msg.type = static_cast<std::uint32_t>(SysMsg::kSyscallResp);
+  msg.a = static_cast<std::uint64_t>(result);
+  msg.b = tid;
+  msg.data.assign(payload.begin(), payload.end());
+  const DurationPs service = machine_.cycles(service_cycles_);
+  queue_.schedule_in(service, [this, m = std::move(msg)]() mutable {
+    network_.send(std::move(m));
+  });
+}
+
+void MasterSyscalls::handle_message(const net::Message& msg) {
+  assert(msg.type == static_cast<std::uint32_t>(SysMsg::kSyscallReq));
+  assert(msg.data.size() >= 16);
+  SyscallRequest req;
+  req.src = msg.src;
+  req.tid = static_cast<GuestTid>(msg.b);
+  req.num = static_cast<isa::Sys>(msg.a);
+  std::memcpy(req.args.data(), msg.data.data(), 16);
+  req.payload = std::span<const std::uint8_t>(msg.data).subspan(16);
+  if (stats_ != nullptr) stats_->add("sys.delegated");
+  dispatch(req);
+}
+
+void MasterSyscalls::dispatch(const SyscallRequest& req) {
+  using isa::Sys;
+  switch (req.num) {
+    case Sys::kWrite: {
+      const auto fd = static_cast<std::int32_t>(req.args[0]);
+      const std::int32_t n = vfs_.write(fd, req.payload);
+      send_response(req.src, req.tid, n);
+      return;
+    }
+    case Sys::kRead: {
+      const auto fd = static_cast<std::int32_t>(req.args[0]);
+      std::vector<std::uint8_t> buf(req.args[2]);
+      const std::int32_t n = vfs_.read(fd, buf);
+      if (n > 0) buf.resize(static_cast<std::size_t>(n));
+      else buf.clear();
+      send_response(req.src, req.tid, n, buf);
+      return;
+    }
+    case Sys::kOpen: {
+      // Payload is the NUL-terminated path captured by the caller node.
+      const char* begin = reinterpret_cast<const char*>(req.payload.data());
+      const std::size_t maxlen = req.payload.size();
+      std::size_t len = 0;
+      while (len < maxlen && begin[len] != '\0') ++len;
+      const std::int32_t fd = vfs_.open(std::string(begin, len), req.args[1]);
+      send_response(req.src, req.tid, fd);
+      return;
+    }
+    case Sys::kClose:
+      send_response(req.src, req.tid,
+                    vfs_.close(static_cast<std::int32_t>(req.args[0])));
+      return;
+    case Sys::kLseek:
+      send_response(req.src, req.tid,
+                    vfs_.lseek(static_cast<std::int32_t>(req.args[0]),
+                               static_cast<std::int32_t>(req.args[1]),
+                               req.args[2]));
+      return;
+    case Sys::kBrk: {
+      const GuestAddr request = req.args[0];
+      if (request != 0 && request >= brk_min_ && request < mmap_cursor_) {
+        brk_ = request;
+      }
+      send_response(req.src, req.tid, brk_);
+      return;
+    }
+    case Sys::kMmap: {
+      const std::uint32_t len =
+          (req.args[0] + page_mask_) & ~page_mask_;
+      if (len == 0 || mmap_cursor_ + len > mmap_end_) {
+        send_response(req.src, req.tid, -isa::kENOMEM);
+        return;
+      }
+      const GuestAddr addr = mmap_cursor_;
+      mmap_cursor_ += len;
+      if (stats_ != nullptr) stats_->add("sys.mmap_bytes", len);
+      send_response(req.src, req.tid, addr);
+      return;
+    }
+    case Sys::kMunmap:
+      send_response(req.src, req.tid, 0);  // accounting-only
+      return;
+    case Sys::kFutex:
+      do_futex(req);
+      return;
+    case Sys::kClone: {
+      assert(hooks_.on_clone && "core layer must install the clone hook");
+      const std::int32_t child = hooks_.on_clone(req);
+      send_response(req.src, req.tid, child);
+      return;
+    }
+    case Sys::kExit: {
+      // args: [0]=status, [1]=ctid address (0 if none). The node already
+      // stored 0 to *ctid through the coherence protocol; waking joiners
+      // is the master's job since the futex table lives here.
+      if (req.args[1] != 0) {
+        for (const FutexTable::Waiter waiter :
+             futexes_.wake(req.args[1], UINT32_MAX)) {
+          send_response(waiter.node, waiter.tid, 0);
+        }
+      }
+      if (hooks_.on_exit) hooks_.on_exit(req);
+      return;  // no response: the thread is gone
+    }
+    case Sys::kExitGroup:
+      if (hooks_.on_exit_group) hooks_.on_exit_group(req.args[0]);
+      return;
+    default:
+      DQEMU_WARN("unimplemented delegated syscall %u",
+                 static_cast<unsigned>(req.num));
+      send_response(req.src, req.tid, -isa::kENOSYS);
+      return;
+  }
+}
+
+void MasterSyscalls::do_futex(const SyscallRequest& req) {
+  const GuestAddr addr = req.args[0];
+  const std::uint32_t op = req.args[1];
+  if (op == isa::kFutexWait) {
+    // The caller's node already verified *addr == expected while holding a
+    // read copy; the protocol orders any racing write (and its wake) after
+    // this request, so enqueueing unconditionally cannot lose a wakeup.
+    futexes_.wait(addr, FutexTable::Waiter{req.src, req.tid});
+    if (stats_ != nullptr) stats_->add("sys.futex_waits");
+    return;  // deferred response
+  }
+  if (op == isa::kFutexWake) {
+    const auto woken = futexes_.wake(addr, req.args[2]);
+    for (const FutexTable::Waiter waiter : woken) {
+      send_response(waiter.node, waiter.tid, 0);
+    }
+    if (stats_ != nullptr) stats_->add("sys.futex_wakes", woken.size());
+    send_response(req.src, req.tid,
+                  static_cast<std::int64_t>(woken.size()));
+    return;
+  }
+  send_response(req.src, req.tid, -isa::kEINVAL);
+}
+
+}  // namespace dqemu::sys

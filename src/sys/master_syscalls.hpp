@@ -1,0 +1,94 @@
+// Master-side delegated-syscall engine (paper section 4.3).
+//
+// Owns the authoritative system state: the VFS + fd table, the distributed
+// futex table, and the guest heap/mmap break. Thread lifecycle calls
+// (clone / exit / exit_group) are forwarded to hooks the core layer
+// installs, because placement and thread accounting live there.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <span>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "isa/syscall_abi.hpp"
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sys/futex_table.hpp"
+#include "sys/vfs.hpp"
+#include "sys/wire.hpp"
+
+namespace dqemu::sys {
+
+/// Decoded request: the four register args plus any input payload.
+struct SyscallRequest {
+  NodeId src = kInvalidNode;
+  GuestTid tid = kInvalidTid;
+  isa::Sys num = isa::Sys::kExit;
+  std::array<std::uint32_t, 4> args{};
+  std::span<const std::uint8_t> payload;
+};
+
+/// Packs args + payload into a kSyscallReq message body (node side).
+[[nodiscard]] net::Message make_syscall_request(
+    NodeId src, GuestTid tid, isa::Sys num,
+    const std::array<std::uint32_t, 4>& args,
+    std::span<const std::uint8_t> payload);
+
+class MasterSyscalls {
+ public:
+  struct Hooks {
+    /// clone(flags, child_sp, ctid): create the child thread somewhere in
+    /// the cluster; returns the child's tid (or -errno).
+    std::function<std::int32_t(const SyscallRequest&)> on_clone;
+    /// A guest thread exited with `status`.
+    std::function<void(const SyscallRequest&)> on_exit;
+    /// exit_group(status): terminate the whole guest.
+    std::function<void(std::uint32_t status)> on_exit_group;
+  };
+
+  MasterSyscalls(net::Network& network, sim::EventQueue& queue,
+                 MachineConfig machine, std::uint32_t service_cycles,
+                 StatsRegistry* stats = nullptr);
+
+  /// Guest heap layout: brk grows in [brk_start, mmap_start); anonymous
+  /// mmaps grow in [mmap_start, mmap_end).
+  void configure_memory(GuestAddr brk_start, GuestAddr mmap_start,
+                        GuestAddr mmap_end);
+
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  [[nodiscard]] Vfs& vfs() { return vfs_; }
+  [[nodiscard]] const Vfs& vfs() const { return vfs_; }
+  [[nodiscard]] FutexTable& futexes() { return futexes_; }
+  [[nodiscard]] GuestAddr current_brk() const { return brk_; }
+
+  /// Handles a kSyscallReq message delivered to the master.
+  void handle_message(const net::Message& msg);
+
+  /// Sends the kSyscallResp that unblocks (node, tid). Public because the
+  /// core layer completes clone/futex-wake responses through it.
+  void send_response(NodeId dst, GuestTid tid, std::int64_t result,
+                     std::span<const std::uint8_t> payload = {});
+
+ private:
+  void dispatch(const SyscallRequest& req);
+  void do_futex(const SyscallRequest& req);
+
+  net::Network& network_;
+  sim::EventQueue& queue_;
+  MachineConfig machine_;
+  std::uint32_t service_cycles_;
+  StatsRegistry* stats_;
+  Hooks hooks_;
+  Vfs vfs_;
+  FutexTable futexes_;
+  GuestAddr brk_ = 0;
+  GuestAddr brk_min_ = 0;
+  GuestAddr mmap_cursor_ = 0;
+  GuestAddr mmap_end_ = 0;
+  std::uint32_t page_mask_ = 4095;
+};
+
+}  // namespace dqemu::sys

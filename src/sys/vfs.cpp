@@ -1,0 +1,143 @@
+#include "sys/vfs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "isa/syscall_abi.hpp"
+
+namespace dqemu::sys {
+
+Vfs::Vfs() {
+  // fd 0 (stdin: empty file), fd 1 (stdout), fd 2 (stderr).
+  OpenFile stdin_file;
+  stdin_file.file = std::make_shared<std::vector<std::uint8_t>>();
+  stdin_file.open = true;
+  fds_.push_back(stdin_file);
+  OpenFile stdout_file;
+  stdout_file.is_stdout = true;
+  stdout_file.writable = true;
+  stdout_file.open = true;
+  fds_.push_back(stdout_file);
+  OpenFile stderr_file;
+  stderr_file.is_stderr = true;
+  stderr_file.writable = true;
+  stderr_file.open = true;
+  fds_.push_back(stderr_file);
+}
+
+void Vfs::preload(const std::string& path,
+                  std::span<const std::uint8_t> bytes) {
+  files_[path] = std::make_shared<std::vector<std::uint8_t>>(bytes.begin(),
+                                                             bytes.end());
+}
+
+void Vfs::preload(const std::string& path, std::string_view text) {
+  preload(path, std::span<const std::uint8_t>(
+                    reinterpret_cast<const std::uint8_t*>(text.data()),
+                    text.size()));
+}
+
+std::optional<std::vector<std::uint8_t>> Vfs::file_content(
+    const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return *it->second;
+}
+
+Vfs::OpenFile* Vfs::lookup(std::int32_t fd) {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= fds_.size()) return nullptr;
+  OpenFile* file = &fds_[static_cast<std::size_t>(fd)];
+  return file->open ? file : nullptr;
+}
+
+std::int32_t Vfs::open(const std::string& path, std::uint32_t flags) {
+  const bool writable = (flags & isa::kOpenWrite) != 0;
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    if ((flags & isa::kOpenCreate) == 0) return -isa::kENOENT;
+    it = files_.emplace(path, std::make_shared<std::vector<std::uint8_t>>())
+             .first;
+  }
+  OpenFile file;
+  file.file = it->second;
+  file.writable = writable;
+  file.open = true;
+  // Reuse the lowest closed slot, POSIX-style.
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    if (!fds_[i].open) {
+      fds_[i] = file;
+      return static_cast<std::int32_t>(i);
+    }
+  }
+  fds_.push_back(file);
+  return static_cast<std::int32_t>(fds_.size() - 1);
+}
+
+std::int32_t Vfs::close(std::int32_t fd) {
+  OpenFile* file = lookup(fd);
+  if (file == nullptr) return -isa::kEBADF;
+  *file = OpenFile{};
+  return 0;
+}
+
+std::int32_t Vfs::read(std::int32_t fd, std::span<std::uint8_t> out) {
+  OpenFile* file = lookup(fd);
+  if (file == nullptr) return -isa::kEBADF;
+  if (file->is_stdout || file->is_stderr) return -isa::kEBADF;
+  const auto& bytes = *file->file;
+  if (file->pos >= bytes.size()) return 0;
+  const std::size_t n =
+      std::min<std::size_t>(out.size(), bytes.size() - file->pos);
+  std::memcpy(out.data(), bytes.data() + file->pos, n);
+  file->pos += n;
+  return static_cast<std::int32_t>(n);
+}
+
+std::int32_t Vfs::write(std::int32_t fd, std::span<const std::uint8_t> in) {
+  OpenFile* file = lookup(fd);
+  if (file == nullptr) return -isa::kEBADF;
+  if (file->is_stdout) {
+    stdout_.append(reinterpret_cast<const char*>(in.data()), in.size());
+    return static_cast<std::int32_t>(in.size());
+  }
+  if (file->is_stderr) {
+    stderr_.append(reinterpret_cast<const char*>(in.data()), in.size());
+    return static_cast<std::int32_t>(in.size());
+  }
+  if (!file->writable) return -isa::kEBADF;
+  auto& bytes = *file->file;
+  if (file->pos + in.size() > bytes.size()) {
+    bytes.resize(file->pos + in.size());
+  }
+  std::memcpy(bytes.data() + file->pos, in.data(), in.size());
+  file->pos += in.size();
+  return static_cast<std::int32_t>(in.size());
+}
+
+std::int32_t Vfs::lseek(std::int32_t fd, std::int32_t offset,
+                        std::uint32_t whence) {
+  OpenFile* file = lookup(fd);
+  if (file == nullptr) return -isa::kEBADF;
+  if (file->is_stdout || file->is_stderr) return -isa::kEINVAL;
+  std::int64_t base = 0;
+  switch (whence) {
+    case isa::kSeekSet: base = 0; break;
+    case isa::kSeekCur: base = static_cast<std::int64_t>(file->pos); break;
+    case isa::kSeekEnd: base = static_cast<std::int64_t>(file->file->size()); break;
+    default: return -isa::kEINVAL;
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) return -isa::kEINVAL;
+  file->pos = static_cast<std::uint64_t>(target);
+  return static_cast<std::int32_t>(file->pos);
+}
+
+std::size_t Vfs::open_fd_count() const {
+  std::size_t n = 0;
+  for (const OpenFile& file : fds_) {
+    if (file.open) ++n;
+  }
+  return n;
+}
+
+}  // namespace dqemu::sys

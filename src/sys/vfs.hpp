@@ -1,0 +1,65 @@
+// In-memory virtual filesystem with a process-wide descriptor table.
+//
+// Stands in for the host filesystem the paper's master node delegates to.
+// Files are byte vectors; fds 0/1/2 are pre-opened, with stdout/stderr
+// captured into buffers the embedder can read back (tests assert on guest
+// output through this).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dqemu::sys {
+
+class Vfs {
+ public:
+  Vfs();
+
+  /// Creates (or replaces) a file with the given content before boot.
+  void preload(const std::string& path, std::span<const std::uint8_t> bytes);
+  void preload(const std::string& path, std::string_view text);
+
+  /// Content of a file, if it exists (test/report convenience).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> file_content(
+      const std::string& path) const;
+
+  /// Everything the guest wrote to fd 1 / fd 2.
+  [[nodiscard]] const std::string& stdout_text() const { return stdout_; }
+  [[nodiscard]] const std::string& stderr_text() const { return stderr_; }
+
+  // ---- syscall backends (Linux-style: negative errno on failure) -------
+  [[nodiscard]] std::int32_t open(const std::string& path, std::uint32_t flags);
+  [[nodiscard]] std::int32_t close(std::int32_t fd);
+  /// Reads up to out.size() bytes; returns bytes read.
+  [[nodiscard]] std::int32_t read(std::int32_t fd, std::span<std::uint8_t> out);
+  [[nodiscard]] std::int32_t write(std::int32_t fd,
+                                   std::span<const std::uint8_t> in);
+  [[nodiscard]] std::int32_t lseek(std::int32_t fd, std::int32_t offset,
+                                   std::uint32_t whence);
+
+  [[nodiscard]] std::size_t open_fd_count() const;
+
+ private:
+  struct OpenFile {
+    std::shared_ptr<std::vector<std::uint8_t>> file;
+    std::uint64_t pos = 0;
+    bool writable = false;
+    bool is_stdout = false;
+    bool is_stderr = false;
+    bool open = false;
+  };
+
+  [[nodiscard]] OpenFile* lookup(std::int32_t fd);
+
+  std::map<std::string, std::shared_ptr<std::vector<std::uint8_t>>> files_;
+  std::vector<OpenFile> fds_;
+  std::string stdout_;
+  std::string stderr_;
+};
+
+}  // namespace dqemu::sys

@@ -1,0 +1,28 @@
+// Syscall-delegation wire protocol (paper section 4.3).
+//
+// Global syscalls are trapped on the executing node and forwarded to the
+// master, which keeps the authoritative system state (file descriptors,
+// futex queues, the heap break). Every kSyscallReq gets exactly one
+// kSyscallResp; for FUTEX_WAIT the response is deferred until a matching
+// wake, which is how the distributed futex blocks a remote thread.
+#pragma once
+
+#include <cstdint>
+
+namespace dqemu::sys {
+
+enum class SysMsg : std::uint32_t {
+  /// Node -> master. a = syscall number, b = guest tid,
+  /// data = 4 LE u32 args followed by an optional input payload
+  /// (write() bytes, open() path...).
+  kSyscallReq = 0x200,
+  /// Master -> node. a = result (sign-extended into u64), b = guest tid,
+  /// data = optional output payload to copy to the caller's pointer arg.
+  kSyscallResp = 0x201,
+};
+
+[[nodiscard]] constexpr bool is_sys_message(std::uint32_t type) {
+  return type >= 0x200 && type < 0x300;
+}
+
+}  // namespace dqemu::sys

@@ -1,0 +1,89 @@
+#include "workloads/common.hpp"
+
+namespace dqemu::workloads {
+
+using isa::Assembler;
+using enum isa::Reg;
+
+std::vector<std::int32_t> block_groups(std::uint32_t threads,
+                                       std::uint32_t groups) {
+  std::vector<std::int32_t> out(threads);
+  for (std::uint32_t i = 0; i < threads; ++i) {
+    out[i] = static_cast<std::int32_t>(
+        static_cast<std::uint64_t>(i) * groups / threads);
+  }
+  return out;
+}
+
+void emit_parallel_main(Assembler& a, const guestlib::Runtime& rt,
+                        Assembler::Label main_fn, Assembler::Label worker,
+                        const ParallelMainOptions& options) {
+  const std::uint32_t threads = options.threads;
+  Assembler::Label handles = a.make_label();
+
+  a.bind(main_fn);
+  a.addi(kSp, kSp, -16);
+  a.sw(kSp, kRa, 0);
+  a.sw(kSp, kS0, 4);
+
+  if (options.prologue) options.prologue(a);
+
+  if (options.groups.empty()) {
+    // Uniform spawn loop.
+    Assembler::Label spawn = a.make_label();
+    a.li(kS0, 0);
+    a.bind(spawn);
+    a.la(kA0, worker);
+    a.mov(kA1, kS0);
+    a.call(rt.thread_create);
+    a.la(kT0, handles);
+    a.slli(kT1, kS0, 2);
+    a.add(kT0, kT0, kT1);
+    a.sw(kT0, kA0, 0);
+    a.addi(kS0, kS0, 1);
+    a.li(kT1, static_cast<std::int64_t>(threads));
+    a.bne(kS0, kT1, spawn);
+  } else {
+    // Per-thread HINT values differ, so spawns are emitted straight-line.
+    for (std::uint32_t i = 0; i < threads; ++i) {
+      a.hint(options.groups[i]);
+      a.la(kA0, worker);
+      a.li(kA1, static_cast<std::int64_t>(i));
+      a.call(rt.thread_create);
+      a.la(kT0, handles);
+      a.sw(kT0, kA0, static_cast<std::int32_t>(i * 4));
+    }
+    a.hint(0xFFFF);  // reset to "no group" (sentinel, see exec.cpp)
+  }
+
+  if (options.while_running) options.while_running(a);
+
+  // Join loop.
+  {
+    Assembler::Label join = a.make_label();
+    a.li(kS0, 0);
+    a.bind(join);
+    a.la(kT0, handles);
+    a.slli(kT1, kS0, 2);
+    a.add(kT0, kT0, kT1);
+    a.lw(kA0, kT0, 0);
+    a.call(rt.thread_join);
+    a.addi(kS0, kS0, 1);
+    a.li(kT1, static_cast<std::int64_t>(threads));
+    a.bne(kS0, kT1, join);
+  }
+
+  if (options.epilogue) options.epilogue(a);
+
+  a.li(kA0, 0);
+  a.lw(kRa, kSp, 0);
+  a.lw(kS0, kSp, 4);
+  a.addi(kSp, kSp, 16);
+  a.ret();
+
+  a.d_align(4);
+  a.bind_data(handles);
+  a.d_space(threads * 4);
+}
+
+}  // namespace dqemu::workloads

@@ -1,0 +1,53 @@
+// Shared scaffolding for guest workload generators.
+//
+// Every benchmark guest program has the same skeleton: crt0 + runtime,
+// a main that spawns N workers (optionally tagging each with a locality
+// HINT group before the clone, section 5.3), joins them, runs an epilogue
+// (checksum printing) and exits. Workers receive their index in a0.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "guestlib/runtime.hpp"
+#include "isa/assembler.hpp"
+#include "isa/syscall_abi.hpp"
+
+namespace dqemu::workloads {
+
+/// Emits `syscall` with a typed number.
+inline void emit_syscall(isa::Assembler& a, isa::Sys num) {
+  a.syscall(static_cast<std::int32_t>(num));
+}
+
+struct ParallelMainOptions {
+  std::uint32_t threads = 1;
+  /// Emitted at the top of main, before any worker is spawned (mmap of
+  /// shared regions, input initialization...). May clobber t*/a* only.
+  std::function<void(isa::Assembler&)> prologue;
+  /// Per-thread locality group; empty = no HINT instrumentation. The HINT
+  /// executes on the main thread right before each clone, so the child
+  /// inherits the group (exactly the paper's source-instrumentation).
+  std::vector<std::int32_t> groups;
+  /// Emitted after the workers are spawned but before joining (main-thread
+  /// work that overlaps the workers).
+  std::function<void(isa::Assembler&)> while_running;
+  /// Emitted after all workers joined (checksums, printing).
+  std::function<void(isa::Assembler&)> epilogue;
+};
+
+/// Emits a complete main() that spawns `options.threads` copies of
+/// `worker` (arg = thread index), joins them and returns 0. The caller
+/// must have bound neither `main_fn` nor the data label it passes.
+void emit_parallel_main(isa::Assembler& a, const guestlib::Runtime& rt,
+                        isa::Assembler::Label main_fn,
+                        isa::Assembler::Label worker,
+                        const ParallelMainOptions& options);
+
+/// Convenience: block-contiguous groups — thread i of `threads` gets group
+/// i * groups / threads, keeping neighbours together.
+[[nodiscard]] std::vector<std::int32_t> block_groups(std::uint32_t threads,
+                                                     std::uint32_t groups);
+
+}  // namespace dqemu::workloads

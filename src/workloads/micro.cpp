@@ -1,0 +1,233 @@
+#include "workloads/micro.hpp"
+
+#include "workloads/common.hpp"
+
+namespace dqemu::workloads {
+
+using isa::Assembler;
+using isa::Sys;
+using enum isa::Reg;
+using enum isa::FReg;
+
+Result<isa::Program> pi_taylor(std::uint32_t threads, std::uint32_t reps,
+                               std::uint32_t terms) {
+  Assembler a;
+  Assembler::Label main_fn = a.make_label("main");
+  Assembler::Label worker = a.make_label("worker");
+  Assembler::Label results = a.make_label("results");
+
+  guestlib::emit_crt0(a, main_fn);
+  guestlib::Runtime rt = guestlib::emit_runtime(a);
+
+  // worker(a0 = idx): reps x Leibniz series with `terms` terms, then store
+  // round(4*sum*1e6) into a page-strided private result slot.
+  {
+    a.bind(worker);
+    a.mov(kS0, kA0);
+    a.li(kS1, static_cast<std::int64_t>(reps));
+    Assembler::Label rep_loop = a.make_label();
+    Assembler::Label term_loop = a.make_label();
+    a.bind(rep_loop);
+    a.li(kT1, 0);
+    a.fcvt_d_w(kF0, kT1);  // sum = 0
+    a.li(kT1, 1);
+    a.fcvt_d_w(kF1, kT1);  // sign = 1
+    a.fcvt_d_w(kF2, kT1);  // denom = 1
+    a.li(kT1, 2);
+    a.fcvt_d_w(kF3, kT1);  // const 2
+    a.li(kT1, static_cast<std::int64_t>(terms));
+    a.bind(term_loop);
+    a.fdiv(kF5, kF1, kF2);
+    a.fadd(kF0, kF0, kF5);
+    a.fneg(kF1, kF1);
+    a.fadd(kF2, kF2, kF3);
+    a.addi(kT1, kT1, -1);
+    a.bne(kT1, kZero, term_loop);
+    a.addi(kS1, kS1, -1);
+    a.bne(kS1, kZero, rep_loop);
+    // pi ~= 4 * sum; checksum = (int)(pi * 1e6).
+    a.fadd(kF0, kF0, kF0);
+    a.fadd(kF0, kF0, kF0);
+    a.fli(kF6, 1.0e6, kT3);
+    a.fmul(kF0, kF0, kF6);
+    a.fcvt_w_d(kT1, kF0);
+    a.la(kT2, results);
+    a.slli(kT3, kS0, 12);  // page-strided: no sharing between workers
+    a.add(kT2, kT2, kT3);
+    a.sw(kT2, kT1, 0);
+    a.li(kA0, 0);
+    a.ret();
+  }
+
+  ParallelMainOptions options;
+  options.threads = threads;
+  options.epilogue = [&](Assembler& as) {
+    as.la(kT0, results);
+    as.lw(kA0, kT0, 0);
+    as.call(rt.print_u32);
+  };
+  emit_parallel_main(a, rt, main_fn, worker, options);
+
+  a.d_align(4096);
+  a.bind_data(results);
+  a.d_space(threads * 4096);
+  return a.finalize();
+}
+
+Result<isa::Program> mutex_stress(std::uint32_t threads, std::uint32_t iters,
+                                  bool global_lock) {
+  Assembler a;
+  Assembler::Label main_fn = a.make_label("main");
+  Assembler::Label worker = a.make_label("worker");
+  Assembler::Label locks = a.make_label("locks");
+
+  guestlib::emit_crt0(a, main_fn);
+  guestlib::Runtime rt = guestlib::emit_runtime(a);
+
+  // worker(a0 = idx): iters x (lock; unlock) on the shared or private lock.
+  {
+    a.bind(worker);
+    a.addi(kSp, kSp, -16);
+    a.sw(kSp, kRa, 0);
+    a.la(kS2, locks);
+    if (!global_lock) {
+      a.slli(kT1, kA0, 12);  // private lock on its own page
+      a.add(kS2, kS2, kT1);
+    }
+    a.li(kS1, static_cast<std::int64_t>(iters));
+    Assembler::Label loop = a.make_label();
+    a.bind(loop);
+    a.mov(kA0, kS2);
+    a.call(rt.mutex_lock);
+    a.mov(kA0, kS2);
+    a.call(rt.mutex_unlock);
+    a.addi(kS1, kS1, -1);
+    a.bne(kS1, kZero, loop);
+    a.li(kA0, 0);
+    a.lw(kRa, kSp, 0);
+    a.addi(kSp, kSp, 16);
+    a.ret();
+  }
+
+  ParallelMainOptions options;
+  options.threads = threads;
+  emit_parallel_main(a, rt, main_fn, worker, options);
+
+  a.d_align(4096);
+  a.bind_data(locks);
+  a.d_space(global_lock ? 4096 : threads * 4096);
+  return a.finalize();
+}
+
+Result<isa::Program> memwalk(std::uint32_t bytes, std::uint32_t reps,
+                             bool touch_first) {
+  Assembler a;
+  Assembler::Label main_fn = a.make_label("main");
+  Assembler::Label worker = a.make_label("worker");
+  Assembler::Label region = a.make_label("region");
+
+  guestlib::emit_crt0(a, main_fn);
+  guestlib::Runtime rt = guestlib::emit_runtime(a);
+
+  // worker(a0 = idx, ignored): reps sequential passes over the region,
+  // 8x-unrolled byte loads (the paper's 1-byte-increment walker).
+  {
+    a.bind(worker);
+    a.la(kT0, region);
+    a.lw(kS2, kT0, 0);  // base
+    a.li(kS1, static_cast<std::int64_t>(reps));
+    Assembler::Label rep_loop = a.make_label();
+    Assembler::Label byte_loop = a.make_label();
+    a.bind(rep_loop);
+    a.mov(kT1, kS2);
+    a.li(kT2, static_cast<std::int64_t>(bytes / 4));
+    a.bind(byte_loop);
+    for (std::int32_t u = 0; u < 4; ++u) a.lbu(kT3, kT1, u);
+    a.addi(kT1, kT1, 4);
+    a.addi(kT2, kT2, -1);
+    a.bne(kT2, kZero, byte_loop);
+    a.addi(kS1, kS1, -1);
+    a.bne(kS1, kZero, rep_loop);
+    a.li(kA0, 0);
+    a.ret();
+  }
+
+  ParallelMainOptions options;
+  options.threads = 1;
+  options.prologue = [&](Assembler& as) {
+    as.li(kA0, static_cast<std::int64_t>(bytes));
+    emit_syscall(as, Sys::kMmap);
+    as.la(kT0, region);
+    as.sw(kT0, kA0, 0);
+    if (touch_first) {
+      // Dirty one byte per page on the master before the walk.
+      Assembler::Label touch = as.make_label();
+      as.mov(kT1, kA0);
+      as.li(kT2, static_cast<std::int64_t>(bytes / 4096));
+      as.li(kT3, 1);
+      as.bind(touch);
+      as.sb(kT1, kT3, 0);
+      as.li(kT4, 4096);
+      as.add(kT1, kT1, kT4);
+      as.addi(kT2, kT2, -1);
+      as.bne(kT2, kZero, touch);
+    }
+  };
+  emit_parallel_main(a, rt, main_fn, worker, options);
+
+  a.d_align(4);
+  a.bind_data(region);
+  a.d_word(0);
+  return a.finalize();
+}
+
+Result<isa::Program> false_sharing_walk(std::uint32_t threads,
+                                        std::uint32_t section_bytes,
+                                        std::uint32_t reps,
+                                        std::uint32_t nodes) {
+  Assembler a;
+  Assembler::Label main_fn = a.make_label("main");
+  Assembler::Label worker = a.make_label("worker");
+  Assembler::Label shared_page = a.make_label("shared_page");
+
+  guestlib::emit_crt0(a, main_fn);
+  guestlib::Runtime rt = guestlib::emit_runtime(a);
+
+  // worker(a0 = idx): reps passes of byte stores over its own
+  // `section_bytes` slice of the one shared page.
+  {
+    a.bind(worker);
+    a.la(kT0, shared_page);
+    a.li(kT1, static_cast<std::int64_t>(section_bytes));
+    a.mul(kT1, kA0, kT1);
+    a.add(kS2, kT0, kT1);  // my slice base
+    a.li(kS1, static_cast<std::int64_t>(reps));
+    Assembler::Label rep_loop = a.make_label();
+    Assembler::Label byte_loop = a.make_label();
+    a.bind(rep_loop);
+    a.mov(kT1, kS2);
+    a.li(kT2, static_cast<std::int64_t>(section_bytes / 4));
+    a.li(kT3, 0x5A);
+    a.bind(byte_loop);
+    for (std::int32_t u = 0; u < 4; ++u) a.sb(kT1, kT3, u);
+    a.addi(kT1, kT1, 4);
+    a.addi(kT2, kT2, -1);
+    a.bne(kT2, kZero, byte_loop);
+    a.addi(kS1, kS1, -1);
+    a.bne(kS1, kZero, rep_loop);
+    a.li(kA0, 0);
+    a.ret();
+  }
+
+  ParallelMainOptions options;
+  options.threads = threads;
+  options.groups = block_groups(threads, nodes);
+  emit_parallel_main(a, rt, main_fn, worker, options);
+
+  a.d_align(4096);
+  a.bind_data(shared_page);
+  a.d_space(4096);
+  return a.finalize();
+}
+
+}  // namespace dqemu::workloads

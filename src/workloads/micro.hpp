@@ -1,0 +1,49 @@
+// Micro-benchmark guest programs (paper section 6.1.1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "isa/program.hpp"
+
+namespace dqemu::workloads {
+
+/// Fig. 5 — performance scalability. `threads` workers each evaluate the
+/// Leibniz/Taylor series for pi with `terms` terms, `reps` times, with no
+/// data sharing (all state in registers); main joins and prints the result
+/// of worker 0 scaled by 1e6 as a checksum.
+[[nodiscard]] Result<isa::Program> pi_taylor(std::uint32_t threads,
+                                             std::uint32_t reps,
+                                             std::uint32_t terms);
+
+/// Fig. 6 — mutex stress. `threads` workers acquire+release a lock `iters`
+/// times each while incrementing a counter inside the critical section.
+/// `global_lock` selects scenario 1 (one shared lock) vs scenario 2 (a
+/// private lock per thread, each on its own page so only intra-node
+/// synchronization remains).
+[[nodiscard]] Result<isa::Program> mutex_stress(std::uint32_t threads,
+                                                std::uint32_t iters,
+                                                bool global_lock);
+
+/// Table 1 rows 1-3 — sequential page-walk bandwidth. One worker thread
+/// (scheduled on a slave node under DQEMU) mmaps `bytes` and reads them
+/// byte-by-byte `reps` times (8x-unrolled LBU loop). The region's pages
+/// start owned by the master, so every page is a remote fetch.
+/// `touch_first` makes the MAIN thread write one byte per page before the
+/// walk so pages are master-resident-dirty (matching the paper's
+/// "reserve 1GB on the master" setup).
+[[nodiscard]] Result<isa::Program> memwalk(std::uint32_t bytes,
+                                           std::uint32_t reps,
+                                           bool touch_first);
+
+/// Table 1 rows 4-6 — false sharing. `threads` workers each own a
+/// `section_bytes` slice of the SAME page and walk it with byte stores,
+/// `reps` passes each. Threads carry block-contiguous HINT groups (one per
+/// `nodes`) so hint-locality scheduling places slice-neighbours together —
+/// the paper's "scheduled evenly among 4 slave nodes" layout.
+[[nodiscard]] Result<isa::Program> false_sharing_walk(std::uint32_t threads,
+                                                      std::uint32_t section_bytes,
+                                                      std::uint32_t reps,
+                                                      std::uint32_t nodes);
+
+}  // namespace dqemu::workloads

@@ -1,0 +1,537 @@
+#include "workloads/parsec.hpp"
+
+#include "common/rng.hpp"
+#include "workloads/common.hpp"
+
+namespace dqemu::workloads {
+
+using isa::Assembler;
+using isa::Sys;
+using enum isa::Reg;
+using enum isa::FReg;
+
+// ---------------------------------------------------------------------------
+// blackscholes
+// ---------------------------------------------------------------------------
+
+Result<isa::Program> blackscholes_like(const BlackscholesParams& params) {
+  Assembler a;
+  Assembler::Label main_fn = a.make_label("main");
+  Assembler::Label worker = a.make_label("worker");
+  Assembler::Label input = a.make_label("input");    // 5 doubles per option
+  Assembler::Label output = a.make_label("output");  // 1 double per option
+  Assembler::Label barrier = a.make_label("barrier");
+
+  guestlib::emit_crt0(a, main_fn);
+  guestlib::Runtime rt = guestlib::emit_runtime(a);
+
+  const std::uint32_t n = params.options_n;
+  const std::uint32_t threads = params.threads;
+
+  // worker(a0 = idx): for reps passes, price options in
+  // [idx*n/threads, (idx+1)*n/threads) and store into output[].
+  {
+    a.bind(worker);
+    a.mov(kS0, kA0);
+    // s1 = begin, s2 = end (contiguous partition)
+    a.li(kT1, static_cast<std::int64_t>(n));
+    a.mul(kT2, kS0, kT1);
+    a.li(kT3, static_cast<std::int64_t>(threads));
+    a.divu(kS1, kT2, kT3);
+    a.addi(kT2, kS0, 1);
+    a.mul(kT2, kT2, kT1);
+    a.divu(kS2, kT2, kT3);
+
+    // Hoisted constants.
+    a.fli(kF13, 0.5, kT4);
+    a.fli(kF14, 1.0, kT4);
+    a.fli(kF15, 0.7071067811865476, kT4);  // 1/sqrt(2)
+
+    Assembler::Label rep_loop = a.make_label();
+    Assembler::Label opt_loop = a.make_label();
+    Assembler::Label opt_done = a.make_label();
+    a.li(kT0, static_cast<std::int64_t>(params.reps));
+    a.bind(rep_loop);
+    a.mov(kT1, kS1);  // i
+    a.bind(opt_loop);
+    a.bge(kT1, kS2, opt_done);
+    // Load S,K,r,v,T from input[i*40].
+    a.li(kT2, 40);
+    a.mul(kT2, kT1, kT2);
+    a.la(kT3, input);
+    a.add(kT2, kT2, kT3);
+    a.fld(kF0, kT2, 0);   // S
+    a.fld(kF1, kT2, 8);   // K
+    a.fld(kF2, kT2, 16);  // r
+    a.fld(kF3, kT2, 24);  // v
+    a.fld(kF4, kT2, 32);  // T
+    // d1 = (log(S/K) + (r + v^2/2) T) / (v sqrt(T)); d2 = d1 - v sqrt(T)
+    a.fdiv(kF5, kF0, kF1);
+    a.flog(kF5, kF5);
+    a.fmul(kF6, kF3, kF3);
+    a.fmul(kF6, kF6, kF13);
+    a.fadd(kF6, kF6, kF2);
+    a.fmul(kF6, kF6, kF4);
+    a.fadd(kF5, kF5, kF6);
+    a.fsqrt(kF8, kF4);
+    a.fmul(kF9, kF3, kF8);
+    a.fdiv(kF5, kF5, kF9);   // d1
+    a.fsub(kF6, kF5, kF9);   // d2
+    // CDF(x) = 0.5 (1 + erf(x / sqrt 2))
+    a.fmul(kF10, kF5, kF15);
+    a.ferf(kF10, kF10);
+    a.fadd(kF10, kF10, kF14);
+    a.fmul(kF10, kF10, kF13);  // N(d1)
+    a.fmul(kF11, kF6, kF15);
+    a.ferf(kF11, kF11);
+    a.fadd(kF11, kF11, kF14);
+    a.fmul(kF11, kF11, kF13);  // N(d2)
+    // price = S N(d1) - K exp(-rT) N(d2)
+    a.fmul(kF10, kF0, kF10);
+    a.fmul(kF12, kF2, kF4);
+    a.fneg(kF12, kF12);
+    a.fexp(kF12, kF12);
+    a.fmul(kF12, kF12, kF1);
+    a.fmul(kF12, kF12, kF11);
+    a.fsub(kF10, kF10, kF12);
+    // output[i] = price
+    a.slli(kT2, kT1, 3);
+    a.la(kT3, output);
+    a.add(kT2, kT2, kT3);
+    a.fsd(kT2, kF10, 0);
+    a.addi(kT1, kT1, 1);
+    a.j(opt_loop);
+    a.bind(opt_done);
+    a.addi(kT0, kT0, -1);
+    a.bne(kT0, kZero, rep_loop);
+    a.li(kA0, 0);
+    a.ret();
+  }
+
+  ParallelMainOptions options;
+  options.threads = threads;
+  options.epilogue = [&](Assembler& as) {
+    // Checksum: sum of the first 8 prices, scaled, printed as u32.
+    as.la(kT0, output);
+    as.li(kT1, 0);
+    as.fcvt_d_w(kF0, kT1);
+    for (std::int32_t i = 0; i < 8; ++i) {
+      as.fld(kF1, kT0, i * 8);
+      as.fadd(kF0, kF0, kF1);
+    }
+    as.fli(kF2, 1000.0, kT4);
+    as.fmul(kF0, kF0, kF2);
+    as.fcvt_w_d(kA0, kF0);
+    as.call(rt.print_u32);
+  };
+  emit_parallel_main(a, rt, main_fn, worker, options);
+
+  // Host-generated input (the paper reads PARSEC's input file; the access
+  // pattern, not the values, is what matters).
+  Rng rng(0xB5C0FFEEULL);
+  a.d_align(4096);
+  a.bind_data(input);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    a.d_double(rng.next_double(10.0, 200.0));   // S
+    a.d_double(rng.next_double(10.0, 200.0));   // K
+    a.d_double(rng.next_double(0.01, 0.08));    // r
+    a.d_double(rng.next_double(0.05, 0.6));     // v
+    a.d_double(rng.next_double(0.1, 2.0));      // T
+  }
+  a.d_align(4096);
+  a.bind_data(output);
+  a.d_space(n * 8);
+  a.d_align(4);
+  a.bind_data(barrier);
+  a.d_word(0);
+  a.d_word(0);
+  a.d_word(threads);
+  return a.finalize();
+}
+
+// ---------------------------------------------------------------------------
+// swaptions
+// ---------------------------------------------------------------------------
+
+Result<isa::Program> swaptions_like(const SwaptionsParams& params) {
+  Assembler a;
+  Assembler::Label main_fn = a.make_label("main");
+  Assembler::Label worker = a.make_label("worker");
+  Assembler::Label results = a.make_label("results");
+  Assembler::Label progress = a.make_label("progress");
+
+  guestlib::emit_crt0(a, main_fn);
+  guestlib::Runtime rt = guestlib::emit_runtime(a);
+
+  const std::uint32_t threads = params.threads;
+  const std::uint32_t n = params.swaptions_n;
+
+  // worker(a0 = idx): Monte-Carlo price swaptions [idx*n/t, (idx+1)*n/t).
+  // All state is registers + a page-strided private result slot.
+  {
+    a.bind(worker);
+    a.mov(kS0, kA0);
+    a.li(kT1, static_cast<std::int64_t>(n));
+    a.mul(kT2, kS0, kT1);
+    a.li(kT3, static_cast<std::int64_t>(threads));
+    a.divu(kS1, kT2, kT3);  // begin
+    a.addi(kT2, kS0, 1);
+    a.mul(kT2, kT2, kT1);
+    a.divu(kS2, kT2, kT3);  // end
+
+    a.fli(kF14, 1.0 / 8388608.0, kT4);  // 2^-23: LCG bits -> [0,1)
+    a.fli(kF15, 0.1, kT4);              // vol-ish scale
+
+    Assembler::Label swp_loop = a.make_label();
+    Assembler::Label swp_done = a.make_label();
+    Assembler::Label trial_loop = a.make_label();
+    a.bind(swp_loop);
+    a.bge(kS1, kS2, swp_done);
+    // Seed the LCG from the swaption index; params derived from it too.
+    a.li(kT0, 747796405);
+    a.mul(kT0, kS1, kT0);
+    a.ori(kT0, kT0, 1);         // lcg state
+    a.addi(kT1, kS1, 1);
+    a.fcvt_d_w(kF2, kT1);       // strike-ish = idx+1
+    a.li(kT2, 0);
+    a.fcvt_d_w(kF0, kT2)  ;     // acc = 0
+    a.li(kT2, static_cast<std::int64_t>(params.trials));
+    a.bind(trial_loop);
+    // LCG step: state = state*1664525 + 1013904223
+    a.li(kT3, 1664525);
+    a.mul(kT0, kT0, kT3);
+    a.li(kT3, 1013904223);
+    a.add(kT0, kT0, kT3);
+    // u = ((state >> 9) & 0x7FFFFF) * 2^-23
+    a.srli(kT3, kT0, 9);
+    a.li(kT4, 0x7FFFFF);
+    a.and_(kT3, kT3, kT4);
+    a.fcvt_d_w(kF1, kT3);
+    a.fmul(kF1, kF1, kF14);
+    // Light false sharing, as in the real benchmark's heap layout: bump a
+    // per-thread progress slot every 32K trials. Slots are 1 KiB apart
+    // (four share a page), so page splitting (5.1) isolates them fully.
+    {
+      Assembler::Label no_tick = a.make_label();
+      a.andi(kT3, kT2, 32767);
+      a.bne(kT3, kZero, no_tick);
+      a.la(kT3, progress);
+      a.slli(kT4, kS0, 10);
+      a.add(kT3, kT3, kT4);
+      a.lw(kT4, kT3, 0);
+      a.addi(kT4, kT4, 1);
+      a.sw(kT3, kT4, 0);
+      a.bind(no_tick);
+    }
+    // payoff-ish: acc += exp(vol * u) / (1 + strike)
+    a.fmul(kF1, kF1, kF15);
+    a.fexp(kF1, kF1);
+    a.fli(kF3, 1.0, kT3);
+    a.fadd(kF3, kF3, kF2);
+    a.fdiv(kF1, kF1, kF3);
+    a.fadd(kF0, kF0, kF1);
+    a.addi(kT2, kT2, -1);
+    a.bne(kT2, kZero, trial_loop);
+    // results[thread] += acc (private, page-strided)
+    a.la(kT1, results);
+    a.slli(kT2, kS0, 12);
+    a.add(kT1, kT1, kT2);
+    a.fld(kF1, kT1, 0);
+    a.fadd(kF1, kF1, kF0);
+    a.fsd(kT1, kF1, 0);
+    a.addi(kS1, kS1, 1);
+    a.j(swp_loop);
+    a.bind(swp_done);
+    a.li(kA0, 0);
+    a.ret();
+  }
+
+  ParallelMainOptions options;
+  options.threads = threads;
+  options.epilogue = [&](Assembler& as) {
+    as.la(kT0, results);
+    as.fld(kF0, kT0, 0);
+    as.fli(kF1, 100.0, kT4);
+    as.fmul(kF0, kF0, kF1);
+    as.fcvt_w_d(kA0, kF0);
+    as.call(rt.print_u32);
+  };
+  emit_parallel_main(a, rt, main_fn, worker, options);
+
+  a.d_align(4096);
+  a.bind_data(results);
+  a.d_space(threads * 4096);
+  a.bind_data(progress);
+  a.d_space(threads * 1024);
+  return a.finalize();
+}
+
+// ---------------------------------------------------------------------------
+// x264 (pipelined frame groups)
+// ---------------------------------------------------------------------------
+
+Result<isa::Program> x264_like(const X264Params& params) {
+  Assembler a;
+  Assembler::Label main_fn = a.make_label("main");
+  Assembler::Label worker = a.make_label("worker");
+  Assembler::Label refs = a.make_label("refs");
+  Assembler::Label outs = a.make_label("outs");
+  Assembler::Label barrier = a.make_label("barrier");
+
+  guestlib::emit_crt0(a, main_fn);
+  guestlib::Runtime rt = guestlib::emit_runtime(a);
+
+  const std::uint32_t threads = params.threads;
+  const std::uint32_t groups = params.groups;
+  const std::uint32_t frame_words = params.frame_bytes / 4;
+
+  // worker(a0 = idx):
+  //   group  = idx * groups / threads     (same formula as block_groups)
+  //   leader = idx == 0 || group(idx) != group(idx-1)
+  //   per round: barrier; consume the group's reference frame (read all
+  //   words); "encode" into a private buffer; barrier; leader refreshes
+  //   the reference frame (writes every word) for the next round.
+  {
+    a.bind(worker);
+    a.addi(kSp, kSp, -32);
+    a.sw(kSp, kRa, 0);
+    a.mov(kS0, kA0);
+    // group -> kS1
+    a.li(kT1, static_cast<std::int64_t>(groups));
+    a.mul(kT2, kS0, kT1);
+    a.li(kT3, static_cast<std::int64_t>(threads));
+    a.divu(kS1, kT2, kT3);
+    // leader flag -> [sp+4]
+    Assembler::Label is_leader = a.make_label();
+    Assembler::Label leader_done = a.make_label();
+    a.li(kT4, 1);
+    a.beq(kS0, kZero, is_leader);
+    a.addi(kT2, kS0, -1);
+    a.mul(kT2, kT2, kT1);
+    a.divu(kT2, kT2, kT3);
+    a.li(kT4, 1);
+    a.bne(kT2, kS1, leader_done);
+    a.li(kT4, 0);
+    a.j(leader_done);
+    a.bind(is_leader);
+    a.li(kT4, 1);
+    a.bind(leader_done);
+    a.sw(kSp, kT4, 4);
+    // ref base -> kS2 ; private out base -> [sp+8]
+    a.li(kT1, static_cast<std::int64_t>(params.frame_bytes));
+    a.mul(kT1, kS1, kT1);
+    a.la(kT2, refs);
+    a.add(kS2, kT2, kT1);
+    a.la(kT2, outs);
+    a.slli(kT1, kS0, 12);
+    a.add(kT2, kT2, kT1);
+    a.sw(kSp, kT2, 8);
+
+    a.li(kT0, static_cast<std::int64_t>(params.rounds));
+    a.sw(kSp, kT0, 12);  // round counter
+    Assembler::Label round_loop = a.make_label();
+    Assembler::Label consume = a.make_label();
+    Assembler::Label encode = a.make_label();
+    Assembler::Label refresh = a.make_label();
+    Assembler::Label not_leader = a.make_label();
+    a.bind(round_loop);
+    a.la(kA0, barrier);
+    a.call(rt.barrier_wait);
+    // Consume the reference frame: sum all words.
+    a.mov(kT1, kS2);
+    a.li(kT2, static_cast<std::int64_t>(frame_words));
+    a.li(kT0, 0);
+    a.bind(consume);
+    a.lw(kT3, kT1, 0);
+    a.add(kT0, kT0, kT3);
+    a.addi(kT1, kT1, 4);
+    a.addi(kT2, kT2, -1);
+    a.bne(kT2, kZero, consume);
+    // Encode: write the private buffer (compute_words words).
+    a.lw(kT1, kSp, 8);
+    a.li(kT2, static_cast<std::int64_t>(params.compute_words));
+    a.li(kT4, 2654435);  // mixing constant (too wide for an addi)
+    a.bind(encode);
+    a.add(kT0, kT0, kT4);
+    a.andi(kT3, kT2, 1023);
+    a.slli(kT3, kT3, 2);
+    a.add(kT3, kT1, kT3);
+    a.sw(kT3, kT0, 0);
+    a.addi(kT2, kT2, -1);
+    a.bne(kT2, kZero, encode);
+    a.la(kA0, barrier);
+    a.call(rt.barrier_wait);
+    // Leader refreshes the reference frame.
+    a.lw(kT4, kSp, 4);
+    a.beq(kT4, kZero, not_leader);
+    a.mov(kT1, kS2);
+    a.li(kT2, static_cast<std::int64_t>(frame_words));
+    a.bind(refresh);
+    a.add(kT3, kT2, kT0);
+    a.sw(kT1, kT3, 0);
+    a.addi(kT1, kT1, 4);
+    a.addi(kT2, kT2, -1);
+    a.bne(kT2, kZero, refresh);
+    a.bind(not_leader);
+    a.lw(kT0, kSp, 12);
+    a.addi(kT0, kT0, -1);
+    a.sw(kSp, kT0, 12);
+    a.bne(kT0, kZero, round_loop);
+    a.li(kA0, 0);
+    a.lw(kRa, kSp, 0);
+    a.addi(kSp, kSp, 32);
+    a.ret();
+  }
+
+  ParallelMainOptions options;
+  options.threads = threads;
+  if (params.hints) options.groups = block_groups(threads, groups);
+  options.epilogue = [&](Assembler& as) {
+    as.la(kT0, refs);
+    as.lw(kA0, kT0, 0);
+    as.call(rt.print_u32);
+  };
+  emit_parallel_main(a, rt, main_fn, worker, options);
+
+  a.d_align(4096);
+  a.bind_data(refs);
+  a.d_space(groups * params.frame_bytes);
+  a.bind_data(outs);
+  a.d_space(threads * 4096);
+  a.d_align(4);
+  a.bind_data(barrier);
+  a.d_word(0);
+  a.d_word(0);
+  a.d_word(threads);
+  return a.finalize();
+}
+
+// ---------------------------------------------------------------------------
+// fluidanimate (row-partitioned vertical stencil)
+// ---------------------------------------------------------------------------
+
+Result<isa::Program> fluidanimate_like(const FluidanimateParams& params) {
+  Assembler a;
+  Assembler::Label main_fn = a.make_label("main");
+  Assembler::Label worker = a.make_label("worker");
+  Assembler::Label grid_a = a.make_label("grid_a");
+  Assembler::Label grid_b = a.make_label("grid_b");
+  Assembler::Label barrier = a.make_label("barrier");
+
+  guestlib::emit_crt0(a, main_fn);
+  guestlib::Runtime rt = guestlib::emit_runtime(a);
+
+  const std::uint32_t threads = params.threads;
+  const std::uint32_t rpt = params.rows_per_thread;
+  const std::uint32_t row_bytes = params.cols * 8;
+  const std::uint32_t total_rows = threads * rpt + 2;  // + ghost rows
+
+  // worker(a0 = idx): iters x { barrier; for my rows r:
+  //   dst[r][j] = (src[r-1][j] + src[r][j] + src[r+1][j]) / 3 }
+  // with src/dst alternating between grid_a and grid_b by parity.
+  {
+    a.bind(worker);
+    a.addi(kSp, kSp, -32);
+    a.sw(kSp, kRa, 0);
+    a.mov(kS0, kA0);
+    // first owned row = 1 + idx*rpt; byte offset -> [sp+4]
+    a.li(kT1, static_cast<std::int64_t>(rpt));
+    a.mul(kT1, kS0, kT1);
+    a.addi(kT1, kT1, 1);
+    a.li(kT2, static_cast<std::int64_t>(row_bytes));
+    a.mul(kT1, kT1, kT2);
+    a.sw(kSp, kT1, 4);
+    a.fli(kF15, 1.0 / 3.0, kT4);
+    a.li(kS1, static_cast<std::int64_t>(params.iters));  // iter counter
+
+    Assembler::Label iter_loop = a.make_label();
+    Assembler::Label even = a.make_label();
+    Assembler::Label bases_done = a.make_label();
+    Assembler::Label row_loop = a.make_label();
+    Assembler::Label col_loop = a.make_label();
+    a.bind(iter_loop);
+    a.la(kA0, barrier);
+    a.call(rt.barrier_wait);
+    // src/dst by parity of the remaining-iteration counter.
+    a.andi(kT0, kS1, 1);
+    a.bne(kT0, kZero, even);
+    a.la(kT1, grid_b);   // odd remaining: src = B, dst = A
+    a.la(kT2, grid_a);
+    a.j(bases_done);
+    a.bind(even);
+    a.la(kT1, grid_a);   // src = A, dst = B
+    a.la(kT2, grid_b);
+    a.bind(bases_done);
+    a.lw(kT3, kSp, 4);
+    a.add(kS2, kT1, kT3);  // src row ptr (my first row)
+    a.add(kT2, kT2, kT3);
+    a.sw(kSp, kT2, 8);     // dst row ptr
+    a.li(kT4, static_cast<std::int64_t>(rpt));
+    a.sw(kSp, kT4, 12);    // rows left
+    a.bind(row_loop);
+    a.li(kT2, static_cast<std::int64_t>(params.cols));
+    a.mov(kT1, kS2);
+    a.lw(kT3, kSp, 8);
+    a.bind(col_loop);
+    a.fld(kF0, kT1, -static_cast<std::int32_t>(row_bytes));
+    a.fld(kF1, kT1, 0);
+    a.fld(kF2, kT1, static_cast<std::int32_t>(row_bytes));
+    a.fadd(kF0, kF0, kF1);
+    a.fadd(kF0, kF0, kF2);
+    a.fmul(kF0, kF0, kF15);
+    a.fsd(kT3, kF0, 0);
+    a.addi(kT1, kT1, 8);
+    a.addi(kT3, kT3, 8);
+    a.addi(kT2, kT2, -1);
+    a.bne(kT2, kZero, col_loop);
+    // next row
+    a.li(kT1, static_cast<std::int64_t>(row_bytes));
+    a.add(kS2, kS2, kT1);
+    a.lw(kT3, kSp, 8);
+    a.add(kT3, kT3, kT1);
+    a.sw(kSp, kT3, 8);
+    a.lw(kT4, kSp, 12);
+    a.addi(kT4, kT4, -1);
+    a.sw(kSp, kT4, 12);
+    a.bne(kT4, kZero, row_loop);
+    a.addi(kS1, kS1, -1);
+    a.bne(kS1, kZero, iter_loop);
+    a.li(kA0, 0);
+    a.lw(kRa, kSp, 0);
+    a.addi(kSp, kSp, 32);
+    a.ret();
+  }
+
+  ParallelMainOptions options;
+  options.threads = threads;
+  if (params.hint_groups != 0) {
+    options.groups = block_groups(threads, params.hint_groups);
+  }
+  options.epilogue = [&](Assembler& as) {
+    // Checksum: first owned cell of grid A, scaled.
+    as.la(kT0, grid_a);
+    as.fld(kF0, kT0, static_cast<std::int32_t>(row_bytes));
+    as.fli(kF1, 1.0e6, kT4);
+    as.fmul(kF0, kF0, kF1);
+    as.fcvt_w_d(kA0, kF0);
+    as.call(rt.print_u32);
+  };
+  emit_parallel_main(a, rt, main_fn, worker, options);
+
+  // Grids: ghost row 0 filled with 1.0 so the diffusion is non-trivial.
+  a.d_align(4096);
+  a.bind_data(grid_a);
+  for (std::uint32_t j = 0; j < params.cols; ++j) a.d_double(1.0);
+  a.d_space((total_rows - 1) * row_bytes);
+  a.bind_data(grid_b);
+  for (std::uint32_t j = 0; j < params.cols; ++j) a.d_double(1.0);
+  a.d_space((total_rows - 1) * row_bytes);
+  a.d_align(4);
+  a.bind_data(barrier);
+  a.d_word(0);
+  a.d_word(0);
+  a.d_word(threads);
+  return a.finalize();
+}
+
+}  // namespace dqemu::workloads

@@ -1,0 +1,61 @@
+// PARSEC-like guest workloads (paper section 6.1.2).
+//
+// These reproduce the *memory behaviour classes* of the four PARSEC
+// programs the paper evaluates, at configurable scale:
+//   blackscholes : data-parallel FP kernel over a shared input array,
+//                  contiguous per-thread partitions, light sharing
+//   swaptions    : Monte-Carlo with per-thread private state, almost no
+//                  sharing ("data-parallel program with little data
+//                  sharing and has no input")
+//   x264         : pipelined frame groups — a leader refreshes a group-
+//                  shared reference frame each round, members consume it
+//                  (heavy true sharing inside a group, none across)
+//   fluidanimate : block-partitioned stencil over a grid, neighbour-row
+//                  exchange + global barrier per iteration
+// x264/fluidanimate carry block-contiguous HINT groups, the paper's
+// source-level instrumentation for locality-aware scheduling (5.3).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "isa/program.hpp"
+
+namespace dqemu::workloads {
+
+struct BlackscholesParams {
+  std::uint32_t threads = 32;
+  std::uint32_t options_n = 16384;  ///< input array length
+  std::uint32_t reps = 4;           ///< passes over the array
+};
+[[nodiscard]] Result<isa::Program> blackscholes_like(
+    const BlackscholesParams& params);
+
+struct SwaptionsParams {
+  std::uint32_t threads = 32;
+  std::uint32_t swaptions_n = 64;  ///< total swaptions, split over threads
+  std::uint32_t trials = 2000;     ///< Monte-Carlo trials per swaption
+};
+[[nodiscard]] Result<isa::Program> swaptions_like(const SwaptionsParams& params);
+
+struct X264Params {
+  std::uint32_t threads = 128;
+  std::uint32_t groups = 8;        ///< independent frame groups (GOPs)
+  std::uint32_t rounds = 24;       ///< frames encoded per thread
+  std::uint32_t frame_bytes = 4096;///< reference-frame size (page multiple)
+  std::uint32_t compute_words = 4096;  ///< per-round private compute size
+  bool hints = true;               ///< emit HINT locality groups
+};
+[[nodiscard]] Result<isa::Program> x264_like(const X264Params& params);
+
+struct FluidanimateParams {
+  std::uint32_t threads = 128;
+  std::uint32_t rows_per_thread = 2;
+  std::uint32_t cols = 512;        ///< doubles per row (512 -> 1 page/row)
+  std::uint32_t iters = 16;
+  std::uint32_t hint_groups = 8;   ///< 0 = no hints
+};
+[[nodiscard]] Result<isa::Program> fluidanimate_like(
+    const FluidanimateParams& params);
+
+}  // namespace dqemu::workloads

@@ -1,0 +1,176 @@
+// End-to-end smoke tests: tiny guest programs through the full stack
+// (assembler -> DBT -> DSM -> syscall delegation) on baseline and
+// multi-node clusters.
+#include <gtest/gtest.h>
+
+#include "guestlib/runtime.hpp"
+#include "isa/syscall_abi.hpp"
+#include "testutil.hpp"
+
+namespace dqemu {
+namespace {
+
+using isa::Assembler;
+using isa::Sys;
+using test::baseline_config;
+using test::must_finalize;
+using test::run_program;
+using test::test_config;
+using enum isa::Reg;
+
+isa::Program hello_program() {
+  Assembler a;
+  Assembler::Label msg = a.make_label("msg");
+  a.la(kA1, msg);
+  a.li(kA0, 1);
+  a.li(kA2, 14);
+  a.syscall(static_cast<std::int32_t>(Sys::kWrite));
+  a.li(kA0, 42);
+  a.syscall(static_cast<std::int32_t>(Sys::kExitGroup));
+  a.bind_data(msg);
+  a.d_asciz("hello, dqemu!\n");
+  return must_finalize(a);
+}
+
+TEST(Smoke, HelloBaseline) {
+  auto outcome = run_program(baseline_config(), hello_program());
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.exit_code, 42u);
+  EXPECT_EQ(outcome.result.guest_stdout, "hello, dqemu!\n");
+  EXPECT_GT(outcome.result.sim_time, 0u);
+}
+
+TEST(Smoke, HelloOneSlave) {
+  auto outcome = run_program(test_config(1), hello_program());
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.exit_code, 42u);
+  EXPECT_EQ(outcome.result.guest_stdout, "hello, dqemu!\n");
+}
+
+/// main spawns `threads` workers; each locks a mutex and adds its id+1 to
+/// a shared counter `iters` times; main joins all and prints the counter.
+isa::Program mutex_counter_program(std::uint32_t threads,
+                                   std::uint32_t iters) {
+  Assembler a;
+  Assembler::Label main_fn = a.make_label("main");
+  Assembler::Label worker = a.make_label("worker");
+  Assembler::Label counter = a.make_label("counter");
+  Assembler::Label lock = a.make_label("lock");
+  Assembler::Label handles = a.make_label("handles");
+
+  guestlib::emit_crt0(a, main_fn);
+  guestlib::Runtime rt = guestlib::emit_runtime(a);
+
+  // worker(a0 = id): for iters: lock; counter += id+1; unlock.
+  {
+    a.bind(worker);
+    a.addi(kSp, kSp, -16);
+    a.sw(kSp, kRa, 0);
+    a.sw(kSp, kS0, 4);
+    a.sw(kSp, kS1, 8);
+    a.addi(kS0, kA0, 1);                       // contribution
+    a.li(kS1, static_cast<std::int64_t>(iters));
+    Assembler::Label loop = a.make_label();
+    a.bind(loop);
+    a.la(kA0, lock);
+    a.call(rt.mutex_lock);
+    a.la(kT0, counter);
+    a.lw(kT1, kT0, 0);
+    a.add(kT1, kT1, kS0);
+    a.sw(kT0, kT1, 0);
+    a.la(kA0, lock);
+    a.call(rt.mutex_unlock);
+    a.addi(kS1, kS1, -1);
+    a.bne(kS1, kZero, loop);
+    a.li(kA0, 0);
+    a.lw(kRa, kSp, 0);
+    a.lw(kS0, kSp, 4);
+    a.lw(kS1, kSp, 8);
+    a.addi(kSp, kSp, 16);
+    a.ret();
+  }
+
+  // main: spawn, join, print counter, return 0.
+  {
+    a.bind(main_fn);
+    a.addi(kSp, kSp, -16);
+    a.sw(kSp, kRa, 0);
+    a.sw(kSp, kS0, 4);
+    a.li(kS0, 0);  // i
+    Assembler::Label spawn = a.make_label();
+    Assembler::Label join = a.make_label();
+    Assembler::Label joined = a.make_label();
+    a.bind(spawn);
+    a.la(kA0, worker);
+    a.mov(kA1, kS0);
+    a.call(rt.thread_create);
+    a.la(kT0, handles);
+    a.slli(kT1, kS0, 2);
+    a.add(kT0, kT0, kT1);
+    a.sw(kT0, kA0, 0);
+    a.addi(kS0, kS0, 1);
+    a.li(kT1, static_cast<std::int64_t>(threads));
+    a.bne(kS0, kT1, spawn);
+    a.li(kS0, 0);
+    a.bind(join);
+    a.la(kT0, handles);
+    a.slli(kT1, kS0, 2);
+    a.add(kT0, kT0, kT1);
+    a.lw(kA0, kT0, 0);
+    a.call(rt.thread_join);
+    a.addi(kS0, kS0, 1);
+    a.li(kT1, static_cast<std::int64_t>(threads));
+    a.bne(kS0, kT1, join);
+    a.bind(joined);
+    a.la(kT0, counter);
+    a.lw(kA0, kT0, 0);
+    a.call(rt.print_u32);
+    a.li(kA0, 0);
+    a.lw(kRa, kSp, 0);
+    a.lw(kS0, kSp, 4);
+    a.addi(kSp, kSp, 16);
+    a.ret();
+  }
+
+  a.d_align(4);
+  a.bind_data(counter);
+  a.d_word(0);
+  a.bind_data(lock);
+  a.d_word(0);
+  a.bind_data(handles);
+  a.d_space(threads * 4);
+  return must_finalize(a);
+}
+
+std::uint64_t expected_counter(std::uint32_t threads, std::uint32_t iters) {
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 1; i <= threads; ++i) total += i;
+  return total * iters;
+}
+
+TEST(Smoke, MutexCounterBaseline) {
+  const auto program = mutex_counter_program(4, 100);
+  auto outcome = run_program(baseline_config(), program);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.guest_stdout,
+            std::to_string(expected_counter(4, 100)) + "\n");
+}
+
+TEST(Smoke, MutexCounterTwoSlaves) {
+  const auto program = mutex_counter_program(4, 100);
+  auto outcome = run_program(test_config(2), program);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.guest_stdout,
+            std::to_string(expected_counter(4, 100)) + "\n");
+}
+
+TEST(Smoke, MutexCounterManyThreadsFourSlaves) {
+  const auto program = mutex_counter_program(12, 50);
+  auto outcome = run_program(test_config(4), program);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.guest_stdout,
+            std::to_string(expected_counter(12, 50)) + "\n");
+}
+
+}  // namespace
+}  // namespace dqemu

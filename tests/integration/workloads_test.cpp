@@ -1,0 +1,143 @@
+// Integration tests: every workload generator runs to completion on
+// baseline and multi-node clusters, and multi-node results match the
+// single-node reference (the key DSM-correctness property: only protocol
+// messages move bytes between nodes, so a coherence bug changes output).
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+#include "workloads/micro.hpp"
+#include "workloads/parsec.hpp"
+
+namespace dqemu {
+namespace {
+
+using test::baseline_config;
+using test::run_program;
+using test::test_config;
+
+isa::Program must(Result<isa::Program> r) {
+  EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+  return r.is_ok() ? r.take() : isa::Program{};
+}
+
+/// Runs `program` on the baseline and on `nodes` slaves; expects identical
+/// guest stdout and returns it.
+std::string check_equivalence(const isa::Program& program,
+                              std::uint32_t nodes) {
+  auto base = run_program(baseline_config(), program);
+  EXPECT_TRUE(base.ok) << base.error;
+  auto multi = run_program(test_config(nodes), program);
+  EXPECT_TRUE(multi.ok) << multi.error;
+  if (base.ok && multi.ok) {
+    EXPECT_EQ(base.result.guest_stdout, multi.result.guest_stdout);
+    EXPECT_EQ(base.result.exit_code, multi.result.exit_code);
+  }
+  return base.ok ? base.result.guest_stdout : std::string();
+}
+
+TEST(Workloads, PiTaylorMatchesAcrossNodeCounts) {
+  const auto program = must(workloads::pi_taylor(8, 2, 200));
+  const std::string out = check_equivalence(program, 3);
+  // Leibniz with 200 terms: pi ~ 3.1366; checksum = floor(pi*1e6).
+  ASSERT_FALSE(out.empty());
+  const long value = std::stol(out);
+  EXPECT_NEAR(static_cast<double>(value), 3.1365926e6, 3000.0);
+}
+
+TEST(Workloads, MutexStressGlobalLock) {
+  const auto program = must(workloads::mutex_stress(8, 50, /*global=*/true));
+  check_equivalence(program, 4);
+}
+
+TEST(Workloads, MutexStressPrivateLocks) {
+  const auto program = must(workloads::mutex_stress(8, 200, /*global=*/false));
+  check_equivalence(program, 4);
+}
+
+TEST(Workloads, MemwalkRuns) {
+  const auto program = must(workloads::memwalk(64 * 1024, 2, true));
+  check_equivalence(program, 2);
+}
+
+TEST(Workloads, FalseSharingWalk) {
+  const auto program = must(workloads::false_sharing_walk(8, 128, 4, 4));
+  check_equivalence(program, 4);
+}
+
+TEST(Workloads, BlackscholesSmall) {
+  workloads::BlackscholesParams params;
+  params.threads = 8;
+  params.options_n = 256;
+  params.reps = 2;
+  const auto program = must(workloads::blackscholes_like(params));
+  const std::string out = check_equivalence(program, 3);
+  ASSERT_FALSE(out.empty());
+  EXPECT_GT(std::stol(out), 0);  // option prices are positive
+}
+
+TEST(Workloads, SwaptionsSmall) {
+  workloads::SwaptionsParams params;
+  params.threads = 6;
+  params.swaptions_n = 12;
+  params.trials = 100;
+  const auto program = must(workloads::swaptions_like(params));
+  const std::string out = check_equivalence(program, 3);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(Workloads, X264Small) {
+  workloads::X264Params params;
+  params.threads = 8;
+  params.groups = 2;
+  params.rounds = 4;
+  params.compute_words = 512;
+  const auto program = must(workloads::x264_like(params));
+  check_equivalence(program, 3);
+}
+
+TEST(Workloads, X264HintVsRoundRobinSameResult) {
+  workloads::X264Params params;
+  params.threads = 8;
+  params.groups = 2;
+  params.rounds = 4;
+  params.compute_words = 512;
+  const auto program = must(workloads::x264_like(params));
+  auto rr = run_program(test_config(2), program);
+  ASSERT_TRUE(rr.ok) << rr.error;
+  ClusterConfig hint_config = test_config(2);
+  hint_config.sched.policy = SchedPolicy::kHintLocality;
+  auto hint = run_program(hint_config, program);
+  ASSERT_TRUE(hint.ok) << hint.error;
+  EXPECT_EQ(rr.result.guest_stdout, hint.result.guest_stdout);
+}
+
+TEST(Workloads, FluidanimateSmall) {
+  workloads::FluidanimateParams params;
+  params.threads = 8;
+  params.rows_per_thread = 1;
+  params.cols = 64;
+  params.iters = 4;
+  params.hint_groups = 2;
+  const auto program = must(workloads::fluidanimate_like(params));
+  const std::string out = check_equivalence(program, 3);
+  // Diffusion from the all-ones ghost row must have reached row 1.
+  ASSERT_FALSE(out.empty());
+  EXPECT_GT(std::stol(out), 0);
+}
+
+TEST(Workloads, FluidanimateDeterministicAcrossRuns) {
+  workloads::FluidanimateParams params;
+  params.threads = 4;
+  params.rows_per_thread = 1;
+  params.cols = 64;
+  params.iters = 3;
+  const auto program = must(workloads::fluidanimate_like(params));
+  auto a = run_program(test_config(2), program);
+  auto b = run_program(test_config(2), program);
+  ASSERT_TRUE(a.ok && b.ok) << a.error << b.error;
+  EXPECT_EQ(a.result.guest_stdout, b.result.guest_stdout);
+  EXPECT_EQ(a.result.sim_time, b.result.sim_time);  // bit-deterministic
+}
+
+}  // namespace
+}  // namespace dqemu

@@ -1,0 +1,65 @@
+// Shared helpers for DQEMU tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/config.hpp"
+#include "core/cluster.hpp"
+#include "isa/assembler.hpp"
+#include "isa/program.hpp"
+
+namespace dqemu::test {
+
+/// Finalizes `a` or fails the current test.
+inline isa::Program must_finalize(isa::Assembler& a) {
+  auto result = a.finalize();
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  return result.is_ok() ? result.take() : isa::Program{};
+}
+
+/// Small-memory config so tests construct clusters quickly.
+inline ClusterConfig test_config(std::uint32_t slave_nodes) {
+  ClusterConfig config;
+  config.slave_nodes = slave_nodes;
+  config.guest_mem_bytes = 64u * 1024 * 1024;
+  return config;
+}
+
+inline ClusterConfig baseline_config() {
+  ClusterConfig config;
+  config.single_node_baseline = true;
+  config.slave_nodes = 0;
+  config.guest_mem_bytes = 64u * 1024 * 1024;
+  return config;
+}
+
+struct RunOutcome {
+  core::Cluster::RunResult result;
+  std::string error;
+  bool ok = false;
+};
+
+/// Loads and runs `program` on a fresh cluster with `config`.
+inline RunOutcome run_program(const ClusterConfig& config,
+                              const isa::Program& program,
+                              core::Cluster::RunLimits limits = {}) {
+  core::Cluster cluster(config);
+  RunOutcome outcome;
+  const Status load_status = cluster.load(program);
+  if (!load_status.is_ok()) {
+    outcome.error = load_status.to_string();
+    return outcome;
+  }
+  auto run = cluster.run(limits);
+  if (!run.is_ok()) {
+    outcome.error = run.status().to_string();
+    return outcome;
+  }
+  outcome.result = run.take();
+  outcome.ok = true;
+  return outcome;
+}
+
+}  // namespace dqemu::test

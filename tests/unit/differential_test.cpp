@@ -1,0 +1,195 @@
+// Differential property tests: random programs through the production
+// ExecEngine vs the independent reference interpreter must produce
+// bit-identical final CPU and memory state.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "dbt/exec.hpp"
+#include "dbt/reference_interp.hpp"
+#include "dbt/translation.hpp"
+#include "isa/assembler.hpp"
+
+namespace dqemu::dbt {
+namespace {
+
+using isa::Assembler;
+using enum isa::Reg;
+using enum isa::FReg;
+
+constexpr std::uint32_t kScratchBytes = 2048;
+
+/// Emits a random but well-defined program: ALU/imm/FP ops over all
+/// registers, aligned loads/stores into a scratch buffer addressed via s2,
+/// short forward branches, LL/SC pairs — ending in a syscall.
+isa::Program random_program(std::uint64_t seed, unsigned length) {
+  Rng rng(seed);
+  Assembler a;
+  auto scratch = a.make_label("scratch");
+  a.la(kS2, scratch);  // stable base register for memory ops
+
+  auto any_gpr = [&] {
+    // Never rd = s2 (the base would wander off the scratch region).
+    std::uint8_t reg;
+    do {
+      reg = static_cast<std::uint8_t>(rng.next_below(16));
+    } while (reg == kS2);
+    return static_cast<isa::Reg>(reg);
+  };
+  auto any_src = [&] { return static_cast<isa::Reg>(rng.next_below(16)); };
+  auto any_fpr = [&] { return static_cast<isa::FReg>(rng.next_below(16)); };
+  auto imm16 = [&] { return std::int32_t(rng.next_below(65536)) - 32768; };
+
+  // Seed registers with random values.
+  for (unsigned reg = 1; reg < 16; ++reg) {
+    if (reg == kS2) continue;
+    a.li(static_cast<isa::Reg>(reg), std::int64_t(std::int32_t(rng.next())));
+  }
+  for (unsigned reg = 0; reg < 16; ++reg) {
+    a.fli(static_cast<isa::FReg>(reg), rng.next_double(-100.0, 100.0), kT4);
+  }
+  // (fli clobbered t4; reseed it.)
+  a.li(kT4, std::int64_t(std::int32_t(rng.next())));
+
+  for (unsigned i = 0; i < length; ++i) {
+    switch (rng.next_below(10)) {
+      case 0: case 1: case 2: {  // R-type integer
+        static constexpr void (Assembler::*kOps[])(isa::Reg, isa::Reg,
+                                                   isa::Reg) = {
+            &Assembler::add, &Assembler::sub, &Assembler::mul,
+            &Assembler::div, &Assembler::divu, &Assembler::rem,
+            &Assembler::remu, &Assembler::and_, &Assembler::or_,
+            &Assembler::xor_, &Assembler::sll, &Assembler::srl,
+            &Assembler::sra, &Assembler::slt, &Assembler::sltu};
+        (a.*kOps[rng.next_below(std::size(kOps))])(any_gpr(), any_src(),
+                                                   any_src());
+        break;
+      }
+      case 3: case 4: {  // I-type integer
+        static constexpr void (Assembler::*kOps[])(isa::Reg, isa::Reg,
+                                                   std::int32_t) = {
+            &Assembler::addi, &Assembler::andi, &Assembler::ori,
+            &Assembler::xori, &Assembler::slli, &Assembler::srli,
+            &Assembler::srai, &Assembler::slti, &Assembler::sltiu};
+        (a.*kOps[rng.next_below(std::size(kOps))])(any_gpr(), any_src(),
+                                                   imm16());
+        break;
+      }
+      case 5: {  // aligned store into scratch
+        const std::uint32_t width = 1u << rng.next_below(3);  // 1/2/4
+        const auto offset = static_cast<std::int32_t>(
+            rng.next_below(kScratchBytes / width) * width);
+        if (width == 1) a.sb(kS2, any_src(), offset);
+        else if (width == 2) a.sh(kS2, any_src(), offset);
+        else a.sw(kS2, any_src(), offset);
+        break;
+      }
+      case 6: {  // aligned load from scratch
+        const std::uint32_t width = 1u << rng.next_below(3);
+        const auto offset = static_cast<std::int32_t>(
+            rng.next_below(kScratchBytes / width) * width);
+        if (width == 1) a.lbu(any_gpr(), kS2, offset);
+        else if (width == 2) a.lh(any_gpr(), kS2, offset);
+        else a.lw(any_gpr(), kS2, offset);
+        break;
+      }
+      case 7: {  // FP arithmetic (total functions only: keep values finite)
+        static constexpr void (Assembler::*kOps[])(isa::FReg, isa::FReg,
+                                                   isa::FReg) = {
+            &Assembler::fadd, &Assembler::fsub, &Assembler::fmul,
+            &Assembler::fmin, &Assembler::fmax};
+        (a.*kOps[rng.next_below(std::size(kOps))])(any_fpr(), any_fpr(),
+                                                   any_fpr());
+        break;
+      }
+      case 8: {  // short forward branch over 1-3 instructions
+        auto skip = a.make_label();
+        if (rng.next_below(2) == 0) {
+          a.beq(any_src(), any_src(), skip);
+        } else {
+          a.blt(any_src(), any_src(), skip);
+        }
+        const std::uint64_t body = 1 + rng.next_below(3);
+        for (std::uint64_t k = 0; k < body; ++k) {
+          a.addi(any_gpr(), any_src(), imm16());
+        }
+        a.bind(skip);
+        break;
+      }
+      case 9: {  // LL/SC pair on a scratch word
+        const auto offset = static_cast<std::int32_t>(
+            rng.next_below(kScratchBytes / 4) * 4);
+        a.addi(kT4, kS2, offset);
+        a.ll(kT3, kT4);
+        a.addi(kT3, kT3, 1);
+        a.sc(kT3, kT4, kT3);
+        break;
+      }
+    }
+  }
+  a.syscall(1);
+  a.d_align(8);
+  a.bind_data(scratch);
+  a.d_space(kScratchBytes);
+  auto result = a.finalize();
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  return result.is_ok() ? result.take() : isa::Program{};
+}
+
+class Differential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Differential, EngineMatchesReference) {
+  const isa::Program program = random_program(GetParam(), 400);
+
+  // Production engine.
+  mem::AddressSpace engine_space(32u << 20, 4096);
+  engine_space.load_program(program);
+  engine_space.set_all_access(mem::PageAccess::kReadWrite);
+  DbtConfig config;
+  LlscTable llsc;
+  TranslationCache cache(engine_space, config, false, nullptr);
+  ExecEngine engine(engine_space, nullptr, llsc, cache, config, false,
+                    nullptr);
+  CpuContext engine_ctx;
+  engine_ctx.pc = program.entry;
+  engine_ctx.tid = 1;
+  const ExecResult engine_result = engine.run(engine_ctx, 1'000'000);
+  ASSERT_EQ(engine_result.reason, StopReason::kSyscall)
+      << engine_result.error;
+
+  // Reference interpreter.
+  mem::AddressSpace ref_space(32u << 20, 4096);
+  ref_space.load_program(program);
+  CpuContext ref_ctx;
+  ref_ctx.pc = program.entry;
+  ref_ctx.tid = 1;
+  const ReferenceResult ref_result =
+      reference_run(ref_ctx, ref_space, 1'000'000);
+  ASSERT_EQ(ref_result.stop, ReferenceResult::Stop::kSyscall)
+      << ref_result.error;
+
+  // Bit-identical outcomes.
+  EXPECT_EQ(engine_result.insns, ref_result.insns);
+  EXPECT_EQ(engine_ctx.pc, ref_ctx.pc);
+  EXPECT_EQ(engine_ctx.gpr, ref_ctx.gpr);
+  for (unsigned i = 0; i < isa::kNumFpr; ++i) {
+    std::uint64_t a_bits;
+    std::uint64_t b_bits;
+    std::memcpy(&a_bits, &engine_ctx.fpr[i], 8);
+    std::memcpy(&b_bits, &ref_ctx.fpr[i], 8);
+    EXPECT_EQ(a_bits, b_bits) << "f" << i;
+  }
+  const GuestAddr scratch = program.symbol("scratch");
+  for (std::uint32_t off = 0; off < kScratchBytes; off += 8) {
+    EXPECT_EQ(engine_space.load(scratch + off, 8),
+              ref_space.load(scratch + off, 8))
+        << "scratch+" << off;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, Differential,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace dqemu::dbt

@@ -1,0 +1,287 @@
+// Unit tests: DSM directory protocol + client, driven over a real
+// simulated network (master = node 0 hosting the directory; nodes 1 and 2
+// run DsmClients).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dsm/client.hpp"
+#include "dsm/directory.hpp"
+#include "dsm/stream_detector.hpp"
+#include "dsm/wire.hpp"
+#include "net/network.hpp"
+
+namespace dqemu::dsm {
+namespace {
+
+constexpr std::uint32_t kMem = 32u << 20;
+constexpr std::uint32_t kPage = 4096;
+
+struct ProtocolFixture : ::testing::Test {
+  ProtocolFixture() { build({}); }
+
+  void build(DsmConfig dsm) {
+    queue = std::make_unique<sim::EventQueue>();
+    network = std::make_unique<net::Network>(*queue, NetworkConfig{}, 3,
+                                             &stats);
+    for (int i = 0; i < 3; ++i) {
+      spaces[i] = std::make_unique<mem::AddressSpace>(kMem, kPage);
+      shadows[i] = std::make_unique<mem::ShadowMap>(kPage, 4);
+    }
+    Directory::Params params;
+    params.dsm = dsm;
+    params.node_count = 3;
+    params.shadow_pool_first_page = (kMem / kPage) - 1024;
+    params.shadow_pool_page_count = 1024;
+    directory = std::make_unique<Directory>(*network, *queue, *spaces[0],
+                                            params, &stats);
+    for (NodeId n = 0; n < 3; ++n) {
+      clients[n] = std::make_unique<DsmClient>(
+          n, *network, *spaces[n], *shadows[n], nullptr, nullptr, &stats,
+          [this, n](std::uint32_t page) { wakes[n].push_back(page); });
+    }
+    network->attach(0, [this](net::Message msg) {
+      switch (static_cast<DsmMsg>(msg.type)) {
+        case DsmMsg::kReadReq:
+        case DsmMsg::kWriteReq:
+        case DsmMsg::kInvAck:
+        case DsmMsg::kDowngradeAck:
+          directory->handle_message(msg);
+          break;
+        default:
+          clients[0]->handle_message(msg);
+      }
+    });
+    for (NodeId n = 1; n < 3; ++n) {
+      DsmClient* client = clients[n].get();
+      network->attach(n, [client](net::Message msg) {
+        client->handle_message(msg);
+      });
+    }
+  }
+
+  void settle() { queue->run(100000); }
+
+  StatsRegistry stats;
+  std::unique_ptr<sim::EventQueue> queue;
+  std::unique_ptr<net::Network> network;
+  std::unique_ptr<mem::AddressSpace> spaces[3];
+  std::unique_ptr<mem::ShadowMap> shadows[3];
+  std::unique_ptr<Directory> directory;
+  std::unique_ptr<DsmClient> clients[3];
+  std::vector<std::uint32_t> wakes[3];
+};
+
+TEST_F(ProtocolFixture, BootState) {
+  // Master owns everything outside the shadow pool.
+  EXPECT_EQ(directory->state(10), Directory::PageState::kModified);
+  EXPECT_EQ(directory->owner(10), kMasterNode);
+  EXPECT_EQ(spaces[0]->access(10), mem::PageAccess::kReadWrite);
+  const std::uint32_t pool_page = (kMem / kPage) - 1024;
+  EXPECT_EQ(directory->state(pool_page), Directory::PageState::kHome);
+  EXPECT_EQ(spaces[0]->access(pool_page), mem::PageAccess::kNone);
+  EXPECT_TRUE(directory->check_invariants());
+}
+
+TEST_F(ProtocolFixture, ReadGrantDowngradesMasterAndShares) {
+  spaces[0]->store(10 * kPage + 4, 0xBEEF, 4);
+  clients[1]->request_page(10, 4, /*write=*/false, 1);
+  EXPECT_TRUE(clients[1]->pending(10));
+  settle();
+  EXPECT_FALSE(clients[1]->pending(10));
+  EXPECT_EQ(directory->state(10), Directory::PageState::kShared);
+  EXPECT_EQ(directory->sharer_mask(10) & 0b110, 0b010u);
+  EXPECT_EQ(spaces[0]->access(10), mem::PageAccess::kRead);   // downgraded
+  EXPECT_EQ(spaces[1]->access(10), mem::PageAccess::kRead);
+  EXPECT_EQ(spaces[1]->load(10 * kPage + 4, 4), 0xBEEFu);  // content moved
+  ASSERT_EQ(wakes[1].size(), 1u);
+  EXPECT_EQ(wakes[1][0], 10u);
+  EXPECT_TRUE(directory->check_invariants());
+}
+
+TEST_F(ProtocolFixture, WriteGrantInvalidatesEveryoneElse) {
+  clients[1]->request_page(20, 0, /*write=*/false, 1);
+  settle();
+  clients[2]->request_page(20, 8, /*write=*/true, 2);
+  settle();
+  EXPECT_EQ(directory->state(20), Directory::PageState::kModified);
+  EXPECT_EQ(directory->owner(20), 2);
+  EXPECT_EQ(spaces[1]->access(20), mem::PageAccess::kNone);
+  EXPECT_EQ(spaces[0]->access(20), mem::PageAccess::kNone);
+  EXPECT_EQ(spaces[2]->access(20), mem::PageAccess::kReadWrite);
+  EXPECT_TRUE(directory->check_invariants());
+}
+
+TEST_F(ProtocolFixture, DirtyWritebackReachesNextReader) {
+  // Node 1 takes the page M and writes; node 2 then reads and must see it.
+  clients[1]->request_page(30, 0, /*write=*/true, 1);
+  settle();
+  spaces[1]->store(30 * kPage, 0x12345678, 4);
+  clients[2]->request_page(30, 0, /*write=*/false, 2);
+  settle();
+  EXPECT_EQ(spaces[2]->load(30 * kPage, 4), 0x12345678u);
+  // Home copy refreshed by the owner recall.
+  EXPECT_EQ(spaces[0]->load(30 * kPage, 4), 0x12345678u);
+  EXPECT_EQ(directory->state(30), Directory::PageState::kShared);
+}
+
+TEST_F(ProtocolFixture, UpgradeFromSharedGrantsWithoutData) {
+  clients[1]->request_page(40, 0, /*write=*/false, 1);
+  settle();
+  const auto grants_with_data = stats.get("dir.grants_with_data");
+  clients[1]->request_page(40, 0, /*write=*/true, 1);
+  settle();
+  EXPECT_EQ(directory->owner(40), 1);
+  EXPECT_EQ(spaces[1]->access(40), mem::PageAccess::kReadWrite);
+  // The upgrade carried no page payload.
+  EXPECT_EQ(stats.get("dir.grants_with_data"), grants_with_data);
+  EXPECT_GE(stats.get("dir.grants_no_data"), 1u);
+}
+
+TEST_F(ProtocolFixture, ConcurrentRequestsSerializePerPage) {
+  clients[1]->request_page(50, 0, /*write=*/true, 1);
+  clients[2]->request_page(50, 0, /*write=*/true, 2);
+  settle();
+  // Both eventually succeeded; exactly one owner remains.
+  EXPECT_EQ(directory->state(50), Directory::PageState::kModified);
+  const NodeId owner = directory->owner(50);
+  EXPECT_TRUE(owner == 1 || owner == 2);
+  EXPECT_EQ(spaces[owner]->access(50), mem::PageAccess::kReadWrite);
+  EXPECT_EQ(spaces[owner == 1 ? 2 : 1]->access(50), mem::PageAccess::kNone);
+  EXPECT_GE(stats.get("dir.queued_reqs"), 1u);
+  EXPECT_TRUE(directory->check_invariants());
+}
+
+TEST_F(ProtocolFixture, RequestCoalescingOnClient) {
+  clients[1]->request_page(60, 0, /*write=*/false, 1);
+  clients[1]->request_page(60, 16, /*write=*/false, 2);  // second thread
+  EXPECT_EQ(stats.get("dsm.coalesced_faults"), 1u);
+  settle();
+  EXPECT_EQ(stats.get("dsm.grants_received"), 1u);
+}
+
+TEST_F(ProtocolFixture, SplittingAfterFalseSharing) {
+  DsmConfig dsm;
+  dsm.enable_splitting = true;
+  dsm.split_threshold = 4;
+  build(dsm);
+
+  spaces[0]->store(70 * kPage + 0, 0xAA, 4);
+  spaces[0]->store(70 * kPage + 2048, 0xBB, 4);
+  // Alternate writers from different nodes at different shards.
+  for (int round = 0; round < 4; ++round) {
+    clients[1]->request_page(70, 0, /*write=*/true, 1);
+    settle();
+    clients[2]->request_page(70, 2048, /*write=*/true, 2);
+    settle();
+  }
+  EXPECT_EQ(directory->splits_performed(), 1u);
+  EXPECT_EQ(directory->state(70), Directory::PageState::kSplit);
+  // Every node learned the mapping.
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_TRUE(shadows[n]->is_split(70)) << n;
+  }
+  // Content was distributed to shadow pages at identical offsets.
+  const auto pages = shadows[1]->shadow_pages(70);
+  ASSERT_EQ(pages.size(), 4u);
+  EXPECT_EQ(spaces[0]->load(pages[0] * kPage + 0, 4), 0xAAu);
+  EXPECT_EQ(spaces[0]->load(pages[2] * kPage + 2048, 4), 0xBBu);
+  // Requesters got retries so they re-fault through the map.
+  EXPECT_GE(stats.get("dsm.retries"), 1u);
+  EXPECT_TRUE(directory->check_invariants());
+
+  // The shadow pages are independently grantable now.
+  clients[1]->request_page(pages[0], 0, /*write=*/true, 1);
+  clients[2]->request_page(pages[2], 2048, /*write=*/true, 2);
+  settle();
+  EXPECT_EQ(directory->owner(pages[0]), 1);
+  EXPECT_EQ(directory->owner(pages[2]), 2);
+}
+
+TEST_F(ProtocolFixture, NoSplittingWhenDisabled) {
+  for (int round = 0; round < 30; ++round) {
+    clients[1]->request_page(80, 0, /*write=*/true, 1);
+    settle();
+    clients[2]->request_page(80, 2048, /*write=*/true, 2);
+    settle();
+  }
+  EXPECT_EQ(directory->splits_performed(), 0u);
+}
+
+TEST_F(ProtocolFixture, ForwardingPushesSequentialStream) {
+  DsmConfig dsm;
+  dsm.enable_forwarding = true;
+  dsm.forward_trigger = 3;
+  dsm.forward_depth = 8;
+  build(dsm);
+
+  for (std::uint32_t page = 100; page < 103; ++page) {
+    clients[1]->request_page(page, 0, /*write=*/false, 1);
+    settle();
+  }
+  EXPECT_GT(stats.get("dir.forwards"), 0u);
+  // Pages ahead of the stream are now readable on node 1 without requests.
+  EXPECT_EQ(spaces[1]->access(103), mem::PageAccess::kRead);
+  EXPECT_EQ(spaces[1]->access(104), mem::PageAccess::kRead);
+  EXPECT_EQ(stats.get("dsm.forwards_installed"),
+            stats.get("dir.forwards"));
+  EXPECT_TRUE(directory->check_invariants());
+}
+
+TEST_F(ProtocolFixture, ForwardedPagesAreCoherent) {
+  DsmConfig dsm;
+  dsm.enable_forwarding = true;
+  dsm.forward_trigger = 2;
+  dsm.forward_depth = 4;
+  build(dsm);
+  spaces[0]->store(112 * kPage, 0x77, 4);
+
+  clients[1]->request_page(110, 0, false, 1);
+  settle();
+  clients[1]->request_page(111, 0, false, 1);
+  settle();
+  ASSERT_EQ(spaces[1]->access(112), mem::PageAccess::kRead);
+  EXPECT_EQ(spaces[1]->load(112 * kPage, 4), 0x77u);
+  // A later write by node 2 must invalidate the forwarded copy.
+  clients[2]->request_page(112, 0, /*write=*/true, 2);
+  settle();
+  EXPECT_EQ(spaces[1]->access(112), mem::PageAccess::kNone);
+  EXPECT_EQ(directory->owner(112), 2);
+}
+
+TEST(StreamDetectorTest, RunsGrowOnSequentialHits) {
+  StreamDetector detector(4);
+  EXPECT_EQ(detector.on_request(10), 1u);
+  EXPECT_EQ(detector.on_request(11), 2u);
+  EXPECT_EQ(detector.on_request(12), 3u);
+  EXPECT_EQ(detector.on_request(50), 1u);  // new stream
+  EXPECT_EQ(detector.on_request(13), 4u);  // original continues
+}
+
+TEST(StreamDetectorTest, TracksInterleavedStreams) {
+  StreamDetector detector(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(detector.on_request(100 + i), i + 1);
+    EXPECT_EQ(detector.on_request(200 + i), i + 1);
+  }
+}
+
+TEST(StreamDetectorTest, EvictsLruStream) {
+  StreamDetector detector(2);
+  (void)detector.on_request(10);  // stream A
+  (void)detector.on_request(20);  // stream B
+  (void)detector.on_request(30);  // evicts A (LRU)
+  EXPECT_EQ(detector.on_request(11), 1u);  // A was forgotten
+  EXPECT_EQ(detector.on_request(31), 2u);  // C survived
+}
+
+TEST(StreamDetectorTest, RetargetSkipsPushedWindow) {
+  StreamDetector detector(4);
+  (void)detector.on_request(10);
+  (void)detector.on_request(11);
+  detector.retarget(12, 20);  // pages 12..19 were pushed
+  EXPECT_EQ(detector.on_request(20), 3u);  // run continues
+}
+
+}  // namespace
+}  // namespace dqemu::dsm

@@ -1,0 +1,296 @@
+// Unit tests: the guest runtime library (mutex, barrier, malloc, threads,
+// printing), exercised by running guest programs on a cluster.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+
+#include "guestlib/runtime.hpp"
+#include "isa/syscall_abi.hpp"
+#include "testutil.hpp"
+
+namespace dqemu {
+namespace {
+
+using isa::Assembler;
+using isa::Sys;
+using test::baseline_config;
+using test::must_finalize;
+using test::run_program;
+using test::test_config;
+using enum isa::Reg;
+
+/// Builds a main()-only program around `body` (which must leave a0 = exit
+/// code for main's return).
+isa::Program main_program(
+    const std::function<void(Assembler&, const guestlib::Runtime&)>& body) {
+  Assembler a;
+  Assembler::Label main_fn = a.make_label("main");
+  guestlib::emit_crt0(a, main_fn);
+  guestlib::Runtime rt = guestlib::emit_runtime(a);
+  a.bind(main_fn);
+  a.addi(kSp, kSp, -32);
+  a.sw(kSp, kRa, 0);
+  body(a, rt);
+  a.lw(kRa, kSp, 0);
+  a.addi(kSp, kSp, 32);
+  a.ret();
+  return must_finalize(a);
+}
+
+class PrintU32Values : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PrintU32Values, PrintsDecimal) {
+  const std::uint32_t value = GetParam();
+  const auto program = main_program([&](Assembler& a, const guestlib::Runtime& rt) {
+    a.li(kA0, static_cast<std::int64_t>(value));
+    a.call(rt.print_u32);
+    a.li(kA0, 0);
+  });
+  auto outcome = run_program(baseline_config(), program);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.guest_stdout, std::to_string(value) + "\n");
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, PrintU32Values,
+                         ::testing::Values(0u, 1u, 9u, 10u, 12345u,
+                                           4294967295u));
+
+TEST(Guestlib, PrintWritesExactBytes) {
+  const auto program = main_program([&](Assembler& a, const guestlib::Runtime& rt) {
+    auto msg = a.make_label("msg");
+    a.la(kA0, msg);
+    a.li(kA1, 3);
+    a.call(rt.print);
+    a.li(kA0, 0);
+    a.bind_data(msg);
+    a.d_asciz("abcdef");
+  });
+  auto outcome = run_program(baseline_config(), program);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.guest_stdout, "abc");
+}
+
+TEST(Guestlib, MallocReturnsAlignedDistinctChunks) {
+  const auto program = main_program([&](Assembler& a, const guestlib::Runtime& rt) {
+    a.li(kA0, 24);
+    a.call(rt.malloc_fn);
+    a.mov(kS0, kA0);
+    a.li(kA0, 100);
+    a.call(rt.malloc_fn);
+    // print alignment of first (addr & 7) and gap to second
+    a.andi(kT0, kS0, 7);
+    a.mov(kA0, kT0);
+    a.call(rt.print_u32);       // expect 0
+    a.sub(kA0, kA0, kA0);
+    a.li(kA0, 24);
+    a.call(rt.malloc_fn);
+    a.sub(kA0, kA0, kS0);
+    a.call(rt.print_u32);       // gap >= 24+100 (prints some value >= 124)
+    a.li(kA0, 0);
+  });
+  auto outcome = run_program(baseline_config(), program);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  std::istringstream in(outcome.result.guest_stdout);
+  long align = -1;
+  long gap = -1;
+  in >> align >> gap;
+  EXPECT_EQ(align, 0);
+  EXPECT_GE(gap, 124);
+}
+
+TEST(Guestlib, MutexProtectsUnderContention) {
+  // 6 threads x 50 non-atomic read-modify-writes under the runtime mutex;
+  // the counter must be exactly 300 (a lost update would show).
+  Assembler a;
+  Assembler::Label main_fn = a.make_label("main");
+  Assembler::Label worker = a.make_label("worker");
+  Assembler::Label lock = a.make_label("lock");
+  Assembler::Label counter = a.make_label("counter");
+  Assembler::Label handles = a.make_label("handles");
+  guestlib::emit_crt0(a, main_fn);
+  guestlib::Runtime rt = guestlib::emit_runtime(a);
+
+  a.bind(worker);
+  a.addi(kSp, kSp, -16);
+  a.sw(kSp, kRa, 0);
+  a.li(kS1, 50);
+  Assembler::Label loop = a.make_label();
+  a.bind(loop);
+  a.la(kA0, lock);
+  a.call(rt.mutex_lock);
+  a.la(kT0, counter);
+  a.lw(kT1, kT0, 0);
+  a.addi(kT1, kT1, 1);
+  a.sw(kT0, kT1, 0);
+  a.la(kA0, lock);
+  a.call(rt.mutex_unlock);
+  a.addi(kS1, kS1, -1);
+  a.bne(kS1, kZero, loop);
+  a.li(kA0, 0);
+  a.lw(kRa, kSp, 0);
+  a.addi(kSp, kSp, 16);
+  a.ret();
+
+  a.bind(main_fn);
+  a.addi(kSp, kSp, -16);
+  a.sw(kSp, kRa, 0);
+  for (int i = 0; i < 6; ++i) {
+    a.la(kA0, worker);
+    a.li(kA1, i);
+    a.call(rt.thread_create);
+    a.la(kT0, handles);
+    a.sw(kT0, kA0, i * 4);
+  }
+  for (int i = 0; i < 6; ++i) {
+    a.la(kT0, handles);
+    a.lw(kA0, kT0, i * 4);
+    a.call(rt.thread_join);
+  }
+  a.la(kT0, counter);
+  a.lw(kA0, kT0, 0);
+  a.call(rt.print_u32);
+  a.li(kA0, 0);
+  a.lw(kRa, kSp, 0);
+  a.addi(kSp, kSp, 16);
+  a.ret();
+
+  a.d_align(4);
+  a.bind_data(lock);
+  a.d_word(0);
+  a.bind_data(counter);
+  a.d_word(0);
+  a.bind_data(handles);
+  a.d_space(24);
+  const auto program = must_finalize(a);
+
+  // Use a tiny quantum so threads interleave aggressively within a node.
+  ClusterConfig config = test_config(3);
+  config.dbt.quantum_insns = 50;
+  auto outcome = run_program(config, program);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.guest_stdout, "300\n");
+}
+
+TEST(Guestlib, BarrierReusableAcrossGenerations) {
+  // 4 threads pass the same barrier 5 times; a counter is incremented by
+  // thread 0 only, between barriers; every thread checks the count after
+  // each round by contributing to a checksum.
+  Assembler a;
+  Assembler::Label main_fn = a.make_label("main");
+  Assembler::Label worker = a.make_label("worker");
+  Assembler::Label barrier = a.make_label("barrier");
+  Assembler::Label rounds_done = a.make_label("rounds_done");
+  Assembler::Label handles = a.make_label("handles");
+  guestlib::emit_crt0(a, main_fn);
+  guestlib::Runtime rt = guestlib::emit_runtime(a);
+
+  a.bind(worker);
+  a.addi(kSp, kSp, -16);
+  a.sw(kSp, kRa, 0);
+  a.mov(kS0, kA0);
+  a.li(kS1, 5);
+  Assembler::Label loop = a.make_label();
+  a.bind(loop);
+  a.la(kA0, barrier);
+  a.call(rt.barrier_wait);
+  // Thread 0 bumps the round counter after each barrier.
+  Assembler::Label not_zero = a.make_label();
+  a.bne(kS0, kZero, not_zero);
+  a.la(kT0, rounds_done);
+  a.lw(kT1, kT0, 0);
+  a.addi(kT1, kT1, 1);
+  a.sw(kT0, kT1, 0);
+  a.bind(not_zero);
+  a.addi(kS1, kS1, -1);
+  a.bne(kS1, kZero, loop);
+  a.li(kA0, 0);
+  a.lw(kRa, kSp, 0);
+  a.addi(kSp, kSp, 16);
+  a.ret();
+
+  a.bind(main_fn);
+  a.addi(kSp, kSp, -16);
+  a.sw(kSp, kRa, 0);
+  for (int i = 0; i < 4; ++i) {
+    a.la(kA0, worker);
+    a.li(kA1, i);
+    a.call(rt.thread_create);
+    a.la(kT0, handles);
+    a.sw(kT0, kA0, i * 4);
+  }
+  for (int i = 0; i < 4; ++i) {
+    a.la(kT0, handles);
+    a.lw(kA0, kT0, i * 4);
+    a.call(rt.thread_join);
+  }
+  a.la(kT0, rounds_done);
+  a.lw(kA0, kT0, 0);
+  a.call(rt.print_u32);
+  a.li(kA0, 0);
+  a.lw(kRa, kSp, 0);
+  a.addi(kSp, kSp, 16);
+  a.ret();
+
+  a.d_align(4);
+  a.bind_data(barrier);
+  a.d_word(0);
+  a.d_word(0);
+  a.d_word(4);  // total
+  a.bind_data(rounds_done);
+  a.d_word(0);
+  a.bind_data(handles);
+  a.d_space(16);
+  const auto program = must_finalize(a);
+
+  auto outcome = run_program(test_config(2), program);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.guest_stdout, "5\n");
+}
+
+TEST(Guestlib, ThreadReturnValueFlowsToExitStatus) {
+  // Worker returns 0; join completes. (Return-value plumbing is via the
+  // exit syscall; verified indirectly by successful join + no deadlock.)
+  Assembler a;
+  Assembler::Label main_fn = a.make_label("main");
+  Assembler::Label worker = a.make_label("worker");
+  guestlib::emit_crt0(a, main_fn);
+  guestlib::Runtime rt = guestlib::emit_runtime(a);
+  a.bind(worker);
+  a.li(kA0, 123);
+  a.ret();
+  a.bind(main_fn);
+  a.addi(kSp, kSp, -16);
+  a.sw(kSp, kRa, 0);
+  a.la(kA0, worker);
+  a.li(kA1, 0);
+  a.call(rt.thread_create);
+  a.call(rt.thread_join);
+  a.li(kA0, 11);
+  a.lw(kRa, kSp, 0);
+  a.addi(kSp, kSp, 16);
+  a.ret();
+  auto outcome = run_program(test_config(1), must_finalize(a));
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.exit_code, 11u);
+}
+
+TEST(Guestlib, UnameBanner) {
+  const auto program = main_program([&](Assembler& a, const guestlib::Runtime& rt) {
+    auto buf = a.make_label("buf");
+    a.la(kA0, buf);
+    a.syscall(static_cast<std::int32_t>(Sys::kUname));
+    a.la(kA0, buf);
+    a.li(kA1, 5);
+    a.call(rt.print);
+    a.li(kA0, 0);
+    a.bind_data(buf);
+    a.d_space(64);
+  });
+  auto outcome = run_program(baseline_config(), program);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.guest_stdout, "DQEMU");
+}
+
+}  // namespace
+}  // namespace dqemu

@@ -1,0 +1,191 @@
+// dqemu_run — command-line driver: assemble a GA32 source file and run it
+// on a simulated DQEMU cluster.
+//
+//   dqemu_run prog.s [options]
+//
+//   --nodes N        slave nodes (default 2); 0 = QEMU single-node baseline
+//   --cores N        cores per node (default 4)
+//   --forwarding     enable data forwarding (paper 5.2)
+//   --splitting      enable page splitting (paper 5.1)
+//   --hint-sched     hint-based locality-aware scheduling (paper 5.3)
+//   --quantum N      instructions per scheduling slice (default 20000)
+//   --rtt-us N       network round-trip time in microseconds (default 55)
+//   --gbps X         network bandwidth in Gbit/s (default 1.0)
+//   --stats          dump all simulator counters after the run
+//   --breakdown      print per-thread execute/pagefault/syscall shares
+//   --verbose        debug-level protocol logging
+//
+// Example:
+//   ./build/tools/dqemu_run examples/guest/hello.s --nodes 4 --stats
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/log.hpp"
+#include "core/cluster.hpp"
+#include "isa/text_asm.hpp"
+
+using namespace dqemu;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <program.s> [--nodes N] [--cores N] [--forwarding]"
+               " [--splitting]\n               [--hint-sched] [--quantum N]"
+               " [--rtt-us N] [--gbps X] [--stats]\n               "
+               "[--breakdown] [--verbose]\n",
+               argv0);
+}
+
+bool parse_u32(const char* text, std::uint32_t* out) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(argv[0]);
+    return 2;
+  }
+  const char* source_path = nullptr;
+  ClusterConfig config;
+  config.slave_nodes = 2;
+  bool dump_stats = false;
+  bool breakdown = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--nodes") == 0) {
+      std::uint32_t n = 0;
+      if (const char* v = next_value(); v == nullptr || !parse_u32(v, &n)) {
+        usage(argv[0]);
+        return 2;
+      }
+      if (n == 0) {
+        config.single_node_baseline = true;
+        config.slave_nodes = 0;
+      } else {
+        config.slave_nodes = n;
+      }
+    } else if (std::strcmp(arg, "--cores") == 0) {
+      const char* v = next_value();
+      if (v == nullptr || !parse_u32(v, &config.machine.cores_per_node)) {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--quantum") == 0) {
+      const char* v = next_value();
+      if (v == nullptr || !parse_u32(v, &config.dbt.quantum_insns)) {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--rtt-us") == 0) {
+      std::uint32_t rtt = 0;
+      if (const char* v = next_value(); v == nullptr || !parse_u32(v, &rtt)) {
+        usage(argv[0]);
+        return 2;
+      }
+      config.net.one_way_latency = rtt * time_literals::kUs / 2;
+    } else if (std::strcmp(arg, "--gbps") == 0) {
+      const char* v = next_value();
+      if (v == nullptr) {
+        usage(argv[0]);
+        return 2;
+      }
+      config.net.bandwidth_gbps = std::strtod(v, nullptr);
+    } else if (std::strcmp(arg, "--forwarding") == 0) {
+      config.dsm.enable_forwarding = true;
+    } else if (std::strcmp(arg, "--splitting") == 0) {
+      config.dsm.enable_splitting = true;
+    } else if (std::strcmp(arg, "--hint-sched") == 0) {
+      config.sched.policy = SchedPolicy::kHintLocality;
+    } else if (std::strcmp(arg, "--stats") == 0) {
+      dump_stats = true;
+    } else if (std::strcmp(arg, "--breakdown") == 0) {
+      breakdown = true;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      set_log_level(LogLevel::kDebug);
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      usage(argv[0]);
+      return 2;
+    } else if (source_path == nullptr) {
+      source_path = arg;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (source_path == nullptr) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (const Status valid = config.validate(); !valid.is_ok()) {
+    std::fprintf(stderr, "bad configuration: %s\n", valid.to_string().c_str());
+    return 2;
+  }
+
+  std::ifstream in(source_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", source_path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  auto program = isa::assemble_text(text.str());
+  if (!program.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", source_path,
+                 program.status().to_string().c_str());
+    return 1;
+  }
+
+  core::Cluster cluster(config);
+  if (const Status status = cluster.load(program.value()); !status.is_ok()) {
+    std::fprintf(stderr, "load: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  auto run = cluster.run();
+  if (!run.is_ok()) {
+    std::fprintf(stderr, "run: %s\n", run.status().to_string().c_str());
+    return 1;
+  }
+  const auto& result = run.value();
+
+  std::fputs(result.guest_stdout.c_str(), stdout);
+  std::fprintf(stderr,
+               "[dqemu_run] exit=%u  insns=%llu  virtual=%.6f s  nodes=%u\n",
+               result.exit_code,
+               static_cast<unsigned long long>(result.guest_insns),
+               ps_to_seconds(result.sim_time), cluster.node_count());
+
+  if (breakdown) {
+    std::fprintf(stderr, "[dqemu_run] per-thread time (ms):\n");
+    for (const auto& [tid, b] : result.per_thread) {
+      std::fprintf(stderr,
+                   "  tid %-4u node %-2u exec %8.3f  fault %8.3f  syscall "
+                   "%8.3f  idle %8.3f\n",
+                   tid, cluster.thread_node(tid),
+                   ps_to_seconds(b.execute + b.translate) * 1e3,
+                   ps_to_seconds(b.pagefault) * 1e3,
+                   ps_to_seconds(b.syscall) * 1e3,
+                   ps_to_seconds(b.idle) * 1e3);
+    }
+  }
+  if (dump_stats) {
+    std::fprintf(stderr, "[dqemu_run] counters:\n%s",
+                 cluster.stats().to_string().c_str());
+  }
+  return static_cast<int>(result.exit_code);
+}
