@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_netparams.dir/ablation_netparams.cpp.o"
+  "CMakeFiles/ablation_netparams.dir/ablation_netparams.cpp.o.d"
+  "ablation_netparams"
+  "ablation_netparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_netparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_netparams.
+# This may be replaced when dependencies are built.

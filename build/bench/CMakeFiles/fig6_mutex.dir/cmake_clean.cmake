@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mutex.dir/fig6_mutex.cpp.o"
+  "CMakeFiles/fig6_mutex.dir/fig6_mutex.cpp.o.d"
+  "fig6_mutex"
+  "fig6_mutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

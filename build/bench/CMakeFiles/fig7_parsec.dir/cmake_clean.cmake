@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_parsec.dir/fig7_parsec.cpp.o"
+  "CMakeFiles/fig7_parsec.dir/fig7_parsec.cpp.o.d"
+  "fig7_parsec"
+  "fig7_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

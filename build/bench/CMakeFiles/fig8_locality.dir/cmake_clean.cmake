@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_locality.dir/fig8_locality.cpp.o"
+  "CMakeFiles/fig8_locality.dir/fig8_locality.cpp.o.d"
+  "fig8_locality"
+  "fig8_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackscholes_cluster.dir/blackscholes_cluster.cpp.o"
+  "CMakeFiles/blackscholes_cluster.dir/blackscholes_cluster.cpp.o.d"
+  "blackscholes_cluster"
+  "blackscholes_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackscholes_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

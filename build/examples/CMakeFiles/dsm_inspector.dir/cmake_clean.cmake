@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_inspector.dir/dsm_inspector.cpp.o"
+  "CMakeFiles/dsm_inspector.dir/dsm_inspector.cpp.o.d"
+  "dsm_inspector"
+  "dsm_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqemu_common.dir/log.cpp.o"
+  "CMakeFiles/dqemu_common.dir/log.cpp.o.d"
+  "CMakeFiles/dqemu_common.dir/stats.cpp.o"
+  "CMakeFiles/dqemu_common.dir/stats.cpp.o.d"
+  "libdqemu_common.a"
+  "libdqemu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqemu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqemu_core.dir/cluster.cpp.o"
+  "CMakeFiles/dqemu_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/dqemu_core.dir/node.cpp.o"
+  "CMakeFiles/dqemu_core.dir/node.cpp.o.d"
+  "libdqemu_core.a"
+  "libdqemu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqemu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbt/exec.cpp" "src/dbt/CMakeFiles/dqemu_dbt.dir/exec.cpp.o" "gcc" "src/dbt/CMakeFiles/dqemu_dbt.dir/exec.cpp.o.d"
+  "/root/repo/src/dbt/reference_interp.cpp" "src/dbt/CMakeFiles/dqemu_dbt.dir/reference_interp.cpp.o" "gcc" "src/dbt/CMakeFiles/dqemu_dbt.dir/reference_interp.cpp.o.d"
+  "/root/repo/src/dbt/translation.cpp" "src/dbt/CMakeFiles/dqemu_dbt.dir/translation.cpp.o" "gcc" "src/dbt/CMakeFiles/dqemu_dbt.dir/translation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dqemu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dqemu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dqemu_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

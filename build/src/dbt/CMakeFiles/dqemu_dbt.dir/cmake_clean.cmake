@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqemu_dbt.dir/exec.cpp.o"
+  "CMakeFiles/dqemu_dbt.dir/exec.cpp.o.d"
+  "CMakeFiles/dqemu_dbt.dir/reference_interp.cpp.o"
+  "CMakeFiles/dqemu_dbt.dir/reference_interp.cpp.o.d"
+  "CMakeFiles/dqemu_dbt.dir/translation.cpp.o"
+  "CMakeFiles/dqemu_dbt.dir/translation.cpp.o.d"
+  "libdqemu_dbt.a"
+  "libdqemu_dbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqemu_dbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

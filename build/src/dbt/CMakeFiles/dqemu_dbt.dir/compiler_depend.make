@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dqemu_dbt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqemu_dsm.dir/client.cpp.o"
+  "CMakeFiles/dqemu_dsm.dir/client.cpp.o.d"
+  "CMakeFiles/dqemu_dsm.dir/directory.cpp.o"
+  "CMakeFiles/dqemu_dsm.dir/directory.cpp.o.d"
+  "libdqemu_dsm.a"
+  "libdqemu_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqemu_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

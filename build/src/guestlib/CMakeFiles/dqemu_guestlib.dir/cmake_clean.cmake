@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqemu_guestlib.dir/runtime.cpp.o"
+  "CMakeFiles/dqemu_guestlib.dir/runtime.cpp.o.d"
+  "libdqemu_guestlib.a"
+  "libdqemu_guestlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqemu_guestlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dqemu_guestlib.
+# This may be replaced when dependencies are built.

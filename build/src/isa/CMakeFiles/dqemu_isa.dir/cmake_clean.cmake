@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqemu_isa.dir/assembler.cpp.o"
+  "CMakeFiles/dqemu_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/dqemu_isa.dir/isa.cpp.o"
+  "CMakeFiles/dqemu_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/dqemu_isa.dir/text_asm.cpp.o"
+  "CMakeFiles/dqemu_isa.dir/text_asm.cpp.o.d"
+  "libdqemu_isa.a"
+  "libdqemu_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqemu_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

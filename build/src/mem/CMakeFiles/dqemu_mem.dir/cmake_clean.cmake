@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqemu_mem.dir/address_space.cpp.o"
+  "CMakeFiles/dqemu_mem.dir/address_space.cpp.o.d"
+  "CMakeFiles/dqemu_mem.dir/shadow_map.cpp.o"
+  "CMakeFiles/dqemu_mem.dir/shadow_map.cpp.o.d"
+  "libdqemu_mem.a"
+  "libdqemu_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqemu_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqemu_net.dir/network.cpp.o"
+  "CMakeFiles/dqemu_net.dir/network.cpp.o.d"
+  "libdqemu_net.a"
+  "libdqemu_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqemu_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

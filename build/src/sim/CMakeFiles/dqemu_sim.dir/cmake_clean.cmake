@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqemu_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dqemu_sim.dir/event_queue.cpp.o.d"
+  "libdqemu_sim.a"
+  "libdqemu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqemu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

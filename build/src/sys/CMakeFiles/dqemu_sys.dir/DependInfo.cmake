@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/master_syscalls.cpp" "src/sys/CMakeFiles/dqemu_sys.dir/master_syscalls.cpp.o" "gcc" "src/sys/CMakeFiles/dqemu_sys.dir/master_syscalls.cpp.o.d"
+  "/root/repo/src/sys/vfs.cpp" "src/sys/CMakeFiles/dqemu_sys.dir/vfs.cpp.o" "gcc" "src/sys/CMakeFiles/dqemu_sys.dir/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dqemu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dqemu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dqemu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dqemu_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqemu_sys.dir/master_syscalls.cpp.o"
+  "CMakeFiles/dqemu_sys.dir/master_syscalls.cpp.o.d"
+  "CMakeFiles/dqemu_sys.dir/vfs.cpp.o"
+  "CMakeFiles/dqemu_sys.dir/vfs.cpp.o.d"
+  "libdqemu_sys.a"
+  "libdqemu_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqemu_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqemu_workloads.dir/common.cpp.o"
+  "CMakeFiles/dqemu_workloads.dir/common.cpp.o.d"
+  "CMakeFiles/dqemu_workloads.dir/micro.cpp.o"
+  "CMakeFiles/dqemu_workloads.dir/micro.cpp.o.d"
+  "CMakeFiles/dqemu_workloads.dir/parsec.cpp.o"
+  "CMakeFiles/dqemu_workloads.dir/parsec.cpp.o.d"
+  "libdqemu_workloads.a"
+  "libdqemu_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqemu_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

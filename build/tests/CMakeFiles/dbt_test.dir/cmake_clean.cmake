@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbt_test.dir/unit/dbt_test.cpp.o"
+  "CMakeFiles/dbt_test.dir/unit/dbt_test.cpp.o.d"
+  "dbt_test"
+  "dbt_test.pdb"
+  "dbt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

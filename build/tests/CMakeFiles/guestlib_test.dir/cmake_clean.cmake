@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guestlib_test.dir/unit/guestlib_test.cpp.o"
+  "CMakeFiles/guestlib_test.dir/unit/guestlib_test.cpp.o.d"
+  "guestlib_test"
+  "guestlib_test.pdb"
+  "guestlib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guestlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

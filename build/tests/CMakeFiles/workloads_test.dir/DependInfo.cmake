@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/workloads_test.cpp" "tests/CMakeFiles/workloads_test.dir/integration/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/workloads_test.dir/integration/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dqemu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestlib/CMakeFiles/dqemu_guestlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dqemu_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/dqemu_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbt/CMakeFiles/dqemu_dbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dqemu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/dqemu_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dqemu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dqemu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dqemu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dqemu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

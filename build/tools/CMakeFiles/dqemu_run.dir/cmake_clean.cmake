@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqemu_run.dir/dqemu_run.cpp.o"
+  "CMakeFiles/dqemu_run.dir/dqemu_run.cpp.o.d"
+  "dqemu_run"
+  "dqemu_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqemu_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
