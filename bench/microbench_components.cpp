@@ -10,9 +10,11 @@
 #include "dbt/llsc_table.hpp"
 #include "dbt/translation.hpp"
 #include "isa/assembler.hpp"
+#include "core/cluster.hpp"
 #include "mem/address_space.hpp"
 #include "mem/shadow_map.hpp"
 #include "sim/event_queue.hpp"
+#include "trace/tracer.hpp"
 #include "workloads/micro.hpp"
 
 namespace {
@@ -106,6 +108,67 @@ void BM_ExecuteLoop(benchmark::State& state) {
       static_cast<double>(insns), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ExecuteLoop)->Unit(benchmark::kMillisecond);
+
+/// Host-side cost of the tracing subsystem on a full cluster run: the same
+/// pi workload with no tracer, the default categories, and the full
+/// firehose (queue dispatch included). The virtual-time result is asserted
+/// identical — tracing observes, never perturbs.
+void run_pi_cluster(benchmark::State& state, trace::Tracer* tracer) {
+  const auto program = workloads::pi_taylor(4, 2, 400).take();
+  TimePs sim_time = 0;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    ClusterConfig config;
+    config.slave_nodes = 2;
+    config.guest_mem_bytes = 64u << 20;
+    if (tracer != nullptr) tracer->clear();
+    core::Cluster cluster(config, tracer);
+    if (!cluster.load(program).is_ok()) state.SkipWithError("load failed");
+    auto run = cluster.run();
+    if (!run.is_ok()) state.SkipWithError("run failed");
+    const TimePs t = run.value().sim_time;
+    if (sim_time == 0) sim_time = t;
+    if (t != sim_time) state.SkipWithError("tracing changed virtual time");
+    if (tracer != nullptr) records += tracer->size() + tracer->dropped();
+  }
+  if (tracer != nullptr) {
+    state.counters["records_per_run"] = benchmark::Counter(
+        static_cast<double>(records) /
+        static_cast<double>(state.iterations()));
+  }
+}
+
+void BM_ClusterPiTracingOff(benchmark::State& state) {
+  run_pi_cluster(state, nullptr);
+}
+BENCHMARK(BM_ClusterPiTracingOff)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterPiTracingDefault(benchmark::State& state) {
+  trace::Tracer tracer;
+  run_pi_cluster(state, &tracer);
+}
+BENCHMARK(BM_ClusterPiTracingDefault)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterPiTracingAll(benchmark::State& state) {
+  trace::TraceConfig config;
+  config.categories = trace::kAllCategories;
+  trace::Tracer tracer(config);
+  run_pi_cluster(state, &tracer);
+}
+BENCHMARK(BM_ClusterPiTracingAll)->Unit(benchmark::kMillisecond);
+
+void BM_TracerRecord(benchmark::State& state) {
+  trace::Tracer tracer;
+  trace::Record r;
+  r.name = "bench.event";
+  r.kind = trace::Kind::kInstant;
+  r.cat = trace::Cat::kSim;
+  for (auto _ : state) {
+    r.time += 100;
+    tracer.record(r);
+  }
+}
+BENCHMARK(BM_TracerRecord);
 
 void BM_TranslationCacheLookup(benchmark::State& state) {
   isa::Assembler a;

@@ -1,0 +1,108 @@
+; pi.s — threaded guest program for dqemu_run.
+;
+;   ./build/tools/dqemu_run examples/guest/pi.s --nodes 4 --trace pi.json
+;
+; Four worker threads estimate pi with the integer-only Leibniz series:
+; worker w sums terms k = w, w+4, w+8, ... of (-1)^k * 4e6/(2k+1), 250
+; terms each (k covers 0..999), then LL/SC-adds its partial sum into a
+; shared total. The main thread clones the workers (one mmap'd stack
+; each), joins them through their CLONE_CHILD_CLEARTID words with futex
+; waits, and exits with total/1000 = 3140 (pi ~= 3.140589 after integer
+; truncation) so the harness can check it. On a multi-node run the shared
+; total and ctid words exercise the DSM protocol; the joins exercise
+; cross-node futex wait -> wake chains.
+    .entry main
+
+main:
+    li   s0, 0          ; worker index
+spawn_loop:
+    ; mmap a 4 KiB stack for the child
+    li   a0, 4096
+    syscall 8
+    addi t0, a0, 4096   ; child sp = top of the mapping
+
+    ; ctid[w] = 1 (cleared by the kernel when the child exits)
+    la   t1, ctids
+    slli t2, s0, 2
+    add  t1, t1, t2
+    li   t3, 1
+    sw   t3, 0(t1)
+
+    ; clone(flags=0, child_sp, &ctid[w]); child resumes here with a0 = 0
+    li   a0, 0
+    mov  a1, t0
+    mov  a2, t1
+    syscall 9
+    beq  a0, zero, worker
+    addi s0, s0, 1
+    li   t0, 4
+    bne  s0, t0, spawn_loop
+
+    ; join: wait until ctid[w] drops to 0
+    li   s0, 0
+join_loop:
+    la   t1, ctids
+    slli t2, s0, 2
+    add  t1, t1, t2
+join_wait:
+    lw   t3, 0(t1)
+    beq  t3, zero, join_next
+    mov  a0, t1
+    li   a1, 0          ; FUTEX_WAIT
+    mov  a2, t3
+    syscall 10
+    j    join_wait
+join_next:
+    addi s0, s0, 1
+    li   t0, 4
+    bne  s0, t0, join_loop
+
+    ; write(1, done_msg, 21); exit_group(total / 1000)
+    li   a0, 1
+    la   a1, done_msg
+    li   a2, 21
+    syscall 2
+    la   t0, total
+    lw   a0, 0(t0)
+    li   t1, 1000
+    div  a0, a0, t1
+    syscall 15
+
+worker:
+    ; s0 = worker index (inherited across clone)
+    mov  t0, s0         ; k
+    li   t1, 250        ; terms remaining
+    li   t2, 0          ; partial sum
+term_loop:
+    slli t3, t0, 1
+    addi t3, t3, 1      ; 2k+1
+    li   t4, 4000000
+    div  t4, t4, t3     ; term = 4e6/(2k+1)
+    andi t3, t0, 1
+    beq  t3, zero, term_add
+    sub  t2, t2, t4
+    j    term_next
+term_add:
+    add  t2, t2, t4
+term_next:
+    addi t0, t0, 4      ; k += thread count
+    addi t1, t1, -1
+    bne  t1, zero, term_loop
+
+    ; total += partial, atomically
+    la   t3, total
+add_retry:
+    ll   t4, t3
+    add  t4, t4, t2
+    sc   t0, t3, t4
+    bne  t0, zero, add_retry
+
+    ; exit(0) — clears ctid and wakes the joiner
+    li   a0, 0
+    syscall 1
+
+    .data
+done_msg: .asciz "pi: 4 workers joined\n"
+        .align 4
+total:  .word 0
+ctids:  .word 0, 0, 0, 0

@@ -20,13 +20,15 @@ constexpr std::uint32_t kMaxShadowPoolBytes = 32u << 20;
 
 }  // namespace
 
-Cluster::Cluster(ClusterConfig config)
+Cluster::Cluster(ClusterConfig config, trace::Tracer* tracer)
     : config_(config),
+      tracer_(tracer),
       queue_(),
-      network_(queue_, config.net, config.total_nodes(), &stats_) {
+      network_(queue_, config.net, config.total_nodes(), &stats_, tracer) {
   const Status valid = config_.validate();
   assert(valid.is_ok() && "invalid ClusterConfig");
   (void)valid;
+  queue_.set_tracer(tracer_);
 
   Node::Hooks hooks;
   hooks.fatal = [this](std::string message) {
@@ -37,8 +39,8 @@ Cluster::Cluster(ClusterConfig config)
   const std::uint32_t total = config_.total_nodes();
   nodes_.reserve(total);
   for (NodeId id = 0; id < total; ++id) {
-    nodes_.push_back(
-        std::make_unique<Node>(id, config_, queue_, network_, &stats_, hooks));
+    nodes_.push_back(std::make_unique<Node>(id, config_, queue_, network_,
+                                            &stats_, hooks, tracer_));
   }
 
   // Shadow pool: top of the guest space.
@@ -57,14 +59,14 @@ Cluster::Cluster(ClusterConfig config)
     params.shadow_pool_first_page = pool_first_page;
     params.shadow_pool_page_count = pool_bytes / page;
     directory_.emplace(network_, queue_, nodes_[kMasterNode]->space(), params,
-                       &stats_);
+                       &stats_, tracer_);
   } else {
     // Baseline "QEMU" mode: one node, no DSM, direct memory access.
     nodes_[kMasterNode]->space().set_all_access(mem::PageAccess::kReadWrite);
   }
 
   syscalls_.emplace(network_, queue_, config_.machine,
-                    config_.dbt.syscall_service_cycles, &stats_);
+                    config_.dbt.syscall_service_cycles, &stats_, tracer_);
   sys::MasterSyscalls::Hooks sys_hooks;
   sys_hooks.on_clone = [this](const sys::SyscallRequest& req) {
     return on_clone(req);
@@ -246,11 +248,50 @@ Status Cluster::migrate_thread(GuestTid tid, NodeId target) {
   return Status::ok();
 }
 
+void Cluster::snapshot_counters() {
+  if (!trace::wants(tracer_, trace::Cat::kCounter)) return;
+  trace::Record r;
+  r.time = queue_.now();
+  r.kind = trace::Kind::kCounter;
+  r.cat = trace::Cat::kCounter;
+  r.node = kMasterNode;
+  r.track = trace::kTrackNode;
+  for (const auto& [name, value] : stats_.counters()) {
+    r.name = tracer_->intern(name);
+    r.a = value;
+    tracer_->record(r);
+  }
+  // Aggregate time breakdown as a timeline: Fig. 8's bars become curves.
+  TimeBreakdown total;
+  for (const auto& node : nodes_) {
+    for (const auto& [tid, thread] : node->threads()) {
+      total += thread.breakdown;
+    }
+  }
+  const std::pair<const char*, DurationPs> parts[] = {
+      {"time.execute", total.execute},
+      {"time.translate", total.translate},
+      {"time.pagefault", total.pagefault},
+      {"time.syscall", total.syscall},
+      {"time.idle", total.idle}};
+  for (const auto& [name, value] : parts) {
+    r.name = name;
+    r.a = value;
+    tracer_->record(r);
+  }
+}
+
 Result<Cluster::RunResult> Cluster::run(RunLimits limits) {
   if (!loaded_) return Status::failed_precondition("no program loaded");
 
+  const bool counters = trace::wants(tracer_, trace::Cat::kCounter);
+  TimePs next_snapshot = counters ? tracer_->config().counter_interval : 0;
   while (!exit_code_.has_value() && !fatal_.has_value()) {
     if (!queue_.run_one()) break;
+    if (counters && queue_.now() >= next_snapshot) {
+      snapshot_counters();
+      next_snapshot = queue_.now() + tracer_->config().counter_interval;
+    }
     if (queue_.now() > limits.max_sim_time) {
       return Status::resource_exhausted("simulated time limit exceeded");
     }
@@ -258,6 +299,7 @@ Result<Cluster::RunResult> Cluster::run(RunLimits limits) {
       return Status::resource_exhausted("event limit exceeded");
     }
   }
+  if (counters) snapshot_counters();  // final sample at guest completion
 
   if (fatal_.has_value()) {
     return Status::internal(*fatal_);

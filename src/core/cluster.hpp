@@ -29,6 +29,7 @@
 #include "net/network.hpp"
 #include "sim/event_queue.hpp"
 #include "sys/master_syscalls.hpp"
+#include "trace/tracer.hpp"
 
 namespace dqemu::core {
 
@@ -53,7 +54,10 @@ class Cluster {
     std::string guest_stdout;
   };
 
-  explicit Cluster(ClusterConfig config);
+  /// `tracer`, when non-null, must outlive the cluster; it is threaded
+  /// through every layer (event queue, network, DSM, syscalls, nodes) and
+  /// the run loop takes periodic counter snapshots into it.
+  explicit Cluster(ClusterConfig config, trace::Tracer* tracer = nullptr);
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -92,8 +96,12 @@ class Cluster {
   void master_handler(const net::Message& msg);
   std::int32_t on_clone(const sys::SyscallRequest& req);
   void on_thread_exit(const sys::SyscallRequest& req);
+  /// Samples every stats counter plus the aggregate time breakdown into the
+  /// tracer (kCounter records) — the timeline form of the Fig. 8 data.
+  void snapshot_counters();
 
   ClusterConfig config_;
+  trace::Tracer* tracer_ = nullptr;
   StatsRegistry stats_;
   sim::EventQueue queue_;
   net::Network network_;

@@ -38,6 +38,8 @@ struct PendingSyscall {
   /// Response payload awaiting commit (read() bytes etc.).
   std::vector<std::uint8_t> result_payload;
   std::int64_t result = 0;
+  /// Causal chain of the delegation (request -> service -> response).
+  std::uint64_t flow = 0;
 };
 
 struct GuestThread {

@@ -20,7 +20,8 @@ constexpr std::size_t kBreakdownBytes = 5 * sizeof(std::uint64_t);
 }  // namespace
 
 Node::Node(NodeId id, const ClusterConfig& config, sim::EventQueue& queue,
-           net::Network& network, StatsRegistry* stats, Hooks hooks)
+           net::Network& network, StatsRegistry* stats, Hooks hooks,
+           trace::Tracer* tracer)
     : id_(id),
       config_(config),
       machine_(config.machine_for(id)),
@@ -28,6 +29,7 @@ Node::Node(NodeId id, const ClusterConfig& config, sim::EventQueue& queue,
       network_(network),
       stats_(stats),
       hooks_(std::move(hooks)),
+      tracer_(tracer),
       space_(config.guest_mem_bytes, config.machine.page_size),
       shadow_(config.machine.page_size, config.dsm.split_shards),
       llsc_(stats),
@@ -36,8 +38,26 @@ Node::Node(NodeId id, const ClusterConfig& config, sim::EventQueue& queue,
       engine_(space_, &shadow_, llsc_, tcache_, config.dbt,
               /*check_protection=*/!config.single_node_baseline, stats),
       dsm_(id, network, space_, shadow_, &llsc_, &tcache_, stats,
-           [this](std::uint32_t page) { wake_page_waiters(page); }),
+           [this](std::uint32_t page) { wake_page_waiters(page); }, tracer),
       core_busy_(machine_.cores_per_node, false) {}
+
+void Node::note(const char* name, trace::Cat cat, trace::Kind kind,
+                GuestTid tid, std::uint64_t flow, std::uint64_t a,
+                std::uint64_t b) {
+  if (!trace::wants(tracer_, cat)) return;
+  trace::Record r;
+  r.time = queue_.now();
+  r.name = name;
+  r.kind = kind;
+  r.cat = cat;
+  r.node = id_;
+  r.track = trace::kTrackNode;
+  r.tid = tid;
+  r.flow = flow;
+  r.a = a;
+  r.b = b;
+  tracer_->record(r);
+}
 
 void Node::add_thread(const dbt::CpuContext& ctx, GuestAddr ctid,
                       std::int32_t hint_group) {
@@ -49,6 +69,9 @@ void Node::add_thread(const dbt::CpuContext& ctx, GuestAddr ctid,
   thread.ready_since = queue_.now();
   threads_.emplace(ctx.tid, std::move(thread));
   if (stats_ != nullptr) stats_->add("core.threads_created");
+  note("core.thread_start", trace::Cat::kCore, trace::Kind::kInstant, ctx.tid,
+       0, ctx.pc, static_cast<std::uint64_t>(
+              static_cast<std::uint32_t>(hint_group)));
   enqueue(ctx.tid);
   kick();
 }
@@ -133,6 +156,21 @@ void Node::core_run(CoreId core, GuestTid tid) {
   t.breakdown.idle += queue_.now() - t.ready_since;
   t.state = ThreadState::kRunning;
 
+  // One lane per simulated core: the slice span covers this quantum's
+  // virtual duration; the matching end is recorded in finish_slice.
+  if (trace::wants(tracer_, trace::Cat::kSim)) {
+    trace::Record rec;
+    rec.time = queue_.now();
+    rec.name = "sim.slice";
+    rec.kind = trace::Kind::kSpanBegin;
+    rec.cat = trace::Cat::kSim;
+    rec.node = id_;
+    rec.track = static_cast<std::uint16_t>(trace::kTrackCoreBase + core);
+    rec.tid = tid;
+    rec.a = t.ctx.pc;
+    tracer_->record(rec);
+  }
+
   const dbt::ExecResult r = engine_.run(t.ctx, config_.dbt.quantum_insns);
 
   const DurationPs dt_exec = machine_.cycles(r.exec_cycles);
@@ -163,6 +201,19 @@ void Node::release_core_after(CoreId core, DurationPs delay) {
 
 void Node::finish_slice(CoreId core, GuestTid tid, const dbt::ExecResult& r) {
   GuestThread& t = threads_.at(tid);
+  if (trace::wants(tracer_, trace::Cat::kSim)) {
+    trace::Record rec;
+    rec.time = queue_.now();
+    rec.name = "sim.slice";
+    rec.kind = trace::Kind::kSpanEnd;
+    rec.cat = trace::Cat::kSim;
+    rec.node = id_;
+    rec.track = static_cast<std::uint16_t>(trace::kTrackCoreBase + core);
+    rec.tid = tid;
+    rec.a = r.insns;
+    rec.b = static_cast<std::uint64_t>(r.reason);
+    tracer_->record(rec);
+  }
   switch (r.reason) {
     case dbt::StopReason::kQuantum:
       enqueue(tid);
@@ -173,6 +224,8 @@ void Node::finish_slice(CoreId core, GuestTid tid, const dbt::ExecResult& r) {
       const DurationPs trap = machine_.cycles(config_.dbt.fault_trap_cycles);
       t.breakdown.pagefault += trap;
       if (stats_ != nullptr) stats_->add("core.page_faults");
+      note("core.page_fault", trace::Cat::kCore, trace::Kind::kInstant, tid, 0,
+           r.fault_addr, r.fault_is_write ? 1 : 0);
       block_on_page(t, r.fault_addr, r.fault_is_write);
       release_core_after(core, trap);
       return;
@@ -183,6 +236,8 @@ void Node::finish_slice(CoreId core, GuestTid tid, const dbt::ExecResult& r) {
           machine_.cycles(config_.dbt.syscall_trap_cycles);
       t.breakdown.syscall += trap;
       if (stats_ != nullptr) stats_->add("core.syscalls");
+      note("core.syscall", trace::Cat::kCore, trace::Kind::kInstant, tid, 0,
+           static_cast<std::uint32_t>(r.syscall_num), 0);
       PendingSyscall call;
       call.num = static_cast<isa::Sys>(r.syscall_num);
       for (unsigned i = 0; i < 4; ++i) call.args[i] = t.ctx.arg(i);
@@ -490,8 +545,17 @@ void Node::delegate_syscall(GuestThread& t, PendingSyscall& call) {
       break;
   }
 
-  network_.send(
-      sys::make_syscall_request(id_, t.ctx.tid, call.num, call.args, payload));
+  // Open the delegation's causal chain: request -> master service ->
+  // response all record against this id (closed in on_syscall_response).
+  if (trace::wants(tracer_, trace::Cat::kSys)) {
+    call.flow = tracer_->new_flow();
+    note("sys.delegate", trace::Cat::kSys, trace::Kind::kFlowBegin, t.ctx.tid,
+         call.flow, static_cast<std::uint64_t>(call.num), call.args[0]);
+  }
+  net::Message req =
+      sys::make_syscall_request(id_, t.ctx.tid, call.num, call.args, payload);
+  req.flow = call.flow;
+  network_.send(std::move(req));
   t.state = ThreadState::kBlockedSyscall;
   t.block_start = queue_.now();
   call.phase = PendingSyscall::Phase::kAwaitResponse;
@@ -512,6 +576,10 @@ void Node::on_syscall_response(const net::Message& msg) {
   }
   PendingSyscall& call = *t.pending_syscall;
   call.result = static_cast<std::int64_t>(msg.a);
+  if (call.flow != 0) {
+    note("sys.delegate", trace::Cat::kSys, trace::Kind::kFlowEnd, tid,
+         call.flow, msg.a, 0);
+  }
 
   if (call.num == isa::Sys::kRead && call.result > 0 && !msg.data.empty()) {
     call.result_payload = msg.data;
@@ -607,6 +675,13 @@ void Node::send_migration(GuestTid tid) {
                                   t.breakdown.idle};
   std::memcpy(msg.data.data() + dbt::CpuContext::kWireBytes, parts,
               kBreakdownBytes);
+  // Migration is a causal arc of its own: departure here, arrival on the
+  // target node (on_migrate_thread) closes it.
+  if (trace::wants(tracer_, trace::Cat::kCore)) {
+    msg.flow = tracer_->new_flow();
+    note("core.migrate", trace::Cat::kCore, trace::Kind::kFlowBegin, tid,
+         msg.flow, tid, target);
+  }
   network_.send(std::move(msg));
   threads_.erase(tid);
   if (stats_ != nullptr) stats_->add("core.migrations_sent");
@@ -615,6 +690,10 @@ void Node::send_migration(GuestTid tid) {
 void Node::on_migrate_thread(const net::Message& msg) {
   assert(msg.data.size() >= dbt::CpuContext::kWireBytes + kBreakdownBytes);
   const dbt::CpuContext ctx = dbt::CpuContext::deserialize(msg.data);
+  if (msg.flow != 0 && (msg.flow & trace::kAutoFlowBit) == 0) {
+    note("core.migrate", trace::Cat::kCore, trace::Kind::kFlowEnd, ctx.tid,
+         msg.flow, ctx.tid, id_);
+  }
   add_thread(ctx, static_cast<GuestAddr>(msg.b),
              static_cast<std::int32_t>(static_cast<std::uint32_t>(msg.c)));
   GuestThread& t = threads_.at(ctx.tid);

@@ -31,6 +31,7 @@
 #include "sim/event_queue.hpp"
 #include "sys/classify.hpp"
 #include "sys/master_syscalls.hpp"
+#include "trace/tracer.hpp"
 
 namespace dqemu::core {
 
@@ -45,7 +46,8 @@ class Node {
   };
 
   Node(NodeId id, const ClusterConfig& config, sim::EventQueue& queue,
-       net::Network& network, StatsRegistry* stats, Hooks hooks);
+       net::Network& network, StatsRegistry* stats, Hooks hooks,
+       trace::Tracer* tracer = nullptr);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -109,6 +111,10 @@ class Node {
   void send_migration(GuestTid tid);
   void finish_thread_exit(GuestTid tid);
 
+  /// Records a point/flow event on this node's node-level track.
+  void note(const char* name, trace::Cat cat, trace::Kind kind, GuestTid tid,
+            std::uint64_t flow, std::uint64_t a, std::uint64_t b);
+
   /// Walks [addr, addr+len) in shadow-translated chunks.
   void for_each_chunk(
       GuestAddr addr, std::uint32_t len,
@@ -121,6 +127,7 @@ class Node {
   net::Network& network_;
   StatsRegistry* stats_;
   Hooks hooks_;
+  trace::Tracer* tracer_;
 
   mem::AddressSpace space_;
   mem::ShadowMap shadow_;

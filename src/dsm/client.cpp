@@ -11,7 +11,8 @@ DsmClient::DsmClient(NodeId self, net::Network& network,
                      mem::AddressSpace& space, mem::ShadowMap& shadow,
                      dbt::LlscTable* llsc, dbt::TranslationCache* tcache,
                      StatsRegistry* stats,
-                     std::function<void(std::uint32_t)> wake_page)
+                     std::function<void(std::uint32_t)> wake_page,
+                     trace::Tracer* tracer)
     : self_(self),
       network_(network),
       space_(space),
@@ -19,7 +20,8 @@ DsmClient::DsmClient(NodeId self, net::Network& network,
       llsc_(llsc),
       tcache_(tcache),
       stats_(stats),
-      wake_page_(std::move(wake_page)) {}
+      wake_page_(std::move(wake_page)),
+      tracer_(tracer) {}
 
 void DsmClient::request_page(std::uint32_t page, std::uint32_t offset,
                              bool write, GuestTid tid) {
@@ -30,7 +32,26 @@ void DsmClient::request_page(std::uint32_t page, std::uint32_t offset,
     if (stats_ != nullptr) stats_->add("dsm.coalesced_faults");
     return;
   }
-  pending_.emplace(page, write);
+  Pending pending;
+  pending.write = write;
+  // Open the fault's causal chain: every send/deliver/directory edge of
+  // this remote page fetch records against this id.
+  if (trace::wants(tracer_, trace::Cat::kDsm)) {
+    pending.flow = tracer_->new_flow();
+    trace::Record r;
+    r.time = network_.now();
+    r.name = "dsm.fault";
+    r.kind = trace::Kind::kFlowBegin;
+    r.cat = trace::Cat::kDsm;
+    r.node = self_;
+    r.track = trace::kTrackNode;
+    r.tid = tid;
+    r.flow = pending.flow;
+    r.a = page;
+    r.b = write ? 1 : 0;
+    tracer_->record(r);
+  }
+  pending_.emplace(page, pending);
   if (stats_ != nullptr) {
     stats_->add(write ? "dsm.write_requests" : "dsm.read_requests");
   }
@@ -42,7 +63,41 @@ void DsmClient::request_page(std::uint32_t page, std::uint32_t offset,
   msg.a = page;
   msg.b = offset;
   msg.c = tid;
+  msg.flow = pending.flow;
   network_.send(std::move(msg));
+}
+
+void DsmClient::end_fault_flow(std::uint32_t page, bool retried) {
+  const auto it = pending_.find(page);
+  if (it == pending_.end() || it->second.flow == 0) return;
+  if (!trace::wants(tracer_, trace::Cat::kDsm)) return;
+  trace::Record r;
+  r.time = network_.now();
+  r.name = "dsm.fault";
+  r.kind = trace::Kind::kFlowEnd;
+  r.cat = trace::Cat::kDsm;
+  r.node = self_;
+  r.track = trace::kTrackNode;
+  r.flow = it->second.flow;
+  r.a = page;
+  r.b = retried ? 1 : 0;
+  tracer_->record(r);
+}
+
+void DsmClient::note(const char* name, std::uint64_t flow, std::uint64_t a,
+                     std::uint64_t b) {
+  if (!trace::wants(tracer_, trace::Cat::kDsm)) return;
+  trace::Record r;
+  r.time = network_.now();
+  r.name = name;
+  r.kind = flow == 0 ? trace::Kind::kInstant : trace::Kind::kFlowStep;
+  r.cat = trace::Cat::kDsm;
+  r.node = self_;
+  r.track = trace::kTrackNode;
+  r.flow = flow;
+  r.a = a;
+  r.b = b;
+  tracer_->record(r);
 }
 
 void DsmClient::handle_message(const net::Message& msg) {
@@ -70,6 +125,7 @@ void DsmClient::on_page_data(const net::Message& msg, bool grant_only) {
                                                 : mem::PageAccess::kRead);
   // Content changed under any cached translations of this page.
   if (!grant_only && tcache_ != nullptr) tcache_->invalidate_page(page);
+  end_fault_flow(page, /*retried=*/false);
   pending_.erase(page);
   if (stats_ != nullptr) stats_->add("dsm.grants_received");
   wake_page_(page);
@@ -77,6 +133,7 @@ void DsmClient::on_page_data(const net::Message& msg, bool grant_only) {
 
 void DsmClient::on_retry(const net::Message& msg) {
   const auto page = static_cast<std::uint32_t>(msg.a);
+  end_fault_flow(page, /*retried=*/true);
   pending_.erase(page);
   if (stats_ != nullptr) stats_->add("dsm.retries");
   // Threads re-fault; the shadow map (updated by the preceding
@@ -107,6 +164,8 @@ void DsmClient::on_invalidate(const net::Message& msg) {
   }
   drop_page_locally(page);
   if (stats_ != nullptr) stats_->add("dsm.invalidations_received");
+  note("dsm.invalidate", msg.flow, page, writeback ? 1 : 0);
+  ack.flow = msg.flow;  // the ack continues the recalling transaction
   network_.send(std::move(ack));
 }
 
@@ -121,6 +180,8 @@ void DsmClient::on_downgrade(const net::Message& msg) {
   ack.data.assign(data.begin(), data.end());
   space_.set_access(page, mem::PageAccess::kRead);
   if (stats_ != nullptr) stats_->add("dsm.downgrades_received");
+  note("dsm.downgrade", msg.flow, page, 0);
+  ack.flow = msg.flow;
   network_.send(std::move(ack));
 }
 
@@ -132,6 +193,7 @@ void DsmClient::on_shadow_update(const net::Message& msg) {
   shadow_.add_split(orig, shadows);
   drop_page_locally(orig);
   if (stats_ != nullptr) stats_->add("dsm.shadow_updates");
+  note("dsm.shadow_update", msg.flow, orig, shadows.size());
   DQEMU_DEBUG("node %u: page %u split into %zu shadows", unsigned(self_),
               orig, shadows.size());
 }
@@ -148,11 +210,12 @@ void DsmClient::on_forward_data(const net::Message& msg) {
     if (space_.access(page) == mem::PageAccess::kNone) {
       space_.set_access(page, mem::PageAccess::kRead);
       if (stats_ != nullptr) stats_->add("dsm.forwards_installed");
+      note("dsm.forward_install", msg.flow, page, 0);
       wake_page_(page);  // benign if nobody waits
     } else if (stats_ != nullptr) {
       stats_->add("dsm.forwards_dropped");
     }
-  } else if (!pending->second) {
+  } else if (!pending->second.write) {
     // A read request raced with this push: the pushed copy satisfies it
     // right now (the directory made us a sharer). The in-flight grant for
     // the queued request is redundant and harmless — per-channel FIFO

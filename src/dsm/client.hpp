@@ -19,6 +19,7 @@
 #include "mem/address_space.hpp"
 #include "mem/shadow_map.hpp"
 #include "net/network.hpp"
+#include "trace/tracer.hpp"
 
 namespace dqemu::dsm {
 
@@ -30,7 +31,8 @@ class DsmClient {
   DsmClient(NodeId self, net::Network& network, mem::AddressSpace& space,
             mem::ShadowMap& shadow, dbt::LlscTable* llsc,
             dbt::TranslationCache* tcache, StatsRegistry* stats,
-            std::function<void(std::uint32_t page)> wake_page);
+            std::function<void(std::uint32_t page)> wake_page,
+            trace::Tracer* tracer = nullptr);
 
   /// Issues a read or write request for `page` unless one is already in
   /// flight (in which case the write intent is merged: a still-unsatisfied
@@ -58,6 +60,11 @@ class DsmClient {
   void on_shadow_update(const net::Message& msg);
   void on_forward_data(const net::Message& msg);
   void drop_page_locally(std::uint32_t page);
+  /// Closes the fault's causal chain (grant installed or split retry).
+  void end_fault_flow(std::uint32_t page, bool retried);
+  /// Records a protocol instant on this node's track.
+  void note(const char* name, std::uint64_t flow, std::uint64_t a,
+            std::uint64_t b);
 
   NodeId self_;
   net::Network& network_;
@@ -67,8 +74,13 @@ class DsmClient {
   dbt::TranslationCache* tcache_;
   StatsRegistry* stats_;
   std::function<void(std::uint32_t)> wake_page_;
-  /// page -> write intent of the outstanding request.
-  std::unordered_map<std::uint32_t, bool> pending_;
+  trace::Tracer* tracer_;
+  /// Outstanding request state for a page.
+  struct Pending {
+    bool write = false;
+    std::uint64_t flow = 0;  ///< flight-recorder chain of this fault
+  };
+  std::unordered_map<std::uint32_t, Pending> pending_;
 };
 
 }  // namespace dqemu::dsm

@@ -10,12 +10,13 @@ namespace dqemu::dsm {
 
 Directory::Directory(net::Network& network, sim::EventQueue& queue,
                      mem::AddressSpace& home, Params params,
-                     StatsRegistry* stats)
+                     StatsRegistry* stats, trace::Tracer* tracer)
     : network_(network),
       queue_(queue),
       home_(home),
       params_(params),
       stats_(stats),
+      tracer_(tracer),
       entries_(home.num_pages()),
       shadow_of_(home.num_pages()),
       shadow_next_(params.shadow_pool_first_page) {
@@ -65,9 +66,49 @@ void Directory::send(net::Message msg) {
   TimePs& manager_free = manager_free_[msg.dst];
   const TimePs start = std::max(queue_.now(), manager_free);
   manager_free = start + service;
+  // Manager occupancy span: the per-slave manager thread is busy preparing
+  // this message from `start` until it hands it to the NIC. Sequential per
+  // manager track, so sync B/E nesting holds.
+  if (trace::wants(tracer_, trace::Cat::kDsm)) {
+    trace::Record r;
+    r.name = "dsm.manager";
+    r.cat = trace::Cat::kDsm;
+    r.node = kMasterNode;
+    r.track = static_cast<std::uint16_t>(trace::kTrackManagerBase + msg.dst);
+    r.flow = msg.flow;
+    r.a = msg.a;
+    r.b = msg.type;
+    r.kind = trace::Kind::kSpanBegin;
+    r.time = start;
+    tracer_->record(r);
+    r.kind = trace::Kind::kSpanEnd;
+    r.time = manager_free;
+    tracer_->record(r);
+  }
   queue_.schedule_at(manager_free, [this, m = std::move(msg)]() mutable {
     network_.send(std::move(m));
   });
+}
+
+void Directory::send_chained(net::Message msg, std::uint64_t flow) {
+  msg.flow = flow;
+  send(std::move(msg));
+}
+
+void Directory::note(const char* name, std::uint64_t flow, std::uint64_t a,
+                     std::uint64_t b) {
+  if (!trace::wants(tracer_, trace::Cat::kDsm)) return;
+  trace::Record r;
+  r.time = queue_.now();
+  r.name = name;
+  r.kind = flow == 0 ? trace::Kind::kInstant : trace::Kind::kFlowStep;
+  r.cat = trace::Cat::kDsm;
+  r.node = kMasterNode;
+  r.track = trace::kTrackManager;
+  r.flow = flow;
+  r.a = a;
+  r.b = b;
+  tracer_->record(r);
 }
 
 void Directory::handle_message(const net::Message& msg) {
@@ -111,12 +152,16 @@ void Directory::on_request(const net::Message& msg, bool write) {
 
   const Request req{msg.src, write,
                     static_cast<std::uint32_t>(msg.b),
-                    static_cast<GuestTid>(msg.c)};
+                    static_cast<GuestTid>(msg.c), msg.flow};
+  note("dsm.dir.request", req.flow, page,
+       (static_cast<std::uint64_t>(entry.state) << 1) | (write ? 1 : 0));
 
   // A request that arrives after the page was split raced with the shadow
   // broadcast: tell the node to re-fault through its (by now updated) map.
   if (entry.state == PageState::kSplit) {
-    send(make(req.node, DsmMsg::kRetry, page));
+    net::Message retry = make(req.node, DsmMsg::kRetry, page);
+    retry.flow = req.flow;
+    send(std::move(retry));
     if (stats_ != nullptr) stats_->add("dir.retries");
     return;
   }
@@ -126,6 +171,7 @@ void Directory::on_request(const net::Message& msg, bool write) {
   if (entry.busy) {
     entry.queue.push_back(req);
     if (stats_ != nullptr) stats_->add("dir.queued_reqs");
+    note("dsm.dir.queued", req.flow, page, entry.queue.size());
     return;
   }
   start_transaction(page, req);
@@ -147,13 +193,14 @@ void Directory::start_transaction(std::uint32_t page, const Request& req) {
         // Home copy is the owned copy; nothing to recall.
         home_.set_access(page, mem::PageAccess::kNone);
       } else {
-        send(make(entry.owner, DsmMsg::kInvalidate, page, 1));
+        send_chained(make(entry.owner, DsmMsg::kInvalidate, page, 1),
+                     req.flow);
         ++entry.acks_outstanding;
       }
     } else if (entry.state == PageState::kShared) {
       for (NodeId n = 0; n < params_.node_count; ++n) {
         if ((entry.sharers >> n) & 1u) {
-          send(make(n, DsmMsg::kInvalidate, page, 0));
+          send_chained(make(n, DsmMsg::kInvalidate, page, 0), req.flow);
           ++entry.acks_outstanding;
         }
       }
@@ -169,14 +216,15 @@ void Directory::start_transaction(std::uint32_t page, const Request& req) {
           grant_and_finish(page);  // benign re-grant
           return;
         }
-        send(make(entry.owner, DsmMsg::kInvalidate, page, 1));
+        send_chained(make(entry.owner, DsmMsg::kInvalidate, page, 1),
+                     req.flow);
         entry.acks_outstanding = 1;
         if (stats_ != nullptr) stats_->add("dir.owner_recalls");
         return;
       case PageState::kShared: {
         for (NodeId n = 0; n < params_.node_count; ++n) {
           if (n != req.node && ((entry.sharers >> n) & 1u)) {
-            send(make(n, DsmMsg::kInvalidate, page, 0));
+            send_chained(make(n, DsmMsg::kInvalidate, page, 0), req.flow);
             ++entry.acks_outstanding;
           }
         }
@@ -199,7 +247,7 @@ void Directory::start_transaction(std::uint32_t page, const Request& req) {
           grant_and_finish(page);
           return;
         }
-        send(make(entry.owner, DsmMsg::kDowngrade, page));
+        send_chained(make(entry.owner, DsmMsg::kDowngrade, page), req.flow);
         entry.acks_outstanding = 1;
         if (stats_ != nullptr) stats_->add("dir.downgrades");
         return;
@@ -260,7 +308,8 @@ void Directory::grant_and_finish(std::uint32_t page) {
   // never fault) must not demote the entry to Shared — the home copy may
   // be stale, and only the owner holds the fresh bytes. Re-grant in place.
   if (already_owner) {
-    send(make(req.node, DsmMsg::kPageGrant, page, kAccessWrite));
+    send_chained(make(req.node, DsmMsg::kPageGrant, page, kAccessWrite),
+                 req.flow);
     if (stats_ != nullptr) stats_->add("dir.grants_no_data");
     finish_entry(page);
     return;
@@ -277,15 +326,17 @@ void Directory::grant_and_finish(std::uint32_t page) {
   }
 
   const std::uint64_t access = req.write ? kAccessWrite : kAccessRead;
+  note("dsm.dir.grant", req.flow, page,
+       (static_cast<std::uint64_t>(entry.state) << 1) | access);
   if (already_sharer || already_owner) {
     // Requester's copy is fresh: upgrade/re-grant without content.
-    send(make(req.node, DsmMsg::kPageGrant, page, access));
+    send_chained(make(req.node, DsmMsg::kPageGrant, page, access), req.flow);
     if (stats_ != nullptr) stats_->add("dir.grants_no_data");
   } else {
     net::Message msg = make(req.node, DsmMsg::kPageData, page, access);
     const auto data = home_.page_data(page);
     msg.data.assign(data.begin(), data.end());
-    send(std::move(msg));
+    send_chained(std::move(msg), req.flow);
     if (stats_ != nullptr) stats_->add("dir.grants_with_data");
   }
 
@@ -310,7 +361,7 @@ void Directory::finish_entry(std::uint32_t page) {
     const Request next = entry.queue.front();
     entry.queue.pop_front();
     if (entry.state == PageState::kSplit) {
-      send(make(next.node, DsmMsg::kRetry, page));
+      send_chained(make(next.node, DsmMsg::kRetry, page), next.flow);
       if (stats_ != nullptr) stats_->add("dir.retries");
       finish_entry(page);
       return;
@@ -348,6 +399,7 @@ void Directory::perform_split(std::uint32_t page) {
   home_.set_access(page, mem::PageAccess::kNone);
   ++splits_;
   if (stats_ != nullptr) stats_->add("dir.splits");
+  note("dsm.split", entry.current.flow, page, shards);
   DQEMU_DEBUG("directory: split page %u into %u shadows starting at %u", page,
               shards, shadows[0]);
 
@@ -362,9 +414,11 @@ void Directory::perform_split(std::uint32_t page) {
     m.dst = n;
     send(std::move(m));
   }
-  send(make(entry.current.node, DsmMsg::kRetry, page));
+  send_chained(make(entry.current.node, DsmMsg::kRetry, page),
+               entry.current.flow);
   while (!entry.queue.empty()) {
-    send(make(entry.queue.front().node, DsmMsg::kRetry, page));
+    send_chained(make(entry.queue.front().node, DsmMsg::kRetry, page),
+                 entry.queue.front().flow);
     entry.queue.pop_front();
   }
   entry.fs_count = 0;
@@ -419,6 +473,7 @@ void Directory::maybe_forward(NodeId requester, std::uint32_t page) {
     }
     entry.state = PageState::kShared;
     entry.sharers |= 1u << requester;
+    note("dsm.forward_push", 0, p, requester);
     net::Message msg = make(requester, DsmMsg::kForwardData, p);
     const auto data = home_.page_data(p);
     msg.data.assign(data.begin(), data.end());

@@ -24,6 +24,7 @@
 #include "mem/address_space.hpp"
 #include "net/network.hpp"
 #include "sim/event_queue.hpp"
+#include "trace/tracer.hpp"
 
 namespace dqemu::dsm {
 
@@ -45,7 +46,7 @@ class Directory {
   /// pool, which starts kHome with no access anywhere.
   Directory(net::Network& network, sim::EventQueue& queue,
             mem::AddressSpace& home, Params params,
-            StatsRegistry* stats = nullptr);
+            StatsRegistry* stats = nullptr, trace::Tracer* tracer = nullptr);
 
   /// Dispatches a request/ack addressed to the master.
   void handle_message(const net::Message& msg);
@@ -76,6 +77,7 @@ class Directory {
     bool write = false;
     std::uint32_t offset = 0;
     GuestTid tid = 0;
+    std::uint64_t flow = 0;  ///< causal chain of the originating fault
   };
 
   struct Entry {
@@ -116,8 +118,13 @@ class Directory {
   void maybe_forward(NodeId requester, std::uint32_t page);
 
   void send(net::Message msg);
+  /// send() with the message stamped into causal chain `flow`.
+  void send_chained(net::Message msg, std::uint64_t flow);
   [[nodiscard]] net::Message make(NodeId dst, DsmMsg type,
                                   std::uint64_t a = 0, std::uint64_t b = 0) const;
+  /// Records a directory-side edge of chain `flow` on the manager track.
+  void note(const char* name, std::uint64_t flow, std::uint64_t a,
+            std::uint64_t b);
   [[nodiscard]] bool in_shadow_pool(std::uint32_t page) const {
     return page >= params_.shadow_pool_first_page &&
            page < params_.shadow_pool_first_page +
@@ -129,6 +136,7 @@ class Directory {
   mem::AddressSpace& home_;
   Params params_;
   StatsRegistry* stats_;
+  trace::Tracer* tracer_;
   std::vector<Entry> entries_;
   std::vector<StreamDetector> streams_;  ///< per requesting node
   /// Per-slave manager thread occupancy (serializes demand replies).

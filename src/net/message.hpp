@@ -31,6 +31,12 @@ struct Message {
   /// Bulk payload: page bytes, CPU context snapshots, syscall buffers.
   std::vector<std::uint8_t> data;
 
+  /// Flight-recorder causal id (DESIGN.md §9). Simulation-side metadata —
+  /// not a wire field, never charged by the bandwidth model. 0 means the
+  /// message is not part of a recorded chain; the network auto-assigns an
+  /// id for otherwise-unchained messages when tracing is active.
+  std::uint64_t flow = 0;
+
   /// Bytes this message occupies on the wire, excluding the link-level
   /// header the NetworkConfig adds.
   [[nodiscard]] std::uint64_t wire_bytes() const {

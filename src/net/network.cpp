@@ -9,10 +9,12 @@
 namespace dqemu::net {
 
 Network::Network(sim::EventQueue& queue, NetworkConfig config,
-                 std::uint32_t node_count, StatsRegistry* stats)
+                 std::uint32_t node_count, StatsRegistry* stats,
+                 trace::Tracer* tracer)
     : queue_(queue),
       config_(config),
       stats_(stats),
+      tracer_(tracer),
       handlers_(node_count),
       egress_free_(node_count, 0),
       channel_last_(static_cast<std::size_t>(node_count) * node_count, 0),
@@ -26,6 +28,29 @@ void Network::attach(NodeId node, Handler handler) {
 void Network::send(Message msg) {
   assert(msg.src < node_count_ && msg.dst < node_count_);
   const TimePs now = queue_.now();
+
+  // Flight recorder: every message is an edge in some causal chain. A
+  // message already stamped by a higher layer (DSM fault, delegated
+  // syscall) records a step in that chain; an unchained one opens its own.
+  if (trace::wants(tracer_, trace::Cat::kNet)) {
+    trace::Record r;
+    r.time = now;
+    r.node = msg.src;
+    r.track = trace::kTrackNic;
+    r.cat = trace::Cat::kNet;
+    r.a = msg.wire_bytes();
+    r.b = msg.type;
+    if (msg.flow == 0) {
+      msg.flow = tracer_->new_flow() | trace::kAutoFlowBit;
+      r.kind = trace::Kind::kFlowBegin;
+      r.name = "net.msg";
+    } else {
+      r.kind = trace::Kind::kFlowStep;
+      r.name = "net.send";
+    }
+    r.flow = msg.flow;
+    tracer_->record(r);
+  }
 
   TimePs delivery;
   if (msg.src == msg.dst) {
@@ -63,6 +88,20 @@ void Network::deliver(Message msg) {
   DQEMU_TRACE("net: deliver type=%u %u->%u (%llu bytes)", msg.type,
               unsigned(msg.src), unsigned(msg.dst),
               static_cast<unsigned long long>(msg.wire_bytes()));
+  if (msg.flow != 0 && trace::wants(tracer_, trace::Cat::kNet)) {
+    trace::Record r;
+    r.time = queue_.now();
+    r.node = msg.dst;
+    r.track = trace::kTrackNic;
+    r.cat = trace::Cat::kNet;
+    r.flow = msg.flow;
+    r.a = msg.wire_bytes();
+    r.b = msg.type;
+    const bool net_owned = (msg.flow & trace::kAutoFlowBit) != 0;
+    r.kind = net_owned ? trace::Kind::kFlowEnd : trace::Kind::kFlowStep;
+    r.name = net_owned ? "net.msg" : "net.deliver";
+    tracer_->record(r);
+  }
   handler(std::move(msg));
 }
 

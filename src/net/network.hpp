@@ -16,6 +16,7 @@
 #include "common/stats.hpp"
 #include "net/message.hpp"
 #include "sim/event_queue.hpp"
+#include "trace/tracer.hpp"
 
 namespace dqemu::net {
 
@@ -24,9 +25,10 @@ class Network {
  public:
   using Handler = std::function<void(Message)>;
 
-  /// `stats` may be null; `queue` must outlive the Network.
+  /// `stats` and `tracer` may be null; `queue` must outlive the Network.
   Network(sim::EventQueue& queue, NetworkConfig config,
-          std::uint32_t node_count, StatsRegistry* stats = nullptr);
+          std::uint32_t node_count, StatsRegistry* stats = nullptr,
+          trace::Tracer* tracer = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -44,6 +46,10 @@ class Network {
     return egress_free_[node];
   }
 
+  /// Current virtual time (convenience for layers that hold only the
+  /// network reference).
+  [[nodiscard]] TimePs now() const { return queue_.now(); }
+
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
  private:
@@ -52,6 +58,7 @@ class Network {
   sim::EventQueue& queue_;
   NetworkConfig config_;
   StatsRegistry* stats_;
+  trace::Tracer* tracer_;
   std::vector<Handler> handlers_;
   /// Per-node egress link occupancy (bandwidth serialization point).
   std::vector<TimePs> egress_free_;

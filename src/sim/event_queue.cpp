@@ -24,8 +24,19 @@ bool EventQueue::run_one() {
   // Move the callback out before erasing: the callback may schedule or
   // cancel other events, mutating the map.
   Callback fn = std::move(it->second);
+  const std::uint64_t seq = it->first.seq;
   events_.erase(it);
   ++fired_;
+  if (trace::wants(tracer_, trace::Cat::kQueue)) {
+    trace::Record r;
+    r.time = now_;
+    r.name = "sim.dispatch";
+    r.kind = trace::Kind::kInstant;
+    r.cat = trace::Cat::kQueue;
+    r.a = seq;
+    r.b = events_.size();
+    tracer_->record(r);
+  }
   fn();
   return true;
 }

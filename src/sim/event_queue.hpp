@@ -12,6 +12,7 @@
 #include <map>
 
 #include "common/types.hpp"
+#include "trace/tracer.hpp"
 
 namespace dqemu::sim {
 
@@ -63,6 +64,10 @@ class EventQueue {
   /// Total events fired since construction.
   [[nodiscard]] std::uint64_t fired() const { return fired_; }
 
+  /// Attaches the flight recorder. Dispatch instants go to Cat::kQueue
+  /// (off by default: one record per event). May be null.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Key {
     TimePs time;
@@ -74,6 +79,7 @@ class EventQueue {
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
   std::map<Key, Callback> events_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace dqemu::sim

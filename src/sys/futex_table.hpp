@@ -21,7 +21,12 @@ class FutexTable {
   struct Waiter {
     NodeId node = kInvalidNode;
     GuestTid tid = kInvalidTid;
-    friend bool operator==(const Waiter&, const Waiter&) = default;
+    /// Causal chain of the FUTEX_WAIT delegation; carried so the deferred
+    /// wake response closes the waiter's chain, not the waker's.
+    std::uint64_t flow = 0;
+    friend bool operator==(const Waiter& a, const Waiter& b) {
+      return a.node == b.node && a.tid == b.tid;
+    }
   };
 
   /// Enqueues a waiter blocked on `addr`.

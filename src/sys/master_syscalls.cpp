@@ -28,13 +28,30 @@ net::Message make_syscall_request(NodeId src, GuestTid tid, isa::Sys num,
 MasterSyscalls::MasterSyscalls(net::Network& network, sim::EventQueue& queue,
                                MachineConfig machine,
                                std::uint32_t service_cycles,
-                               StatsRegistry* stats)
+                               StatsRegistry* stats, trace::Tracer* tracer)
     : network_(network),
       queue_(queue),
       machine_(machine),
       service_cycles_(service_cycles),
       stats_(stats),
+      tracer_(tracer),
       page_mask_(machine.page_size - 1) {}
+
+void MasterSyscalls::note(const char* name, std::uint64_t flow,
+                          std::uint64_t a, std::uint64_t b) {
+  if (!trace::wants(tracer_, trace::Cat::kSys)) return;
+  trace::Record r;
+  r.time = queue_.now();
+  r.name = name;
+  r.kind = flow == 0 ? trace::Kind::kInstant : trace::Kind::kFlowStep;
+  r.cat = trace::Cat::kSys;
+  r.node = kMasterNode;
+  r.track = trace::kTrackManager;
+  r.flow = flow;
+  r.a = a;
+  r.b = b;
+  tracer_->record(r);
+}
 
 void MasterSyscalls::configure_memory(GuestAddr brk_start,
                                       GuestAddr mmap_start,
@@ -48,7 +65,8 @@ void MasterSyscalls::configure_memory(GuestAddr brk_start,
 
 void MasterSyscalls::send_response(NodeId dst, GuestTid tid,
                                    std::int64_t result,
-                                   std::span<const std::uint8_t> payload) {
+                                   std::span<const std::uint8_t> payload,
+                                   std::uint64_t flow) {
   net::Message msg;
   msg.src = kMasterNode;
   msg.dst = dst;
@@ -56,6 +74,7 @@ void MasterSyscalls::send_response(NodeId dst, GuestTid tid,
   msg.a = static_cast<std::uint64_t>(result);
   msg.b = tid;
   msg.data.assign(payload.begin(), payload.end());
+  msg.flow = flow;
   const DurationPs service = machine_.cycles(service_cycles_);
   queue_.schedule_in(service, [this, m = std::move(msg)]() mutable {
     network_.send(std::move(m));
@@ -71,7 +90,9 @@ void MasterSyscalls::handle_message(const net::Message& msg) {
   req.num = static_cast<isa::Sys>(msg.a);
   std::memcpy(req.args.data(), msg.data.data(), 16);
   req.payload = std::span<const std::uint8_t>(msg.data).subspan(16);
+  req.flow = msg.flow;
   if (stats_ != nullptr) stats_->add("sys.delegated");
+  note("sys.service", req.flow, msg.a, req.tid);
   dispatch(req);
 }
 
@@ -81,7 +102,7 @@ void MasterSyscalls::dispatch(const SyscallRequest& req) {
     case Sys::kWrite: {
       const auto fd = static_cast<std::int32_t>(req.args[0]);
       const std::int32_t n = vfs_.write(fd, req.payload);
-      send_response(req.src, req.tid, n);
+      send_response(req.src, req.tid, n, {}, req.flow);
       return;
     }
     case Sys::kRead: {
@@ -90,7 +111,7 @@ void MasterSyscalls::dispatch(const SyscallRequest& req) {
       const std::int32_t n = vfs_.read(fd, buf);
       if (n > 0) buf.resize(static_cast<std::size_t>(n));
       else buf.clear();
-      send_response(req.src, req.tid, n, buf);
+      send_response(req.src, req.tid, n, buf, req.flow);
       return;
     }
     case Sys::kOpen: {
@@ -100,42 +121,44 @@ void MasterSyscalls::dispatch(const SyscallRequest& req) {
       std::size_t len = 0;
       while (len < maxlen && begin[len] != '\0') ++len;
       const std::int32_t fd = vfs_.open(std::string(begin, len), req.args[1]);
-      send_response(req.src, req.tid, fd);
+      send_response(req.src, req.tid, fd, {}, req.flow);
       return;
     }
     case Sys::kClose:
       send_response(req.src, req.tid,
-                    vfs_.close(static_cast<std::int32_t>(req.args[0])));
+                    vfs_.close(static_cast<std::int32_t>(req.args[0])), {},
+                    req.flow);
       return;
     case Sys::kLseek:
       send_response(req.src, req.tid,
                     vfs_.lseek(static_cast<std::int32_t>(req.args[0]),
                                static_cast<std::int32_t>(req.args[1]),
-                               req.args[2]));
+                               req.args[2]),
+                    {}, req.flow);
       return;
     case Sys::kBrk: {
       const GuestAddr request = req.args[0];
       if (request != 0 && request >= brk_min_ && request < mmap_cursor_) {
         brk_ = request;
       }
-      send_response(req.src, req.tid, brk_);
+      send_response(req.src, req.tid, brk_, {}, req.flow);
       return;
     }
     case Sys::kMmap: {
       const std::uint32_t len =
           (req.args[0] + page_mask_) & ~page_mask_;
       if (len == 0 || mmap_cursor_ + len > mmap_end_) {
-        send_response(req.src, req.tid, -isa::kENOMEM);
+        send_response(req.src, req.tid, -isa::kENOMEM, {}, req.flow);
         return;
       }
       const GuestAddr addr = mmap_cursor_;
       mmap_cursor_ += len;
       if (stats_ != nullptr) stats_->add("sys.mmap_bytes", len);
-      send_response(req.src, req.tid, addr);
+      send_response(req.src, req.tid, addr, {}, req.flow);
       return;
     }
     case Sys::kMunmap:
-      send_response(req.src, req.tid, 0);  // accounting-only
+      send_response(req.src, req.tid, 0, {}, req.flow);  // accounting-only
       return;
     case Sys::kFutex:
       do_futex(req);
@@ -143,7 +166,7 @@ void MasterSyscalls::dispatch(const SyscallRequest& req) {
     case Sys::kClone: {
       assert(hooks_.on_clone && "core layer must install the clone hook");
       const std::int32_t child = hooks_.on_clone(req);
-      send_response(req.src, req.tid, child);
+      send_response(req.src, req.tid, child, {}, req.flow);
       return;
     }
     case Sys::kExit: {
@@ -153,7 +176,8 @@ void MasterSyscalls::dispatch(const SyscallRequest& req) {
       if (req.args[1] != 0) {
         for (const FutexTable::Waiter waiter :
              futexes_.wake(req.args[1], UINT32_MAX)) {
-          send_response(waiter.node, waiter.tid, 0);
+          note("sys.futex_wake", waiter.flow, req.args[1], waiter.tid);
+          send_response(waiter.node, waiter.tid, 0, {}, waiter.flow);
         }
       }
       if (hooks_.on_exit) hooks_.on_exit(req);
@@ -165,7 +189,7 @@ void MasterSyscalls::dispatch(const SyscallRequest& req) {
     default:
       DQEMU_WARN("unimplemented delegated syscall %u",
                  static_cast<unsigned>(req.num));
-      send_response(req.src, req.tid, -isa::kENOSYS);
+      send_response(req.src, req.tid, -isa::kENOSYS, {}, req.flow);
       return;
   }
 }
@@ -177,21 +201,25 @@ void MasterSyscalls::do_futex(const SyscallRequest& req) {
     // The caller's node already verified *addr == expected while holding a
     // read copy; the protocol orders any racing write (and its wake) after
     // this request, so enqueueing unconditionally cannot lose a wakeup.
-    futexes_.wait(addr, FutexTable::Waiter{req.src, req.tid});
+    futexes_.wait(addr, FutexTable::Waiter{req.src, req.tid, req.flow});
     if (stats_ != nullptr) stats_->add("sys.futex_waits");
+    note("sys.futex_wait", req.flow, addr, futexes_.waiters(addr));
     return;  // deferred response
   }
   if (op == isa::kFutexWake) {
     const auto woken = futexes_.wake(addr, req.args[2]);
     for (const FutexTable::Waiter waiter : woken) {
-      send_response(waiter.node, waiter.tid, 0);
+      // The deferred response rides the *waiter's* chain: the trace shows
+      // wait -> (this wake) -> response as one causal arc.
+      note("sys.futex_wake", waiter.flow, addr, waiter.tid);
+      send_response(waiter.node, waiter.tid, 0, {}, waiter.flow);
     }
     if (stats_ != nullptr) stats_->add("sys.futex_wakes", woken.size());
     send_response(req.src, req.tid,
-                  static_cast<std::int64_t>(woken.size()));
+                  static_cast<std::int64_t>(woken.size()), {}, req.flow);
     return;
   }
-  send_response(req.src, req.tid, -isa::kEINVAL);
+  send_response(req.src, req.tid, -isa::kEINVAL, {}, req.flow);
 }
 
 }  // namespace dqemu::sys

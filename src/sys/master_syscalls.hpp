@@ -18,6 +18,7 @@
 #include "sys/futex_table.hpp"
 #include "sys/vfs.hpp"
 #include "sys/wire.hpp"
+#include "trace/tracer.hpp"
 
 namespace dqemu::sys {
 
@@ -28,6 +29,7 @@ struct SyscallRequest {
   isa::Sys num = isa::Sys::kExit;
   std::array<std::uint32_t, 4> args{};
   std::span<const std::uint8_t> payload;
+  std::uint64_t flow = 0;  ///< causal chain opened by the delegating node
 };
 
 /// Packs args + payload into a kSyscallReq message body (node side).
@@ -50,7 +52,8 @@ class MasterSyscalls {
 
   MasterSyscalls(net::Network& network, sim::EventQueue& queue,
                  MachineConfig machine, std::uint32_t service_cycles,
-                 StatsRegistry* stats = nullptr);
+                 StatsRegistry* stats = nullptr,
+                 trace::Tracer* tracer = nullptr);
 
   /// Guest heap layout: brk grows in [brk_start, mmap_start); anonymous
   /// mmaps grow in [mmap_start, mmap_end).
@@ -70,17 +73,22 @@ class MasterSyscalls {
   /// Sends the kSyscallResp that unblocks (node, tid). Public because the
   /// core layer completes clone/futex-wake responses through it.
   void send_response(NodeId dst, GuestTid tid, std::int64_t result,
-                     std::span<const std::uint8_t> payload = {});
+                     std::span<const std::uint8_t> payload = {},
+                     std::uint64_t flow = 0);
 
  private:
   void dispatch(const SyscallRequest& req);
   void do_futex(const SyscallRequest& req);
+  /// Records a master-side edge of chain `flow` on the manager track.
+  void note(const char* name, std::uint64_t flow, std::uint64_t a,
+            std::uint64_t b);
 
   net::Network& network_;
   sim::EventQueue& queue_;
   MachineConfig machine_;
   std::uint32_t service_cycles_;
   StatsRegistry* stats_;
+  trace::Tracer* tracer_;
   Hooks hooks_;
   Vfs vfs_;
   FutexTable futexes_;

@@ -1,0 +1,202 @@
+#include "trace/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace dqemu::trace {
+namespace {
+
+/// Virtual picoseconds -> Chrome's microsecond timestamps, formatted with
+/// integer math so output is bit-stable ("12.000345").
+void append_ts(std::string& out, TimePs ps) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%06" PRIu64, ps / 1'000'000,
+                ps % 1'000'000);
+  out += buf;
+}
+
+void append_escaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+/// Human-readable track name inside a node's process.
+std::string track_name(std::uint16_t track) {
+  if (track >= kTrackManagerBase) {
+    return "manager " + std::to_string(track - kTrackManagerBase);
+  }
+  if (track >= kTrackCoreBase) {
+    return "core " + std::to_string(track - kTrackCoreBase);
+  }
+  switch (track) {
+    case kTrackNode: return "node";
+    case kTrackNic: return "nic";
+    case kTrackManager: return "manager";
+    default: return "track " + std::to_string(track);
+  }
+}
+
+char kind_char(Kind k) {
+  switch (k) {
+    case Kind::kSpanBegin: return 'B';
+    case Kind::kSpanEnd: return 'E';
+    case Kind::kInstant: return 'i';
+    case Kind::kCounter: return 'C';
+    case Kind::kFlowBegin: return 'b';
+    case Kind::kFlowStep: return 'n';
+    case Kind::kFlowEnd: return 'e';
+  }
+  return '?';
+}
+
+void append_event(std::string& out, const Record& r) {
+  out += "{\"name\":\"";
+  append_escaped(out, r.name != nullptr ? r.name : "?");
+  out += "\",\"cat\":\"";
+  out += cat_name(r.cat);
+  out += "\",\"ph\":\"";
+  out += kind_char(r.kind);
+  out += "\",\"ts\":";
+  append_ts(out, r.time);
+  out += ",\"pid\":";
+  append_u64(out, r.node);
+  out += ",\"tid\":";
+  append_u64(out, r.track);
+
+  switch (r.kind) {
+    case Kind::kCounter:
+      out += ",\"args\":{\"value\":";
+      append_u64(out, r.a);
+      out += "}";
+      break;
+    case Kind::kInstant:
+      out += ",\"s\":\"t\"";
+      [[fallthrough]];
+    case Kind::kSpanBegin:
+    case Kind::kFlowBegin:
+    case Kind::kFlowStep:
+    case Kind::kFlowEnd:
+    case Kind::kSpanEnd:
+      if (r.kind == Kind::kFlowBegin || r.kind == Kind::kFlowStep ||
+          r.kind == Kind::kFlowEnd) {
+        out += ",\"id\":";
+        append_u64(out, r.flow);
+      }
+      out += ",\"args\":{\"a\":";
+      append_u64(out, r.a);
+      out += ",\"b\":";
+      append_u64(out, r.b);
+      if (r.tid != 0) {
+        out += ",\"gtid\":";
+        append_u64(out, r.tid);
+      }
+      if (r.flow != 0 && r.kind != Kind::kFlowBegin &&
+          r.kind != Kind::kFlowStep && r.kind != Kind::kFlowEnd) {
+        out += ",\"flow\":";
+        append_u64(out, r.flow);
+      }
+      out += "}";
+      break;
+  }
+  out += "}";
+}
+
+}  // namespace
+
+void write_chrome_json(const Tracer& tracer, std::ostream& out) {
+  const std::vector<Record> records = tracer.records();
+
+  // Metadata first: name every (node) process and (node, track) lane that
+  // appears in the trace, so Perfetto shows meaningful labels.
+  std::set<NodeId> nodes;
+  std::set<std::pair<NodeId, std::uint16_t>> tracks;
+  for (const Record& r : records) {
+    nodes.insert(r.node);
+    if (r.kind != Kind::kCounter) tracks.emplace(r.node, r.track);
+  }
+
+  std::string body;
+  body += "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) body += ",\n";
+    first = false;
+  };
+
+  for (const NodeId node : nodes) {
+    sep();
+    body += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    append_u64(body, node);
+    body += ",\"args\":{\"name\":\"";
+    body += (node == kMasterNode) ? "node 0 (master)"
+                                  : "node " + std::to_string(node);
+    body += "\"}}";
+  }
+  for (const auto& [node, track] : tracks) {
+    sep();
+    body += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":";
+    append_u64(body, node);
+    body += ",\"tid\":";
+    append_u64(body, track);
+    body += ",\"args\":{\"name\":\"";
+    body += track_name(track);
+    body += "\"}}";
+  }
+
+  for (const Record& r : records) {
+    sep();
+    append_event(body, r);
+  }
+  body += "],\"displayTimeUnit\":\"ns\"}\n";
+  out << body;
+}
+
+void write_text(const Tracer& tracer, std::ostream& out) {
+  std::string body;
+  for (const Record& r : tracer.records()) {
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "%14" PRIu64 " %c %-7s n%-2u t%-2u %-24s tid=%-4u"
+                  " flow=%-6" PRIu64 " a=%" PRIu64 " b=%" PRIu64 "\n",
+                  r.time, kind_char(r.kind), cat_name(r.cat),
+                  unsigned(r.node), unsigned(r.track),
+                  r.name != nullptr ? r.name : "?", r.tid, r.flow, r.a, r.b);
+    body += buf;
+  }
+  out << body;
+}
+
+std::string to_chrome_json(const Tracer& tracer) {
+  std::ostringstream out;
+  write_chrome_json(tracer, out);
+  return out.str();
+}
+
+std::string to_text(const Tracer& tracer) {
+  std::ostringstream out;
+  write_text(tracer, out);
+  return out.str();
+}
+
+}  // namespace dqemu::trace

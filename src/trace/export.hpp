@@ -1,0 +1,34 @@
+// Trace exporters.
+//
+// Two formats:
+//   - Chrome trace_event JSON ("JSON Array Format" with metadata), loadable
+//     in Perfetto (ui.perfetto.dev) and chrome://tracing. One process per
+//     simulated node; inside it one track per simulated core plus NIC and
+//     manager tracks. Causal chains become async events keyed by flow id.
+//   - A compact line-per-record text dump used by tests (byte-identical
+//     across identical runs) and for quick grepping.
+//
+// Both emitters format virtual time deterministically with integer math
+// only, so trace bytes are a function of the simulation alone.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace dqemu::trace {
+
+/// Writes the full Chrome trace_event JSON document.
+void write_chrome_json(const Tracer& tracer, std::ostream& out);
+
+/// Writes the compact text dump, one record per line, oldest first.
+void write_text(const Tracer& tracer, std::ostream& out);
+
+/// Convenience: Chrome JSON as a string.
+[[nodiscard]] std::string to_chrome_json(const Tracer& tracer);
+
+/// Convenience: text dump as a string.
+[[nodiscard]] std::string to_text(const Tracer& tracer);
+
+}  // namespace dqemu::trace

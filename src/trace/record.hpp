@@ -1,0 +1,95 @@
+// Trace record vocabulary for the flight recorder (DESIGN.md §9).
+//
+// A Record is a fixed-size POD stamped with virtual time plus the
+// (node, track, guest thread) coordinates needed to place it on a
+// timeline. Names are pointers to strings that outlive the Tracer —
+// string literals at instrumentation sites, or strings interned into the
+// Tracer (counter names). Everything recorded is a pure observation of
+// simulator state, so traces of a deterministic run are themselves
+// deterministic: two runs with the same config and seed produce
+// byte-identical exports.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dqemu::trace {
+
+/// Category bitmask used for filtering at the instrumentation site.
+enum class Cat : std::uint32_t {
+  kSim = 1u << 0,      ///< simulated-core time slices (execution quanta)
+  kCore = 1u << 1,     ///< thread lifecycle: create / migrate / exit
+  kNet = 1u << 2,      ///< interconnect message send / deliver edges
+  kDsm = 1u << 3,      ///< coherence protocol: faults, grants, splits
+  kSys = 1u << 4,      ///< syscall delegation and the distributed futex
+  kCounter = 1u << 5,  ///< periodic counter snapshots (stats timelines)
+  kQueue = 1u << 6,    ///< raw event-queue dispatch (very voluminous)
+};
+
+[[nodiscard]] constexpr std::uint32_t cat_bit(Cat c) {
+  return static_cast<std::uint32_t>(c);
+}
+
+/// Default-enabled categories: everything except the raw event-queue
+/// firehose, which records one instant per simulation event.
+inline constexpr std::uint32_t kDefaultCategories =
+    cat_bit(Cat::kSim) | cat_bit(Cat::kCore) | cat_bit(Cat::kNet) |
+    cat_bit(Cat::kDsm) | cat_bit(Cat::kSys) | cat_bit(Cat::kCounter);
+
+inline constexpr std::uint32_t kAllCategories =
+    kDefaultCategories | cat_bit(Cat::kQueue);
+
+/// Short name of a category (for exports and --trace-categories).
+[[nodiscard]] constexpr const char* cat_name(Cat c) {
+  switch (c) {
+    case Cat::kSim: return "sim";
+    case Cat::kCore: return "core";
+    case Cat::kNet: return "net";
+    case Cat::kDsm: return "dsm";
+    case Cat::kSys: return "sys";
+    case Cat::kCounter: return "counter";
+    case Cat::kQueue: return "queue";
+  }
+  return "?";
+}
+
+/// Set on flow ids the network opened itself (the message reached send()
+/// unchained). Receivers use it to tell "this flow is just the wire hop"
+/// from "this flow is a higher-layer transaction I should continue".
+inline constexpr std::uint64_t kAutoFlowBit = 1ULL << 63;
+
+enum class Kind : std::uint8_t {
+  kSpanBegin,  ///< synchronous span open on (node, track); must nest
+  kSpanEnd,    ///< matching close
+  kInstant,    ///< point event on (node, track)
+  kCounter,    ///< sample of counter `name` with value `a`
+  kFlowBegin,  ///< causal chain `flow` opens (async span begin)
+  kFlowStep,   ///< an edge in chain `flow` (send / deliver / service)
+  kFlowEnd,    ///< causal chain `flow` closes
+};
+
+// Track ids inside a node's "process". Every simulated core gets its own
+// track so slices render one lane per core, like a CPU-scheduling trace.
+inline constexpr std::uint16_t kTrackNode = 0;     ///< node-level events
+inline constexpr std::uint16_t kTrackNic = 1;      ///< NIC / wire activity
+inline constexpr std::uint16_t kTrackManager = 2;  ///< syscall engine
+inline constexpr std::uint16_t kTrackCoreBase = 8; ///< + CoreId
+/// Master-side per-slave manager threads (paper Fig. 2): + destination
+/// NodeId. Placed high so core tracks never collide.
+inline constexpr std::uint16_t kTrackManagerBase = 64;
+
+struct Record {
+  TimePs time = 0;
+  const char* name = nullptr;  ///< static literal or Tracer-interned
+  std::uint64_t flow = 0;      ///< causal id; 0 = not part of a chain
+  std::uint64_t a = 0;         ///< arg: page / bytes / counter value / ...
+  std::uint64_t b = 0;         ///< arg: msg type / access / stop reason / ...
+  GuestTid tid = 0;            ///< guest thread; 0 = none
+  NodeId node = 0;
+  std::uint16_t track = kTrackNode;
+  Kind kind = Kind::kInstant;
+  Cat cat = Cat::kSim;
+};
+
+}  // namespace dqemu::trace

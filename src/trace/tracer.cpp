@@ -1,0 +1,93 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+
+namespace dqemu::trace {
+
+Tracer::Tracer(TraceConfig config) : config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  ring_.reserve(std::min<std::size_t>(config_.capacity, 1u << 16));
+}
+
+void Tracer::record(const Record& r) {
+  if (count_ < config_.capacity) {
+    if (next_ >= ring_.size()) {
+      ring_.push_back(r);
+    } else {
+      ring_[next_] = r;
+    }
+    ++count_;
+  } else {
+    ring_[next_] = r;
+    ++dropped_;
+  }
+  next_ = (next_ + 1) % config_.capacity;
+}
+
+const char* Tracer::intern(std::string_view name) {
+  auto it = intern_index_.find(name);
+  if (it != intern_index_.end()) return it->second;
+  interned_.emplace_back(name);
+  const char* stable = interned_.back().c_str();
+  intern_index_.emplace(interned_.back(), stable);
+  return stable;
+}
+
+std::vector<Record> Tracer::records() const {
+  std::vector<Record> out;
+  out.reserve(count_);
+  // Oldest record: when the ring has wrapped, it sits at next_; before
+  // that, at slot 0.
+  const std::size_t start = (count_ == config_.capacity) ? next_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % config_.capacity]);
+  }
+  // Instrumentation may stamp records with scheduled (future) virtual
+  // times — e.g. a manager-occupancy span is emitted when the message is
+  // accepted but ends at its service-completion time. A stable sort keeps
+  // exports chronological while preserving record order at equal times,
+  // so identical runs still produce identical traces.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+void Tracer::clear() {
+  next_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+std::optional<std::uint32_t> parse_categories(std::string_view list) {
+  std::uint32_t mask = 0;
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    std::string_view item = list.substr(0, comma);
+    list = (comma == std::string_view::npos) ? std::string_view{}
+                                             : list.substr(comma + 1);
+    if (item.empty()) continue;
+    if (item == "all") {
+      mask |= kAllCategories;
+      continue;
+    }
+    if (item == "default") {
+      mask |= kDefaultCategories;
+      continue;
+    }
+    bool found = false;
+    for (const Cat c : {Cat::kSim, Cat::kCore, Cat::kNet, Cat::kDsm,
+                        Cat::kSys, Cat::kCounter, Cat::kQueue}) {
+      if (item == cat_name(c)) {
+        mask |= cat_bit(c);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  return mask;
+}
+
+}  // namespace dqemu::trace

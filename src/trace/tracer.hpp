@@ -1,0 +1,110 @@
+// Flight-recorder tracer core (DESIGN.md §9).
+//
+// A bounded ring buffer of typed Records plus a monotonic causal-id
+// allocator. The tracer never influences the simulation: recording is a
+// side-effect-free observation, so virtual-time results are identical with
+// tracing on, off, or compiled out entirely.
+//
+// Cost model:
+//   - no tracer attached          -> one null-pointer test per site
+//   - category masked off         -> one load + AND per site
+//   - DQEMU_TRACING_ENABLED == 0  -> sites compile to nothing at all
+//
+// Instrumentation sites are written as
+//
+//     if (trace::wants(tracer_, trace::Cat::kNet)) {
+//       tracer_->record({...});
+//     }
+//
+// With tracing compiled out, `wants` is a constexpr false and the whole
+// block is dead code.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/record.hpp"
+
+#ifndef DQEMU_TRACING_ENABLED
+#define DQEMU_TRACING_ENABLED 1
+#endif
+
+namespace dqemu::trace {
+
+struct TraceConfig {
+  /// Bitmask of Cat values accepted by wants().
+  std::uint32_t categories = kDefaultCategories;
+  /// Ring capacity in records; the oldest records are dropped on overflow
+  /// (flight-recorder semantics: the tail of the run always survives).
+  std::size_t capacity = 1u << 20;
+  /// Virtual time between counter snapshots taken by the Cluster run loop.
+  DurationPs counter_interval = 10 * time_literals::kMs;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TraceConfig config = {});
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// True when records of category `c` should be produced.
+  [[nodiscard]] bool wants(Cat c) const {
+    return (config_.categories & cat_bit(c)) != 0;
+  }
+
+  /// Appends a record, overwriting the oldest one when the ring is full.
+  void record(const Record& r);
+
+  /// Allocates a fresh causal id (never 0). Chains created in event order
+  /// get deterministic ids, so traces of identical runs match exactly.
+  [[nodiscard]] std::uint64_t new_flow() { return next_flow_++; }
+
+  /// Stable pointer for a dynamic name (e.g. a stats counter key). The
+  /// same string always returns the same pointer.
+  [[nodiscard]] const char* intern(std::string_view name);
+
+  /// Records currently held, oldest first.
+  [[nodiscard]] std::vector<Record> records() const;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] const TraceConfig& config() const { return config_; }
+
+  void clear();
+
+ private:
+  TraceConfig config_;
+  std::vector<Record> ring_;
+  std::size_t next_ = 0;   ///< next write slot
+  std::size_t count_ = 0;  ///< valid records (<= capacity)
+  std::uint64_t dropped_ = 0;
+  std::uint64_t next_flow_ = 1;
+  /// Interned dynamic names; deque gives pointer stability.
+  std::deque<std::string> interned_;
+  std::map<std::string, const char*, std::less<>> intern_index_;
+};
+
+#if DQEMU_TRACING_ENABLED
+/// Gate for instrumentation sites; false when no tracer is attached or the
+/// category is masked off.
+[[nodiscard]] inline bool wants(const Tracer* t, Cat c) {
+  return t != nullptr && t->wants(c);
+}
+#else
+/// Compiled-out path: every instrumentation block is dead code.
+[[nodiscard]] constexpr bool wants(const Tracer*, Cat) { return false; }
+#endif
+
+/// Parses a comma-separated category list ("net,dsm,sys", "all",
+/// "default") into a bitmask; nullopt on an unknown name.
+[[nodiscard]] std::optional<std::uint32_t> parse_categories(
+    std::string_view list);
+
+}  // namespace dqemu::trace

@@ -13,19 +13,31 @@
 //   --gbps X         network bandwidth in Gbit/s (default 1.0)
 //   --stats          dump all simulator counters after the run
 //   --breakdown      print per-thread execute/pagefault/syscall shares
+//   --trace FILE     write a Chrome trace_event JSON (load in Perfetto /
+//                    chrome://tracing); FILE ending in .txt gets the
+//                    compact text dump instead
+//   --trace-categories LIST
+//                    comma-separated subset of sim,core,net,dsm,sys,
+//                    counter,queue (or "all" / "default")
 //   --verbose        debug-level protocol logging
 //
 // Example:
 //   ./build/tools/dqemu_run examples/guest/hello.s --nodes 4 --stats
+//   ./build/tools/dqemu_run examples/guest/pi.s --trace out.json
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "common/log.hpp"
 #include "core/cluster.hpp"
 #include "isa/text_asm.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
 
 using namespace dqemu;
 
@@ -36,7 +48,8 @@ void usage(const char* argv0) {
                "usage: %s <program.s> [--nodes N] [--cores N] [--forwarding]"
                " [--splitting]\n               [--hint-sched] [--quantum N]"
                " [--rtt-us N] [--gbps X] [--stats]\n               "
-               "[--breakdown] [--verbose]\n",
+               "[--breakdown] [--trace FILE] [--trace-categories LIST]"
+               " [--verbose]\n",
                argv0);
 }
 
@@ -60,6 +73,8 @@ int main(int argc, char** argv) {
   config.slave_nodes = 2;
   bool dump_stats = false;
   bool breakdown = false;
+  const char* trace_path = nullptr;
+  trace::TraceConfig trace_config;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -114,6 +129,23 @@ int main(int argc, char** argv) {
       dump_stats = true;
     } else if (std::strcmp(arg, "--breakdown") == 0) {
       breakdown = true;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      trace_path = next_value();
+      if (trace_path == nullptr) {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--trace-categories") == 0) {
+      const char* v = next_value();
+      const auto mask =
+          v != nullptr ? trace::parse_categories(v) : std::nullopt;
+      if (!mask.has_value()) {
+        std::fprintf(stderr,
+                     "bad --trace-categories (want e.g. net,dsm,sys or"
+                     " all/default)\n");
+        return 2;
+      }
+      trace_config.categories = *mask;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       set_log_level(LogLevel::kDebug);
     } else if (arg[0] == '-') {
@@ -151,12 +183,39 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  core::Cluster cluster(config);
+  std::unique_ptr<trace::Tracer> tracer;
+  if (trace_path != nullptr) {
+    tracer = std::make_unique<trace::Tracer>(trace_config);
+  }
+
+  core::Cluster cluster(config, tracer.get());
   if (const Status status = cluster.load(program.value()); !status.is_ok()) {
     std::fprintf(stderr, "load: %s\n", status.to_string().c_str());
     return 1;
   }
   auto run = cluster.run();
+
+  if (tracer != nullptr) {
+    // Export even on a failed run: the flight recorder's whole point is
+    // seeing what led up to a deadlock / limit trip.
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path);
+      return 1;
+    }
+    const std::string_view path(trace_path);
+    if (path.size() >= 4 && path.substr(path.size() - 4) == ".txt") {
+      trace::write_text(*tracer, out);
+    } else {
+      trace::write_chrome_json(*tracer, out);
+    }
+    std::fprintf(stderr,
+                 "[dqemu_run] trace: %zu records (%llu dropped) -> %s\n",
+                 tracer->size(),
+                 static_cast<unsigned long long>(tracer->dropped()),
+                 trace_path);
+  }
+
   if (!run.is_ok()) {
     std::fprintf(stderr, "run: %s\n", run.status().to_string().c_str());
     return 1;
