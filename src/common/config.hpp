@@ -78,6 +78,11 @@ struct DbtConfig {
   std::uint32_t syscall_service_cycles = 1500;
   /// Maximum guest instructions executed per scheduling quantum.
   std::uint32_t quantum_insns = 20'000;
+  /// Host-side fast paths (software TLB, indirect-jump cache, LL/SC store
+  /// filter). Affects wall-clock speed only: virtual-time results are
+  /// byte-identical either way (DESIGN.md section 10). Also gated at
+  /// compile time by the DQEMU_ENABLE_FASTPATH CMake option.
+  bool enable_fastpath = true;
 };
 
 /// DSM protocol + optimizations (sections 4.2, 5.1, 5.2).

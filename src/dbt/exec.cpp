@@ -46,7 +46,56 @@ ExecEngine::ExecEngine(mem::AddressSpace& space, const mem::ShadowMap* shadow,
       check_protection_(check_protection),
       stats_(stats) {}
 
+#if DQEMU_FASTPATH_ENABLED
+void ExecEngine::sync_fast_caches() {
+  // Nothing mutates protections, the shadow map or the translation cache
+  // while run() is on the stack (sequential DES: DSM messages are handled
+  // in other event callbacks), so one check per quantum suffices.
+  const std::uint64_t protection = space_.protection_generation();
+  const std::uint64_t shadow = shadow_ != nullptr ? shadow_->generation() : 0;
+  if (protection != seen_protection_gen_ || shadow != seen_shadow_gen_) {
+    tlb_.fill(TlbEntry{});
+    seen_protection_gen_ = protection;
+    seen_shadow_gen_ = shadow;
+  }
+  const std::uint64_t tcache = cache_.generation();
+  if (tcache != seen_tcache_gen_) {
+    jmp_cache_.fill(JmpCacheEntry{});
+    seen_tcache_gen_ = tcache;
+  }
+}
+#endif
+
+void ExecEngine::invalidate_fast_caches() {
+#if DQEMU_FASTPATH_ENABLED
+  tlb_.fill(TlbEntry{});
+  jmp_cache_.fill(JmpCacheEntry{});
+#endif
+}
+
 ExecResult ExecEngine::run(CpuContext& ctx, std::uint64_t max_insns) {
+#if DQEMU_FASTPATH_ENABLED
+  if (config_.enable_fastpath) sync_fast_caches();
+#endif
+  HotCounters hot;
+  ExecResult result = run_loop(ctx, max_insns, hot);
+  if (stats_ != nullptr) {
+    if (hot.chain_hit != 0) stats_->add("dbt.chain_hit", hot.chain_hit);
+    if (hot.hints != 0) stats_->add("dbt.hints", hot.hints);
+    if (hot.tlb_hit != 0) stats_->add("dbt.tlb_hit", hot.tlb_hit);
+    if (hot.tlb_miss != 0) stats_->add("dbt.tlb_miss", hot.tlb_miss);
+    if (hot.jmp_cache_hit != 0) {
+      stats_->add("dbt.jmp_cache_hit", hot.jmp_cache_hit);
+    }
+    if (hot.llsc_fastpath != 0) {
+      stats_->add("dbt.llsc_fastpath", hot.llsc_fastpath);
+    }
+  }
+  return result;
+}
+
+ExecResult ExecEngine::run_loop(CpuContext& ctx, std::uint64_t max_insns,
+                                HotCounters& hot) {
   ExecResult result;
 
   auto& gpr = ctx.gpr;
@@ -55,10 +104,10 @@ ExecResult ExecEngine::run(CpuContext& ctx, std::uint64_t max_insns) {
     if (rd != 0) gpr[rd] = value;
   };
 
-  // Resolves a guest data address through the shadow map (page splitting).
-  auto resolve = [&](GuestAddr addr) -> GuestAddr {
-    return shadow_ != nullptr ? shadow_->translate(addr) : addr;
-  };
+#if DQEMU_FASTPATH_ENABLED
+  const bool fast = config_.enable_fastpath;
+  const GuestAddr page_mask = space_.page_size() - 1;
+#endif
 
   // Validates a data access; on failure fills `result` and returns false.
   // `addr` is already shadow-resolved.
@@ -86,6 +135,94 @@ ExecResult ExecEngine::run(CpuContext& ctx, std::uint64_t max_insns) {
       }
     }
     return true;
+  };
+
+  // Resolves `vaddr` through the shadow map and validates the access; the
+  // resolved address lands in `out`. On failure fills `result` and returns
+  // false. Fast path: a software-TLB hit proves the page is unsplit
+  // (identity mapping), in bounds and sufficiently accessible, so the
+  // whole shadow-resolve + page-table walk collapses to one tag compare.
+  auto mem_access = [&](GuestAddr vaddr, unsigned bytes, bool write,
+                        GuestAddr pc, GuestAddr& out) -> bool {
+#if DQEMU_FASTPATH_ENABLED
+    if (fast) {
+      const TlbEntry& entry = tlb_slot(vaddr);
+      if (entry.tag == (vaddr & ~page_mask) &&
+          (write ? entry.allow_write : entry.allow_read) &&
+          (vaddr & (bytes - 1)) == 0) {
+        ++hot.tlb_hit;
+        out = vaddr;
+        return true;
+      }
+    }
+#endif
+    const GuestAddr addr =
+        shadow_ != nullptr ? shadow_->translate(vaddr) : vaddr;
+    if (!check_access(addr, bytes, write, pc)) return false;
+#if DQEMU_FASTPATH_ENABLED
+    if (fast) {
+      ++hot.tlb_miss;
+      if (addr == vaddr) {
+        // Identity resolution == the page is unsplit (split shards never
+        // map to their own page), so the whole page is cacheable; a
+        // successful in-bounds access proves the page-aligned tag covers
+        // only in-bounds addresses (the space is page-granular).
+        TlbEntry& entry = tlb_slot(vaddr);
+        entry.tag = vaddr & ~page_mask;
+        if (check_protection_) {
+          const mem::PageAccess access =
+              space_.access(space_.page_of(vaddr));
+          entry.allow_read = access != mem::PageAccess::kNone;
+          entry.allow_write = access == mem::PageAccess::kReadWrite;
+        } else {
+          entry.allow_read = true;
+          entry.allow_write = true;
+        }
+      }
+    }
+#endif
+    out = addr;
+    return true;
+  };
+
+  // Store snoop of the LL/SC table. Fast path: the table's line filter
+  // proves most stores cannot break any reservation without a hash probe.
+  auto snoop_store = [&](GuestAddr addr) {
+#if DQEMU_FASTPATH_ENABLED
+    if (fast) {
+      if (llsc_.may_match(addr)) {
+        llsc_.on_store(addr, ctx.tid);
+      } else {
+        ++hot.llsc_fastpath;
+      }
+      return;
+    }
+#endif
+    llsc_.on_store(addr, ctx.tid);
+  };
+
+  // Direct-jump chaining with the indirect-jump cache as a second level:
+  // a chain hit skips everything; a chain miss consults the jump cache
+  // before falling back to the translation-cache hash lookup.
+  auto chain_to = [&](TranslationBlock*& slot,
+                      GuestAddr target) -> TranslationBlock* {
+    if (slot != nullptr && slot->start_pc == target) {
+      ++hot.chain_hit;
+      return slot;
+    }
+#if DQEMU_FASTPATH_ENABLED
+    if (fast) {
+      const JmpCacheEntry& entry = jmp_slot(target);
+      if (entry.pc == target) {
+        ++hot.jmp_cache_hit;
+        slot = entry.tb;
+        return entry.tb;
+      }
+    }
+#endif
+    TranslationBlock* found = cache_.lookup(target);
+    if (found != nullptr) slot = found;
+    return found;
   };
 
   TranslationBlock* tb = nullptr;
@@ -116,6 +253,15 @@ ExecResult ExecEngine::run(CpuContext& ctx, std::uint64_t max_insns) {
         }
         tb = tr.tb;
       }
+#if DQEMU_FASTPATH_ENABLED
+      if (fast) {
+        // Fill the indirect-jump cache on the slow entry path so the next
+        // jalr (or cold chain miss) to this pc skips the hash lookup.
+        JmpCacheEntry& entry = jmp_slot(ctx.pc);
+        entry.pc = ctx.pc;
+        entry.tb = tb;
+      }
+#endif
     }
 
     // Execute the block.
@@ -227,8 +373,9 @@ ExecResult ExecEngine::run(CpuContext& ctx, std::uint64_t max_insns) {
         case Opcode::kLw:
         case Opcode::kLl: {
           const unsigned bytes = isa::insn_info(in.op).mem_bytes;
-          const GuestAddr addr = resolve(gpr[in.rs1] + to_unsigned(in.imm));
-          if (!check_access(addr, bytes, /*write=*/false, pc)) {
+          GuestAddr addr;
+          if (!mem_access(gpr[in.rs1] + to_unsigned(in.imm), bytes,
+                          /*write=*/false, pc, addr)) {
             ctx.pc = pc;  // re-execute after the fault is serviced
             return result;
           }
@@ -250,8 +397,9 @@ ExecResult ExecEngine::run(CpuContext& ctx, std::uint64_t max_insns) {
           break;
         }
         case Opcode::kFld: {
-          const GuestAddr addr = resolve(gpr[in.rs1] + to_unsigned(in.imm));
-          if (!check_access(addr, 8, /*write=*/false, pc)) {
+          GuestAddr addr;
+          if (!mem_access(gpr[in.rs1] + to_unsigned(in.imm), 8,
+                          /*write=*/false, pc, addr)) {
             ctx.pc = pc;
             return result;
           }
@@ -268,30 +416,32 @@ ExecResult ExecEngine::run(CpuContext& ctx, std::uint64_t max_insns) {
         case Opcode::kSh:
         case Opcode::kSw: {
           const unsigned bytes = isa::insn_info(in.op).mem_bytes;
-          const GuestAddr addr = resolve(gpr[in.rs1] + to_unsigned(in.imm));
-          if (!check_access(addr, bytes, /*write=*/true, pc)) {
+          GuestAddr addr;
+          if (!mem_access(gpr[in.rs1] + to_unsigned(in.imm), bytes,
+                          /*write=*/true, pc, addr)) {
             ctx.pc = pc;
             return result;
           }
           space_.store(addr, gpr[in.rs2], bytes);
-          llsc_.on_store(addr, ctx.tid);
+          snoop_store(addr);
           break;
         }
         case Opcode::kFsd: {
-          const GuestAddr addr = resolve(gpr[in.rs1] + to_unsigned(in.imm));
-          if (!check_access(addr, 8, /*write=*/true, pc)) {
+          GuestAddr addr;
+          if (!mem_access(gpr[in.rs1] + to_unsigned(in.imm), 8,
+                          /*write=*/true, pc, addr)) {
             ctx.pc = pc;
             return result;
           }
           std::uint64_t raw;
           std::memcpy(&raw, &fpr[in.rs2], 8);
           space_.store(addr, raw, 8);
-          llsc_.on_store(addr, ctx.tid);
+          snoop_store(addr);
           break;
         }
         case Opcode::kSc: {
-          const GuestAddr addr = resolve(gpr[in.rs1]);
-          if (!check_access(addr, 4, /*write=*/true, pc)) {
+          GuestAddr addr;
+          if (!mem_access(gpr[in.rs1], 4, /*write=*/true, pc, addr)) {
             ctx.pc = pc;
             return result;
           }
@@ -328,14 +478,7 @@ ExecResult ExecEngine::run(CpuContext& ctx, std::uint64_t max_insns) {
               taken ? pc + 4 + to_unsigned(in.imm) * 4u : pc + 4;
           ctx.pc = target;
           // Direct-jump chaining (targets are static).
-          TranslationBlock*& slot = taken ? tb->next_taken : tb->next_fall;
-          if (slot != nullptr && slot->start_pc == target) {
-            next_tb = slot;
-            if (stats_ != nullptr) stats_->add("dbt.chain_hit");
-          } else {
-            next_tb = cache_.lookup(target);
-            if (next_tb != nullptr) slot = next_tb;
-          }
+          next_tb = chain_to(taken ? tb->next_taken : tb->next_fall, target);
           block_done = true;
           break;
         }
@@ -343,21 +486,23 @@ ExecResult ExecEngine::run(CpuContext& ctx, std::uint64_t max_insns) {
           const GuestAddr target = pc + 4 + to_unsigned(in.imm) * 4u;
           write_gpr(in.rd, pc + 4);
           ctx.pc = target;
-          TranslationBlock*& slot = tb->next_taken;
-          if (slot != nullptr && slot->start_pc == target) {
-            next_tb = slot;
-            if (stats_ != nullptr) stats_->add("dbt.chain_hit");
-          } else {
-            next_tb = cache_.lookup(target);
-            if (next_tb != nullptr) slot = next_tb;
-          }
+          next_tb = chain_to(tb->next_taken, target);
           block_done = true;
           break;
         }
         case Opcode::kJalr: {
           const GuestAddr target = (gpr[in.rs1] + to_unsigned(in.imm)) & ~3u;
           write_gpr(in.rd, pc + 4);
-          ctx.pc = target;  // indirect: no chaining
+          ctx.pc = target;  // indirect: no chain slot
+#if DQEMU_FASTPATH_ENABLED
+          if (fast) {
+            const JmpCacheEntry& entry = jmp_slot(target);
+            if (entry.pc == target) {
+              ++hot.jmp_cache_hit;
+              next_tb = entry.tb;
+            }
+          }
+#endif
           block_done = true;
           break;
         }
@@ -376,7 +521,7 @@ ExecResult ExecEngine::run(CpuContext& ctx, std::uint64_t max_insns) {
           // 0xFFFF is the "no group" sentinel (N-format immediates are
           // zero-extended on decode).
           ctx.hint_group = in.imm == 0xFFFF ? -1 : in.imm;
-          if (stats_ != nullptr) stats_->add("dbt.hints");
+          ++hot.hints;
           break;
 
         // ---- FP ---------------------------------------------------------

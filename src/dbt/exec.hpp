@@ -6,8 +6,20 @@
 // layer), or a guest error. Every load/store goes through the shadow-map
 // translation and the page-protection check — the interception point that
 // real DQEMU gets from mprotect + SIGSEGV.
+//
+// Hot path (DESIGN.md section 10): a direct-mapped software TLB caches the
+// per-page outcome of shadow-resolve + bounds + protection, and a
+// direct-mapped indirect-jump cache (QEMU's tb_jmp_cache) skips the
+// translation-cache hash lookup on jalr and cold chain misses. Both are
+// host-side only — virtual-time results are byte-identical with the fast
+// paths compiled out (-DDQEMU_ENABLE_FASTPATH=OFF) or disabled at runtime
+// (DbtConfig::enable_fastpath = false). Invalidation is generation-based:
+// AddressSpace protection changes, ShadowMap splits and TranslationCache
+// drops each bump a counter that run() compares on entry; nothing mutates
+// those structures while run() is on the stack (sequential DES).
 #pragma once
 
+#include <array>
 #include <string>
 
 #include "common/config.hpp"
@@ -17,6 +29,12 @@
 #include "dbt/translation.hpp"
 #include "mem/address_space.hpp"
 #include "mem/shadow_map.hpp"
+
+/// Compile-time gate for the execution fast paths (CMake option
+/// DQEMU_ENABLE_FASTPATH; see src/dbt/CMakeLists.txt).
+#ifndef DQEMU_FASTPATH_ENABLED
+#define DQEMU_FASTPATH_ENABLED 1
+#endif
 
 namespace dqemu::dbt {
 
@@ -52,7 +70,29 @@ class ExecEngine {
   /// checked at block boundaries, so it can overshoot by one block).
   ExecResult run(CpuContext& ctx, std::uint64_t max_insns);
 
+  /// Drops the software TLB and the indirect-jump cache unconditionally.
+  /// Normally unnecessary — run() revalidates against the generation
+  /// counters of AddressSpace / ShadowMap / TranslationCache — but
+  /// embedders mutating those structures behind the generations (tests)
+  /// can force a flush here. No-op when fast paths are compiled out.
+  void invalidate_fast_caches();
+
  private:
+  /// Hot counters accumulated in locals during a quantum and flushed to
+  /// the stats registry once per run() call: a per-event string-keyed map
+  /// lookup would dominate the dispatch loop it is measuring.
+  struct HotCounters {
+    std::uint64_t chain_hit = 0;
+    std::uint64_t hints = 0;
+    std::uint64_t tlb_hit = 0;
+    std::uint64_t tlb_miss = 0;
+    std::uint64_t jmp_cache_hit = 0;
+    std::uint64_t llsc_fastpath = 0;
+  };
+
+  ExecResult run_loop(CpuContext& ctx, std::uint64_t max_insns,
+                      HotCounters& hot);
+
   mem::AddressSpace& space_;
   const mem::ShadowMap* shadow_;
   LlscTable& llsc_;
@@ -60,6 +100,46 @@ class ExecEngine {
   DbtConfig config_;
   bool check_protection_;
   StatsRegistry* stats_;
+
+#if DQEMU_FASTPATH_ENABLED
+  /// Never a valid page-aligned tag or instruction address (low bits set).
+  static constexpr GuestAddr kNoTag = ~GuestAddr{0};
+
+  /// Software TLB entry: caches, for one unsplit guest page, the fact
+  /// that accesses resolve to themselves (identity shadow mapping), are
+  /// in bounds, and carry these permissions. Split pages are never
+  /// cached — their shard-granular redirection takes the slow path.
+  struct TlbEntry {
+    GuestAddr tag = kNoTag;  ///< page-aligned guest address
+    bool allow_read = false;
+    bool allow_write = false;
+  };
+  /// Indirect-jump cache entry (QEMU's tb_jmp_cache): pc -> block.
+  struct JmpCacheEntry {
+    GuestAddr pc = kNoTag;
+    TranslationBlock* tb = nullptr;
+  };
+
+  static constexpr std::uint32_t kTlbEntries = 256;
+  static constexpr std::uint32_t kJmpCacheEntries = 1024;
+
+  [[nodiscard]] TlbEntry& tlb_slot(GuestAddr addr) {
+    return tlb_[(addr >> space_.page_shift()) & (kTlbEntries - 1)];
+  }
+  [[nodiscard]] JmpCacheEntry& jmp_slot(GuestAddr pc) {
+    return jmp_cache_[(pc >> 2) & (kJmpCacheEntries - 1)];
+  }
+
+  /// Revalidates both caches against the generation counters; called on
+  /// entry to run().
+  void sync_fast_caches();
+
+  std::array<TlbEntry, kTlbEntries> tlb_{};
+  std::array<JmpCacheEntry, kJmpCacheEntries> jmp_cache_{};
+  std::uint64_t seen_protection_gen_ = ~std::uint64_t{0};
+  std::uint64_t seen_shadow_gen_ = ~std::uint64_t{0};
+  std::uint64_t seen_tcache_gen_ = ~std::uint64_t{0};
+#endif
 };
 
 }  // namespace dqemu::dbt

@@ -28,7 +28,18 @@ class LlscTable {
   /// Opens (or re-targets) a reservation for `tid` at `addr`.
   void on_ll(GuestAddr addr, GuestTid tid) {
     table_[addr] = tid;
+    line_filter_ |= line_bit(addr);
     if (stats_ != nullptr) stats_->add("llsc.ll");
+  }
+
+  /// Conservative store-snoop filter: false proves that NO reservation can
+  /// match `addr`, so on_store may be skipped entirely (the DBT's LL/SC
+  /// fast path). True means "maybe" — the caller must do the full probe.
+  /// Invariant: every live reservation's line bit is set; bits are only
+  /// cleared when the table drains to empty, so a clear bit can never hide
+  /// a real reservation (false positives OK, false negatives impossible).
+  [[nodiscard]] bool may_match(GuestAddr addr) const {
+    return (line_filter_ & line_bit(addr)) != 0;
   }
 
   /// Attempts to commit a SC by `tid` at `addr`. On success the
@@ -41,6 +52,7 @@ class LlscTable {
       return false;
     }
     table_.erase(it);
+    if (table_.empty()) line_filter_ = 0;
     if (stats_ != nullptr) stats_->add("llsc.sc_success");
     return true;
   }
@@ -53,6 +65,7 @@ class LlscTable {
     auto it = table_.find(addr);
     if (it != table_.end() && it->second != tid) {
       table_.erase(it);
+      if (table_.empty()) line_filter_ = 0;
       if (stats_ != nullptr) stats_->add("llsc.store_kill");
     }
   }
@@ -69,6 +82,7 @@ class LlscTable {
         ++it;
       }
     }
+    if (table_.empty()) line_filter_ = 0;
   }
 
   [[nodiscard]] bool has_reservation(GuestAddr addr) const {
@@ -78,7 +92,14 @@ class LlscTable {
   [[nodiscard]] bool empty() const { return table_.empty(); }
 
  private:
+  /// One bit per 64-byte guest line (mod 64 lines). Set on LL, cleared
+  /// only when the table drains to empty — see may_match.
+  [[nodiscard]] static std::uint64_t line_bit(GuestAddr addr) {
+    return 1ull << ((addr >> 6) & 63u);
+  }
+
   std::unordered_map<GuestAddr, GuestTid> table_;
+  std::uint64_t line_filter_ = 0;
   StatsRegistry* stats_;
 };
 

@@ -1,5 +1,7 @@
 #include "dbt/translation.hpp"
 
+#include <unordered_set>
+
 namespace dqemu::dbt {
 
 TranslationCache::TranslationCache(const mem::AddressSpace& space,
@@ -81,25 +83,38 @@ TranslateResult TranslationCache::translate(GuestAddr pc) {
 }
 
 void TranslationCache::invalidate_page(std::uint32_t page) {
-  bool dropped = false;
+  std::unordered_set<const TranslationBlock*> dropped;
   for (auto it = blocks_.begin(); it != blocks_.end();) {
     if (space_.page_of(it->second->start_pc) == page) {
+      dropped.insert(it->second.get());
       it = blocks_.erase(it);
-      dropped = true;
     } else {
       ++it;
     }
   }
-  if (dropped) {
-    // Chain pointers may reference erased blocks; reset them all.
+  if (!dropped.empty()) {
+    // Clear only chain pointers that reference a dropped block; chains
+    // between surviving blocks stay intact, so steady-state execution on
+    // other pages keeps skipping the hash lookup after an invalidation.
     for (auto& [pc, tb] : blocks_) {
-      tb->next_taken = nullptr;
-      tb->next_fall = nullptr;
+      if (dropped.contains(tb->next_taken)) tb->next_taken = nullptr;
+      if (dropped.contains(tb->next_fall)) tb->next_fall = nullptr;
     }
+    ++generation_;
     if (stats_ != nullptr) stats_->add("dbt.tcache_page_invalidations");
   }
 }
 
-void TranslationCache::flush() { blocks_.clear(); }
+void TranslationCache::flush() {
+  blocks_.clear();
+  ++generation_;
+}
+
+bool TranslationCache::contains_block(const TranslationBlock* tb) const {
+  for (const auto& [pc, block] : blocks_) {
+    if (block.get() == tb) return true;
+  }
+  return false;
+}
 
 }  // namespace dqemu::dbt

@@ -75,14 +75,24 @@ class TranslationCache {
   TranslateResult translate(GuestAddr pc);
 
   /// Drops every cached block whose code lies in `page` (guest code was
-  /// invalidated/overwritten). Clears all chain pointers: chains may
-  /// reference dropped blocks.
+  /// invalidated/overwritten). Chain pointers referencing a dropped block
+  /// are cleared; chains between surviving blocks are preserved.
   void invalidate_page(std::uint32_t page);
 
   /// Drops everything.
   void flush();
 
   [[nodiscard]] std::size_t size() const { return blocks_.size(); }
+
+  /// Bumped whenever cached TranslationBlock pointers may have died
+  /// (invalidate_page that dropped something, flush). Consumers holding
+  /// raw block pointers outside the chain fields (the DBT's indirect-jump
+  /// cache) compare against their snapshot and drop them on mismatch.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// True if `tb` is a currently-cached block (pointer identity; never
+  /// dereferences `tb`). Test hook for chain-invalidation regressions.
+  [[nodiscard]] bool contains_block(const TranslationBlock* tb) const;
 
  private:
   [[nodiscard]] std::uint32_t op_cost(const isa::Insn& insn) const;
@@ -91,6 +101,7 @@ class TranslationCache {
   DbtConfig config_;
   bool check_protection_;
   StatsRegistry* stats_;
+  std::uint64_t generation_ = 0;
   std::unordered_map<GuestAddr, std::unique_ptr<TranslationBlock>> blocks_;
 };
 

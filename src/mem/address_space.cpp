@@ -80,6 +80,7 @@ std::span<const std::uint8_t> AddressSpace::page_data(std::uint32_t page) const 
 
 void AddressSpace::set_all_access(PageAccess access) {
   std::fill(access_.begin(), access_.end(), access);
+  ++protection_generation_;
 }
 
 void AddressSpace::load_program(const isa::Program& program) {

@@ -102,10 +102,19 @@ class AddressSpace {
   }
   void set_access(std::uint32_t page, PageAccess access) {
     access_[page] = access;
+    ++protection_generation_;
   }
   /// Sets every page to `access` (used when booting the master, which
   /// starts owning everything in Modified state).
   void set_all_access(PageAccess access);
+
+  /// Bumped on every protection change. Consumers caching protection
+  /// lookups (the DBT's software TLB) compare this against their snapshot
+  /// and drop their cache on mismatch; DSM grants/invalidations/downgrades
+  /// all funnel through set_access, so they are covered automatically.
+  [[nodiscard]] std::uint64_t protection_generation() const {
+    return protection_generation_;
+  }
 
   /// Copies program sections into memory (no protection change).
   void load_program(const isa::Program& program);
@@ -120,6 +129,7 @@ class AddressSpace {
   // unique_ptr<uint8_t[]> per page, allocated on first touch.
   mutable std::vector<std::unique_ptr<std::uint8_t[]>> pages_;
   std::vector<PageAccess> access_;
+  std::uint64_t protection_generation_ = 0;
 };
 
 }  // namespace dqemu::mem

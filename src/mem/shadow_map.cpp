@@ -23,6 +23,7 @@ void ShadowMap::add_split(std::uint32_t orig_page,
   }
   table_.emplace(orig_page, std::vector<std::uint32_t>(shadow_pages.begin(),
                                                        shadow_pages.end()));
+  ++generation_;
 }
 
 std::span<const std::uint32_t> ShadowMap::shadow_pages(

@@ -29,6 +29,12 @@ class ShadowMap {
   [[nodiscard]] bool empty() const { return table_.empty(); }
   [[nodiscard]] std::size_t split_count() const { return table_.size(); }
 
+  /// Bumped on every split (the map never shrinks today, but a future
+  /// merge must bump it too). Consumers caching translate() results (the
+  /// DBT's software TLB) compare against their snapshot and drop their
+  /// cache on mismatch.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
   /// Registers a split: `shadow_pages[s]` backs shard s of `orig_page`.
   /// A page may be split at most once and shadow pages must be distinct
   /// from the original.
@@ -59,6 +65,7 @@ class ShadowMap {
   std::uint32_t page_shift_;
   std::uint32_t shards_;
   std::uint32_t shard_size_;
+  std::uint64_t generation_ = 0;
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> table_;
 };
 

@@ -502,6 +502,132 @@ TEST(TranslationCacheTest, TranslateChargesOneTimeCost) {
   EXPECT_EQ(second.translate_cycles, 0u);  // cached now
 }
 
+TEST(TranslationCacheTest, InvalidatePagePreservesSurvivingChains) {
+  // Regression: invalidate_page used to wipe EVERY chain pointer in the
+  // cache. Only chains into the dropped page may be cleared; chains
+  // between surviving blocks must stay linked (and no dangling pointer to
+  // a dropped block may survive).
+  Harness h([](Assembler& a) {
+    auto loop = a.make_label("loop");
+    auto far = a.make_label("far");
+    a.li(kT0, 2);
+    a.bind(loop);
+    a.addi(kT0, kT0, -1);
+    a.bne(kT0, kZero, far);  // taken on the 1st iteration, not on the 2nd
+    a.syscall(1);
+    for (int i = 0; i < 1200; ++i) a.nop();  // push `far` onto another page
+    a.bind(far);
+    a.addi(kT2, kT2, 1);
+    a.j(loop);
+  });
+  // Two runs so both arcs get chained (targets translate on first touch).
+  ASSERT_EQ(h.run().reason, StopReason::kSyscall);
+  h.ctx.pc = h.program.entry;
+  ASSERT_EQ(h.run().reason, StopReason::kSyscall);
+  EXPECT_EQ(h.ctx.gpr[kT2], 2u);
+
+  const GuestAddr loop_pc = h.program.symbol("loop");
+  const GuestAddr far_pc = h.program.symbol("far");
+  TranslationBlock* entry_tb = h.cache.lookup(h.program.entry);
+  TranslationBlock* loop_tb = h.cache.lookup(loop_pc);
+  ASSERT_NE(entry_tb, nullptr);
+  ASSERT_NE(loop_tb, nullptr);
+  ASSERT_NE(entry_tb->next_taken, nullptr);  // entry block -> far
+  EXPECT_EQ(entry_tb->next_taken->start_pc, far_pc);
+  TranslationBlock* fall_tb = loop_tb->next_fall;  // loop block -> syscall
+  ASSERT_NE(fall_tb, nullptr);
+
+  const std::uint32_t far_page = far_pc / 4096;
+  ASSERT_NE(far_page, loop_pc / 4096);
+  const std::uint64_t gen_before = h.cache.generation();
+  h.cache.invalidate_page(far_page);
+  EXPECT_GT(h.cache.generation(), gen_before);
+  EXPECT_EQ(entry_tb->next_taken, nullptr);  // into dropped page: cleared
+  EXPECT_EQ(loop_tb->next_fall, fall_tb);    // surviving chain: intact
+  EXPECT_TRUE(h.cache.contains_block(fall_tb));
+
+  // Re-running retranslates `far` and still computes correctly — with the
+  // fast paths on this also exercises indirect-jump-cache invalidation
+  // across invalidate_page (its generation snapshot is now stale).
+  h.ctx.pc = h.program.entry;
+  ASSERT_EQ(h.run().reason, StopReason::kSyscall);
+  EXPECT_EQ(h.ctx.gpr[kT2], 3u);
+}
+
+// ---- software TLB ---------------------------------------------------------------
+
+TEST(FastPathTlb, ProtectionDowngradeInvalidates) {
+  // DSM-style revoke: after a page is downgraded to read-only, a cached
+  // write permission must not survive into the next quantum.
+  Harness h(
+      [](Assembler& a) {
+        a.li(kT0, 0x00800000);
+        a.li(kT1, 1);
+        a.sw(kT0, kT1, 0);
+        a.syscall(1);
+      },
+      /*check_protection=*/true);
+  for (std::uint32_t p = 0; p < h.space.num_pages(); ++p) {
+    h.space.set_access(p, mem::PageAccess::kReadWrite);
+  }
+  ASSERT_EQ(h.run().reason, StopReason::kSyscall);  // store OK, TLB warm
+  h.ctx.pc = h.program.entry;
+  ASSERT_EQ(h.run().reason, StopReason::kSyscall);  // served from the TLB
+  h.space.set_access(0x00800000 / 4096, mem::PageAccess::kRead);
+  h.ctx.pc = h.program.entry;
+  const ExecResult r = h.run();
+  ASSERT_EQ(r.reason, StopReason::kPageFault);
+  EXPECT_TRUE(r.fault_is_write);
+  EXPECT_EQ(r.fault_addr, 0x00800000u);
+}
+
+TEST(FastPathTlb, ShadowSplitInvalidates) {
+  // After add_split the page's identity mapping is gone: the next run must
+  // re-resolve through the shadow map, not a stale TLB entry.
+  Harness h([](Assembler& a) {
+    a.li(kT0, 0x00900000);
+    a.li(kT2, 0x00900C00);
+    a.li(kT1, 0xAB);
+    a.sb(kT0, kT1, 0);   // shard 0
+    a.sb(kT2, kT1, 0);   // shard 3
+    a.syscall(1);
+  });
+  ASSERT_EQ(h.run().reason, StopReason::kSyscall);  // identity entry cached
+  const std::uint32_t page = 0x00900000 / 4096;
+  EXPECT_TRUE(h.space.page_materialized(page));
+  const std::uint32_t shadows[4] = {0x1000, 0x1001, 0x1002, 0x1003};
+  h.shadow.add_split(page, shadows);
+  h.ctx.pc = h.program.entry;
+  ASSERT_EQ(h.run().reason, StopReason::kSyscall);
+  EXPECT_EQ(h.space.load(0x1000u * 4096 + 0, 1), 0xABu);
+  EXPECT_EQ(h.space.load(0x1003u * 4096 + 0xC00, 1), 0xABu);
+}
+
+#if DQEMU_FASTPATH_ENABLED
+TEST(FastPathTlb, ManualInvalidateForcesRefill) {
+  Harness h([](Assembler& a) {
+    auto data = a.make_label("data");
+    a.la(kT0, data);
+    a.lw(kT1, kT0, 0);
+    a.syscall(1);
+    a.bind_data(data);
+    a.d_word(5);
+  });
+  ASSERT_EQ(h.run().reason, StopReason::kSyscall);
+  const std::uint64_t misses_warm = h.stats.get("dbt.tlb_miss");
+  EXPECT_GE(misses_warm, 1u);
+  h.ctx.pc = h.program.entry;
+  ASSERT_EQ(h.run().reason, StopReason::kSyscall);
+  // Nothing changed between quanta: the warm entry keeps serving.
+  EXPECT_EQ(h.stats.get("dbt.tlb_miss"), misses_warm);
+  EXPECT_GE(h.stats.get("dbt.tlb_hit"), 1u);
+  h.engine.invalidate_fast_caches();
+  h.ctx.pc = h.program.entry;
+  ASSERT_EQ(h.run().reason, StopReason::kSyscall);
+  EXPECT_GT(h.stats.get("dbt.tlb_miss"), misses_warm);
+}
+#endif
+
 // ---- LL/SC ---------------------------------------------------------------------
 
 TEST(Llsc, PairSucceedsUncontended) {
@@ -572,6 +698,75 @@ TEST(Llsc, PageInvalidationKillsReservationsFalsePositive) {
   EXPECT_FALSE(table.on_sc(0x3000, 1));  // killed (possibly falsely)
   EXPECT_FALSE(table.on_sc(0x3004, 2));
   EXPECT_TRUE(table.on_sc(0x5000, 3));   // other page untouched
+}
+
+TEST(Llsc, LineFilterScreensStores) {
+  // may_match is the DBT's LL/SC store-filter: false must PROVE no
+  // reservation can match. Line bit = (addr >> 6) & 63.
+  LlscTable table;
+  EXPECT_FALSE(table.may_match(0x1000));  // empty table: everything screened
+  table.on_ll(0x1000, 1);                 // line bit 0
+  EXPECT_TRUE(table.may_match(0x1000));
+  EXPECT_TRUE(table.may_match(0x1020));   // same 64-byte line
+  EXPECT_FALSE(table.may_match(0x1040));  // next line: provably clean
+  EXPECT_TRUE(table.may_match(0x2000));   // aliases bit 0 (conservative true)
+
+  table.on_ll(0x1040, 2);                 // line bit 1
+  EXPECT_TRUE(table.may_match(0x1040));
+  // Draining one reservation must NOT clear the filter (bits are shared).
+  EXPECT_TRUE(table.on_sc(0x1000, 1));
+  EXPECT_TRUE(table.may_match(0x1040));
+  // Draining to empty resets it.
+  EXPECT_TRUE(table.on_sc(0x1040, 2));
+  EXPECT_FALSE(table.may_match(0x1000));
+  EXPECT_FALSE(table.may_match(0x1040));
+}
+
+TEST(Llsc, EngineFastPathStillBreaksReservationAcrossThreads) {
+  // Engine-level: thread 1 opens a reservation and yields at a syscall;
+  // thread 2 stores to the reserved word. The LL/SC store filter must NOT
+  // let that store skip the snoop — thread 1's SC has to fail.
+  Harness h([](Assembler& a) {
+    auto data = a.make_label("data");
+    auto t2code = a.make_label("t2code");
+    a.la(kT0, data);
+    a.ll(kT1, kT0);
+    a.syscall(2);          // yield point: thread 2 runs here
+    a.sc(kT2, kT0, kT1);   // must fail
+    a.syscall(1);
+    a.bind(t2code);
+    a.la(kT0, data);
+    a.li(kT1, 99);
+    a.sw(kT0, kT1, 0);
+    a.li(kT3, 7);          // unrelated line: filter may screen this one
+    a.sw(kT0, kT3, 64);
+    a.syscall(1);
+    a.d_align(4096);       // line bits deterministic: data -> 0, data+64 -> 1
+    a.bind_data(data);
+    a.d_word(7);
+    a.d_space(64);
+  });
+  ExecResult r = h.run();
+  ASSERT_EQ(r.reason, StopReason::kSyscall);
+  ASSERT_EQ(r.syscall_num, 2);
+  ASSERT_TRUE(h.llsc.has_reservation(h.program.symbol("data")));
+
+  CpuContext ctx2;
+  ctx2.pc = h.program.symbol("t2code");
+  ctx2.tid = 2;
+  ASSERT_EQ(h.engine.run(ctx2, 100000).reason, StopReason::kSyscall);
+  EXPECT_FALSE(h.llsc.has_reservation(h.program.symbol("data")));
+  EXPECT_GE(h.stats.get("llsc.store_kill"), 1u);
+
+  r = h.run();  // thread 1 resumes at the SC
+  ASSERT_EQ(r.reason, StopReason::kSyscall);
+  ASSERT_EQ(r.syscall_num, 1);
+  EXPECT_EQ(h.ctx.gpr[kT2], 1u);  // SC failed
+  EXPECT_EQ(h.space.load(h.program.symbol("data"), 4), 99u);
+#if DQEMU_FASTPATH_ENABLED
+  // The off-line store (data+64) was screened without a table probe.
+  EXPECT_GE(h.stats.get("dbt.llsc_fastpath"), 1u);
+#endif
 }
 
 TEST(Llsc, RetargetingLlMovesReservation) {

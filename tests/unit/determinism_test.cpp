@@ -1,0 +1,133 @@
+// Determinism regression for the DBT fast paths (DESIGN.md section 10).
+//
+// The software TLB, indirect-jump cache and LL/SC store filter are host-side
+// accelerations only: with them enabled or disabled (DbtConfig::
+// enable_fastpath), every virtual-time observable must be byte-identical —
+// final stats, per-thread time breakdowns, guest output, and the exported
+// trace. Only the host-side instrumentation counters may differ:
+//   dbt.tlb_hit / dbt.tlb_miss / dbt.jmp_cache_hit / dbt.llsc_fastpath
+//     exist only when the fast paths run, and
+//   dbt.tcache_hit
+//     shrinks when jump-cache hits skip the hash lookup.
+// Everything else — including dbt.tcache_miss, dbt.chain_hit and all
+// translation counters — must match exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "testutil.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
+#include "workloads/micro.hpp"
+
+namespace dqemu {
+namespace {
+
+/// Counters that measure the host-side fast paths themselves; everything
+/// else must be identical with the fast paths on or off.
+const std::set<std::string> kHostOnlyCounters = {
+    "dbt.tlb_hit",       "dbt.tlb_miss", "dbt.jmp_cache_hit",
+    "dbt.llsc_fastpath", "dbt.tcache_hit",
+};
+
+struct Observation {
+  core::Cluster::RunResult result;
+  std::map<std::string, std::uint64_t, std::less<>> counters;  ///< host-only keys removed
+  std::string trace_json;                         ///< counter records excluded
+};
+
+Observation observe(const isa::Program& program, std::uint32_t nodes,
+                    bool fastpath) {
+  ClusterConfig config = test::test_config(nodes);
+  config.dbt.enable_fastpath = fastpath;
+  // Counter snapshots sample the host-only counters into the trace, so the
+  // export would trivially differ; every other category must match.
+  trace::TraceConfig trace_config;
+  trace_config.categories =
+      trace::kDefaultCategories & ~trace::cat_bit(trace::Cat::kCounter);
+  trace::Tracer tracer(trace_config);
+
+  core::Cluster cluster(config, &tracer);
+  Observation obs;
+  const Status load_status = cluster.load(program);
+  EXPECT_TRUE(load_status.is_ok()) << load_status.to_string();
+  auto run = cluster.run();
+  EXPECT_TRUE(run.is_ok()) << run.status().to_string();
+  if (run.is_ok()) obs.result = run.take();
+
+  obs.counters = cluster.stats().counters();
+  for (const auto& key : kHostOnlyCounters) obs.counters.erase(key);
+
+  std::ostringstream out;
+  trace::write_chrome_json(tracer, out);
+  obs.trace_json = out.str();
+  return obs;
+}
+
+void expect_identical(const Observation& on, const Observation& off) {
+  EXPECT_EQ(on.result.exit_code, off.result.exit_code);
+  EXPECT_EQ(on.result.sim_time, off.result.sim_time);
+  EXPECT_EQ(on.result.guest_insns, off.result.guest_insns);
+  EXPECT_EQ(on.result.guest_stdout, off.result.guest_stdout);
+
+  ASSERT_EQ(on.result.per_thread.size(), off.result.per_thread.size());
+  for (const auto& [tid, b] : on.result.per_thread) {
+    const auto it = off.result.per_thread.find(tid);
+    ASSERT_NE(it, off.result.per_thread.end()) << "tid " << tid;
+    EXPECT_EQ(b.execute, it->second.execute) << "tid " << tid;
+    EXPECT_EQ(b.translate, it->second.translate) << "tid " << tid;
+    EXPECT_EQ(b.pagefault, it->second.pagefault) << "tid " << tid;
+    EXPECT_EQ(b.syscall, it->second.syscall) << "tid " << tid;
+    EXPECT_EQ(b.idle, it->second.idle) << "tid " << tid;
+  }
+
+  // Whole-map equality gives a readable diff on failure via the dump below.
+  EXPECT_EQ(on.counters, off.counters);
+  if (on.counters != off.counters) {
+    for (const auto& [key, value] : on.counters) {
+      const auto it = off.counters.find(key);
+      if (it == off.counters.end()) {
+        ADD_FAILURE() << key << " only exists with fastpath on";
+      } else if (it->second != value) {
+        ADD_FAILURE() << key << ": on=" << value << " off=" << it->second;
+      }
+    }
+  }
+
+  EXPECT_EQ(on.trace_json, off.trace_json);
+}
+
+isa::Program must(Result<isa::Program> r) {
+  EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+  return r.is_ok() ? r.take() : isa::Program{};
+}
+
+TEST(FastPathDeterminism, MutexStressGlobalLock) {
+  // Heavy LL/SC contention plus DSM page migration: exercises the LL/SC
+  // store filter and TLB invalidation on protection changes.
+  const auto program = must(workloads::mutex_stress(8, 50, /*global=*/true));
+  expect_identical(observe(program, 4, /*fastpath=*/true),
+                   observe(program, 4, /*fastpath=*/false));
+}
+
+TEST(FastPathDeterminism, FalseSharingWalkWithSplitting) {
+  // Page splitting rewrites the shadow map mid-run: exercises TLB
+  // invalidation on split and the identity-only caching rule.
+  const auto program = must(workloads::false_sharing_walk(8, 128, 4, 4));
+  expect_identical(observe(program, 4, /*fastpath=*/true),
+                   observe(program, 4, /*fastpath=*/false));
+}
+
+TEST(FastPathDeterminism, MemwalkMultiNode) {
+  // Bulk sequential memory traffic across nodes: the TLB hot path carries
+  // nearly every access; jump-cache serves the function-return jalrs.
+  const auto program = must(workloads::memwalk(256 * 1024, 2, true));
+  expect_identical(observe(program, 3, /*fastpath=*/true),
+                   observe(program, 3, /*fastpath=*/false));
+}
+
+}  // namespace
+}  // namespace dqemu

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files produced by the bench/ binaries.
+
+Usage: tools/bench_compare.py OLD.json NEW.json
+
+Prints per-scenario guest-MIPS ratios (new/old) and flags virtual-time
+drift: wall-clock numbers legitimately differ across machines and runs,
+but `guest_insns` and `sim_seconds` are virtual-time observables and must
+match exactly between two runs of the same bench configuration. Exits
+non-zero only on malformed input or virtual-time drift — never on a speed
+difference, so it is safe as an informational CI step across hardware.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "scenarios" not in doc:
+        sys.exit(f"{path}: not a bench file (no 'scenarios' key)")
+    return doc
+
+
+def key(scenario):
+    return (scenario["name"], scenario.get("fastpath"))
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip().splitlines()[2])
+    old_doc, new_doc = load(sys.argv[1]), load(sys.argv[2])
+    old = {key(s): s for s in old_doc["scenarios"]}
+    new = {key(s): s for s in new_doc["scenarios"]}
+    comparable = old_doc.get("quick") == new_doc.get("quick")
+    if not comparable:
+        print("note: quick-mode mismatch; virtual-time checks skipped")
+
+    drift = False
+    print(f"{'scenario':<20} {'fastpath':>8} {'old MIPS':>10} "
+          f"{'new MIPS':>10} {'ratio':>7}")
+    for k in sorted(old.keys() | new.keys(), key=str):
+        name, fastpath = k
+        fp = {True: "on", False: "off", None: "-"}[fastpath]
+        if k not in old or k not in new:
+            where = "old" if k in old else "new"
+            print(f"{name:<20} {fp:>8}   (only in {where})")
+            continue
+        o, n = old[k], new[k]
+        ratio = n["guest_mips"] / o["guest_mips"] if o["guest_mips"] else 0.0
+        print(f"{name:<20} {fp:>8} {o['guest_mips']:>10.2f} "
+              f"{n['guest_mips']:>10.2f} {ratio:>6.2f}x")
+        if comparable:
+            for field in ("guest_insns", "sim_seconds"):
+                if o.get(field) != n.get(field):
+                    drift = True
+                    print(f"  !! {field} drifted: "
+                          f"{o.get(field)} -> {n.get(field)}")
+    if drift:
+        sys.exit("virtual-time results differ: the runs are not equivalent")
+
+
+if __name__ == "__main__":
+    main()

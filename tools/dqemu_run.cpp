@@ -229,6 +229,22 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(result.guest_insns),
                ps_to_seconds(result.sim_time), cluster.node_count());
 
+  // DBT hot-path summary: how often each fast-path layer fired. The tlb/
+  // jmp_cache/llsc counters are host-side only and stay zero when the fast
+  // paths are disabled; chain_hit counts direct-jump chaining either way.
+  {
+    const auto& stats = cluster.stats();
+    std::fprintf(
+        stderr,
+        "[dqemu_run] dbt: chain_hit=%llu jmp_cache_hit=%llu tlb_hit=%llu "
+        "tlb_miss=%llu llsc_fastpath=%llu\n",
+        static_cast<unsigned long long>(stats.get("dbt.chain_hit")),
+        static_cast<unsigned long long>(stats.get("dbt.jmp_cache_hit")),
+        static_cast<unsigned long long>(stats.get("dbt.tlb_hit")),
+        static_cast<unsigned long long>(stats.get("dbt.tlb_miss")),
+        static_cast<unsigned long long>(stats.get("dbt.llsc_fastpath")));
+  }
+
   if (breakdown) {
     std::fprintf(stderr, "[dqemu_run] per-thread time (ms):\n");
     for (const auto& [tid, b] : result.per_thread) {
