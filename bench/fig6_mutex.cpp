@@ -10,22 +10,43 @@
 // Paper series (Fig. 6, elapsed seconds):
 //   DQEMU-1 (global):  5.2 6.8 9.5 16.5 21.3 25.6   QEMU-1: 0.48
 //   DQEMU-2 (private): 4.0 2.1 1.6 1.4 1.2 1.2      QEMU-2: 3.4
+//
+// Flags: --hier-locking enables the hierarchical-locking fast path
+// (DESIGN.md section 11); --bench-out <path> writes the series as JSON.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bench_util.hpp"
 #include "workloads/micro.hpp"
 
 using namespace dqemu;
 using namespace dqemu::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bool hier = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hier-locking") == 0) {
+      hier = true;
+    } else if (std::strcmp(argv[i], "--bench-out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: fig6_mutex [--hier-locking] [--bench-out file]\n");
+      return 2;
+    }
+  }
+
   print_header("Figure 6: mutex stress, 32 threads, 1-6 slave nodes",
                "paper Fig.6: global 5.2->25.6s rising; private 4.0->1.2s falling");
+  if (hier) std::printf("(hierarchical locking enabled)\n");
 
   const std::uint32_t threads = 32;
-  const std::uint32_t global_iters = scaled(2000);
+  const std::uint32_t global_iters = scaled(20'000, 4);
   const std::uint32_t private_iters = scaled(100'000);
 
-  // A finer scheduling quantum makes same-node lock handoffs interleave
-  // realistically (one quantum covers many criticial sections otherwise).
   const auto global_prog = must_program(
       workloads::mutex_stress(threads, global_iters, /*global=*/true),
       "mutex_stress global");
@@ -36,13 +57,24 @@ int main() {
   static const double kPaperGlobal[6] = {5.2, 6.8, 9.5, 16.5, 21.3, 25.6};
   static const double kPaperPrivate[6] = {4.0, 2.1, 1.6, 1.4, 1.2, 1.2};
 
+  struct Point {
+    std::uint32_t slaves;
+    double global_sim;
+    double private_sim;
+  };
+  std::vector<Point> series;
+
   std::printf("%-10s %16s %12s %16s %12s\n", "slaves", "global_sim_s",
               "paper_rel", "private_sim_s", "paper_rel");
   double g1 = 0.0;
   double p1 = 0.0;
   for (std::uint32_t slaves = 1; slaves <= 6; ++slaves) {
     ClusterConfig config = paper_config(slaves);
-    config.dbt.quantum_insns = 2000;
+    // A fine scheduling quantum preempts threads *inside* the critical
+    // section, so contenders actually park in the futex instead of always
+    // finding the lock free — the serialized regime Fig. 6 measures.
+    config.dbt.quantum_insns = 500;
+    config.sys.enable_hierarchical_locking = hier;
     BenchRun g = run_cluster(config, global_prog);
     must_ok(g, "fig6 global");
     BenchRun p = run_cluster(config, private_prog);
@@ -51,6 +83,7 @@ int main() {
       g1 = g.sim_seconds();
       p1 = p.sim_seconds();
     }
+    series.push_back(Point{slaves, g.sim_seconds(), p.sim_seconds()});
     // paper_rel: the paper's time for this point relative to its 1-node
     // time — compare against measured/measured-1-node to check the shape.
     std::printf("%-10u %10.4f (%4.2fx) %10.2f %10.4f (%4.2fx) %10.2f\n",
@@ -60,7 +93,7 @@ int main() {
   }
 
   ClusterConfig qemu_config = paper_config(0);
-  qemu_config.dbt.quantum_insns = 2000;
+  qemu_config.dbt.quantum_insns = 500;
   BenchRun gq = run_cluster(qemu_config, global_prog);
   must_ok(gq, "fig6 global qemu");
   BenchRun pq = run_cluster(qemu_config, private_prog);
@@ -68,5 +101,28 @@ int main() {
   std::printf("QEMU       %10.4f (%4.2fx) %10.2f %10.4f (%4.2fx) %10.2f\n",
               gq.sim_seconds(), gq.sim_seconds() / g1, 0.48 / 5.2,
               pq.sim_seconds(), pq.sim_seconds() / p1, 3.4 / 4.0);
+
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", out_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig6_mutex\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick_mode() ? "true" : "false");
+    std::fprintf(f, "  \"hier_locking\": %s,\n", hier ? "true" : "false");
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const Point& pt = series[i];
+      std::fprintf(f,
+                   "    {\"slaves\": %u, \"global_sim_seconds\": %.6f, "
+                   "\"private_sim_seconds\": %.6f}%s\n",
+                   pt.slaves, pt.global_sim, pt.private_sim,
+                   i + 1 < series.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+  }
   return 0;
 }

@@ -1,0 +1,125 @@
+; mutex.s — contended global-mutex guest for dqemu_run.
+;
+;   ./build/tools/dqemu_run examples/guest/mutex.s --nodes 4 --quantum 500
+;   ./build/tools/dqemu_run examples/guest/mutex.s --nodes 4 --quantum 500 --hier-locking
+;
+; Thirty-two worker threads each take a shared futex mutex 2000 times and bump a
+; counter inside the critical section, then the main thread joins them and
+; exits with the counter value: exit=64000 iff the mutex provided mutual
+; exclusion and no futex wakeup was lost. The mutex is the glibc three-state
+; scheme (0 free, 1 locked, 2 locked-with-waiters): contenders mark the lock
+; 2 and FUTEX_WAIT on 2; unlock stores 0 and issues FUTEX_WAKE only from
+; state 2. Run with a small --quantum so threads are preempted inside the
+; critical section and waiters actually park — that is the regime where
+; --hier-locking (DESIGN.md section 11) collapses the lock-handoff round
+; trips; compare the virtual= and lock: lines with the flag on and off.
+    .entry main
+
+main:
+    li   s0, 0          ; worker index
+spawn_loop:
+    ; mmap a 4 KiB stack for the child
+    li   a0, 4096
+    syscall 8
+    addi t0, a0, 4096   ; child sp = top of the mapping
+
+    ; ctid[w] = 1 (cleared by the kernel when the child exits)
+    la   t1, ctids
+    slli t2, s0, 2
+    add  t1, t1, t2
+    li   t3, 1
+    sw   t3, 0(t1)
+
+    ; clone(flags=0, child_sp, &ctid[w]); child resumes here with a0 = 0
+    li   a0, 0
+    mov  a1, t0
+    mov  a2, t1
+    syscall 9
+    beq  a0, zero, worker
+    addi s0, s0, 1
+    li   t0, 32
+    bne  s0, t0, spawn_loop
+
+    ; join: wait until ctid[w] drops to 0
+    li   s0, 0
+join_loop:
+    la   t1, ctids
+    slli t2, s0, 2
+    add  t1, t1, t2
+join_wait:
+    lw   t3, 0(t1)
+    beq  t3, zero, join_next
+    mov  a0, t1
+    li   a1, 0          ; FUTEX_WAIT
+    mov  a2, t3
+    syscall 10
+    j    join_wait
+join_next:
+    addi s0, s0, 1
+    li   t0, 32
+    bne  s0, t0, join_loop
+
+    ; write(1, done_msg, 24); exit_group(counter)
+    li   a0, 1
+    la   a1, done_msg
+    li   a2, 25
+    syscall 2
+    la   t0, counter
+    lw   a0, 0(t0)
+    syscall 15
+
+worker:
+    li   s1, 2000       ; iterations
+    la   s2, counter
+w_loop:
+    la   t0, mutex
+l_fast:                 ; fast path: acquire free lock with 1
+    ll   t1, t0
+    bne  t1, zero, l_slow
+    li   t2, 1
+    sc   t3, t0, t2
+    bne  t3, zero, l_fast
+    j    l_acquired
+l_slow:                 ; slow path: must acquire with 2 (waiters may be
+    ll   t1, t0         ; parked; only state 2 makes unlock issue a wake)
+    bne  t1, zero, l_mark
+    li   t2, 2
+    sc   t3, t0, t2
+    bne  t3, zero, l_slow
+    j    l_acquired
+l_mark:
+    li   t2, 2
+    sc   t3, t0, t2     ; 1 -> 2; a failed sc is fine (value changed)
+    mov  a0, t0
+    li   a1, 0          ; FUTEX_WAIT while the word is 2
+    li   a2, 2
+    syscall 10
+    j    l_slow
+l_acquired:
+    lw   t4, 0(s2)      ; critical section: counter++
+    addi t4, t4, 1
+    sw   t4, 0(s2)
+u_retry:                ; unlock: swap in 0, wake iff the old value was 2
+    ll   t1, t0
+    sc   t3, t0, zero
+    bne  t3, zero, u_retry
+    li   t2, 2
+    bne  t1, t2, u_done
+    mov  a0, t0
+    li   a1, 1          ; FUTEX_WAKE one waiter
+    li   a2, 1
+    syscall 10
+u_done:
+    addi s1, s1, -1
+    bne  s1, zero, w_loop
+    li   a0, 0          ; exit(0) — clears ctid and wakes the joiner
+    syscall 1
+
+    .data
+done_msg: .asciz "mutex: 32 workers joined\n"
+        .align 4
+mutex:  .word 0
+        .space 4092     ; the counter lives on its own page: the critical
+counter: .word 0        ; section then spans a cross-node fault, so the
+        .space 4092     ; lock is observably held and contenders park
+ctids:  .space 128

@@ -119,6 +119,30 @@ struct DsmConfig {
   std::uint32_t forward_streams = 48;
 };
 
+/// Delegated-syscall layer: hierarchical distributed locking (the third
+/// section-5 scalability optimization; DESIGN.md section 11). A per-node
+/// lock agent services FUTEX_WAIT/WAKE locally while it holds a
+/// master-granted ownership lease for the futex address; everything else
+/// falls back to master delegation. Virtual-time optimization: guest
+/// results are identical, sim_seconds improves. Also gated at compile time
+/// by the DQEMU_ENABLE_LOCK_FASTPATH CMake option.
+struct SysConfig {
+  bool enable_hierarchical_locking = false;
+  /// Delegated futex ops a node observes on one address between lease
+  /// requests: low = aggressive lease migration, high = sticky master.
+  std::uint32_t lease_request_threshold = 2;
+  /// Minimum time the master lets a lease age before recalling it for a
+  /// competing node (anti-ping-pong hysteresis).
+  DurationPs lease_min_hold = 5 * time_literals::kMs;
+  /// Consecutive wakes the agent may hand to same-node waiters before it
+  /// must serve the oldest cross-node waiter (lock cohorting; bounds
+  /// cross-node starvation). 0 = strict global FIFO.
+  std::uint32_t lock_cohort_limit = 64;
+  /// Agent service cost per locally-served futex op (cycles): the local
+  /// kernel's futex path instead of a master RPC.
+  std::uint32_t lock_agent_cycles = 300;
+};
+
 /// Guest-thread placement policy (sections 4.1, 5.3).
 enum class SchedPolicy {
   kRoundRobin,     ///< spread threads evenly over slave nodes
@@ -152,6 +176,7 @@ struct ClusterConfig {
   NetworkConfig net;
   DbtConfig dbt;
   DsmConfig dsm;
+  SysConfig sys;
   SchedConfig sched;
 
   std::uint64_t seed = 42;  ///< seed for all workload/test randomness
@@ -176,6 +201,8 @@ struct ClusterConfig {
       return S::invalid_argument("split_shards must divide page_size");
     if (dbt.quantum_insns == 0)
       return S::invalid_argument("quantum_insns must be >= 1");
+    if (sys.enable_hierarchical_locking && sys.lease_request_threshold == 0)
+      return S::invalid_argument("lease_request_threshold must be >= 1");
     if (guest_mem_bytes < 16u * 1024 * 1024)
       return S::invalid_argument("guest_mem_bytes too small (< 16 MiB)");
     if (!node_machines.empty()) {

@@ -67,6 +67,7 @@ Cluster::Cluster(ClusterConfig config, trace::Tracer* tracer)
 
   syscalls_.emplace(network_, queue_, config_.machine,
                     config_.dbt.syscall_service_cycles, &stats_, tracer_);
+  syscalls_->configure_locking(config_.sys);
   sys::MasterSyscalls::Hooks sys_hooks;
   sys_hooks.on_clone = [this](const sys::SyscallRequest& req) {
     return on_clone(req);
@@ -100,6 +101,8 @@ void Cluster::master_handler(const net::Message& msg) {
       directory_->handle_message(msg);
       return;
     case static_cast<std::uint32_t>(sys::SysMsg::kSyscallReq):
+    case static_cast<std::uint32_t>(sys::SysMsg::kLeaseReq):
+    case static_cast<std::uint32_t>(sys::SysMsg::kLeaseReturn):
       syscalls_->handle_message(msg);
       return;
     case static_cast<std::uint32_t>(CoreMsg::kMigrateDone):

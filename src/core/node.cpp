@@ -39,6 +39,10 @@ Node::Node(NodeId id, const ClusterConfig& config, sim::EventQueue& queue,
               /*check_protection=*/!config.single_node_baseline, stats),
       dsm_(id, network, space_, shadow_, &llsc_, &tcache_, stats,
            [this](std::uint32_t page) { wake_page_waiters(page); }, tracer),
+      lock_agent_(id, config.sys, queue, network, stats, tracer,
+                  [this](GuestTid tid, std::uint64_t flow) {
+                    on_local_futex_wake(tid, flow);
+                  }),
       core_busy_(machine_.cores_per_node, false) {}
 
 void Node::note(const char* name, trace::Cat cat, trace::Kind kind,
@@ -496,7 +500,7 @@ void Node::delegate_syscall(GuestThread& t, PendingSyscall& call) {
       call.args[3] = static_cast<std::uint32_t>(t.ctx.hint_group);
       break;
     }
-    case Sys::kFutex:
+    case Sys::kFutex: {
       if (call.args[1] == isa::kFutexWait) {
         // The atomic re-check (section 4.4): we hold a read copy of the
         // futex page right now, so a racing writer cannot have completed —
@@ -521,7 +525,70 @@ void Node::delegate_syscall(GuestThread& t, PendingSyscall& call) {
           return;
         }
       }
+      // Hierarchical locking (DESIGN.md section 11): if this node's agent
+      // holds the address's lease, the whole op completes on-node — wait
+      // parks the thread in the agent queue (the re-check above already
+      // ran), wake grants locally after the agent's service cost. The
+      // lease carries the master's queue, so FIFO semantics survive.
+      const GuestAddr faddr = call.args[0];
+      const std::uint32_t fop = call.args[1];
+      if (sys::hierarchical_locking(config_.sys) &&
+          (fop == isa::kFutexWait || fop == isa::kFutexWake)) {
+        if (!lock_agent_.owns(faddr)) {
+          lock_agent_.note_delegated(faddr);
+          if (fop == isa::kFutexWake) {
+            // Fire-and-forget wake: the agent acknowledges the syscall
+            // locally (the guest runtime discards the wake count) and the
+            // master/owner processes the forwarded wake asynchronously.
+            // Per-channel FIFO keeps it ordered before any later futex op
+            // this node delegates, so the no-lost-wakeup argument holds.
+            call.args[3] = sys::kFutexAsyncWake;
+            if (trace::wants(tracer_, trace::Cat::kSys)) {
+              call.flow = tracer_->new_flow();
+              note("sys.delegate", trace::Cat::kSys, trace::Kind::kFlowBegin,
+                   t.ctx.tid, call.flow,
+                   static_cast<std::uint64_t>(call.num), faddr);
+            }
+            net::Message req = sys::make_syscall_request(
+                id_, t.ctx.tid, call.num, call.args, payload);
+            req.flow = call.flow;
+            network_.send(std::move(req));
+            t.state = ThreadState::kBlockedSyscall;
+            t.block_start = queue_.now();
+            call.phase = PendingSyscall::Phase::kAwaitResponse;
+            if (stats_ != nullptr) stats_->add("sys.lock_async_wakes");
+            const GuestTid waker = t.ctx.tid;
+            queue_.schedule_in(
+                machine_.cycles(config_.sys.lock_agent_cycles),
+                [this, waker] { complete_futex_locally(waker, 0); });
+            return;
+          }
+        } else {
+          if (trace::wants(tracer_, trace::Cat::kSys)) {
+            call.flow = tracer_->new_flow();
+            note("sys.delegate", trace::Cat::kSys, trace::Kind::kFlowBegin,
+                 t.ctx.tid, call.flow, static_cast<std::uint64_t>(call.num),
+                 faddr);
+          }
+          t.state = ThreadState::kBlockedSyscall;
+          t.block_start = queue_.now();
+          call.phase = PendingSyscall::Phase::kAwaitResponse;
+          if (stats_ != nullptr) stats_->add("sys.lock_local_ops");
+          if (fop == isa::kFutexWait) {
+            lock_agent_.local_wait(faddr, t.ctx.tid, call.flow);
+          } else {
+            const std::uint32_t woken =
+                lock_agent_.local_wake(faddr, call.args[2]);
+            const GuestTid waker = t.ctx.tid;
+            queue_.schedule_in(
+                machine_.cycles(config_.sys.lock_agent_cycles),
+                [this, waker, woken] { complete_futex_locally(waker, woken); });
+          }
+          return;
+        }
+      }
       break;
+    }
     case Sys::kExit: {
       // Linux CLONE_CHILD_CLEARTID: store 0 to *ctid through the normal
       // coherent-write path (page was pre-faulted RW), then let the master
@@ -593,6 +660,53 @@ void Node::on_syscall_response(const net::Message& msg) {
   kick();
 }
 
+// ---------------------------------------------------------------------------
+// Hierarchical locking (lock agent, DESIGN.md section 11)
+// ---------------------------------------------------------------------------
+
+void Node::complete_futex_locally(GuestTid tid, std::int64_t result) {
+  auto it = threads_.find(tid);
+  assert(it != threads_.end());
+  GuestThread& t = it->second;
+  assert(t.state == ThreadState::kBlockedSyscall);
+  assert(t.pending_syscall.has_value());
+  if (t.pending_syscall->block_is_idle) {
+    t.breakdown.idle += queue_.now() - t.block_start;
+  } else {
+    t.breakdown.syscall += queue_.now() - t.block_start;
+  }
+  PendingSyscall& call = *t.pending_syscall;
+  if (call.flow != 0) {
+    note("sys.delegate", trace::Cat::kSys, trace::Kind::kFlowEnd, tid,
+         call.flow, static_cast<std::uint64_t>(result), 0);
+  }
+  t.ctx.set_a0(static_cast<std::uint32_t>(result));
+  t.pending_syscall.reset();
+  enqueue(tid);
+  kick();
+}
+
+void Node::on_local_futex_wake(GuestTid tid, std::uint64_t flow) {
+  (void)flow;  // the waiter's own chain closes in complete_futex_locally
+  // Charge the agent's local futex-path cost before the thread resumes;
+  // still orders of magnitude below a master round trip.
+  queue_.schedule_in(machine_.cycles(config_.sys.lock_agent_cycles),
+                     [this, tid] { complete_futex_locally(tid, 0); });
+}
+
+void Node::on_wake_batch(const net::Message& msg) {
+  // One message, up to `count` wakes: every entry is a thread of this node
+  // whose FUTEX_WAIT now completes with result 0.
+  const auto waiters = sys::FutexTable::unpack_waiters(msg.data);
+  assert(waiters.size() == msg.b);
+  if (stats_ != nullptr) {
+    stats_->add("sys.wake_batch_wakes", waiters.size());
+  }
+  for (const sys::FutexTable::Waiter& w : waiters) {
+    complete_futex_locally(w.tid, 0);
+  }
+}
+
 void Node::commit_syscall(GuestTid tid) {
   GuestThread& t = threads_.at(tid);
   PendingSyscall& call = *t.pending_syscall;
@@ -620,6 +734,14 @@ void Node::handle_message(const net::Message& msg) {
   }
   if (msg.type == static_cast<std::uint32_t>(sys::SysMsg::kSyscallResp)) {
     on_syscall_response(msg);
+    return;
+  }
+  if (sys::LockAgent::handles(msg.type)) {
+    lock_agent_.handle_message(msg);
+    return;
+  }
+  if (msg.type == static_cast<std::uint32_t>(sys::SysMsg::kWakeBatch)) {
+    on_wake_batch(msg);
     return;
   }
   switch (static_cast<CoreMsg>(msg.type)) {

@@ -30,6 +30,7 @@
 #include "net/network.hpp"
 #include "sim/event_queue.hpp"
 #include "sys/classify.hpp"
+#include "sys/lock_agent.hpp"
 #include "sys/master_syscalls.hpp"
 #include "trace/tracer.hpp"
 
@@ -104,6 +105,14 @@ class Node {
   void commit_syscall(GuestTid tid);
   void on_syscall_response(const net::Message& msg);
 
+  // ---- hierarchical locking (lock agent) ---------------------------------
+  /// Completes a blocked FUTEX_WAIT/WAKE without a master response: the
+  /// local-grant path of the lock agent and batched cross-node wakes.
+  void complete_futex_locally(GuestTid tid, std::int64_t result);
+  /// Lock-agent callback: a locally-parked waiter was granted the lock.
+  void on_local_futex_wake(GuestTid tid, std::uint64_t flow);
+  void on_wake_batch(const net::Message& msg);
+
   // ---- thread management ---------------------------------------------------
   void on_create_thread(const net::Message& msg);
   void on_migrate_req(const net::Message& msg);
@@ -135,6 +144,7 @@ class Node {
   dbt::TranslationCache tcache_;
   dbt::ExecEngine engine_;
   dsm::DsmClient dsm_;
+  sys::LockAgent lock_agent_;
 
   std::map<GuestTid, GuestThread> threads_;
   std::deque<GuestTid> run_queue_;

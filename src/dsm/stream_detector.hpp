@@ -45,16 +45,33 @@ class StreamDetector {
   }
 
   /// After the caller pushed pages so that the node's next *request* will
-  /// be for `new_next`, moves the stream currently expecting
+  /// be for `new_next`, moves every stream currently expecting
   /// `expected_next` past the pushed window (keeping its run length), so
-  /// forwarded pages don't break the run.
+  /// forwarded pages don't break the run. Several streams can expect the
+  /// same page (a fresh stream seeded inside another stream's run): all of
+  /// them are moved and then merged with any stream already expecting
+  /// `new_next`, keeping the strongest run — a stale duplicate left behind
+  /// would re-trigger forwarding of pages that were already pushed.
   void retarget(std::uint32_t expected_next, std::uint32_t new_next) {
+    bool moved = false;
     for (Stream& s : streams_) {
       if (s.next_page == expected_next) {
         s.next_page = new_next;
-        return;
+        moved = true;
       }
     }
+    if (!moved) return;
+    Stream keep{};
+    for (const Stream& s : streams_) {
+      if (s.next_page != new_next) continue;
+      if (s.run > keep.run ||
+          (s.run == keep.run && s.last_used >= keep.last_used)) {
+        keep = s;
+      }
+    }
+    std::erase_if(streams_,
+                  [&](const Stream& s) { return s.next_page == new_next; });
+    streams_.push_back(keep);
   }
 
   [[nodiscard]] std::size_t active_streams() const { return streams_.size(); }

@@ -6,9 +6,20 @@
 // read copy of the futex page; the coherence protocol guarantees any
 // subsequent write (and hence any wake) is ordered after the wait request
 // on the master, so no wakeup can be lost (see DESIGN.md §7).
+//
+// Hierarchical locking (section 5, DESIGN.md §11) adds a per-address
+// *lease*: the master may hand the wait queue of one address to a node's
+// lock agent (kGranted), which then services wait/wake for that address
+// locally. While a recall is in flight (kRecalling) the master buffers
+// delegated ops; when the owner returns its queue, the returned waiters
+// are spliced to the FRONT (they were enqueued before anything buffered
+// during the recall), the buffer is replayed, and the lease moves on.
 #pragma once
 
+#include <cassert>
+#include <cstring>
 #include <deque>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +38,13 @@ class FutexTable {
     friend bool operator==(const Waiter& a, const Waiter& b) {
       return a.node == b.node && a.tid == b.tid;
     }
+  };
+
+  /// Where an address's wait queue currently lives.
+  enum class LeasePhase {
+    kNone,       ///< master-owned: wait/wake served from `queues_`
+    kGranted,    ///< a node's lock agent owns the queue
+    kRecalling,  ///< recall in flight; delegated ops are buffered by caller
   };
 
   /// Enqueues a waiter blocked on `addr`.
@@ -57,8 +75,118 @@ class FutexTable {
     return n;
   }
 
+  // ---- lease state machine ----------------------------------------------
+
+  [[nodiscard]] LeasePhase lease_phase(GuestAddr addr) const {
+    auto it = leases_.find(addr);
+    return it == leases_.end() ? LeasePhase::kNone : it->second.phase;
+  }
+
+  /// Owner while kGranted, or the owner being recalled while kRecalling.
+  [[nodiscard]] NodeId lease_owner(GuestAddr addr) const {
+    auto it = leases_.find(addr);
+    return it == leases_.end() ? kInvalidNode : it->second.owner;
+  }
+
+  [[nodiscard]] TimePs lease_granted_at(GuestAddr addr) const {
+    auto it = leases_.find(addr);
+    return it == leases_.end() ? 0 : it->second.granted_at;
+  }
+
+  /// Node waiting for the lease currently being recalled (kRecalling only).
+  [[nodiscard]] NodeId lease_pending_requester(GuestAddr addr) const {
+    auto it = leases_.find(addr);
+    return it == leases_.end() ? kInvalidNode : it->second.pending_requester;
+  }
+
+  /// Grants `addr`'s lease to `owner`, detaching the master's wait queue
+  /// (FIFO order preserved) so it can travel in the kLeaseGrant message.
+  [[nodiscard]] std::vector<Waiter> grant_lease(GuestAddr addr, NodeId owner,
+                                                TimePs now) {
+    assert(lease_phase(addr) == LeasePhase::kNone);
+    leases_[addr] = LeaseInfo{owner, LeasePhase::kGranted, kInvalidNode, now};
+    std::vector<Waiter> queue;
+    auto it = queues_.find(addr);
+    if (it != queues_.end()) {
+      queue.assign(it->second.begin(), it->second.end());
+      queues_.erase(it);
+    }
+    return queue;
+  }
+
+  /// Marks `addr` as being recalled on behalf of `requester`.
+  void begin_recall(GuestAddr addr, NodeId requester) {
+    auto it = leases_.find(addr);
+    assert(it != leases_.end() && it->second.phase == LeasePhase::kGranted);
+    it->second.phase = LeasePhase::kRecalling;
+    it->second.pending_requester = requester;
+  }
+
+  /// Completes a recall: the owner's `returned` queue (its waiters were
+  /// enqueued before anything the master buffered during the recall) is
+  /// spliced to the front of the master queue. Returns the node that asked
+  /// for the recall so the caller can grant it the lease next.
+  [[nodiscard]] NodeId finish_recall(GuestAddr addr,
+                                     const std::vector<Waiter>& returned) {
+    auto it = leases_.find(addr);
+    assert(it != leases_.end() && it->second.phase == LeasePhase::kRecalling);
+    const NodeId requester = it->second.pending_requester;
+    leases_.erase(it);
+    if (!returned.empty()) {
+      auto& queue = queues_[addr];
+      queue.insert(queue.begin(), returned.begin(), returned.end());
+    }
+    return requester;
+  }
+
+  [[nodiscard]] std::size_t leases_out() const { return leases_.size(); }
+
+  // ---- wire packing ------------------------------------------------------
+
+  /// 16 bytes per waiter: u32 node, u32 tid, u64 flow (little-endian).
+  static constexpr std::size_t kWaiterWireBytes = 16;
+
+  static void pack_waiters(const std::vector<Waiter>& waiters,
+                           std::vector<std::uint8_t>& out) {
+    out.resize(waiters.size() * kWaiterWireBytes);
+    std::uint8_t* p = out.data();
+    for (const Waiter& w : waiters) {
+      const std::uint32_t node = w.node;
+      const std::uint32_t tid = w.tid;
+      std::memcpy(p, &node, 4);
+      std::memcpy(p + 4, &tid, 4);
+      std::memcpy(p + 8, &w.flow, 8);
+      p += kWaiterWireBytes;
+    }
+  }
+
+  [[nodiscard]] static std::vector<Waiter> unpack_waiters(
+      std::span<const std::uint8_t> data) {
+    assert(data.size() % kWaiterWireBytes == 0);
+    std::vector<Waiter> waiters(data.size() / kWaiterWireBytes);
+    const std::uint8_t* p = data.data();
+    for (Waiter& w : waiters) {
+      std::uint32_t node = 0, tid = 0;
+      std::memcpy(&node, p, 4);
+      std::memcpy(&tid, p + 4, 4);
+      std::memcpy(&w.flow, p + 8, 8);
+      w.node = static_cast<NodeId>(node);
+      w.tid = tid;
+      p += kWaiterWireBytes;
+    }
+    return waiters;
+  }
+
  private:
+  struct LeaseInfo {
+    NodeId owner = kInvalidNode;
+    LeasePhase phase = LeasePhase::kNone;
+    NodeId pending_requester = kInvalidNode;
+    TimePs granted_at = 0;
+  };
+
   std::unordered_map<GuestAddr, std::deque<Waiter>> queues_;
+  std::unordered_map<GuestAddr, LeaseInfo> leases_;
 };
 
 }  // namespace dqemu::sys

@@ -1,0 +1,137 @@
+// Per-node lock agent: the node half of hierarchical distributed locking
+// (paper section 5, DESIGN.md section 11).
+//
+// Every node owns one agent. While the agent holds the master-granted
+// ownership lease for a futex address, FUTEX_WAIT parks the thread in the
+// agent's local queue and FUTEX_WAKE grants the lock to a parked thread
+// without any master round trip — the dominant cost of the fig6
+// global-mutex scenario. For addresses it does not own, the agent merely
+// counts delegated traffic and requests the lease once the address proves
+// hot (lease_request_threshold).
+//
+// Wake policy (lock cohorting): a wake prefers the oldest *local* waiter
+// for up to `lock_cohort_limit` consecutive local grants, then must serve
+// the oldest waiter overall. This keeps lock handoff on-node (the whole
+// point of the lease) while bounding cross-node starvation; with the limit
+// set to 0 the agent degenerates to strict global FIFO.
+//
+// Compiled out by -DDQEMU_ENABLE_LOCK_FASTPATH=OFF, in which case
+// hierarchical_locking() is constant-false and every futex op takes the
+// PR-0 master-delegation path bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sys/futex_table.hpp"
+#include "sys/wire.hpp"
+#include "trace/tracer.hpp"
+
+#ifndef DQEMU_LOCK_FASTPATH_ENABLED
+#define DQEMU_LOCK_FASTPATH_ENABLED 1
+#endif
+
+namespace dqemu::sys {
+
+/// True when hierarchical locking is both compiled in and enabled in the
+/// run configuration. All call sites gate on this so the OFF build and the
+/// OFF config take the identical master-delegation path.
+[[nodiscard]] inline bool hierarchical_locking(const SysConfig& sys) {
+#if DQEMU_LOCK_FASTPATH_ENABLED
+  return sys.enable_hierarchical_locking;
+#else
+  (void)sys;
+  return false;
+#endif
+}
+
+class LockAgent {
+ public:
+  /// Unblocks a locally-parked thread: the core layer completes the
+  /// thread's pending FUTEX_WAIT with result 0 (after charging the agent's
+  /// local service cost). `flow` is the waiter's causal chain.
+  using WakeLocalFn = std::function<void(GuestTid tid, std::uint64_t flow)>;
+
+  LockAgent(NodeId id, const SysConfig& config, sim::EventQueue& queue,
+            net::Network& network, StatsRegistry* stats,
+            trace::Tracer* tracer, WakeLocalFn wake_local);
+
+  /// True when this agent holds the lease for `addr`.
+  [[nodiscard]] bool owns(GuestAddr addr) const {
+    return owned_.contains(addr);
+  }
+
+  /// Parks a local thread on an owned address (the caller already did the
+  /// section-4.4 value re-check).
+  void local_wait(GuestAddr addr, GuestTid tid, std::uint64_t flow);
+
+  /// Wakes up to `count` waiters of an owned address; returns the number
+  /// woken. Local waiters complete via WakeLocalFn; remote waiters get a
+  /// direct kSyscallResp, or one kWakeBatch per node when several wake at
+  /// once.
+  std::uint32_t local_wake(GuestAddr addr, std::uint32_t count);
+
+  /// Notes one futex op on a non-owned address that is being delegated to
+  /// the master; sends a kLeaseReq once the address crosses the request
+  /// threshold.
+  void note_delegated(GuestAddr addr);
+
+  /// True for message types this agent consumes (lease grant/recall and
+  /// cross-node handoffs).
+  [[nodiscard]] static bool handles(std::uint32_t type) {
+    switch (static_cast<SysMsg>(type)) {
+      case SysMsg::kLeaseGrant:
+      case SysMsg::kLeaseRecall:
+      case SysMsg::kWaitHandoff:
+      case SysMsg::kWakeHandoff:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void handle_message(const net::Message& msg);
+
+  [[nodiscard]] std::size_t owned_leases() const { return owned_.size(); }
+  [[nodiscard]] std::size_t parked_waiters() const;
+
+ private:
+  struct Entry {
+    std::deque<FutexTable::Waiter> queue;
+    /// Consecutive wakes served to local waiters out of FIFO order.
+    std::uint32_t local_streak = 0;
+  };
+
+  void on_lease_grant(const net::Message& msg);
+  void on_lease_recall(const net::Message& msg);
+  void on_wait_handoff(const net::Message& msg);
+  void on_wake_handoff(const net::Message& msg);
+
+  /// Dequeues up to `count` waiters of `entry` under the cohorting policy
+  /// and delivers their wakes. Returns the number woken.
+  std::uint32_t wake_from_entry(GuestAddr addr, Entry& entry,
+                                std::uint32_t count);
+
+  void note(const char* name, trace::Kind kind, std::uint64_t flow,
+            std::uint64_t a, std::uint64_t b);
+
+  NodeId id_;
+  const SysConfig& config_;
+  sim::EventQueue& queue_;
+  net::Network& network_;
+  StatsRegistry* stats_;
+  trace::Tracer* tracer_;
+  WakeLocalFn wake_local_;
+
+  std::unordered_map<GuestAddr, Entry> owned_;
+  /// Delegated-op counts for addresses we do not own (reset on request).
+  std::unordered_map<GuestAddr, std::uint32_t> delegated_ops_;
+};
+
+}  // namespace dqemu::sys

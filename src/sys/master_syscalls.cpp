@@ -63,6 +63,26 @@ void MasterSyscalls::configure_memory(GuestAddr brk_start,
   mmap_end_ = mmap_end;
 }
 
+void MasterSyscalls::send_after_service(net::Message msg) {
+  const DurationPs service = machine_.cycles(service_cycles_);
+  queue_.schedule_in(service, [this, m = std::move(msg)]() mutable {
+    network_.send(std::move(m));
+  });
+}
+
+// Lease-protocol messages must hit the wire at processing time, not after a
+// modeled service delay: the no-lost-wakeup argument (DESIGN.md section 11)
+// needs master *send* order to equal master *processing* order across every
+// master-resident component. The DSM directory shares the master->node FIFO
+// channels; if a wait handoff lingered for service_cycles_ while the
+// directory released the write grant that lets the lease owner complete its
+// unlock store, the owner's wake could run against a queue that does not yet
+// hold the handed-off waiter. The per-endpoint network overhead already
+// charges the software cost of these messages.
+void MasterSyscalls::send_protocol(net::Message msg) {
+  network_.send(std::move(msg));
+}
+
 void MasterSyscalls::send_response(NodeId dst, GuestTid tid,
                                    std::int64_t result,
                                    std::span<const std::uint8_t> payload,
@@ -75,14 +95,23 @@ void MasterSyscalls::send_response(NodeId dst, GuestTid tid,
   msg.b = tid;
   msg.data.assign(payload.begin(), payload.end());
   msg.flow = flow;
-  const DurationPs service = machine_.cycles(service_cycles_);
-  queue_.schedule_in(service, [this, m = std::move(msg)]() mutable {
-    network_.send(std::move(m));
-  });
+  send_after_service(std::move(msg));
 }
 
 void MasterSyscalls::handle_message(const net::Message& msg) {
-  assert(msg.type == static_cast<std::uint32_t>(SysMsg::kSyscallReq));
+  switch (static_cast<SysMsg>(msg.type)) {
+    case SysMsg::kSyscallReq:
+      break;  // decoded below
+    case SysMsg::kLeaseReq:
+      on_lease_request(msg);
+      return;
+    case SysMsg::kLeaseReturn:
+      on_lease_return(msg);
+      return;
+    default:
+      assert(false && "not a master-addressed sys message");
+      return;
+  }
   assert(msg.data.size() >= 16);
   SyscallRequest req;
   req.src = msg.src;
@@ -172,12 +201,24 @@ void MasterSyscalls::dispatch(const SyscallRequest& req) {
     case Sys::kExit: {
       // args: [0]=status, [1]=ctid address (0 if none). The node already
       // stored 0 to *ctid through the coherence protocol; waking joiners
-      // is the master's job since the futex table lives here.
+      // is the master's job since the futex table lives here — unless the
+      // ctid address is leased out, in which case its queue lives at the
+      // owner and the wake is forwarded (or buffered mid-recall). The
+      // exiting thread never awaits a count, hence kNoWakeResponse.
       if (req.args[1] != 0) {
-        for (const FutexTable::Waiter waiter :
-             futexes_.wake(req.args[1], UINT32_MAX)) {
-          note("sys.futex_wake", waiter.flow, req.args[1], waiter.tid);
-          send_response(waiter.node, waiter.tid, 0, {}, waiter.flow);
+        const GuestAddr ctid = req.args[1];
+        switch (futexes_.lease_phase(ctid)) {
+          case FutexTable::LeasePhase::kGranted:
+            forward_wake(ctid, UINT32_MAX, kInvalidNode, 0, req.flow);
+            break;
+          case FutexTable::LeasePhase::kRecalling:
+            recall_buffer_[ctid].push_back(BufferedFutexOp{
+                req.src, req.tid, isa::kFutexWake, UINT32_MAX, req.flow,
+                /*respond=*/false});
+            break;
+          case FutexTable::LeasePhase::kNone:
+            (void)master_wake(ctid, UINT32_MAX);
+            break;
         }
       }
       if (hooks_.on_exit) hooks_.on_exit(req);
@@ -194,10 +235,65 @@ void MasterSyscalls::dispatch(const SyscallRequest& req) {
   }
 }
 
+std::uint32_t MasterSyscalls::master_wake(GuestAddr addr,
+                                          std::uint32_t count) {
+  const auto woken = futexes_.wake(addr, count);
+  for (const FutexTable::Waiter& waiter : woken) {
+    // The deferred response rides the *waiter's* chain: the trace shows
+    // wait -> (this wake) -> response as one causal arc.
+    note("sys.futex_wake", waiter.flow, addr, waiter.tid);
+    send_response(waiter.node, waiter.tid, 0, {}, waiter.flow);
+  }
+  return static_cast<std::uint32_t>(woken.size());
+}
+
+void MasterSyscalls::forward_wait(const SyscallRequest& req) {
+  const GuestAddr addr = req.args[0];
+  net::Message msg;
+  msg.src = kMasterNode;
+  msg.dst = futexes_.lease_owner(addr);
+  msg.type = static_cast<std::uint32_t>(SysMsg::kWaitHandoff);
+  msg.a = addr;
+  msg.b = req.tid;
+  msg.c = req.src;
+  msg.flow = req.flow;
+  if (stats_ != nullptr) stats_->add("sys.lease_handoffs");
+  note("sys.lock_handoff", req.flow, addr, req.tid);
+  send_protocol(std::move(msg));
+}
+
+void MasterSyscalls::forward_wake(GuestAddr addr, std::uint32_t count,
+                                  NodeId requester, GuestTid requester_tid,
+                                  std::uint64_t flow) {
+  net::Message msg;
+  msg.src = kMasterNode;
+  msg.dst = futexes_.lease_owner(addr);
+  msg.type = static_cast<std::uint32_t>(SysMsg::kWakeHandoff);
+  msg.a = addr;
+  msg.b = count;
+  const std::uint64_t who =
+      requester == kInvalidNode ? kNoWakeResponse : requester;
+  msg.c = (who << 32) | requester_tid;
+  msg.flow = flow;
+  if (stats_ != nullptr) stats_->add("sys.lease_handoffs");
+  note("sys.lock_handoff", flow, addr, count);
+  send_protocol(std::move(msg));
+}
+
 void MasterSyscalls::do_futex(const SyscallRequest& req) {
   const GuestAddr addr = req.args[0];
   const std::uint32_t op = req.args[1];
+  const FutexTable::LeasePhase phase = futexes_.lease_phase(addr);
   if (op == isa::kFutexWait) {
+    if (phase == FutexTable::LeasePhase::kGranted) {
+      forward_wait(req);
+      return;  // deferred response, now owed by the lease owner
+    }
+    if (phase == FutexTable::LeasePhase::kRecalling) {
+      recall_buffer_[addr].push_back(BufferedFutexOp{
+          req.src, req.tid, op, 0, req.flow, /*respond=*/true});
+      return;
+    }
     // The caller's node already verified *addr == expected while holding a
     // read copy; the protocol orders any racing write (and its wake) after
     // this request, so enqueueing unconditionally cannot lose a wakeup.
@@ -207,19 +303,117 @@ void MasterSyscalls::do_futex(const SyscallRequest& req) {
     return;  // deferred response
   }
   if (op == isa::kFutexWake) {
-    const auto woken = futexes_.wake(addr, req.args[2]);
-    for (const FutexTable::Waiter waiter : woken) {
-      // The deferred response rides the *waiter's* chain: the trace shows
-      // wait -> (this wake) -> response as one causal arc.
-      note("sys.futex_wake", waiter.flow, addr, waiter.tid);
-      send_response(waiter.node, waiter.tid, 0, {}, waiter.flow);
+    // The hierarchical path marks wakes fire-and-forget (kFutexAsyncWake):
+    // the waker's agent already acknowledged the syscall, nobody awaits
+    // the count.
+    const bool respond = (req.args[3] & kFutexAsyncWake) == 0;
+    if (phase == FutexTable::LeasePhase::kGranted) {
+      forward_wake(addr, req.args[2], respond ? req.src : kInvalidNode,
+                   req.tid, req.flow);
+      return;  // the owner answers the requester directly (if anyone does)
     }
-    if (stats_ != nullptr) stats_->add("sys.futex_wakes", woken.size());
-    send_response(req.src, req.tid,
-                  static_cast<std::int64_t>(woken.size()), {}, req.flow);
+    if (phase == FutexTable::LeasePhase::kRecalling) {
+      recall_buffer_[addr].push_back(BufferedFutexOp{
+          req.src, req.tid, op, req.args[2], req.flow, respond});
+      return;
+    }
+    const std::uint32_t woken = master_wake(addr, req.args[2]);
+    if (stats_ != nullptr) stats_->add("sys.futex_wakes", woken);
+    if (respond) send_response(req.src, req.tid, woken, {}, req.flow);
     return;
   }
   send_response(req.src, req.tid, -isa::kEINVAL, {}, req.flow);
+}
+
+// ---------------------------------------------------------------------------
+// Lease protocol (hierarchical locking, DESIGN.md section 11)
+// ---------------------------------------------------------------------------
+
+void MasterSyscalls::on_lease_request(const net::Message& msg) {
+  const auto addr = static_cast<GuestAddr>(msg.a);
+  const NodeId requester = msg.src;
+  switch (futexes_.lease_phase(addr)) {
+    case FutexTable::LeasePhase::kNone: {
+      const auto queue = futexes_.grant_lease(addr, requester, queue_.now());
+      if (stats_ != nullptr) stats_->add("sys.lease_grants");
+      note("sys.lease_grant", msg.flow, addr, queue.size());
+      net::Message grant;
+      grant.src = kMasterNode;
+      grant.dst = requester;
+      grant.type = static_cast<std::uint32_t>(SysMsg::kLeaseGrant);
+      grant.a = addr;
+      grant.flow = msg.flow;
+      FutexTable::pack_waiters(queue, grant.data);
+      send_protocol(std::move(grant));
+      return;
+    }
+    case FutexTable::LeasePhase::kGranted: {
+      const NodeId owner = futexes_.lease_owner(addr);
+      if (owner == requester) return;  // crossed its own grant in flight
+      if (queue_.now() - futexes_.lease_granted_at(addr) <
+          sys_.lease_min_hold) {
+        return;  // too young to recall; the requester retries when still hot
+      }
+      futexes_.begin_recall(addr, requester);
+      pending_lease_flow_[addr] = msg.flow;
+      if (stats_ != nullptr) stats_->add("sys.lease_recalls");
+      note("sys.lease_recall", msg.flow, addr, owner);
+      net::Message recall;
+      recall.src = kMasterNode;
+      recall.dst = owner;
+      recall.type = static_cast<std::uint32_t>(SysMsg::kLeaseRecall);
+      recall.a = addr;
+      recall.flow = msg.flow;
+      send_protocol(std::move(recall));
+      return;
+    }
+    case FutexTable::LeasePhase::kRecalling:
+      return;  // already moving; the loser re-requests if still interested
+  }
+}
+
+void MasterSyscalls::on_lease_return(const net::Message& msg) {
+  const auto addr = static_cast<GuestAddr>(msg.a);
+  const auto returned = FutexTable::unpack_waiters(msg.data);
+  const NodeId next_owner = futexes_.finish_recall(addr, returned);
+
+  // Replay everything that arrived mid-recall, in arrival order, against
+  // the master-owned queue (returned waiters were spliced to its front).
+  auto buffered = recall_buffer_.find(addr);
+  if (buffered != recall_buffer_.end()) {
+    for (const BufferedFutexOp& op : buffered->second) {
+      if (op.op == isa::kFutexWait) {
+        futexes_.wait(addr, FutexTable::Waiter{op.src, op.tid, op.flow});
+        if (stats_ != nullptr) stats_->add("sys.futex_waits");
+      } else {
+        const std::uint32_t woken = master_wake(addr, op.count);
+        if (op.respond) {
+          if (stats_ != nullptr) stats_->add("sys.futex_wakes", woken);
+          send_response(op.src, op.tid, woken, {}, op.flow);
+        }
+      }
+    }
+    recall_buffer_.erase(buffered);
+  }
+
+  // Hand the lease (and whatever the queue now holds) to the recaller.
+  std::uint64_t flow = msg.flow;
+  auto pending = pending_lease_flow_.find(addr);
+  if (pending != pending_lease_flow_.end()) {
+    flow = pending->second;
+    pending_lease_flow_.erase(pending);
+  }
+  const auto queue = futexes_.grant_lease(addr, next_owner, queue_.now());
+  if (stats_ != nullptr) stats_->add("sys.lease_grants");
+  note("sys.lease_grant", flow, addr, queue.size());
+  net::Message grant;
+  grant.src = kMasterNode;
+  grant.dst = next_owner;
+  grant.type = static_cast<std::uint32_t>(SysMsg::kLeaseGrant);
+  grant.a = addr;
+  grant.flow = flow;
+  FutexTable::pack_waiters(queue, grant.data);
+  send_protocol(std::move(grant));
 }
 
 }  // namespace dqemu::sys

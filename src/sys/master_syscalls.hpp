@@ -9,6 +9,8 @@
 #include <array>
 #include <functional>
 #include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
@@ -55,6 +57,11 @@ class MasterSyscalls {
                  StatsRegistry* stats = nullptr,
                  trace::Tracer* tracer = nullptr);
 
+  /// Installs the hierarchical-locking knobs (lease hysteresis). Without
+  /// this call leases are never granted and every futex op is served from
+  /// the master table exactly as before.
+  void configure_locking(const SysConfig& sys) { sys_ = sys; }
+
   /// Guest heap layout: brk grows in [brk_start, mmap_start); anonymous
   /// mmaps grow in [mmap_start, mmap_end).
   void configure_memory(GuestAddr brk_start, GuestAddr mmap_start,
@@ -67,7 +74,8 @@ class MasterSyscalls {
   [[nodiscard]] FutexTable& futexes() { return futexes_; }
   [[nodiscard]] GuestAddr current_brk() const { return brk_; }
 
-  /// Handles a kSyscallReq message delivered to the master.
+  /// Handles a master-addressed sys message: kSyscallReq, and the lease
+  /// traffic of hierarchical locking (kLeaseReq / kLeaseReturn).
   void handle_message(const net::Message& msg);
 
   /// Sends the kSyscallResp that unblocks (node, tid). Public because the
@@ -77,8 +85,33 @@ class MasterSyscalls {
                      std::uint64_t flow = 0);
 
  private:
+  /// A futex op that arrived while its address's lease was being recalled;
+  /// replayed against the master queue when the owner returns the lease.
+  struct BufferedFutexOp {
+    NodeId src = kInvalidNode;
+    GuestTid tid = kInvalidTid;
+    std::uint32_t op = 0;
+    std::uint32_t count = 0;
+    std::uint64_t flow = 0;
+    bool respond = true;  ///< false for exit-wakes: the waker is gone
+  };
+
   void dispatch(const SyscallRequest& req);
   void do_futex(const SyscallRequest& req);
+  /// Wakes up to `count` waiters of a master-owned address and sends the
+  /// deferred responses; returns the number woken.
+  std::uint32_t master_wake(GuestAddr addr, std::uint32_t count);
+  /// Forwards a wait/wake on a leased address to its owner agent.
+  void forward_wait(const SyscallRequest& req);
+  void forward_wake(GuestAddr addr, std::uint32_t count, NodeId requester,
+                    GuestTid requester_tid, std::uint64_t flow);
+  void on_lease_request(const net::Message& msg);
+  void on_lease_return(const net::Message& msg);
+  /// Schedules `msg` onto the wire after the manager service delay (the
+  /// same delay every response pays, so per-channel FIFO order follows
+  /// master processing order).
+  void send_after_service(net::Message msg);
+  void send_protocol(net::Message msg);
   /// Records a master-side edge of chain `flow` on the manager track.
   void note(const char* name, std::uint64_t flow, std::uint64_t a,
             std::uint64_t b);
@@ -92,6 +125,11 @@ class MasterSyscalls {
   Hooks hooks_;
   Vfs vfs_;
   FutexTable futexes_;
+  SysConfig sys_;
+  /// Ops buffered per address while a recall is in flight (arrival order).
+  std::unordered_map<GuestAddr, std::vector<BufferedFutexOp>> recall_buffer_;
+  /// Causal chain of the lease request that triggered the pending recall.
+  std::unordered_map<GuestAddr, std::uint64_t> pending_lease_flow_;
   GuestAddr brk_ = 0;
   GuestAddr brk_min_ = 0;
   GuestAddr mmap_cursor_ = 0;

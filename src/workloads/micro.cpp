@@ -93,12 +93,25 @@ Result<isa::Program> mutex_stress(std::uint32_t threads, std::uint32_t iters,
     if (!global_lock) {
       a.slli(kT1, kA0, 12);  // private lock on its own page
       a.add(kS2, kS2, kT1);
+      a.addi(kS0, kS2, 8);  // counter beside the lock: never leaves the node
+    } else {
+      // The shared counter lives on its *own* page: a contended critical
+      // section drags the protected data wherever the lock goes, which is
+      // what makes the paper's global series rise with node count.
+      a.li(kT1, 4096 + 8);
+      a.add(kS0, kS2, kT1);
     }
     a.li(kS1, static_cast<std::int64_t>(iters));
     Assembler::Label loop = a.make_label();
     a.bind(loop);
     a.mov(kA0, kS2);
     a.call(rt.mutex_lock);
+    // Critical section: bump the shared counter. The final sum (printed by
+    // main) is exactly threads * iters iff the lock provided mutual
+    // exclusion and no wakeup was lost.
+    a.lw(kT1, kS0, 0);
+    a.addi(kT1, kT1, 1);
+    a.sw(kS0, kT1, 0);
     a.mov(kA0, kS2);
     a.call(rt.mutex_unlock);
     a.addi(kS1, kS1, -1);
@@ -111,11 +124,35 @@ Result<isa::Program> mutex_stress(std::uint32_t threads, std::uint32_t iters,
 
   ParallelMainOptions options;
   options.threads = threads;
+  options.epilogue = [&](Assembler& as) {
+    // Checksum: the sum of all critical-section counters. threads * iters
+    // exactly, whatever the cluster layout or locking strategy.
+    as.la(kT0, locks);
+    if (global_lock) {
+      as.li(kT3, 4096 + 8);
+      as.add(kT0, kT0, kT3);
+      as.lw(kA0, kT0, 0);
+    } else {
+      as.li(kA0, 0);
+      as.li(kT2, static_cast<std::int64_t>(threads));
+      as.li(kT3, 4096);
+      Assembler::Label sum = as.make_label();
+      as.bind(sum);
+      as.lw(kT1, kT0, 8);
+      as.add(kA0, kA0, kT1);
+      as.add(kT0, kT0, kT3);
+      as.addi(kT2, kT2, -1);
+      as.bne(kT2, kZero, sum);
+    }
+    as.call(rt.print_u32);
+  };
   emit_parallel_main(a, rt, main_fn, worker, options);
 
   a.d_align(4096);
   a.bind_data(locks);
-  a.d_space(global_lock ? 4096 : threads * 4096);
+  // Global: lock page + counter page. Private: one page per thread holding
+  // both that thread's lock and its counter.
+  a.d_space(global_lock ? 2 * 4096 : threads * 4096);
   return a.finalize();
 }
 

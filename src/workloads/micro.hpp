@@ -17,10 +17,12 @@ namespace dqemu::workloads {
                                              std::uint32_t terms);
 
 /// Fig. 6 — mutex stress. `threads` workers acquire+release a lock `iters`
-/// times each while incrementing a counter inside the critical section.
-/// `global_lock` selects scenario 1 (one shared lock) vs scenario 2 (a
-/// private lock per thread, each on its own page so only intra-node
-/// synchronization remains).
+/// times each while incrementing a counter inside the critical section;
+/// main prints the final sum (threads * iters) as the mutual-exclusion
+/// checksum. `global_lock` selects scenario 1 (one shared lock, counter on
+/// its own page so the critical section drags data cross-node) vs
+/// scenario 2 (a private lock+counter per thread, each pair on its own
+/// page so only intra-node synchronization remains).
 [[nodiscard]] Result<isa::Program> mutex_stress(std::uint32_t threads,
                                                 std::uint32_t iters,
                                                 bool global_lock);

@@ -39,10 +39,7 @@ struct Observation {
   std::string trace_json;                         ///< counter records excluded
 };
 
-Observation observe(const isa::Program& program, std::uint32_t nodes,
-                    bool fastpath) {
-  ClusterConfig config = test::test_config(nodes);
-  config.dbt.enable_fastpath = fastpath;
+Observation observe_with(const isa::Program& program, ClusterConfig config) {
   // Counter snapshots sample the host-only counters into the trace, so the
   // export would trivially differ; every other category must match.
   trace::TraceConfig trace_config;
@@ -65,6 +62,13 @@ Observation observe(const isa::Program& program, std::uint32_t nodes,
   trace::write_chrome_json(tracer, out);
   obs.trace_json = out.str();
   return obs;
+}
+
+Observation observe(const isa::Program& program, std::uint32_t nodes,
+                    bool fastpath) {
+  ClusterConfig config = test::test_config(nodes);
+  config.dbt.enable_fastpath = fastpath;
+  return observe_with(program, config);
 }
 
 void expect_identical(const Observation& on, const Observation& off) {
@@ -127,6 +131,54 @@ TEST(FastPathDeterminism, MemwalkMultiNode) {
   const auto program = must(workloads::memwalk(256 * 1024, 2, true));
   expect_identical(observe(program, 3, /*fastpath=*/true),
                    observe(program, 3, /*fastpath=*/false));
+}
+
+// Hierarchical locking (DESIGN.md section 11) is a *protocol* change, not a
+// host-side one: it legitimately shifts virtual time and retired-instruction
+// counts (LL/SC spins end sooner when lock handoff is faster). What must
+// hold instead: the guest-visible results are byte-identical in both modes
+// (the mutex_stress checksum catches any lost wakeup or broken mutual
+// exclusion), the optimization never makes the contended case slower, and
+// each mode is individually deterministic run to run.
+
+/// Contended lock regime: a quantum short enough to preempt threads inside
+/// the critical section, so waiters actually park in the futex.
+ClusterConfig locking_config(std::uint32_t nodes, bool hier) {
+  ClusterConfig config = test::test_config(nodes);
+  config.dbt.quantum_insns = 500;
+  config.sys.enable_hierarchical_locking = hier;
+  return config;
+}
+
+TEST(HierLockingDeterminism, GlobalMutexSameGuestResultsAndNoSlower) {
+  // Enough threads and iterations that workers outlive the spawn span and
+  // genuinely contend — below that the lock is usually free and leasing has
+  // nothing to win (see bench/ablation_locking.cpp for the swept version).
+  const auto program =
+      must(workloads::mutex_stress(32, 1000, /*global=*/true));
+  const Observation on = observe_with(program, locking_config(4, true));
+  const Observation off = observe_with(program, locking_config(4, false));
+  EXPECT_EQ(on.result.exit_code, off.result.exit_code);
+  EXPECT_EQ(on.result.guest_stdout, off.result.guest_stdout);
+  // The checksum epilogue prints threads * iters iff no wakeup was lost.
+  EXPECT_NE(on.result.guest_stdout.find("32000"), std::string::npos);
+  EXPECT_LE(on.result.sim_time, off.result.sim_time);
+}
+
+TEST(HierLockingDeterminism, PrivateMutexSameGuestResultsAndNoSlower) {
+  const auto program =
+      must(workloads::mutex_stress(8, 200, /*global=*/false));
+  const Observation on = observe_with(program, locking_config(4, true));
+  const Observation off = observe_with(program, locking_config(4, false));
+  EXPECT_EQ(on.result.exit_code, off.result.exit_code);
+  EXPECT_EQ(on.result.guest_stdout, off.result.guest_stdout);
+  EXPECT_LE(on.result.sim_time, off.result.sim_time);
+}
+
+TEST(HierLockingDeterminism, EnabledModeIsRunToRunDeterministic) {
+  const auto program = must(workloads::mutex_stress(16, 200, /*global=*/true));
+  expect_identical(observe_with(program, locking_config(4, true)),
+                   observe_with(program, locking_config(4, true)));
 }
 
 }  // namespace

@@ -283,5 +283,44 @@ TEST(StreamDetectorTest, RetargetSkipsPushedWindow) {
   EXPECT_EQ(detector.on_request(20), 3u);  // run continues
 }
 
+TEST(StreamDetectorTest, RetargetMergesDuplicateStreams) {
+  StreamDetector detector(4);
+  // Stream A: 10, 11 -> expects 12 with run 2. Stream B seeded at 11
+  // (matched by nothing: A already expects 12) -> expects 12 with run 1.
+  (void)detector.on_request(10);
+  (void)detector.on_request(11);
+  EXPECT_EQ(detector.on_request(11), 1u);  // duplicate expectation seeded
+  ASSERT_EQ(detector.active_streams(), 2u);
+
+  detector.retarget(12, 20);  // pages 12..19 were pushed
+  // Both duplicates moved and merged into one stream keeping the longer
+  // run; the stale one must not survive to re-trigger forwarding.
+  EXPECT_EQ(detector.active_streams(), 1u);
+  EXPECT_EQ(detector.on_request(20), 3u);
+}
+
+TEST(StreamDetectorTest, RetargetMergesWithExistingTarget) {
+  StreamDetector detector(4);
+  // Stream A expects 20 with run 3; stream B expects 12 with run 1.
+  (void)detector.on_request(17);
+  (void)detector.on_request(18);
+  (void)detector.on_request(19);
+  (void)detector.on_request(11);
+  ASSERT_EQ(detector.active_streams(), 2u);
+
+  // B's window 12..19 was pushed: B lands on 20, where A already sits.
+  detector.retarget(12, 20);
+  EXPECT_EQ(detector.active_streams(), 1u);
+  EXPECT_EQ(detector.on_request(20), 4u);  // A's longer run won the merge
+}
+
+TEST(StreamDetectorTest, RetargetWithoutMatchIsNoOp) {
+  StreamDetector detector(4);
+  (void)detector.on_request(10);
+  detector.retarget(99, 200);  // no stream expects 99
+  EXPECT_EQ(detector.active_streams(), 1u);
+  EXPECT_EQ(detector.on_request(11), 2u);
+}
+
 }  // namespace
 }  // namespace dqemu::dsm

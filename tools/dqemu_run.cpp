@@ -46,10 +46,10 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <program.s> [--nodes N] [--cores N] [--forwarding]"
-               " [--splitting]\n               [--hint-sched] [--quantum N]"
-               " [--rtt-us N] [--gbps X] [--stats]\n               "
-               "[--breakdown] [--trace FILE] [--trace-categories LIST]"
-               " [--verbose]\n",
+               " [--splitting]\n               [--hier-locking] [--hint-sched]"
+               " [--quantum N] [--rtt-us N] [--gbps X]\n               "
+               "[--stats] [--breakdown] [--trace FILE]"
+               " [--trace-categories LIST] [--verbose]\n",
                argv0);
 }
 
@@ -125,6 +125,8 @@ int main(int argc, char** argv) {
       config.dsm.enable_splitting = true;
     } else if (std::strcmp(arg, "--hint-sched") == 0) {
       config.sched.policy = SchedPolicy::kHintLocality;
+    } else if (std::strcmp(arg, "--hier-locking") == 0) {
+      config.sys.enable_hierarchical_locking = true;
     } else if (std::strcmp(arg, "--stats") == 0) {
       dump_stats = true;
     } else if (std::strcmp(arg, "--breakdown") == 0) {
@@ -243,6 +245,23 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.get("dbt.tlb_hit")),
         static_cast<unsigned long long>(stats.get("dbt.tlb_miss")),
         static_cast<unsigned long long>(stats.get("dbt.llsc_fastpath")));
+
+    // DSM optimization counters (page splitting / data forwarding) and the
+    // hierarchical-locking counters; all zero when the feature is off.
+    std::fprintf(
+        stderr, "[dqemu_run] dsm: splits=%llu forwards=%llu\n",
+        static_cast<unsigned long long>(stats.get("dir.splits")),
+        static_cast<unsigned long long>(stats.get("dir.forwards")));
+    std::fprintf(
+        stderr,
+        "[dqemu_run] lock: local_grants=%llu remote_grants=%llu "
+        "async_wakes=%llu wake_batches=%llu leases=%llu recalls=%llu\n",
+        static_cast<unsigned long long>(stats.get("sys.lock_local_grants")),
+        static_cast<unsigned long long>(stats.get("sys.lock_remote_grants")),
+        static_cast<unsigned long long>(stats.get("sys.lock_async_wakes")),
+        static_cast<unsigned long long>(stats.get("sys.wake_batches")),
+        static_cast<unsigned long long>(stats.get("sys.lease_grants")),
+        static_cast<unsigned long long>(stats.get("sys.lease_recalls")));
   }
 
   if (breakdown) {
