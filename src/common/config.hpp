@@ -108,6 +108,19 @@ struct DsmConfig {
   /// figure 4 shows 4).
   std::uint32_t split_shards = 4;
 
+  /// Diff-encoded page transfers (DESIGN.md §12): writebacks, downgrades,
+  /// grants and forwards ship a per-line dirty bitmap + the changed lines
+  /// instead of the full page whenever the receiver provably holds a known
+  /// older version (twin/diff, TreadMarks-style). Virtual-time
+  /// optimization: guest results are identical, transfer bytes and
+  /// sim_seconds improve. Also gated at compile time by the
+  /// DQEMU_ENABLE_DSM_DIFF CMake option.
+  bool enable_diff_transfers = false;
+  /// Per-page dirty-mask history depth the directory retains; a requester
+  /// whose copy is more than this many content versions old falls back to
+  /// a full-page transfer.
+  std::uint32_t diff_history_depth = 16;
+
   /// Data forwarding (5.2): enabled + sequential-stream trigger. Page
   /// forwarding starts after `forward_trigger` sequential page requests
   /// (paper: 4) and pushes `forward_depth` pages ahead in Shared state.
@@ -197,6 +210,8 @@ struct ClusterConfig {
       return S::invalid_argument("bandwidth_gbps must be positive");
     if (dsm.split_shards < 2)
       return S::invalid_argument("split_shards must be >= 2");
+    if (dsm.enable_diff_transfers && dsm.diff_history_depth == 0)
+      return S::invalid_argument("diff_history_depth must be >= 1");
     if ((machine.page_size % dsm.split_shards) != 0)
       return S::invalid_argument("split_shards must divide page_size");
     if (dbt.quantum_insns == 0)

@@ -97,6 +97,8 @@ void Cluster::master_handler(const net::Message& msg) {
     case static_cast<std::uint32_t>(dsm::DsmMsg::kWriteReq):
     case static_cast<std::uint32_t>(dsm::DsmMsg::kInvAck):
     case static_cast<std::uint32_t>(dsm::DsmMsg::kDowngradeAck):
+    case static_cast<std::uint32_t>(dsm::DsmMsg::kInvAckDiff):
+    case static_cast<std::uint32_t>(dsm::DsmMsg::kDowngradeAckDiff):
       assert(directory_.has_value());
       directory_->handle_message(msg);
       return;

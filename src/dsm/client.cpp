@@ -12,7 +12,7 @@ DsmClient::DsmClient(NodeId self, net::Network& network,
                      dbt::LlscTable* llsc, dbt::TranslationCache* tcache,
                      StatsRegistry* stats,
                      std::function<void(std::uint32_t)> wake_page,
-                     trace::Tracer* tracer)
+                     trace::Tracer* tracer, bool enable_diff_transfers)
     : self_(self),
       network_(network),
       space_(space),
@@ -21,7 +21,8 @@ DsmClient::DsmClient(NodeId self, net::Network& network,
       tcache_(tcache),
       stats_(stats),
       wake_page_(std::move(wake_page)),
-      tracer_(tracer) {}
+      tracer_(tracer),
+      enable_diff_(enable_diff_transfers) {}
 
 void DsmClient::request_page(std::uint32_t page, std::uint32_t offset,
                              bool write, GuestTid tid) {
@@ -104,14 +105,25 @@ void DsmClient::handle_message(const net::Message& msg) {
   switch (static_cast<DsmMsg>(msg.type)) {
     case DsmMsg::kPageData: return on_page_data(msg, /*grant_only=*/false);
     case DsmMsg::kPageGrant: return on_page_data(msg, /*grant_only=*/true);
+    case DsmMsg::kPageDiff: return on_page_diff(msg);
     case DsmMsg::kRetry: return on_retry(msg);
     case DsmMsg::kInvalidate: return on_invalidate(msg);
     case DsmMsg::kDowngrade: return on_downgrade(msg);
     case DsmMsg::kShadowUpdate: return on_shadow_update(msg);
     case DsmMsg::kForwardData: return on_forward_data(msg);
+    case DsmMsg::kForwardDiff: return on_forward_diff(msg);
     default:
       assert(false && "non-client DSM message routed to DsmClient");
   }
+}
+
+void DsmClient::capture_twin(std::uint32_t page) {
+#if DQEMU_DSM_DIFF_ENABLED
+  if (!enable_diff_) return;
+  twins_.capture(page, space_.page_data(page));
+#else
+  (void)page;
+#endif
 }
 
 void DsmClient::on_page_data(const net::Message& msg, bool grant_only) {
@@ -123,12 +135,47 @@ void DsmClient::on_page_data(const net::Message& msg, bool grant_only) {
   }
   space_.set_access(page, msg.b == kAccessWrite ? mem::PageAccess::kReadWrite
                                                 : mem::PageAccess::kRead);
+  // The twin snapshots the page exactly as granted: a later recall diffs
+  // the guest's writes against it. Upgrades (grant_only) snapshot the
+  // local read copy, which equals the home copy by the Shared invariant;
+  // a re-grant to the current owner keeps the existing (older) twin.
+  if (msg.b == kAccessWrite) capture_twin(page);
   // Content changed under any cached translations of this page.
   if (!grant_only && tcache_ != nullptr) tcache_->invalidate_page(page);
   end_fault_flow(page, /*retried=*/false);
   pending_.erase(page);
   if (stats_ != nullptr) stats_->add("dsm.grants_received");
   wake_page_(page);
+}
+
+void DsmClient::on_page_diff(const net::Message& msg) {
+#if DQEMU_DSM_DIFF_ENABLED
+  const auto page = static_cast<std::uint32_t>(msg.a);
+  assert(diff_enabled() && "diff grant received with diff plane disabled");
+  // The directory only serves a diff against a version this node provably
+  // retains (node_epoch bookkeeping), so the local bytes must exist.
+  assert(space_.page_materialized(page) || msg.data.size() == 8);
+  const bool applied = mem::apply_diff(
+      msg.data, space_.page_data(page),
+      mem::diff_line_bytes(space_.page_size()));
+  assert(applied && "malformed diff payload");
+  (void)applied;
+  space_.set_access(page, msg.b == kAccessWrite ? mem::PageAccess::kReadWrite
+                                                : mem::PageAccess::kRead);
+  if (msg.b == kAccessWrite) capture_twin(page);
+  if (tcache_ != nullptr) tcache_->invalidate_page(page);
+  end_fault_flow(page, /*retried=*/false);
+  pending_.erase(page);
+  if (stats_ != nullptr) {
+    stats_->add("dsm.grants_received");
+    stats_->add("dsm.diff_grants_received");
+  }
+  note("dsm.diff_grant", msg.flow, page, mem::decode_diff_mask(msg.data));
+  wake_page_(page);
+#else
+  (void)msg;
+  assert(false && "kPageDiff received but diff plane compiled out");
+#endif
 }
 
 void DsmClient::on_retry(const net::Message& msg) {
@@ -143,8 +190,30 @@ void DsmClient::on_retry(const net::Message& msg) {
 
 void DsmClient::drop_page_locally(std::uint32_t page) {
   space_.set_access(page, mem::PageAccess::kNone);
+  twins_.drop(page);
   if (llsc_ != nullptr) llsc_->on_page_invalidate(page, space_.page_shift());
   if (tcache_ != nullptr) tcache_->invalidate_page(page);
+}
+
+void DsmClient::encode_writeback(net::Message& ack, std::uint32_t page,
+                                 DsmMsg full_type, DsmMsg diff_type) {
+  const auto data = space_.page_data(page);
+#if DQEMU_DSM_DIFF_ENABLED
+  if (diff_enabled() && twins_.has(page)) {
+    const std::uint32_t line_bytes =
+        mem::diff_line_bytes(space_.page_size());
+    const std::uint64_t mask =
+        mem::diff_mask(twins_.twin(page), data, line_bytes);
+    ack.type = static_cast<std::uint32_t>(diff_type);
+    ack.data = mem::encode_diff(mask, data, line_bytes);
+    if (stats_ != nullptr) stats_->add("dsm.diff_writebacks");
+    return;
+  }
+#else
+  (void)diff_type;
+#endif
+  ack.type = static_cast<std::uint32_t>(full_type);
+  ack.data.assign(data.begin(), data.end());
 }
 
 void DsmClient::on_invalidate(const net::Message& msg) {
@@ -157,10 +226,11 @@ void DsmClient::on_invalidate(const net::Message& msg) {
   ack.a = page;
   ack.b = 0;
   if (writeback) {
-    // We were the owner: the directory needs our (only fresh) copy.
-    const auto data = space_.page_data(page);
+    // We were the owner: the directory needs our (only fresh) copy —
+    // diff-encoded against the twin when the diff plane is on.
     ack.b = 1;
-    ack.data.assign(data.begin(), data.end());
+    encode_writeback(ack, page, DsmMsg::kInvAck, DsmMsg::kInvAckDiff);
+    charge_data_plane(stats_, ack, space_.page_size());
   }
   drop_page_locally(page);
   if (stats_ != nullptr) stats_->add("dsm.invalidations_received");
@@ -174,11 +244,14 @@ void DsmClient::on_downgrade(const net::Message& msg) {
   net::Message ack;
   ack.src = self_;
   ack.dst = msg.src;
-  ack.type = static_cast<std::uint32_t>(DsmMsg::kDowngradeAck);
   ack.a = page;
-  const auto data = space_.page_data(page);
-  ack.data.assign(data.begin(), data.end());
+  encode_writeback(ack, page, DsmMsg::kDowngradeAck,
+                   DsmMsg::kDowngradeAckDiff);
+  charge_data_plane(stats_, ack, space_.page_size());
   space_.set_access(page, mem::PageAccess::kRead);
+  // The page is read-only now; the retained copy equals the new home
+  // version, so the twin has served its purpose.
+  twins_.drop(page);
   if (stats_ != nullptr) stats_->add("dsm.downgrades_received");
   note("dsm.downgrade", msg.flow, page, 0);
   ack.flow = msg.flow;
@@ -204,6 +277,31 @@ void DsmClient::on_forward_data(const net::Message& msg) {
   // Content is authoritative (the directory marked us a sharer), so it is
   // always installed; access is granted only if no request is in flight.
   std::memcpy(space_.page_data(page).data(), msg.data.data(), msg.data.size());
+  finish_forward_install(msg);
+}
+
+void DsmClient::on_forward_diff(const net::Message& msg) {
+#if DQEMU_DSM_DIFF_ENABLED
+  const auto page = static_cast<std::uint32_t>(msg.a);
+  assert(diff_enabled() && "diff forward received with diff plane disabled");
+  // Same contract as a diff grant: the directory only diffs against a
+  // version this node retains, so patching the local bytes reconstructs
+  // the current home content exactly.
+  const bool applied = mem::apply_diff(
+      msg.data, space_.page_data(page),
+      mem::diff_line_bytes(space_.page_size()));
+  assert(applied && "malformed forward diff payload");
+  (void)applied;
+  if (stats_ != nullptr) stats_->add("dsm.diff_forwards_received");
+  finish_forward_install(msg);
+#else
+  (void)msg;
+  assert(false && "kForwardDiff received but diff plane compiled out");
+#endif
+}
+
+void DsmClient::finish_forward_install(const net::Message& msg) {
+  const auto page = static_cast<std::uint32_t>(msg.a);
   if (tcache_ != nullptr) tcache_->invalidate_page(page);
   const auto pending = pending_.find(page);
   if (pending == pending_.end()) {

@@ -17,6 +17,7 @@
 #include "dbt/translation.hpp"
 #include "dsm/wire.hpp"
 #include "mem/address_space.hpp"
+#include "mem/page_diff.hpp"
 #include "mem/shadow_map.hpp"
 #include "net/network.hpp"
 #include "trace/tracer.hpp"
@@ -27,12 +28,14 @@ class DsmClient {
  public:
   /// `wake_page` is invoked when a page request completes (grant or
   /// retry); the node layer unblocks the guest threads parked on it.
-  /// `llsc` / `tcache` may be null in unit tests.
+  /// `llsc` / `tcache` may be null in unit tests. `enable_diff_transfers`
+  /// must match the directory's setting (cluster-wide DsmConfig).
   DsmClient(NodeId self, net::Network& network, mem::AddressSpace& space,
             mem::ShadowMap& shadow, dbt::LlscTable* llsc,
             dbt::TranslationCache* tcache, StatsRegistry* stats,
             std::function<void(std::uint32_t page)> wake_page,
-            trace::Tracer* tracer = nullptr);
+            trace::Tracer* tracer = nullptr,
+            bool enable_diff_transfers = false);
 
   /// Issues a read or write request for `page` unless one is already in
   /// flight (in which case the write intent is merged: a still-unsatisfied
@@ -52,13 +55,40 @@ class DsmClient {
 
   [[nodiscard]] NodeId self() const { return self_; }
 
+  /// True when the diff data plane is compiled in and runtime-enabled.
+  [[nodiscard]] bool diff_enabled() const {
+#if DQEMU_DSM_DIFF_ENABLED
+    return enable_diff_;
+#else
+    return false;
+#endif
+  }
+
+  /// Twin (pristine writable-page copy) bookkeeping, for tests.
+  [[nodiscard]] bool has_twin(std::uint32_t page) const {
+    return twins_.has(page);
+  }
+
  private:
   void on_page_data(const net::Message& msg, bool grant_only);
+  void on_page_diff(const net::Message& msg);
   void on_retry(const net::Message& msg);
   void on_invalidate(const net::Message& msg);
   void on_downgrade(const net::Message& msg);
   void on_shadow_update(const net::Message& msg);
   void on_forward_data(const net::Message& msg);
+  void on_forward_diff(const net::Message& msg);
+  /// Grants/keeps access after an unsolicited push installed fresh content
+  /// (shared logic of the full and diff forward paths).
+  void finish_forward_install(const net::Message& msg);
+  /// Snapshots the twin of `page` when a write grant lands (no-op unless
+  /// the diff plane is on; never refreshes an existing twin).
+  void capture_twin(std::uint32_t page);
+  /// Diff-encodes the recalled page against its twin into `ack` (type
+  /// kInvAckDiff/kDowngradeAckDiff) or falls back to attaching the full
+  /// page (kInvAck/kDowngradeAck) when no twin exists.
+  void encode_writeback(net::Message& ack, std::uint32_t page,
+                        DsmMsg full_type, DsmMsg diff_type);
   void drop_page_locally(std::uint32_t page);
   /// Closes the fault's causal chain (grant installed or split retry).
   void end_fault_flow(std::uint32_t page, bool retried);
@@ -75,6 +105,10 @@ class DsmClient {
   StatsRegistry* stats_;
   std::function<void(std::uint32_t)> wake_page_;
   trace::Tracer* tracer_;
+  bool enable_diff_ = false;
+  /// Pristine copies of writable pages (diff plane only): captured at
+  /// write-grant time, diffed against at recall, dropped with the page.
+  mem::TwinStore twins_;
   /// Outstanding request state for a page.
   struct Pending {
     bool write = false;

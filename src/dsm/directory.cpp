@@ -58,6 +58,7 @@ void Directory::send(net::Message msg) {
   // the master's own client (a function call, not a manager wakeup).
   const bool cheap =
       msg.type == static_cast<std::uint32_t>(DsmMsg::kForwardData) ||
+      msg.type == static_cast<std::uint32_t>(DsmMsg::kForwardDiff) ||
       msg.type == static_cast<std::uint32_t>(DsmMsg::kPageGrant) ||
       msg.dst == kMasterNode;
   const DurationPs service =
@@ -115,11 +116,111 @@ void Directory::handle_message(const net::Message& msg) {
   switch (static_cast<DsmMsg>(msg.type)) {
     case DsmMsg::kReadReq: return on_request(msg, /*write=*/false);
     case DsmMsg::kWriteReq: return on_request(msg, /*write=*/true);
-    case DsmMsg::kInvAck: return on_inv_ack(msg);
-    case DsmMsg::kDowngradeAck: return on_downgrade_ack(msg);
+    case DsmMsg::kInvAck:
+    case DsmMsg::kInvAckDiff: return on_inv_ack(msg);
+    case DsmMsg::kDowngradeAck:
+    case DsmMsg::kDowngradeAckDiff: return on_downgrade_ack(msg);
     default:
       assert(false && "non-directory DSM message routed to Directory");
   }
+}
+
+// ---- diff data plane (DESIGN.md §12) ---------------------------------------
+
+std::uint64_t Directory::epoch(std::uint32_t page) const {
+  const auto it = diff_.find(page);
+  return it == diff_.end() ? 0 : it->second.epoch;
+}
+
+std::uint64_t Directory::node_epoch(std::uint32_t page, NodeId node) const {
+  const auto it = diff_.find(page);
+  return it == diff_.end() ? kNoEpoch : it->second.node_epoch[node];
+}
+
+Directory::DiffState& Directory::diff_state(std::uint32_t page) {
+  auto [it, inserted] = diff_.try_emplace(page);
+  if (inserted) {
+    it->second.node_epoch.assign(params_.node_count, kNoEpoch);
+  }
+  return it->second;
+}
+
+void Directory::record_home_update(std::uint32_t page, std::uint64_t mask,
+                                   bool known) {
+  if (!diff_enabled()) return;
+  DiffState& st = diff_state(page);
+  if (known && mask == 0) return;  // byte-identical writeback: same version
+  ++st.epoch;
+  if (known) {
+    st.history.push_back(mask);
+    if (st.history.size() > params_.dsm.diff_history_depth) {
+      st.history.erase(st.history.begin());
+    }
+  } else {
+    // The changed lines are unknown (full-page writeback, or the master
+    // mutated its owned home copy in place): every diff base that predates
+    // this version is unusable, so the history restarts here.
+    st.history.clear();
+  }
+}
+
+void Directory::record_node_copy(std::uint32_t page, NodeId node) {
+  if (!diff_enabled()) return;
+  DiffState& st = diff_state(page);
+  st.node_epoch[node] = st.epoch;
+}
+
+std::uint64_t Directory::apply_writeback_diff(const net::Message& msg) {
+  const auto page = static_cast<std::uint32_t>(msg.a);
+  assert(diff_enabled() && "diff writeback received with diff plane off");
+  const std::uint64_t mask = mem::decode_diff_mask(msg.data);
+  const bool applied = mem::apply_diff(msg.data, home_.page_data(page),
+                                       mem::diff_line_bytes(home_.page_size()));
+  assert(applied && "malformed writeback diff payload");
+  (void)applied;
+  record_home_update(page, mask, /*known=*/true);
+  record_node_copy(page, msg.src);
+  if (stats_ != nullptr) stats_->add("dsm.diff_writebacks_applied");
+  note("dsm.diff_writeback", msg.flow, page, mask);
+  return mask;
+}
+
+net::Message Directory::make_data_message(NodeId dst, std::uint32_t page,
+                                          std::uint64_t access, bool forward) {
+  net::Message msg = make(
+      dst, forward ? DsmMsg::kForwardData : DsmMsg::kPageData, page, access);
+  const auto data = home_.page_data(page);
+#if DQEMU_DSM_DIFF_ENABLED
+  if (diff_enabled()) {
+    DiffState& st = diff_state(page);
+    const std::uint64_t held = st.node_epoch[dst];
+    if (held != kNoEpoch && st.epoch - held <= st.history.size()) {
+      // The requester's retained bytes are `st.epoch - held` versions old
+      // and the history still covers every transition since: the union of
+      // those masks is exactly the set of lines that differ.
+      std::uint64_t mask = 0;
+      for (std::uint64_t i = 0; i < st.epoch - held; ++i) {
+        mask |= st.history[st.history.size() - 1 - i];
+      }
+      msg.type = static_cast<std::uint32_t>(forward ? DsmMsg::kForwardDiff
+                                                    : DsmMsg::kPageDiff);
+      msg.c = held;
+      msg.d = st.epoch;
+      msg.data =
+          mem::encode_diff(mask, data, mem::diff_line_bytes(home_.page_size()));
+      if (stats_ != nullptr) {
+        stats_->add(forward ? "dsm.diff_forwards" : "dsm.diff_grants");
+      }
+      return msg;
+    }
+    if (stats_ != nullptr) {
+      stats_->add(held == kNoEpoch ? "dsm.diff_fallback_unknown"
+                                   : "dsm.diff_fallback_stale");
+    }
+  }
+#endif
+  msg.data.assign(data.begin(), data.end());
+  return msg;
 }
 
 void Directory::note_write_pattern(Entry& entry, NodeId node,
@@ -266,11 +367,18 @@ void Directory::on_inv_ack(const net::Message& msg) {
   const auto page = static_cast<std::uint32_t>(msg.a);
   Entry& entry = entries_[page];
   assert(entry.busy && entry.acks_outstanding > 0);
-  if (msg.b == 1) {
-    // Writeback from the former owner: refresh home storage.
+  if (static_cast<DsmMsg>(msg.type) == DsmMsg::kInvAckDiff) {
+    assert(msg.b == 1);
+    apply_writeback_diff(msg);
+  } else if (msg.b == 1) {
+    // Full-page writeback from the former owner: refresh home storage.
+    // The changed lines are unknown (the owner had no twin — e.g. the
+    // master's boot-time ownership), so the diff history restarts.
     assert(msg.data.size() == home_.page_size());
     std::memcpy(home_.page_data(page).data(), msg.data.data(),
                 msg.data.size());
+    record_home_update(page, 0, /*known=*/false);
+    record_node_copy(page, msg.src);
   }
   if (--entry.acks_outstanding == 0) complete_transaction(page);
 }
@@ -279,8 +387,14 @@ void Directory::on_downgrade_ack(const net::Message& msg) {
   const auto page = static_cast<std::uint32_t>(msg.a);
   Entry& entry = entries_[page];
   assert(entry.busy && entry.acks_outstanding > 0);
-  assert(msg.data.size() == home_.page_size());
-  std::memcpy(home_.page_data(page).data(), msg.data.data(), msg.data.size());
+  if (static_cast<DsmMsg>(msg.type) == DsmMsg::kDowngradeAckDiff) {
+    apply_writeback_diff(msg);
+  } else {
+    assert(msg.data.size() == home_.page_size());
+    std::memcpy(home_.page_data(page).data(), msg.data.data(), msg.data.size());
+    record_home_update(page, 0, /*known=*/false);
+    record_node_copy(page, msg.src);
+  }
   // The former owner keeps a read-only copy.
   entry.state = PageState::kShared;
   entry.sharers = 1u << entry.owner;
@@ -333,9 +447,10 @@ void Directory::grant_and_finish(std::uint32_t page) {
     send_chained(make(req.node, DsmMsg::kPageGrant, page, access), req.flow);
     if (stats_ != nullptr) stats_->add("dir.grants_no_data");
   } else {
-    net::Message msg = make(req.node, DsmMsg::kPageData, page, access);
-    const auto data = home_.page_data(page);
-    msg.data.assign(data.begin(), data.end());
+    net::Message msg =
+        make_data_message(req.node, page, access, /*forward=*/false);
+    charge_data_plane(stats_, msg, home_.page_size());
+    record_node_copy(page, req.node);
     send_chained(std::move(msg), req.flow);
     if (stats_ != nullptr) stats_->add("dir.grants_with_data");
   }
@@ -396,6 +511,10 @@ void Directory::perform_split(std::uint32_t page) {
   entry.state = PageState::kSplit;
   entry.owner = kInvalidNode;
   entry.sharers = 0;
+  // The original page is retired and the shadow pages start life as fresh
+  // home content: no diff base survives the split on either side.
+  diff_.erase(page);
+  for (const std::uint32_t shadow : shadows) diff_.erase(shadow);
   home_.set_access(page, mem::PageAccess::kNone);
   ++splits_;
   if (stats_ != nullptr) stats_->add("dir.splits");
@@ -462,7 +581,12 @@ void Directory::maybe_forward(NodeId requester, std::uint32_t page) {
     if (entry.state == PageState::kModified) {
       if (entry.owner == kMasterNode) {
         // Home copy is the fresh copy: downgrade the master in place so
-        // the page becomes shareable without a recall round-trip.
+        // the page becomes shareable without a recall round-trip. The
+        // master may have written the home copy while it owned the page,
+        // so any recorded version label is stale: advance the epoch with
+        // an unknown mask before handing the content out.
+        record_home_update(p, 0, /*known=*/false);
+        record_node_copy(p, kMasterNode);
         home_.set_access(p, mem::PageAccess::kRead);
         entry.state = PageState::kShared;
         entry.sharers = 1u << kMasterNode;
@@ -474,9 +598,9 @@ void Directory::maybe_forward(NodeId requester, std::uint32_t page) {
     entry.state = PageState::kShared;
     entry.sharers |= 1u << requester;
     note("dsm.forward_push", 0, p, requester);
-    net::Message msg = make(requester, DsmMsg::kForwardData, p);
-    const auto data = home_.page_data(p);
-    msg.data.assign(data.begin(), data.end());
+    net::Message msg = make_data_message(requester, p, 0, /*forward=*/true);
+    charge_data_plane(stats_, msg, home_.page_size());
+    record_node_copy(p, requester);
     send(std::move(msg));
     last_pushed = p;
     if (stats_ != nullptr) stats_->add("dir.forwards");

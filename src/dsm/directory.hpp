@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
@@ -22,6 +23,7 @@
 #include "dsm/stream_detector.hpp"
 #include "dsm/wire.hpp"
 #include "mem/address_space.hpp"
+#include "mem/page_diff.hpp"
 #include "net/network.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/tracer.hpp"
@@ -66,6 +68,22 @@ class Directory {
   }
   [[nodiscard]] std::uint64_t splits_performed() const { return splits_; }
 
+  /// True when the diff data plane is compiled in and runtime-enabled.
+  [[nodiscard]] bool diff_enabled() const {
+#if DQEMU_DSM_DIFF_ENABLED
+    return params_.dsm.enable_diff_transfers;
+#else
+    return false;
+#endif
+  }
+  /// Sentinel for "this node's retained copy has no known version".
+  static constexpr std::uint64_t kNoEpoch = ~0ull;
+  /// Current content version of `page`'s home copy (0 = boot content).
+  [[nodiscard]] std::uint64_t epoch(std::uint32_t page) const;
+  /// Version of the copy `node` retains, or kNoEpoch.
+  [[nodiscard]] std::uint64_t node_epoch(std::uint32_t page,
+                                         NodeId node) const;
+
   /// Structural invariants: Modified pages have no sharers, split pages
   /// are fully drained, shadow allocations stay in the pool. Returns false
   /// and logs on violation.
@@ -95,9 +113,42 @@ class Directory {
     std::uint16_t fs_count = 0;
   };
 
+  /// Per-page version bookkeeping for the diff data plane (DESIGN.md §12).
+  /// Sparse: allocated the first time a page's content actually moves, so
+  /// untouched pages cost nothing. `epoch` counts home-content versions;
+  /// `history` holds the dirty-line masks of the most recent transitions
+  /// (newest at the back: history.back() took the home copy to `epoch`);
+  /// `node_epoch[n]` is the version node n's retained bytes correspond to
+  /// (kNoEpoch = never sent / untracked).
+  struct DiffState {
+    std::uint64_t epoch = 0;
+    std::vector<std::uint64_t> node_epoch;
+    std::vector<std::uint64_t> history;  ///< bounded by diff_history_depth
+  };
+
   void on_request(const net::Message& msg, bool write);
   void on_inv_ack(const net::Message& msg);
   void on_downgrade_ack(const net::Message& msg);
+  /// Applies a diff-encoded writeback to the home copy and advances the
+  /// page's epoch/history. Shared tail of the InvAckDiff/DowngradeAckDiff
+  /// handlers; returns the decoded dirty mask.
+  std::uint64_t apply_writeback_diff(const net::Message& msg);
+
+  // ---- diff data plane ---------------------------------------------------
+  [[nodiscard]] DiffState& diff_state(std::uint32_t page);
+  /// Records a home-content change: `known_mask` when the changed lines
+  /// are exactly known (diff writeback), or unknown (full-page writeback,
+  /// in-place master downgrade), which clears the history so every stale
+  /// copy falls back to a full transfer.
+  void record_home_update(std::uint32_t page, std::uint64_t mask, bool known);
+  /// Records that `node`'s retained copy now equals the current epoch.
+  void record_node_copy(std::uint32_t page, NodeId node);
+  /// Builds the content-carrying part of a grant/forward to `dst`: a
+  /// kPageDiff/kForwardDiff against the version `dst` retains when the
+  /// history covers it, else the full-page kPageData/kForwardData.
+  [[nodiscard]] net::Message make_data_message(NodeId dst, std::uint32_t page,
+                                               std::uint64_t access,
+                                               bool forward);
 
   /// Begins servicing `req` on an idle entry (sets busy, sends recalls or
   /// completes immediately).
@@ -144,6 +195,8 @@ class Directory {
   std::vector<std::vector<std::uint32_t>> shadow_of_;  ///< page -> shadows
   std::uint32_t shadow_next_;  ///< next unallocated shadow page
   std::uint64_t splits_ = 0;
+  /// page -> version bookkeeping (diff data plane only, lazily created).
+  std::unordered_map<std::uint32_t, DiffState> diff_;
 };
 
 }  // namespace dqemu::dsm

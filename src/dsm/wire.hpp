@@ -8,6 +8,18 @@
 
 #include <cstdint>
 
+#include "common/stats.hpp"
+#include "net/message.hpp"
+
+// Compile-time gate for the diff-encoded data plane (DESIGN.md §12). With
+// DQEMU_DSM_DIFF_ENABLED == 0 (CMake -DDQEMU_ENABLE_DSM_DIFF=OFF) every
+// twin/diff code path in the client and directory compiles out and the
+// protocol is bit-for-bit the full-page one, regardless of
+// DsmConfig::enable_diff_transfers.
+#ifndef DQEMU_DSM_DIFF_ENABLED
+#define DQEMU_DSM_DIFF_ENABLED 1
+#endif
+
 namespace dqemu::dsm {
 
 enum class DsmMsg : std::uint32_t {
@@ -25,6 +37,14 @@ enum class DsmMsg : std::uint32_t {
   kDowngrade = 0x114,  ///< a=page: drop to read-only, send content back
   kShadowUpdate = 0x115,  ///< a=orig page, data=LE u32 shadow page numbers
   kForwardData = 0x116,   ///< a=page, data=content; unsolicited push (5.2)
+
+  // Diff-encoded data plane (DESIGN.md §12). Payloads are the
+  // mem/page_diff.hpp wire format: dirty-line bitmap + packed lines.
+  kInvAckDiff = 0x117,       ///< a=page, b=1 (always dirty), data=diff
+  kDowngradeAckDiff = 0x118, ///< a=page, data=diff vs the twin
+  kPageDiff = 0x119,    ///< a=page, b=access, c=base epoch, d=new epoch,
+                        ///< data=diff vs the requester's retained copy
+  kForwardDiff = 0x11A, ///< a=page, c=base epoch, d=new epoch, data=diff
 };
 
 [[nodiscard]] constexpr bool is_dsm_message(std::uint32_t type) {
@@ -34,5 +54,20 @@ enum class DsmMsg : std::uint32_t {
 /// Access codes carried in PageData/PageGrant `b` fields.
 inline constexpr std::uint64_t kAccessRead = 1;
 inline constexpr std::uint64_t kAccessWrite = 2;
+
+/// Data-plane wire accounting: every DSM message that carries page content
+/// (full or diff-encoded) is charged here so benches can assert transfer
+/// volume from counters. `full_bytes` is the payload a full-page transfer
+/// would have carried; the delta to the actual payload is the saving the
+/// diff encoding bought. Loopback messages never touch the wire and are
+/// not charged, matching the Network's own byte accounting.
+inline void charge_data_plane(StatsRegistry* stats, const net::Message& msg,
+                              std::uint64_t full_bytes) {
+  if (stats == nullptr || msg.src == msg.dst) return;
+  stats->add("dsm.bytes_on_wire", msg.wire_bytes());
+  if (full_bytes > msg.data.size()) {
+    stats->add("dsm.bytes_saved", full_bytes - msg.data.size());
+  }
+}
 
 }  // namespace dqemu::dsm

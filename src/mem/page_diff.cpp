@@ -1,0 +1,91 @@
+#include "mem/page_diff.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace dqemu::mem {
+
+std::uint64_t diff_mask(std::span<const std::uint8_t> base,
+                        std::span<const std::uint8_t> cur,
+                        std::uint32_t line_bytes) {
+  assert(base.size() == cur.size());
+  assert(line_bytes > 0 && cur.size() % line_bytes == 0);
+  assert(cur.size() / line_bytes <= 64);
+  std::uint64_t mask = 0;
+  const std::size_t lines = cur.size() / line_bytes;
+  for (std::size_t i = 0; i < lines; ++i) {
+    if (std::memcmp(base.data() + i * line_bytes, cur.data() + i * line_bytes,
+                    line_bytes) != 0) {
+      mask |= 1ull << i;
+    }
+  }
+  return mask;
+}
+
+std::vector<std::uint8_t> encode_diff(std::uint64_t mask,
+                                      std::span<const std::uint8_t> cur,
+                                      std::uint32_t line_bytes) {
+  assert(line_bytes > 0 && cur.size() % line_bytes == 0);
+  std::vector<std::uint8_t> payload(
+      8 + static_cast<std::size_t>(std::popcount(mask)) * line_bytes);
+  for (unsigned i = 0; i < 8; ++i) {
+    payload[i] = static_cast<std::uint8_t>(mask >> (8 * i));
+  }
+  std::size_t out = 8;
+  for (std::uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const unsigned line = static_cast<unsigned>(std::countr_zero(rest));
+    assert(static_cast<std::size_t>(line + 1) * line_bytes <= cur.size());
+    std::memcpy(payload.data() + out, cur.data() + line * line_bytes,
+                line_bytes);
+    out += line_bytes;
+  }
+  return payload;
+}
+
+std::uint64_t decode_diff_mask(std::span<const std::uint8_t> payload) {
+  assert(payload.size() >= 8);
+  std::uint64_t mask = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    mask |= static_cast<std::uint64_t>(payload[i]) << (8 * i);
+  }
+  return mask;
+}
+
+bool apply_diff(std::span<const std::uint8_t> payload,
+                std::span<std::uint8_t> page, std::uint32_t line_bytes) {
+  if (payload.size() < 8 || line_bytes == 0 ||
+      page.size() % line_bytes != 0) {
+    return false;
+  }
+  const std::uint64_t mask = decode_diff_mask(payload);
+  const std::size_t lines =
+      static_cast<std::size_t>(std::popcount(mask));
+  if (payload.size() != 8 + lines * line_bytes) return false;
+  std::size_t in = 8;
+  for (std::uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const unsigned line = static_cast<unsigned>(std::countr_zero(rest));
+    if (static_cast<std::size_t>(line + 1) * line_bytes > page.size()) {
+      return false;
+    }
+    std::memcpy(page.data() + line * line_bytes, payload.data() + in,
+                line_bytes);
+    in += line_bytes;
+  }
+  return true;
+}
+
+void TwinStore::capture(std::uint32_t page,
+                        std::span<const std::uint8_t> content) {
+  if (twins_.contains(page)) return;
+  twins_.emplace(page,
+                 std::vector<std::uint8_t>(content.begin(), content.end()));
+}
+
+std::span<const std::uint8_t> TwinStore::twin(std::uint32_t page) const {
+  const auto it = twins_.find(page);
+  assert(it != twins_.end());
+  return it->second;
+}
+
+}  // namespace dqemu::mem

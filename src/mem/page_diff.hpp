@@ -1,0 +1,87 @@
+// Line-granularity page diffing for the DSM data plane (DESIGN.md §12).
+//
+// TreadMarks-style twin/diff encoding: a node holding a writable page keeps
+// a pristine copy (the "twin") made when write access was granted. When the
+// page is recalled (invalidate writeback / downgrade) the node diffs the
+// current content against the twin at cache-line granularity and ships only
+// the changed lines plus a dirty bitmap, instead of the whole page. The
+// directory applies the diff to the home copy and keeps a bounded history
+// of dirty masks so later grants to a node that still holds a stale copy
+// can be served as a diff too (union of the masks between the two epochs).
+//
+// Wire payload format (little-endian, self-delimiting given the page size):
+//   [8-byte u64 dirty-line bitmap][popcount(bitmap) packed lines, ascending]
+//
+// The line size is derived from the page size so the bitmap always fits one
+// 64-bit word: 64 bytes for pages up to 4 KiB, page_size/64 beyond. Shadow
+// pages produced by page splitting (mem/shadow_map.hpp) are ordinary pages
+// at the same page size, so a diff over a shard-split page simply shows the
+// dirty lines confined to the owning shard's offset range.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace dqemu::mem {
+
+/// Number of bytes of one diff line for `page_size`-byte pages. Chosen so
+/// page_size / line_bytes <= 64 (one bitmap word).
+[[nodiscard]] constexpr std::uint32_t diff_line_bytes(std::uint32_t page_size) {
+  return page_size <= 64 * 64 ? 64 : page_size / 64;
+}
+
+/// Number of diff lines in a page.
+[[nodiscard]] constexpr std::uint32_t diff_line_count(std::uint32_t page_size) {
+  return page_size / diff_line_bytes(page_size);
+}
+
+/// Bitmap of lines where `cur` differs from `base` (bit i = line i).
+/// Both spans must be page-sized and equal length.
+[[nodiscard]] std::uint64_t diff_mask(std::span<const std::uint8_t> base,
+                                      std::span<const std::uint8_t> cur,
+                                      std::uint32_t line_bytes);
+
+/// Serializes `mask` + the masked lines of `cur` into the wire payload.
+[[nodiscard]] std::vector<std::uint8_t> encode_diff(
+    std::uint64_t mask, std::span<const std::uint8_t> cur,
+    std::uint32_t line_bytes);
+
+/// Dirty bitmap of an encoded payload (first 8 bytes, LE).
+[[nodiscard]] std::uint64_t decode_diff_mask(
+    std::span<const std::uint8_t> payload);
+
+/// Patches the lines carried by `payload` into `page`. Returns false (and
+/// leaves `page` unspecified) if the payload is malformed: short header,
+/// size not matching popcount, or a line index past the end of the page.
+[[nodiscard]] bool apply_diff(std::span<const std::uint8_t> payload,
+                              std::span<std::uint8_t> page,
+                              std::uint32_t line_bytes);
+
+/// Pristine copies of writable pages, keyed by page number. One per
+/// DsmClient; entries live from write-grant installation to recall.
+class TwinStore {
+ public:
+  /// Snapshots `content` as the twin of `page` unless one already exists —
+  /// a re-grant to the current owner must not refresh the twin, or lines
+  /// dirtied before the re-grant would vanish from the next diff.
+  void capture(std::uint32_t page, std::span<const std::uint8_t> content);
+
+  [[nodiscard]] bool has(std::uint32_t page) const {
+    return twins_.contains(page);
+  }
+
+  /// The pristine copy (must exist).
+  [[nodiscard]] std::span<const std::uint8_t> twin(std::uint32_t page) const;
+
+  /// Drops the twin of `page` (no-op if absent).
+  void drop(std::uint32_t page) { twins_.erase(page); }
+
+  [[nodiscard]] std::size_t size() const { return twins_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> twins_;
+};
+
+}  // namespace dqemu::mem

@@ -7,6 +7,7 @@
 //   --cores N        cores per node (default 4)
 //   --forwarding     enable data forwarding (paper 5.2)
 //   --splitting      enable page splitting (paper 5.1)
+//   --dsm-diff       diff-encoded page transfers (DESIGN.md §12)
 //   --hint-sched     hint-based locality-aware scheduling (paper 5.3)
 //   --quantum N      instructions per scheduling slice (default 20000)
 //   --rtt-us N       network round-trip time in microseconds (default 55)
@@ -46,10 +47,10 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <program.s> [--nodes N] [--cores N] [--forwarding]"
-               " [--splitting]\n               [--hier-locking] [--hint-sched]"
-               " [--quantum N] [--rtt-us N] [--gbps X]\n               "
-               "[--stats] [--breakdown] [--trace FILE]"
-               " [--trace-categories LIST] [--verbose]\n",
+               " [--splitting]\n               [--dsm-diff] [--hier-locking]"
+               " [--hint-sched] [--quantum N] [--rtt-us N]\n               "
+               "[--gbps X] [--stats] [--breakdown] [--trace FILE]"
+               " [--trace-categories LIST]\n               [--verbose]\n",
                argv0);
 }
 
@@ -123,6 +124,8 @@ int main(int argc, char** argv) {
       config.dsm.enable_forwarding = true;
     } else if (std::strcmp(arg, "--splitting") == 0) {
       config.dsm.enable_splitting = true;
+    } else if (std::strcmp(arg, "--dsm-diff") == 0) {
+      config.dsm.enable_diff_transfers = true;
     } else if (std::strcmp(arg, "--hint-sched") == 0) {
       config.sched.policy = SchedPolicy::kHintLocality;
     } else if (std::strcmp(arg, "--hier-locking") == 0) {
@@ -246,12 +249,20 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.get("dbt.tlb_miss")),
         static_cast<unsigned long long>(stats.get("dbt.llsc_fastpath")));
 
-    // DSM optimization counters (page splitting / data forwarding) and the
-    // hierarchical-locking counters; all zero when the feature is off.
+    // DSM optimization counters (page splitting / data forwarding / diff
+    // transfers) and the hierarchical-locking counters; all zero when the
+    // feature is off. bytes_on_wire counts data-plane payload traffic;
+    // bytes_saved is what full-page transfers would have added on top.
     std::fprintf(
-        stderr, "[dqemu_run] dsm: splits=%llu forwards=%llu\n",
+        stderr,
+        "[dqemu_run] dsm: splits=%llu forwards=%llu diff_grants=%llu "
+        "diff_writebacks=%llu bytes_on_wire=%llu bytes_saved=%llu\n",
         static_cast<unsigned long long>(stats.get("dir.splits")),
-        static_cast<unsigned long long>(stats.get("dir.forwards")));
+        static_cast<unsigned long long>(stats.get("dir.forwards")),
+        static_cast<unsigned long long>(stats.get("dsm.diff_grants")),
+        static_cast<unsigned long long>(stats.get("dsm.diff_writebacks")),
+        static_cast<unsigned long long>(stats.get("dsm.bytes_on_wire")),
+        static_cast<unsigned long long>(stats.get("dsm.bytes_saved")));
     std::fprintf(
         stderr,
         "[dqemu_run] lock: local_grants=%llu remote_grants=%llu "
