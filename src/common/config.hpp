@@ -132,6 +132,84 @@ struct DsmConfig {
   std::uint32_t forward_streams = 48;
 };
 
+/// Deterministic network fault injection + the reliable-delivery sublayer
+/// (DESIGN.md section 13). With `enabled` false (or the feature compiled out
+/// via DQEMU_ENABLE_FAULTS=OFF) the interconnect is the original perfectly
+/// reliable FIFO wire, bit-for-bit. With it on, non-loopback messages may be
+/// dropped, duplicated, delay-jittered or reordered — all decided by a
+/// counter-based SplitMix64 stream keyed by `seed` and the transmission
+/// number, never by host randomness — and a go-back-N reliable channel
+/// (per-link sequence numbers, cumulative acks piggybacked on reverse
+/// traffic, retransmit timers with exponential backoff, receive-side
+/// duplicate suppression and reorder hold-back) restores exactly-once
+/// per-channel FIFO delivery above the lossy wire.
+struct FaultConfig {
+  bool enabled = false;
+  /// Seed of the fault decision stream. Same seed + same workload = same
+  /// drops, same retransmits, same virtual times, run after run.
+  std::uint64_t seed = 1;
+
+  // Baseline per-transmission fault probabilities, in percent [0, 100].
+  double drop_pct = 0.0;    ///< message lost on the wire
+  double dup_pct = 0.0;     ///< switch delivers a second copy
+  double jitter_pct = 0.0;  ///< extra delay drawn uniform in [0, jitter_max]
+  DurationPs jitter_max = 200 * time_literals::kUs;
+  /// Probability that a message is held long enough to slip behind later
+  /// traffic on the same link (a deterministic reorder: the receive side
+  /// restores sequence order before delivery).
+  double reorder_pct = 0.0;
+  DurationPs reorder_delay = 300 * time_literals::kUs;
+
+  /// Per-type / per-link override: the first matching rule replaces the
+  /// baseline percentages for that transmission. `max_matches` lets tests
+  /// target e.g. exactly the first kPageData grant on one link.
+  struct Rule {
+    static constexpr std::uint32_t kAny = 0xFFFFFFFFu;
+    std::uint32_t type = kAny;  ///< exact message type, or kAny
+    std::uint32_t src = kAny;   ///< sender node, or kAny
+    std::uint32_t dst = kAny;   ///< receiver node, or kAny
+    double drop_pct = -1.0;     ///< < 0 inherits the baseline value
+    double dup_pct = -1.0;
+    double jitter_pct = -1.0;
+    double reorder_pct = -1.0;
+    std::uint32_t max_matches = 0;  ///< 0 = unlimited
+  };
+  std::vector<Rule> rules;
+
+  /// Straggler windows: deliveries *to* a paused node are deferred to the
+  /// end of the window (the node's communicator thread is wedged).
+  struct Pause {
+    std::uint32_t node = 0;
+    TimePs start = 0;
+    DurationPs duration = 0;
+  };
+  std::vector<Pause> pauses;
+
+  // Reliable-channel tuning.
+  DurationPs retrans_timeout = 1 * time_literals::kMs;  ///< initial RTO
+  DurationPs retrans_cap = 16 * time_literals::kMs;     ///< backoff ceiling
+  DurationPs ack_delay = 100 * time_literals::kUs;      ///< delayed pure ack
+  /// Protocol watchdogs: outstanding DSM faults and lease recalls re-issue
+  /// their request after this long without progress (then back off 2x,
+  /// capped at 8x). 0 disables the watchdogs even with faults enabled.
+  DurationPs request_timeout = 100 * time_literals::kMs;
+
+  /// True when `node` is inside a pause window at `now`; `until` receives
+  /// the latest matching window end.
+  [[nodiscard]] bool paused_at(std::uint32_t node, TimePs now,
+                               TimePs* until) const {
+    TimePs end = 0;
+    for (const Pause& p : pauses) {
+      if (p.node == node && now >= p.start && now < p.start + p.duration) {
+        end = end > p.start + p.duration ? end : p.start + p.duration;
+      }
+    }
+    if (end == 0) return false;
+    *until = end;
+    return true;
+  }
+};
+
 /// Delegated-syscall layer: hierarchical distributed locking (the third
 /// section-5 scalability optimization; DESIGN.md section 11). A per-node
 /// lock agent services FUTEX_WAIT/WAKE locally while it holds a
@@ -191,6 +269,7 @@ struct ClusterConfig {
   DsmConfig dsm;
   SysConfig sys;
   SchedConfig sched;
+  FaultConfig faults;
 
   std::uint64_t seed = 42;  ///< seed for all workload/test randomness
 
@@ -218,6 +297,18 @@ struct ClusterConfig {
       return S::invalid_argument("quantum_insns must be >= 1");
     if (sys.enable_hierarchical_locking && sys.lease_request_threshold == 0)
       return S::invalid_argument("lease_request_threshold must be >= 1");
+    if (faults.enabled) {
+      const double pcts[] = {faults.drop_pct, faults.dup_pct,
+                             faults.jitter_pct, faults.reorder_pct};
+      for (const double pct : pcts) {
+        if (pct < 0.0 || pct >= 100.0)
+          return S::invalid_argument("fault percentages must be in [0, 100)");
+      }
+      if (faults.retrans_timeout == 0 ||
+          faults.retrans_cap < faults.retrans_timeout)
+        return S::invalid_argument(
+            "retrans_timeout must be >= 1 and <= retrans_cap");
+    }
     if (guest_mem_bytes < 16u * 1024 * 1024)
       return S::invalid_argument("guest_mem_bytes too small (< 16 MiB)");
     if (!node_machines.empty()) {

@@ -1,6 +1,7 @@
 #include "common/log.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace dqemu {
 namespace {
@@ -37,6 +38,17 @@ void log_message(LogLevel level, const char* fmt, ...) {
   std::vfprintf(stderr, fmt, args);
   va_end(args);
   std::fputc('\n', stderr);
+}
+
+void fatal_message(const char* fmt, ...) {
+  std::fprintf(stderr, "[dqemu FATAL] ");
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
 }
 
 }  // namespace dqemu

@@ -34,7 +34,24 @@ void set_log_level(LogLevel level);
 void log_message(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
 
+/// Logs at error level (ignoring the level filter) and aborts. Backs
+/// DQEMU_CHECK: protocol invariants that must hold in every build type,
+/// unlike assert() which vanishes under NDEBUG in embedders' builds.
+[[noreturn]] void fatal_message(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
 }  // namespace dqemu
+
+/// Hard invariant check, active in all build types. On failure logs the
+/// formatted message and aborts — a deterministic fatal beats the undefined
+/// behaviour of running on with corrupt state (e.g. invoking an empty
+/// std::function handler).
+#define DQEMU_CHECK(cond, ...)                \
+  do {                                        \
+    if (!(cond)) [[unlikely]] {               \
+      ::dqemu::fatal_message(__VA_ARGS__);    \
+    }                                         \
+  } while (false)
 
 #define DQEMU_LOG_AT(lvl, ...)                                \
   do {                                                        \

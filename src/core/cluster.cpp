@@ -24,7 +24,8 @@ Cluster::Cluster(ClusterConfig config, trace::Tracer* tracer)
     : config_(config),
       tracer_(tracer),
       queue_(),
-      network_(queue_, config.net, config.total_nodes(), &stats_, tracer) {
+      network_(queue_, config.net, config.total_nodes(), &stats_, tracer,
+               config.faults) {
   const Status valid = config_.validate();
   assert(valid.is_ok() && "invalid ClusterConfig");
   (void)valid;
@@ -68,6 +69,7 @@ Cluster::Cluster(ClusterConfig config, trace::Tracer* tracer)
   syscalls_.emplace(network_, queue_, config_.machine,
                     config_.dbt.syscall_service_cycles, &stats_, tracer_);
   syscalls_->configure_locking(config_.sys);
+  syscalls_->configure_faults(config_.faults);
   sys::MasterSyscalls::Hooks sys_hooks;
   sys_hooks.on_clone = [this](const sys::SyscallRequest& req) {
     return on_clone(req);

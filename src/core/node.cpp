@@ -39,7 +39,7 @@ Node::Node(NodeId id, const ClusterConfig& config, sim::EventQueue& queue,
               /*check_protection=*/!config.single_node_baseline, stats),
       dsm_(id, network, space_, shadow_, &llsc_, &tcache_, stats,
            [this](std::uint32_t page) { wake_page_waiters(page); }, tracer,
-           config.dsm.enable_diff_transfers),
+           config.dsm.enable_diff_transfers, config.faults.request_timeout),
       lock_agent_(id, config.sys, queue, network, stats, tracer,
                   [this](GuestTid tid, std::uint64_t flow) {
                     on_local_futex_wake(tid, flow);

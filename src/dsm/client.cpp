@@ -1,5 +1,6 @@
 #include "dsm/client.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -12,7 +13,8 @@ DsmClient::DsmClient(NodeId self, net::Network& network,
                      dbt::LlscTable* llsc, dbt::TranslationCache* tcache,
                      StatsRegistry* stats,
                      std::function<void(std::uint32_t)> wake_page,
-                     trace::Tracer* tracer, bool enable_diff_transfers)
+                     trace::Tracer* tracer, bool enable_diff_transfers,
+                     DurationPs request_timeout)
     : self_(self),
       network_(network),
       space_(space),
@@ -22,7 +24,8 @@ DsmClient::DsmClient(NodeId self, net::Network& network,
       stats_(stats),
       wake_page_(std::move(wake_page)),
       tracer_(tracer),
-      enable_diff_(enable_diff_transfers) {}
+      enable_diff_(enable_diff_transfers),
+      request_timeout_(request_timeout) {}
 
 void DsmClient::request_page(std::uint32_t page, std::uint32_t offset,
                              bool write, GuestTid tid) {
@@ -52,7 +55,10 @@ void DsmClient::request_page(std::uint32_t page, std::uint32_t offset,
     r.b = write ? 1 : 0;
     tracer_->record(r);
   }
-  pending_.emplace(page, pending);
+  pending.offset = offset;
+  pending.tid = tid;
+  const std::uint64_t flow = pending.flow;
+  pending_.emplace(page, std::move(pending));
   if (stats_ != nullptr) {
     stats_->add(write ? "dsm.write_requests" : "dsm.read_requests");
   }
@@ -64,8 +70,50 @@ void DsmClient::request_page(std::uint32_t page, std::uint32_t offset,
   msg.a = page;
   msg.b = offset;
   msg.c = tid;
-  msg.flow = pending.flow;
+  msg.flow = flow;
   network_.send(std::move(msg));
+  // The watchdog only makes sense over the lossy wire: on the reliable
+  // path requests cannot be lost, and an idle far-future timer would keep
+  // the event queue from draining at simulation end.
+  if (request_timeout_ > 0 && network_.faults_active()) {
+    pending_[page].timeout = request_timeout_;
+    arm_watchdog(page);
+  }
+}
+
+void DsmClient::arm_watchdog(std::uint32_t page) {
+  auto it = pending_.find(page);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.watchdog == nullptr) {
+    p.watchdog = std::make_unique<sim::Timer>(network_.queue());
+  }
+  p.watchdog->arm(p.timeout, [this, page] { on_request_timeout(page); });
+}
+
+void DsmClient::on_request_timeout(std::uint32_t page) {
+  const auto it = pending_.find(page);
+  if (it == pending_.end()) return;  // completed; stale fire cannot happen
+  Pending& p = it->second;
+  if (stats_ != nullptr) stats_->add("dsm.timeouts");
+  note("dsm.timeout", p.flow, page, p.write ? 1 : 0);
+  DQEMU_DEBUG("node %u: page %u request timed out, re-issuing",
+              unsigned(self_), page);
+  // Re-issue verbatim. The directory tolerates the duplicate: a busy entry
+  // queues it and an already-satisfied requester gets a benign re-grant.
+  net::Message msg;
+  msg.src = self_;
+  msg.dst = kMasterNode;
+  msg.type = static_cast<std::uint32_t>(p.write ? DsmMsg::kWriteReq
+                                                : DsmMsg::kReadReq);
+  msg.a = page;
+  msg.b = p.offset;
+  msg.c = p.tid;
+  msg.flow = p.flow;
+  network_.send(std::move(msg));
+  // Back off 2x, capped at 8x the base timeout (see FaultConfig).
+  p.timeout = std::min<DurationPs>(p.timeout * 2, request_timeout_ * 8);
+  arm_watchdog(page);
 }
 
 void DsmClient::end_fault_flow(std::uint32_t page, bool retried) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "common/config.hpp"
@@ -20,6 +21,7 @@
 #include "mem/page_diff.hpp"
 #include "mem/shadow_map.hpp"
 #include "net/network.hpp"
+#include "sim/timer.hpp"
 #include "trace/tracer.hpp"
 
 namespace dqemu::dsm {
@@ -30,12 +32,17 @@ class DsmClient {
   /// retry); the node layer unblocks the guest threads parked on it.
   /// `llsc` / `tcache` may be null in unit tests. `enable_diff_transfers`
   /// must match the directory's setting (cluster-wide DsmConfig).
+  /// `request_timeout` > 0 arms a per-request watchdog (DESIGN.md §13) that
+  /// re-issues a page request still outstanding after that long; it is only
+  /// active when the network's fault path is (requests cannot get stuck on
+  /// the reliable wire).
   DsmClient(NodeId self, net::Network& network, mem::AddressSpace& space,
             mem::ShadowMap& shadow, dbt::LlscTable* llsc,
             dbt::TranslationCache* tcache, StatsRegistry* stats,
             std::function<void(std::uint32_t page)> wake_page,
             trace::Tracer* tracer = nullptr,
-            bool enable_diff_transfers = false);
+            bool enable_diff_transfers = false,
+            DurationPs request_timeout = 0);
 
   /// Issues a read or write request for `page` unless one is already in
   /// flight (in which case the write intent is merged: a still-unsatisfied
@@ -92,6 +99,11 @@ class DsmClient {
   void drop_page_locally(std::uint32_t page);
   /// Closes the fault's causal chain (grant installed or split retry).
   void end_fault_flow(std::uint32_t page, bool retried);
+  /// (Re-)arms the request watchdog for a pending page.
+  void arm_watchdog(std::uint32_t page);
+  /// Watchdog fire: the request has been outstanding for its full timeout —
+  /// re-issue it (the directory tolerates duplicates) and back off.
+  void on_request_timeout(std::uint32_t page);
   /// Records a protocol instant on this node's track.
   void note(const char* name, std::uint64_t flow, std::uint64_t a,
             std::uint64_t b);
@@ -109,10 +121,15 @@ class DsmClient {
   /// Pristine copies of writable pages (diff plane only): captured at
   /// write-grant time, diffed against at recall, dropped with the page.
   mem::TwinStore twins_;
+  DurationPs request_timeout_ = 0;
   /// Outstanding request state for a page.
   struct Pending {
     bool write = false;
     std::uint64_t flow = 0;  ///< flight-recorder chain of this fault
+    std::uint32_t offset = 0;  ///< original faulting offset, for re-issue
+    GuestTid tid = 0;
+    DurationPs timeout = 0;  ///< current watchdog period (backed off 2x)
+    std::unique_ptr<sim::Timer> watchdog;  ///< cancelled by completion
   };
   std::unordered_map<std::uint32_t, Pending> pending_;
 };

@@ -1,0 +1,76 @@
+#include "net/fault/fault_injector.hpp"
+
+#include "common/rng.hpp"
+
+namespace dqemu::net {
+namespace {
+
+/// Uniform draw in [0, 1) from the next SplitMix64 output (53-bit mantissa).
+double uniform(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// True with probability pct/100. Skips the draw entirely for pct <= 0 —
+/// the draw count then depends only on the (fixed) configuration, so the
+/// stream still replays identically run-to-run.
+bool chance(std::uint64_t& state, double pct) {
+  if (pct <= 0.0) return false;
+  return uniform(state) * 100.0 < pct;
+}
+
+/// Uniform duration in [0, max].
+DurationPs draw_delay(std::uint64_t& state, DurationPs max) {
+  if (max == 0) return 0;
+  return static_cast<DurationPs>(uniform(state) *
+                                 static_cast<double>(max + 1));
+}
+
+}  // namespace
+
+WireFate FaultInjector::decide(const Message& msg) {
+  // Key the decision stream by seed + transmission number only: the fate of
+  // transmission N never depends on the fate of transmissions before it.
+  const std::uint64_t n = ++transmissions_;
+  std::uint64_t state = config_.seed + n * 0x9E3779B97F4A7C15ull;
+
+  double drop = config_.drop_pct;
+  double dup = config_.dup_pct;
+  double jitter = config_.jitter_pct;
+  double reorder = config_.reorder_pct;
+  for (std::size_t i = 0; i < config_.rules.size(); ++i) {
+    const FaultConfig::Rule& rule = config_.rules[i];
+    const bool matches =
+        (rule.type == FaultConfig::Rule::kAny || rule.type == msg.type) &&
+        (rule.src == FaultConfig::Rule::kAny || rule.src == msg.src) &&
+        (rule.dst == FaultConfig::Rule::kAny || rule.dst == msg.dst) &&
+        (rule.max_matches == 0 || rule_matches_[i] < rule.max_matches);
+    if (!matches) continue;
+    ++rule_matches_[i];
+    if (rule.drop_pct >= 0.0) drop = rule.drop_pct;
+    if (rule.dup_pct >= 0.0) dup = rule.dup_pct;
+    if (rule.jitter_pct >= 0.0) jitter = rule.jitter_pct;
+    if (rule.reorder_pct >= 0.0) reorder = rule.reorder_pct;
+    break;  // first matching rule wins
+  }
+
+  WireFate fate;
+  if (chance(state, drop)) {
+    fate.drop = true;
+    return fate;  // a lost packet has no further fate to decide
+  }
+  fate.duplicate = chance(state, dup);
+  if (chance(state, jitter)) {
+    fate.extra_delay += draw_delay(state, config_.jitter_max);
+  }
+  if (chance(state, reorder)) {
+    // Enough delay to slip behind later traffic on the same link; the
+    // receive side's sequence check restores order before delivery.
+    fate.extra_delay += config_.reorder_delay;
+  }
+  if (fate.duplicate) {
+    fate.dup_extra_delay = draw_delay(state, config_.jitter_max);
+  }
+  return fate;
+}
+
+}  // namespace dqemu::net

@@ -1,0 +1,48 @@
+// Deterministic wire-fault injector (DESIGN.md §13).
+//
+// Decides, per physical transmission, whether the switch drops, duplicates,
+// jitters or reorder-delays the packet. Decisions come from a counter-based
+// SplitMix64 stream keyed by FaultConfig::seed and the transmission number —
+// never from host randomness — so the same configuration produces the same
+// faults at the same virtual times on every run. Loopback messages never
+// reach the injector (they do not cross the wire).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace dqemu::net {
+
+/// What the wire does to one physical transmission.
+struct WireFate {
+  bool drop = false;       ///< packet lost; no arrival is scheduled
+  bool duplicate = false;  ///< a second copy arrives after the first
+  DurationPs extra_delay = 0;      ///< jitter + reorder delay on the copy
+  DurationPs dup_extra_delay = 0;  ///< additional delay of the duplicate
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config)
+      : config_(config), rule_matches_(config.rules.size(), 0) {}
+
+  /// Fate of the next physical transmission of `msg`. Advances the
+  /// transmission counter (and any matching rule's match budget) even when
+  /// the message sails through clean, so decisions stay aligned run-to-run.
+  WireFate decide(const Message& msg);
+
+  /// Physical transmissions decided so far.
+  [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+
+ private:
+  const FaultConfig& config_;
+  std::uint64_t transmissions_ = 0;
+  /// Times each FaultConfig::Rule has matched (for max_matches budgets).
+  std::vector<std::uint32_t> rule_matches_;
+};
+
+}  // namespace dqemu::net

@@ -15,6 +15,12 @@
 
 namespace dqemu::net {
 
+/// Message types below 0x100 are reserved for the network layer itself
+/// (protocols start at 0x100: DSM 0x1xx, syscalls 0x2xx, core 0x3xx).
+/// kNetAck is a pure cumulative acknowledgement emitted by the reliable
+/// channel when no reverse traffic is available to piggyback on.
+inline constexpr std::uint32_t kNetAck = 0x001;
+
 /// One message in flight between two nodes (or looped back to the sender).
 struct Message {
   NodeId src = kInvalidNode;
@@ -30,6 +36,14 @@ struct Message {
 
   /// Bulk payload: page bytes, CPU context snapshots, syscall buffers.
   std::vector<std::uint8_t> data;
+
+  // Reliable-channel header (DESIGN.md §13), populated by the network when
+  // fault injection is active. seq is the per-(src,dst)-channel sequence
+  // number (1-based; 0 = unsequenced, used by pure acks), ack the cumulative
+  // highest in-order sequence received on the reverse channel. Modeled as
+  // part of the 64-byte link header, so not charged by wire_bytes().
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
 
   /// Flight-recorder causal id (DESIGN.md §9). Simulation-side metadata —
   /// not a wire field, never charged by the bandwidth model. 0 means the

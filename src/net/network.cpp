@@ -1,7 +1,6 @@
 #include "net/network.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
 #include "common/log.hpp"
@@ -10,7 +9,7 @@ namespace dqemu::net {
 
 Network::Network(sim::EventQueue& queue, NetworkConfig config,
                  std::uint32_t node_count, StatsRegistry* stats,
-                 trace::Tracer* tracer)
+                 trace::Tracer* tracer, FaultConfig faults)
     : queue_(queue),
       config_(config),
       stats_(stats),
@@ -18,16 +17,42 @@ Network::Network(sim::EventQueue& queue, NetworkConfig config,
       handlers_(node_count),
       egress_free_(node_count, 0),
       channel_last_(static_cast<std::size_t>(node_count) * node_count, 0),
-      node_count_(node_count) {}
+      node_count_(node_count),
+      faults_(std::move(faults)) {
+#if DQEMU_FAULTS_ENABLED
+  if (faults_.enabled) {
+    injector_ = std::make_unique<FaultInjector>(faults_);
+    reliable_ = std::make_unique<ReliableChannel>(
+        queue_, faults_, stats_, tracer_,
+        [this](Message m, TxKind kind) { transmit(std::move(m), kind); },
+        [this](Message m) { deliver(std::move(m)); });
+  }
+#endif
+}
 
 void Network::attach(NodeId node, Handler handler) {
-  assert(node < handlers_.size());
+  DQEMU_CHECK(node < handlers_.size(),
+              "net: attach for out-of-range node %u (cluster has %zu nodes)",
+              unsigned(node), handlers_.size());
   handlers_[node] = std::move(handler);
 }
 
 void Network::send(Message msg) {
-  assert(msg.src < node_count_ && msg.dst < node_count_);
+  DQEMU_CHECK(msg.src < node_count_ && msg.dst < node_count_,
+              "net: send type=0x%x with out-of-range endpoint %u->%u "
+              "(cluster has %u nodes)",
+              msg.type, unsigned(msg.src), unsigned(msg.dst), node_count_);
   const TimePs now = queue_.now();
+
+  if (reliable_ != nullptr && msg.src != msg.dst) {
+    // Lossy-wire path. Assign the net-owned trace flow up front so the
+    // retransmit copies the channel stores share it.
+    if (msg.flow == 0 && trace::wants(tracer_, trace::Cat::kNet)) {
+      msg.flow = tracer_->new_flow() | trace::kAutoFlowBit;
+    }
+    reliable_->send(std::move(msg));
+    return;
+  }
 
   // Flight recorder: every message is an edge in some causal chain. A
   // message already stamped by a higher layer (DSM fault, delegated
@@ -55,6 +80,10 @@ void Network::send(Message msg) {
   TimePs delivery;
   if (msg.src == msg.dst) {
     delivery = now + config_.loopback_latency;
+    // Loopback skips the wire model, so net.messages/net.bytes stay
+    // untouched; this counter is what lets trace flows and wire stats
+    // reconcile (every send-side flow record is one of the two).
+    if (stats_ != nullptr) stats_->add("net.loopback");
   } else {
     const std::uint64_t bytes = msg.wire_bytes();
     // Sender-side software path, then wait for the egress link.
@@ -82,9 +111,96 @@ void Network::send(Message msg) {
   });
 }
 
+void Network::transmit(Message msg, TxKind kind) {
+  const TimePs now = queue_.now();
+  const std::uint64_t bytes = msg.wire_bytes();
+
+  // One send-side record per physical transmission: retransmissions show
+  // up as extra "net.retrans" steps on the same flow, so a Chrome trace of
+  // a lossy run shows the recovery, not just the eventual delivery.
+  if (trace::wants(tracer_, trace::Cat::kNet)) {
+    trace::Record r;
+    r.time = now;
+    r.node = msg.src;
+    r.track = trace::kTrackNic;
+    r.cat = trace::Cat::kNet;
+    r.a = bytes;
+    r.b = msg.type;
+    const bool net_owned = (msg.flow & trace::kAutoFlowBit) != 0;
+    if (msg.flow == 0) {
+      // Only channel-internal messages (pure acks) reach the wire
+      // unchained; data messages got their flow in Network::send.
+      msg.flow = tracer_->new_flow() | trace::kAutoFlowBit;
+      r.kind = trace::Kind::kFlowBegin;
+      r.name = "net.msg";
+    } else if (net_owned && kind == TxKind::kData) {
+      r.kind = trace::Kind::kFlowBegin;
+      r.name = "net.msg";
+    } else {
+      r.kind = trace::Kind::kFlowStep;
+      r.name = kind == TxKind::kRetrans ? "net.retrans" : "net.send";
+    }
+    r.flow = msg.flow;
+    tracer_->record(r);
+  }
+
+  if (stats_ != nullptr) {
+    stats_->add("net.messages");
+    stats_->add("net.bytes", bytes + config_.header_bytes);
+  }
+
+  // Same egress model as the reliable path: the packet leaves the NIC and
+  // occupies the link whether or not the switch then loses it.
+  const TimePs tx_ready = now + config_.endpoint_overhead;
+  const TimePs tx_start = std::max(tx_ready, egress_free_[msg.src]);
+  const TimePs tx_end = tx_start + config_.wire_time(bytes);
+  egress_free_[msg.src] = tx_end;
+  TimePs arrival = tx_end + config_.one_way_latency + config_.endpoint_overhead;
+
+  const WireFate fate = injector_->decide(msg);
+  if (fate.drop) {
+    if (stats_ != nullptr) stats_->add("net.dropped");
+    if (msg.flow != 0 && trace::wants(tracer_, trace::Cat::kNet)) {
+      trace::Record r;
+      r.time = now;
+      r.node = msg.src;
+      r.track = trace::kTrackNic;
+      r.cat = trace::Cat::kNet;
+      r.kind = trace::Kind::kFlowStep;
+      r.name = "net.drop";
+      r.flow = msg.flow;
+      r.a = msg.seq;
+      r.b = msg.type;
+      tracer_->record(r);
+    }
+    DQEMU_TRACE("net: drop type=0x%x %u->%u seq=%llu", msg.type,
+                unsigned(msg.src), unsigned(msg.dst),
+                static_cast<unsigned long long>(msg.seq));
+    return;  // no arrival; recovery is the sender's retransmit timer's job
+  }
+  arrival += fate.extra_delay;
+
+  // No FIFO clamp here: jitter and reorder delays are the whole point, and
+  // the receive-side sequence check restores delivery order.
+  if (fate.duplicate) {
+    if (stats_ != nullptr) stats_->add("net.wire_dup");
+    const TimePs dup_at = arrival + fate.dup_extra_delay;
+    queue_.schedule_at(dup_at, [this, m = msg]() mutable {
+      reliable_->on_wire_arrival(std::move(m));
+    });
+  }
+  queue_.schedule_at(arrival, [this, m = std::move(msg)]() mutable {
+    reliable_->on_wire_arrival(std::move(m));
+  });
+}
+
 void Network::deliver(Message msg) {
+  DQEMU_CHECK(msg.dst < handlers_.size() &&
+                  static_cast<bool>(handlers_[msg.dst]),
+              "net: message type=0x%x %u->%u delivered to a node with no "
+              "handler attached",
+              msg.type, unsigned(msg.src), unsigned(msg.dst));
   const auto& handler = handlers_[msg.dst];
-  assert(handler && "message delivered to a node with no handler attached");
   DQEMU_TRACE("net: deliver type=%u %u->%u (%llu bytes)", msg.type,
               unsigned(msg.src), unsigned(msg.dst),
               static_cast<unsigned long long>(msg.wire_bytes()));

@@ -7,16 +7,32 @@
 // then takes the one-way propagation latency, then pays the receiver-side
 // software overhead. Messages between a given (src, dst) pair are delivered
 // FIFO, like a TCP stream.
+//
+// With fault injection active (DQEMU_ENABLE_FAULTS compiled in AND
+// FaultConfig::enabled), non-loopback traffic instead runs over a lossy
+// wire: a deterministic injector may drop/duplicate/delay each physical
+// transmission and a go-back-N reliable channel restores exactly-once FIFO
+// delivery above it (DESIGN.md §13). With either gate off, the original
+// perfectly reliable path runs unchanged, bit-for-bit.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "net/fault/fault_injector.hpp"
 #include "net/message.hpp"
+#include "net/reliable/reliable_channel.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/tracer.hpp"
+
+// Compile-time gate (CMake option DQEMU_ENABLE_FAULTS). When defined to 0
+// the lossy-wire path is never taken and FaultConfig::enabled is inert.
+#ifndef DQEMU_FAULTS_ENABLED
+#define DQEMU_FAULTS_ENABLED 1
+#endif
 
 namespace dqemu::net {
 
@@ -28,7 +44,7 @@ class Network {
   /// `stats` and `tracer` may be null; `queue` must outlive the Network.
   Network(sim::EventQueue& queue, NetworkConfig config,
           std::uint32_t node_count, StatsRegistry* stats = nullptr,
-          trace::Tracer* tracer = nullptr);
+          trace::Tracer* tracer = nullptr, FaultConfig faults = {});
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -50,10 +66,22 @@ class Network {
   /// network reference).
   [[nodiscard]] TimePs now() const { return queue_.now(); }
 
+  /// The event queue driving this network. Protocol watchdogs (DSM fault /
+  /// lease-recall timeouts) arm their timers here.
+  [[nodiscard]] sim::EventQueue& queue() { return queue_; }
+
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  /// True when the lossy-wire + reliable-channel path is active (both the
+  /// compile-time and the runtime gate are on).
+  [[nodiscard]] bool faults_active() const { return reliable_ != nullptr; }
 
  private:
   void deliver(Message msg);
+  /// Puts one physical copy on the lossy wire: charges the egress model,
+  /// consults the fault injector, and schedules the arrival(s) into the
+  /// reliable channel. Fault path only.
+  void transmit(Message msg, TxKind kind);
 
   sim::EventQueue& queue_;
   NetworkConfig config_;
@@ -63,8 +91,14 @@ class Network {
   /// Per-node egress link occupancy (bandwidth serialization point).
   std::vector<TimePs> egress_free_;
   /// Per (src,dst) channel: last scheduled delivery time, for FIFO order.
+  /// Reliable-path traffic skips this clamp — the receive-side sequence
+  /// check supersedes it.
   std::vector<TimePs> channel_last_;
   std::uint32_t node_count_;
+
+  FaultConfig faults_;
+  std::unique_ptr<FaultInjector> injector_;   ///< non-null iff faults active
+  std::unique_ptr<ReliableChannel> reliable_; ///< non-null iff faults active
 };
 
 }  // namespace dqemu::net

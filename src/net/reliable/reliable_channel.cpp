@@ -1,0 +1,184 @@
+#include "net/reliable/reliable_channel.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace dqemu::net {
+
+ReliableChannel::Link& ReliableChannel::link(NodeId src, NodeId dst) {
+  auto it = links_.find({src, dst});
+  if (it == links_.end()) {
+    it = links_
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(src, dst),
+                      std::forward_as_tuple(queue_, config_.retrans_timeout))
+             .first;
+  }
+  return it->second;
+}
+
+void ReliableChannel::bump(const char* counter, std::uint64_t delta) {
+  if (stats_ != nullptr) stats_->add(counter, delta);
+}
+
+void ReliableChannel::trace_step(const Message& msg, const char* name,
+                                 NodeId node) {
+  if (msg.flow == 0 || !trace::wants(tracer_, trace::Cat::kNet)) return;
+  trace::Record r;
+  r.time = queue_.now();
+  r.node = node;
+  r.track = trace::kTrackNic;
+  r.cat = trace::Cat::kNet;
+  r.kind = trace::Kind::kFlowStep;
+  r.name = name;
+  r.flow = msg.flow;
+  r.a = msg.seq;
+  r.b = msg.type;
+  tracer_->record(r);
+}
+
+void ReliableChannel::send(Message msg) {
+  Link& out = link(msg.src, msg.dst);
+  msg.seq = out.next_seq++;
+  // Piggyback the cumulative ack for traffic flowing the other way; that
+  // makes the pure ack the reverse receiver half owes redundant.
+  Link& rev = link(msg.dst, msg.src);
+  msg.ack = rev.last_in_order;
+  rev.ack_due.cancel();
+
+  out.unacked.push_back(msg);
+  if (!out.retrans.armed()) {
+    const NodeId src = msg.src, dst = msg.dst;
+    out.retrans.arm(out.rto, [this, src, dst] { retransmit_all(src, dst); });
+  }
+  transmit_(std::move(msg), TxKind::kData);
+}
+
+void ReliableChannel::process_ack(NodeId from, NodeId to, std::uint64_t ack) {
+  Link& l = link(from, to);
+  bool progress = false;
+  while (!l.unacked.empty() && l.unacked.front().seq <= ack) {
+    l.unacked.pop_front();
+    progress = true;
+  }
+  if (!progress) return;
+  // New data was acknowledged: the path is alive, so restart the timer at
+  // the base timeout instead of whatever backoff a loss burst built up.
+  l.rto = config_.retrans_timeout;
+  if (l.unacked.empty()) {
+    l.retrans.cancel();
+  } else {
+    l.retrans.arm(l.rto, [this, from, to] { retransmit_all(from, to); });
+  }
+}
+
+void ReliableChannel::retransmit_all(NodeId src, NodeId dst) {
+  Link& l = link(src, dst);
+  if (l.unacked.empty()) return;
+  bump("net.retrans", l.unacked.size());
+  Link& rev = link(dst, src);
+  rev.ack_due.cancel();  // every retransmission re-advertises the ack
+  for (const Message& stored : l.unacked) {
+    Message copy = stored;
+    copy.ack = rev.last_in_order;
+    transmit_(std::move(copy), TxKind::kRetrans);
+  }
+  // Exponential backoff, capped: a dead peer must not melt the simulated
+  // switch, and the cap bounds recovery latency once it comes back.
+  l.rto = std::min<DurationPs>(l.rto * 2, config_.retrans_cap);
+  l.retrans.arm(l.rto, [this, src, dst] { retransmit_all(src, dst); });
+}
+
+void ReliableChannel::schedule_ack(NodeId data_src, NodeId data_dst) {
+  Link& in = link(data_src, data_dst);
+  if (in.ack_due.armed()) return;
+  in.ack_due.arm(config_.ack_delay, [this, data_src, data_dst] {
+    Message ack;
+    ack.src = data_dst;
+    ack.dst = data_src;
+    ack.type = kNetAck;
+    ack.seq = 0;  // pure acks are unsequenced and never retransmitted
+    ack.ack = link(data_src, data_dst).last_in_order;
+    bump("net.acks");
+    transmit_(std::move(ack), TxKind::kAck);
+  });
+}
+
+void ReliableChannel::on_wire_arrival(Message msg) {
+  // Straggler window: the destination's communicator thread is wedged, so
+  // everything that lands during the pause is processed at the window end.
+  TimePs until = 0;
+  if (config_.paused_at(msg.dst, queue_.now(), &until)) {
+    bump("net.paused_deferrals");
+    queue_.schedule_at(until, [this, m = std::move(msg)]() mutable {
+      on_wire_arrival(std::move(m));
+    });
+    return;
+  }
+
+  process_ack(msg.dst, msg.src, msg.ack);
+
+  if (msg.type == kNetAck) {
+    // A pure ack carries no payload to deliver; close its trace flow.
+    if (msg.flow != 0 && trace::wants(tracer_, trace::Cat::kNet)) {
+      trace::Record r;
+      r.time = queue_.now();
+      r.node = msg.dst;
+      r.track = trace::kTrackNic;
+      r.cat = trace::Cat::kNet;
+      r.kind = trace::Kind::kFlowEnd;
+      r.name = "net.msg";
+      r.flow = msg.flow;
+      r.a = msg.ack;
+      r.b = msg.type;
+      tracer_->record(r);
+    }
+    return;
+  }
+  DQEMU_CHECK(msg.seq != 0,
+              "net: unsequenced non-ack message type=0x%x on reliable link "
+              "%u->%u",
+              msg.type, unsigned(msg.src), unsigned(msg.dst));
+
+  Link& in = link(msg.src, msg.dst);
+  if (msg.seq <= in.last_in_order) {
+    // Duplicate (wire dup, or a retransmission racing our lost ack).
+    // Suppress it, but make sure a fresh cumulative ack goes back so the
+    // sender stops retransmitting.
+    bump("net.dup_suppressed");
+    trace_step(msg, "net.dup.drop", msg.dst);
+    schedule_ack(msg.src, msg.dst);
+    return;
+  }
+
+  if (msg.seq == in.last_in_order + 1) {
+    const NodeId src = msg.src, dst = msg.dst;
+    in.last_in_order = msg.seq;
+    // Arm the ack before delivering: if the handler answers with reverse
+    // traffic the piggyback cancels this timer again.
+    schedule_ack(src, dst);
+    deliver_(std::move(msg));
+    // The gap may have been the only thing holding back later arrivals.
+    auto it = in.held.begin();
+    while (it != in.held.end() && it->first == in.last_in_order + 1) {
+      in.last_in_order = it->first;
+      deliver_(std::move(it->second));
+      it = in.held.erase(it);
+    }
+    return;
+  }
+
+  // Gap: an earlier message on this link is missing (dropped or delayed).
+  // Hold this one back — delivering it now would break the per-channel FIFO
+  // order the protocol correctness arguments need.
+  if (in.held.emplace(msg.seq, msg).second) {
+    bump("net.ooo_held");
+    trace_step(msg, "net.held", msg.dst);
+  } else {
+    bump("net.dup_suppressed");
+  }
+  schedule_ack(msg.src, msg.dst);
+}
+
+}  // namespace dqemu::net

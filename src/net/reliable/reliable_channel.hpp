@@ -1,0 +1,108 @@
+// Go-back-N reliable delivery sublayer (DESIGN.md §13).
+//
+// Sits between Network::send and the lossy wire when fault injection is
+// active. Every directed (src, dst) link carries its own sequence-number
+// space; the receive side suppresses duplicates and holds out-of-order
+// arrivals back until the gap fills, so the layer above observes exactly
+// the per-channel FIFO, exactly-once delivery the §7/§11 no-lost-wakeup
+// arguments assume. Acks are cumulative and piggybacked on reverse traffic,
+// with a delayed pure ack (kNetAck) when no reverse traffic shows up; the
+// sender retransmits every unacked message on a timer with exponential
+// backoff capped at FaultConfig::retrans_cap.
+//
+// The class is wire-agnostic: the owning Network supplies a transmit hook
+// (wire model + fault injection) and a deliver hook (handler dispatch), so
+// unit tests can run the protocol over a toy wire.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "net/message.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/timer.hpp"
+#include "trace/tracer.hpp"
+
+namespace dqemu::net {
+
+/// Why a physical transmission is happening, for trace naming and stats.
+enum class TxKind {
+  kData,     ///< first transmission of an application message
+  kRetrans,  ///< go-back-N retransmission after an RTO
+  kAck,      ///< pure cumulative acknowledgement (unsequenced)
+};
+
+class ReliableChannel {
+ public:
+  /// Puts one physical copy of the message on the (lossy) wire.
+  using TransmitFn = std::function<void(Message, TxKind)>;
+  /// Hands one in-order, deduplicated message to the destination node.
+  using DeliverFn = std::function<void(Message)>;
+
+  ReliableChannel(sim::EventQueue& queue, const FaultConfig& config,
+                  StatsRegistry* stats, trace::Tracer* tracer,
+                  TransmitFn transmit, DeliverFn deliver)
+      : queue_(queue),
+        config_(config),
+        stats_(stats),
+        tracer_(tracer),
+        transmit_(std::move(transmit)),
+        deliver_(std::move(deliver)) {}
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  /// Application-level send: assigns the next sequence number on the
+  /// (src, dst) link, piggybacks the reverse channel's cumulative ack,
+  /// stores the message for retransmission and transmits the first copy.
+  void send(Message msg);
+
+  /// Called by the wire for every physical arrival at msg.dst (including
+  /// duplicates, retransmissions and pure acks). Runs the receive-side
+  /// state machine; may invoke the deliver hook zero or more times.
+  void on_wire_arrival(Message msg);
+
+ private:
+  /// State of one directed link. The sender half tracks messages this link
+  /// originated; the receiver half tracks what arrived on it. The receiver
+  /// half's ack timer emits the reverse-direction pure ack.
+  struct Link {
+    Link(sim::EventQueue& queue, DurationPs rto0)
+        : rto(rto0), retrans(queue), ack_due(queue) {}
+
+    // Sender half.
+    std::uint64_t next_seq = 1;
+    std::deque<Message> unacked;  ///< in seq order; front = oldest
+    DurationPs rto;               ///< current timeout (backed off on fire)
+    sim::Timer retrans;
+
+    // Receiver half.
+    std::uint64_t last_in_order = 0;  ///< cumulative ack we advertise
+    std::map<std::uint64_t, Message> held;  ///< out-of-order, by seq
+    sim::Timer ack_due;
+  };
+
+  Link& link(NodeId src, NodeId dst);
+  void process_ack(NodeId from, NodeId to, std::uint64_t ack);
+  void retransmit_all(NodeId src, NodeId dst);
+  void schedule_ack(NodeId from, NodeId to);
+  void bump(const char* counter, std::uint64_t delta = 1);
+  void trace_step(const Message& msg, const char* name, NodeId node);
+
+  sim::EventQueue& queue_;
+  const FaultConfig& config_;
+  StatsRegistry* stats_;
+  trace::Tracer* tracer_;
+  TransmitFn transmit_;
+  DeliverFn deliver_;
+  /// Directed links, created on first use. std::map keeps Link addresses
+  /// stable, which the embedded (non-movable) timers require.
+  std::map<std::pair<NodeId, NodeId>, Link> links_;
+};
+
+}  // namespace dqemu::net

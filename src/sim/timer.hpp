@@ -1,0 +1,64 @@
+// RAII one-shot timer over the event queue.
+//
+// The reliable channel and the protocol watchdogs (DESIGN.md §13) all need
+// the same shape: a cancellable, re-armable one-shot timeout whose callback
+// must never fire after its owner is destroyed. Holding a raw EventId gets
+// the cancel-on-rearm and cancel-on-destroy bookkeeping wrong easily (a
+// stale id silently cancels an unrelated event once the queue reuses the
+// slot — it cannot today because seq is strictly increasing, but the
+// invariant lives here, in one place, instead of in four protocol files).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace dqemu::sim {
+
+/// One-shot virtual-time timer. Arming an already-armed timer cancels the
+/// previous shot first; destruction cancels any pending shot. Not copyable
+/// or movable: callbacks capture `this` of the owning protocol object, so
+/// the timer must stay embedded at a stable address.
+class Timer {
+ public:
+  explicit Timer(EventQueue& queue) : queue_(queue) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { cancel(); }
+
+  /// True while a shot is pending (the callback has not fired yet).
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  /// Absolute fire time of the pending shot; meaningless when not armed.
+  [[nodiscard]] TimePs deadline() const { return id_.time; }
+
+  /// (Re-)arms the timer `delay` picoseconds from now. The callback runs at
+  /// most once per arm; it may re-arm the timer from inside itself.
+  void arm(DurationPs delay, std::function<void()> fn) {
+    cancel();
+    armed_ = true;
+    id_ = queue_.schedule_in(delay, [this, fn = std::move(fn)] {
+      armed_ = false;  // cleared before fn so the callback can re-arm
+      fn();
+    });
+  }
+
+  /// Cancels the pending shot, if any. Safe to call when idle.
+  void cancel() {
+    if (armed_) {
+      queue_.cancel(id_);
+      armed_ = false;
+    }
+  }
+
+ private:
+  EventQueue& queue_;
+  EventId id_{};
+  bool armed_ = false;
+};
+
+}  // namespace dqemu::sim

@@ -166,7 +166,14 @@ void LockAgent::on_lease_grant(const net::Message& msg) {
 void LockAgent::on_lease_recall(const net::Message& msg) {
   const auto addr = static_cast<GuestAddr>(msg.a);
   auto it = owned_.find(addr);
-  assert(it != owned_.end());
+  if (it == owned_.end()) {
+    // Duplicate recall: the master's recall watchdog (DESIGN.md §13) fired
+    // while our lease return was still crossing the wire. The return is
+    // already on its way, so there is nothing left to hand back.
+    if (stats_ != nullptr) stats_->add("sys.dup_recalls_ignored");
+    note("sys.dup_recall", trace::Kind::kInstant, msg.flow, addr, 0);
+    return;
+  }
   // Hand the whole queue (locals included, tagged with this node's id)
   // back to the master; waiters parked here stay blocked until the master
   // or the next owner wakes them.

@@ -1,5 +1,6 @@
 #include "sys/master_syscalls.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -365,6 +366,9 @@ void MasterSyscalls::on_lease_request(const net::Message& msg) {
       recall.a = addr;
       recall.flow = msg.flow;
       send_protocol(std::move(recall));
+      if (recall_timeout_ > 0 && network_.faults_active()) {
+        arm_recall_watchdog(addr, recall_timeout_);
+      }
       return;
     }
     case FutexTable::LeasePhase::kRecalling:
@@ -374,6 +378,14 @@ void MasterSyscalls::on_lease_request(const net::Message& msg) {
 
 void MasterSyscalls::on_lease_return(const net::Message& msg) {
   const auto addr = static_cast<GuestAddr>(msg.a);
+  if (futexes_.lease_phase(addr) != FutexTable::LeasePhase::kRecalling) {
+    // Not recalling this address: a stale return (the fault model's
+    // watchdog can make the agent and master race). Dropping it is safe —
+    // whatever state the return carried was already applied.
+    if (stats_ != nullptr) stats_->add("sys.stale_lease_returns");
+    return;
+  }
+  recall_watchdogs_.erase(addr);
   const auto returned = FutexTable::unpack_waiters(msg.data);
   const NodeId next_owner = futexes_.finish_recall(addr, returned);
 
@@ -414,6 +426,38 @@ void MasterSyscalls::on_lease_return(const net::Message& msg) {
   grant.flow = flow;
   FutexTable::pack_waiters(queue, grant.data);
   send_protocol(std::move(grant));
+}
+
+void MasterSyscalls::arm_recall_watchdog(GuestAddr addr, DurationPs timeout) {
+  RecallWatchdog& wd = recall_watchdogs_[addr];
+  if (wd.timer == nullptr) wd.timer = std::make_unique<sim::Timer>(queue_);
+  wd.timeout = timeout;
+  wd.timer->arm(timeout, [this, addr] { on_recall_timeout(addr); });
+}
+
+void MasterSyscalls::on_recall_timeout(GuestAddr addr) {
+  if (futexes_.lease_phase(addr) != FutexTable::LeasePhase::kRecalling) {
+    recall_watchdogs_.erase(addr);  // lease came home since the arm
+    return;
+  }
+  const NodeId owner = futexes_.lease_owner(addr);
+  std::uint64_t flow = 0;
+  auto pending = pending_lease_flow_.find(addr);
+  if (pending != pending_lease_flow_.end()) flow = pending->second;
+  if (stats_ != nullptr) stats_->add("sys.recall_timeouts");
+  note("sys.recall_timeout", flow, addr, owner);
+  // Re-send the recall. The agent ignores a recall for a lease it already
+  // returned, so a crossed-in-flight return stays harmless.
+  net::Message recall;
+  recall.src = kMasterNode;
+  recall.dst = owner;
+  recall.type = static_cast<std::uint32_t>(SysMsg::kLeaseRecall);
+  recall.a = addr;
+  recall.flow = flow;
+  send_protocol(std::move(recall));
+  const DurationPs next = std::min<DurationPs>(
+      recall_watchdogs_[addr].timeout * 2, recall_timeout_ * 8);
+  arm_recall_watchdog(addr, next);
 }
 
 }  // namespace dqemu::sys

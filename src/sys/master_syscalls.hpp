@@ -8,6 +8,7 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "isa/syscall_abi.hpp"
 #include "net/network.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/timer.hpp"
 #include "sys/futex_table.hpp"
 #include "sys/vfs.hpp"
 #include "sys/wire.hpp"
@@ -61,6 +63,13 @@ class MasterSyscalls {
   /// this call leases are never granted and every futex op is served from
   /// the master table exactly as before.
   void configure_locking(const SysConfig& sys) { sys_ = sys; }
+
+  /// Installs the fault-model knobs. With FaultConfig::request_timeout > 0
+  /// and the network's fault path active, every outstanding lease recall
+  /// gets a watchdog that re-sends the kLeaseRecall (DESIGN.md §13).
+  void configure_faults(const FaultConfig& faults) {
+    recall_timeout_ = faults.request_timeout;
+  }
 
   /// Guest heap layout: brk grows in [brk_start, mmap_start); anonymous
   /// mmaps grow in [mmap_start, mmap_end).
@@ -107,6 +116,12 @@ class MasterSyscalls {
                     GuestTid requester_tid, std::uint64_t flow);
   void on_lease_request(const net::Message& msg);
   void on_lease_return(const net::Message& msg);
+  /// Arms (or re-arms after backoff) the recall watchdog for `addr`.
+  void arm_recall_watchdog(GuestAddr addr, DurationPs timeout);
+  /// Watchdog fire: the recall (or its return) is presumed stuck somewhere
+  /// on the lossy wire — re-send the kLeaseRecall. Safe because the lock
+  /// agent treats a recall for a lease it no longer owns as a no-op.
+  void on_recall_timeout(GuestAddr addr);
   /// Schedules `msg` onto the wire after the manager service delay (the
   /// same delay every response pays, so per-channel FIFO order follows
   /// master processing order).
@@ -130,6 +145,14 @@ class MasterSyscalls {
   std::unordered_map<GuestAddr, std::vector<BufferedFutexOp>> recall_buffer_;
   /// Causal chain of the lease request that triggered the pending recall.
   std::unordered_map<GuestAddr, std::uint64_t> pending_lease_flow_;
+  /// Per-address recall watchdog (fault model only): timer + current
+  /// backed-off period. Erased when the lease comes home.
+  struct RecallWatchdog {
+    std::unique_ptr<sim::Timer> timer;
+    DurationPs timeout = 0;
+  };
+  std::unordered_map<GuestAddr, RecallWatchdog> recall_watchdogs_;
+  DurationPs recall_timeout_ = 0;
   GuestAddr brk_ = 0;
   GuestAddr brk_min_ = 0;
   GuestAddr mmap_cursor_ = 0;

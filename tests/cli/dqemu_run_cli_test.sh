@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# CLI contract for dqemu_run: bad invocations must fail loudly with usage,
+# good ones must run. Invoked by CTest as:
+#   dqemu_run_cli_test.sh <dqemu_run> <guest.s>
+set -u
+
+RUN="$1"
+GUEST="$2"
+failures=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+# Unknown flags are an error: non-zero exit, a diagnostic naming the flag,
+# and the usage text so the caller can self-correct.
+out=$("$RUN" "$GUEST" --no-such-flag 2>&1)
+status=$?
+[ "$status" -ne 0 ] || fail "unknown flag exited 0"
+case "$out" in
+  *"unknown option: --no-such-flag"*) ;;
+  *) fail "diagnostic does not name the bad flag: $out" ;;
+esac
+case "$out" in
+  *usage:*) ;;
+  *) fail "unknown flag did not print usage" ;;
+esac
+
+# Same contract for a flag that is missing its required value.
+"$RUN" "$GUEST" --nodes >/dev/null 2>&1 && fail "--nodes without value exited 0"
+
+# And for no program at all.
+"$RUN" >/dev/null 2>&1 && fail "no arguments exited 0"
+
+# The usage text must mention every fault-injection flag this PR added.
+usage=$("$RUN" 2>&1)
+for flag in --faults --fault-seed --drop-pct --hier-locking; do
+  case "$usage" in
+    *"$flag"*) ;;
+    *) fail "usage does not mention $flag" ;;
+  esac
+done
+
+# A good invocation (with the new flags) still runs to completion.
+out=$("$RUN" "$GUEST" --nodes 2 --faults --fault-seed 3 --drop-pct 2 2>&1)
+status=$?
+[ "$status" -eq 0 ] || fail "clean run with --faults exited $status: $out"
+case "$out" in
+  *"exit="*) ;;
+  *) fail "clean run printed no result summary: $out" ;;
+esac
+case "$out" in
+  *"retrans="*) ;;
+  *) fail "fault run printed no net summary: $out" ;;
+esac
+
+[ "$failures" -eq 0 ] && echo "PASS"
+exit "$failures"

@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "net/network.hpp"  // for DQEMU_FAULTS_ENABLED
 #include "testutil.hpp"
 #include "trace/export.hpp"
 #include "trace/tracer.hpp"
@@ -179,6 +180,95 @@ TEST(HierLockingDeterminism, EnabledModeIsRunToRunDeterministic) {
   const auto program = must(workloads::mutex_stress(16, 200, /*global=*/true));
   expect_identical(observe_with(program, locking_config(4, true)),
                    observe_with(program, locking_config(4, true)));
+}
+
+// Fault injection (DESIGN.md section 13) replays faults from a counter-based
+// PRNG keyed only by FaultConfig::seed and the transmission number, so a
+// lossy run is exactly as reproducible as a clean one: same seed, same
+// drops, same retransmits, same virtual times — down to the exported trace.
+// And because the reliable channel hides every fault from the layers above,
+// the *guest-visible* results of a faulty run must equal the clean run's.
+
+// With -DDQEMU_ENABLE_FAULTS=OFF the wire is always perfect; the tests that
+// need actual faults to prove anything are skipped in that build (the
+// bit-identity gates below still run).
+#if DQEMU_FAULTS_ENABLED
+#define SKIP_WITHOUT_FAULTS() (void)0
+#else
+#define SKIP_WITHOUT_FAULTS() \
+  GTEST_SKIP() << "built with DQEMU_ENABLE_FAULTS=OFF"
+#endif
+
+ClusterConfig fault_config(std::uint32_t nodes, std::uint32_t seed) {
+  ClusterConfig config = test::test_config(nodes);
+  config.dbt.quantum_insns = 500;
+  config.faults.enabled = true;
+  config.faults.seed = seed;
+  config.faults.drop_pct = 2;
+  config.faults.dup_pct = 1;
+  config.faults.jitter_pct = 5;
+  return config;
+}
+
+TEST(FaultDeterminism, SameSeedLossyRunsAreByteIdentical) {
+  const auto program = must(workloads::mutex_stress(16, 100, /*global=*/true));
+  expect_identical(observe_with(program, fault_config(2, 7)),
+                   observe_with(program, fault_config(2, 7)));
+}
+
+TEST(FaultDeterminism, DifferentSeedsChangeTheWireButNotTheGuest) {
+  SKIP_WITHOUT_FAULTS();
+  const auto program = must(workloads::mutex_stress(16, 100, /*global=*/true));
+  const Observation a = observe_with(program, fault_config(2, 1));
+  const Observation b = observe_with(program, fault_config(2, 2));
+  EXPECT_EQ(a.result.exit_code, b.result.exit_code);
+  EXPECT_EQ(a.result.guest_stdout, b.result.guest_stdout);
+  EXPECT_NE(a.result.guest_stdout.find("1600"), std::string::npos);
+  // Different fault schedules: the runs are honestly different on the wire.
+  EXPECT_NE(a.counters.at("net.dropped"), b.counters.at("net.dropped"));
+}
+
+TEST(FaultDeterminism, LossyGuestResultsMatchTheCleanRun) {
+  SKIP_WITHOUT_FAULTS();
+  // Guest *results* (exit code, stdout) must survive the lossy wire
+  // untouched. Retired-instruction counts may legitimately shift: delayed
+  // lock handoffs change how long LL/SC retry loops spin.
+  std::uint64_t total_retrans = 0;
+  for (const auto* name : {"mutex_stress", "false_sharing", "memwalk"}) {
+    isa::Program program;
+    if (std::string(name) == "mutex_stress") {
+      program = must(workloads::mutex_stress(16, 100, /*global=*/true));
+    } else if (std::string(name) == "false_sharing") {
+      program = must(workloads::false_sharing_walk(8, 128, 4, 2));
+    } else {
+      program = must(workloads::memwalk(128 * 1024, 2, true));
+    }
+    ClusterConfig clean = fault_config(2, 1);
+    clean.faults.enabled = false;
+    const Observation faulty = observe_with(program, fault_config(2, 1));
+    const Observation base = observe_with(program, clean);
+    EXPECT_EQ(faulty.result.exit_code, base.result.exit_code) << name;
+    EXPECT_EQ(faulty.result.guest_stdout, base.result.guest_stdout) << name;
+    // Loss costs virtual time; recovery must bound the inflation.
+    EXPECT_LT(faulty.result.sim_time, base.result.sim_time * 3) << name;
+    const auto it = faulty.counters.find("net.retrans");
+    if (it != faulty.counters.end()) total_retrans += it->second;
+  }
+  // At 2% loss at least one of the three runs must have actually recovered
+  // something, or this test proves nothing.
+  EXPECT_GT(total_retrans, 0u);
+}
+
+TEST(FaultDeterminism, DisabledFaultsLeaveTheCleanRunUntouched) {
+  // The master determinism gate for this PR: constructing the fault
+  // machinery but leaving it disabled must not move a single picosecond.
+  const auto program = must(workloads::mutex_stress(8, 50, /*global=*/true));
+  ClusterConfig off = test::test_config(2);
+  ClusterConfig constructed = test::test_config(2);
+  constructed.faults.seed = 99;      // non-default knobs, gate still off
+  constructed.faults.drop_pct = 50;  // ignored while enabled=false
+  expect_identical(observe_with(program, off),
+                   observe_with(program, constructed));
 }
 
 }  // namespace

@@ -190,6 +190,58 @@ TEST_F(NetFixture, CountsMessagesAndBytes) {
   EXPECT_EQ(stats.get("net.bytes"), 100u + 36 + config.header_bytes);
 }
 
+TEST_F(NetFixture, LoopbackMessagesAreCountedSeparately) {
+  network.send(make(1, 1, 100));
+  network.send(make(2, 2, 0));
+  network.send(make(0, 1, 0));
+  queue.run();
+  EXPECT_EQ(stats.get("net.loopback"), 2u);
+  EXPECT_EQ(stats.get("net.messages"), 1u);
+}
+
+// The misdelivery paths must die loudly in every build type: in Release an
+// assert vanishes and invoking the empty std::function handler (or indexing
+// past handlers_) is undefined behaviour.
+using NetDeathTest = NetFixture;
+
+TEST_F(NetDeathTest, SendToOutOfRangeNodeDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(network.send(make(0, 7)), "out-of-range endpoint");
+}
+
+TEST_F(NetDeathTest, SendFromOutOfRangeNodeDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(network.send(make(9, 1)), "out-of-range endpoint");
+}
+
+TEST(NetDeath, DeliverToUnattachedNodeDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::EventQueue queue;
+        net::Network network(queue, NetworkConfig{}, 2);
+        network.attach(0, [](net::Message) {});
+        net::Message msg;
+        msg.src = 0;
+        msg.dst = 1;  // node 1 never attached a handler
+        msg.type = 1;
+        network.send(std::move(msg));
+        queue.run();
+      },
+      "no handler attached");
+}
+
+TEST(NetDeath, AttachOutOfRangeNodeDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::EventQueue queue;
+        net::Network network(queue, NetworkConfig{}, 2);
+        network.attach(5, [](net::Message) {});
+      },
+      "out-of-range node");
+}
+
 TEST_F(NetFixture, ScalarFieldsSurviveTransit) {
   net::Message msg = make(2, 0, 8);
   msg.a = 0xAABB;

@@ -414,6 +414,35 @@ TEST(TraceFlows, FutexWaitAndWakeShareACausalChain) {
   EXPECT_GT(closed_waits, 0u);
 }
 
+TEST(TraceFlows, SendRecordsReconcileWithWireStats) {
+  SKIP_WITHOUT_TRACING();
+  // Census invariant: every message leaves exactly one send-side NIC record,
+  // and every such record is either a wire message or a loopback. Without
+  // the net.loopback counter the two sides cannot be reconciled.
+  const auto program = workloads::mutex_stress(4, 20, /*global=*/true).take();
+  Tracer tracer;
+  core::Cluster cluster(test::test_config(2), &tracer);
+  ASSERT_TRUE(cluster.load(program).is_ok());
+  ASSERT_TRUE(cluster.run().is_ok());
+  ASSERT_EQ(tracer.dropped(), 0u) << "ring too small for an exact census";
+
+  std::size_t send_side = 0;
+  for (const Record& r : tracer.records()) {
+    if (r.cat != Cat::kNet || r.track != trace::kTrackNic) continue;
+    const std::string name(r.name);
+    if ((r.kind == Kind::kFlowBegin && name == "net.msg") ||
+        (r.kind == Kind::kFlowStep &&
+         (name == "net.send" || name == "net.retrans"))) {
+      ++send_side;
+    }
+  }
+  auto& stats = cluster.stats();
+  EXPECT_GT(stats.get("net.loopback"), 0u);  // master self-sends exist
+  EXPECT_GT(stats.get("net.messages"), 0u);
+  EXPECT_EQ(send_side,
+            stats.get("net.messages") + stats.get("net.loopback"));
+}
+
 TEST(TraceCounters, SnapshotsAreMonotonicTimelines) {
   SKIP_WITHOUT_TRACING();
   const auto program = workloads::pi_taylor(2, 3, 100).take();

@@ -8,10 +8,16 @@
 //   --forwarding     enable data forwarding (paper 5.2)
 //   --splitting      enable page splitting (paper 5.1)
 //   --dsm-diff       diff-encoded page transfers (DESIGN.md §12)
+//   --hier-locking   hierarchical distributed locking (DESIGN.md §11)
 //   --hint-sched     hint-based locality-aware scheduling (paper 5.3)
 //   --quantum N      instructions per scheduling slice (default 20000)
 //   --rtt-us N       network round-trip time in microseconds (default 55)
 //   --gbps X         network bandwidth in Gbit/s (default 1.0)
+//   --faults         deterministic fault injection + reliable delivery
+//                    (DESIGN.md §13)
+//   --fault-seed N   seed of the fault decision stream (default 1)
+//   --drop-pct X     per-transmission drop probability, percent (default 0;
+//                    implies --faults when > 0)
 //   --stats          dump all simulator counters after the run
 //   --breakdown      print per-thread execute/pagefault/syscall shares
 //   --trace FILE     write a Chrome trace_event JSON (load in Perfetto /
@@ -49,8 +55,9 @@ void usage(const char* argv0) {
                "usage: %s <program.s> [--nodes N] [--cores N] [--forwarding]"
                " [--splitting]\n               [--dsm-diff] [--hier-locking]"
                " [--hint-sched] [--quantum N] [--rtt-us N]\n               "
-               "[--gbps X] [--stats] [--breakdown] [--trace FILE]"
-               " [--trace-categories LIST]\n               [--verbose]\n",
+               "[--gbps X] [--faults] [--fault-seed N] [--drop-pct X]"
+               " [--stats]\n               [--breakdown] [--trace FILE]"
+               " [--trace-categories LIST] [--verbose]\n",
                argv0);
 }
 
@@ -130,6 +137,23 @@ int main(int argc, char** argv) {
       config.sched.policy = SchedPolicy::kHintLocality;
     } else if (std::strcmp(arg, "--hier-locking") == 0) {
       config.sys.enable_hierarchical_locking = true;
+    } else if (std::strcmp(arg, "--faults") == 0) {
+      config.faults.enabled = true;
+    } else if (std::strcmp(arg, "--fault-seed") == 0) {
+      std::uint32_t seed = 0;
+      if (const char* v = next_value(); v == nullptr || !parse_u32(v, &seed)) {
+        usage(argv[0]);
+        return 2;
+      }
+      config.faults.seed = seed;
+    } else if (std::strcmp(arg, "--drop-pct") == 0) {
+      const char* v = next_value();
+      if (v == nullptr) {
+        usage(argv[0]);
+        return 2;
+      }
+      config.faults.drop_pct = std::strtod(v, nullptr);
+      if (config.faults.drop_pct > 0.0) config.faults.enabled = true;
     } else if (std::strcmp(arg, "--stats") == 0) {
       dump_stats = true;
     } else if (std::strcmp(arg, "--breakdown") == 0) {
@@ -273,6 +297,19 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.get("sys.wake_batches")),
         static_cast<unsigned long long>(stats.get("sys.lease_grants")),
         static_cast<unsigned long long>(stats.get("sys.lease_recalls")));
+
+    // Interconnect summary. The fault-model counters (dropped onward) stay
+    // zero on the reliable wire.
+    std::fprintf(
+        stderr,
+        "[dqemu_run] net: messages=%llu loopback=%llu dropped=%llu "
+        "retrans=%llu dup_suppressed=%llu timeouts=%llu\n",
+        static_cast<unsigned long long>(stats.get("net.messages")),
+        static_cast<unsigned long long>(stats.get("net.loopback")),
+        static_cast<unsigned long long>(stats.get("net.dropped")),
+        static_cast<unsigned long long>(stats.get("net.retrans")),
+        static_cast<unsigned long long>(stats.get("net.dup_suppressed")),
+        static_cast<unsigned long long>(stats.get("dsm.timeouts")));
   }
 
   if (breakdown) {
