@@ -234,6 +234,53 @@ struct SysConfig {
   std::uint32_t lock_agent_cycles = 300;
 };
 
+/// How the serving plane's load generator times request injections.
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson,  ///< open-loop: exponential inter-arrival times at `rate`
+  kUniform,  ///< open-loop: constant spacing 1/rate
+  kClosed,   ///< closed-loop: `clients` issue, wait for the reply, think
+};
+
+/// Request-serving workload plane (DESIGN.md §14): a virtual-time load
+/// generator on the master injects requests that guest worker pools pull
+/// via the serve syscalls, with log-bucketed latency accounting. Every
+/// draw (inter-arrival gap, service class, think time) comes from a
+/// counter-based SplitMix64 stream keyed by `seed` and the request number
+/// — never host randomness — so same seed + same config reproduces every
+/// arrival time and latency sample byte-for-byte. Also gated at compile
+/// time by the DQEMU_ENABLE_SERVING CMake option; with either gate off the
+/// batch workloads are bit-identical to a build without this subsystem.
+struct ServeConfig {
+  bool enabled = false;
+  /// Seed of the serving decision stream (arrivals, mix, think times).
+  std::uint64_t seed = 7;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  /// Offered load for the open-loop processes, requests per virtual second.
+  double rate = 2000.0;
+  /// Total requests injected over the run.
+  std::uint32_t requests = 2000;
+  /// Closed-loop client population (each has one request in flight).
+  std::uint32_t clients = 16;
+  /// Closed-loop mean think time between a reply and the next request
+  /// (exponentially distributed).
+  DurationPs think_mean = 2 * time_literals::kMs;
+  /// Executions dispatched per request (>= 2 = request cloning: the first
+  /// reply retires the request, the rest are redundant work).
+  std::uint32_t clones = 1;
+  /// Guest worker-pool size the driver synthesizes (workloads::serve_pool).
+  std::uint32_t workers = 32;
+
+  // Service-time mix: relative weights of the three request classes and
+  // the mean work units (guest loop iterations) each class costs. Work is
+  // jittered ±50% per request, also seed-keyed.
+  std::uint32_t mix_cheap = 70;
+  std::uint32_t mix_medium = 25;
+  std::uint32_t mix_heavy = 5;
+  std::uint32_t work_cheap = 300;    ///< pure ALU loop
+  std::uint32_t work_medium = 2000;  ///< walks a read-shared table (DSM reads)
+  std::uint32_t work_heavy = 1000;   ///< + a global-mutex critical section
+};
+
 /// Guest-thread placement policy (sections 4.1, 5.3).
 enum class SchedPolicy {
   kRoundRobin,     ///< spread threads evenly over slave nodes
@@ -270,6 +317,7 @@ struct ClusterConfig {
   SysConfig sys;
   SchedConfig sched;
   FaultConfig faults;
+  ServeConfig serve;
 
   std::uint64_t seed = 42;  ///< seed for all workload/test randomness
 
@@ -308,6 +356,27 @@ struct ClusterConfig {
           faults.retrans_cap < faults.retrans_timeout)
         return S::invalid_argument(
             "retrans_timeout must be >= 1 and <= retrans_cap");
+    }
+    if (serve.enabled) {
+      if (serve.requests == 0)
+        return S::invalid_argument("serve.requests must be >= 1");
+      if (serve.clones == 0)
+        return S::invalid_argument("serve.clones must be >= 1");
+      if (serve.workers == 0)
+        return S::invalid_argument("serve.workers must be >= 1");
+      if (serve.arrival != ArrivalProcess::kClosed && serve.rate <= 0.0)
+        return S::invalid_argument("serve.rate must be positive (open loop)");
+      if (serve.arrival == ArrivalProcess::kClosed && serve.clients == 0)
+        return S::invalid_argument("serve.clients must be >= 1 (closed loop)");
+      if (serve.mix_cheap + serve.mix_medium + serve.mix_heavy == 0)
+        return S::invalid_argument("serve mix weights must not all be zero");
+      for (const std::uint32_t work :
+           {serve.work_cheap, serve.work_medium, serve.work_heavy}) {
+        // The work descriptor rides in 28 bits of the syscall result, and
+        // the per-request jitter scales it up to 1.5x.
+        if (work == 0 || work > (1u << 27))
+          return S::invalid_argument("serve work units must be in [1, 2^27]");
+      }
     }
     if (guest_mem_bytes < 16u * 1024 * 1024)
       return S::invalid_argument("guest_mem_bytes too small (< 16 MiB)");

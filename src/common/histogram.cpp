@@ -1,0 +1,83 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace dqemu {
+
+std::uint32_t LogHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBucketCount) return static_cast<std::uint32_t>(value);
+  // value in [2^e, 2^(e+1)), e >= kSubBucketBits: the top kSubBucketBits
+  // bits below the leading one select the sub-bucket.
+  const auto e = static_cast<std::uint32_t>(std::bit_width(value)) - 1;
+  const std::uint64_t sub =
+      (value >> (e - kSubBucketBits)) - kSubBucketCount;  // [0, 32)
+  return static_cast<std::uint32_t>((e - kSubBucketBits + 1) * kSubBucketCount +
+                                    sub);
+}
+
+std::uint64_t LogHistogram::bucket_upper(std::uint32_t index) {
+  if (index < kSubBucketCount) return index;
+  const std::uint32_t e =
+      kSubBucketBits + (index - static_cast<std::uint32_t>(kSubBucketCount)) /
+                           static_cast<std::uint32_t>(kSubBucketCount);
+  const std::uint64_t sub = index % kSubBucketCount;
+  return ((sub + kSubBucketCount + 1) << (e - kSubBucketBits)) - 1;
+}
+
+void LogHistogram::record(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  buckets_[bucket_index(value)] += count;
+  count_ += count;
+  sum_ += value * count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  for (const auto& [index, count] : other.buckets_) buckets_[index] += count;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          std::ceil(q * static_cast<double>(count_))),
+      1, count_);
+  std::uint64_t seen = 0;
+  for (const auto& [index, count] : buckets_) {
+    seen += count;
+    if (seen >= rank) {
+      // The bucket's upper bound, clamped to the exact extremes so
+      // quantile(0)/quantile(1) are precise.
+      return std::clamp(bucket_upper(index), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::clear() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+std::string LogHistogram::to_string() const {
+  std::ostringstream out;
+  out << "count=" << count_ << " sum=" << sum_ << " min=" << min()
+      << " p50=" << quantile(0.50) << " p90=" << quantile(0.90)
+      << " p99=" << quantile(0.99) << " p999=" << quantile(0.999)
+      << " max=" << max_;
+  return out.str();
+}
+
+}  // namespace dqemu

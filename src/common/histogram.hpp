@@ -1,0 +1,72 @@
+// Log-bucketed (HDR-style) histogram for latency-type distributions.
+//
+// Values are 64-bit unsigned samples (the serving plane records latencies
+// in nanoseconds). Buckets below kSubBucketCount are exact; above that,
+// each power-of-two range is divided into kSubBucketCount sub-buckets, so
+// every recorded value lands in a bucket whose width is at most
+// 1/kSubBucketCount of its magnitude — a bounded relative error of ~3.1%
+// for quantile queries, independent of the value range. Storage is a
+// sparse ordered map, so dumps are deterministic and merging two
+// histograms is exact (bucket-wise addition), which is what lets per-node
+// distributions be combined into a cluster-wide one without re-recording.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dqemu {
+
+class LogHistogram {
+ public:
+  /// log2 of the sub-bucket count: 32 sub-buckets per power of two.
+  static constexpr std::uint32_t kSubBucketBits = 5;
+  static constexpr std::uint64_t kSubBucketCount = 1ULL << kSubBucketBits;
+
+  /// Index of the bucket containing `value`.
+  [[nodiscard]] static std::uint32_t bucket_index(std::uint64_t value);
+
+  /// Largest value the bucket at `index` can contain (its representative:
+  /// quantile queries answer with this upper bound, so estimates never
+  /// understate the true value).
+  [[nodiscard]] static std::uint64_t bucket_upper(std::uint32_t index);
+
+  /// Records `count` occurrences of `value`.
+  void record(std::uint64_t value, std::uint64_t count = 1);
+
+  /// Adds every sample of `other` into this histogram (exact).
+  void merge(const LogHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  /// Exact extremes (tracked beside the buckets).
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Value at quantile `q` in [0, 1]: the upper bound of the bucket holding
+  /// the sample of rank ceil(q * count), clamped to the exact max. 0 when
+  /// empty. quantile(0) is the min, quantile(1) the max (both exact).
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  void clear();
+
+  /// One-line deterministic summary:
+  ///   "count=N sum=S min=m p50=a p90=b p99=c p999=d max=M"
+  /// (all integers; byte-stable for golden/determinism tests).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const LogHistogram& a, const LogHistogram& b) {
+    return a.count_ == b.count_ && a.sum_ == b.sum_ && a.min_ == b.min_ &&
+           a.max_ == b.max_ && a.buckets_ == b.buckets_;
+  }
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> buckets_;  ///< index -> sample count
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace dqemu

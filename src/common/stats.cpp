@@ -31,12 +31,32 @@ void StatsRegistry::set(std::string_view name, std::uint64_t value) {
   }
 }
 
-void StatsRegistry::clear() { counters_.clear(); }
+void StatsRegistry::clear() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+LogHistogram& StatsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), LogHistogram{}).first;
+  }
+  return it->second;
+}
+
+const LogHistogram* StatsRegistry::find_histogram(
+    std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
 
 std::string StatsRegistry::to_string() const {
   std::ostringstream out;
   for (const auto& [name, value] : counters_) {
     out << name << " = " << value << '\n';
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out << name << " = " << hist.to_string() << '\n';
   }
   return out.str();
 }

@@ -11,12 +11,14 @@
 #include <string>
 #include <string_view>
 
+#include "common/histogram.hpp"
 #include "common/types.hpp"
 
 namespace dqemu {
 
-/// String-keyed monotonic counters. Keys are created on first touch.
-/// Ordered map so dumps are stable for golden tests.
+/// String-keyed monotonic counters plus named distributions. Keys are
+/// created on first touch. Ordered maps so dumps are stable for golden
+/// tests.
 class StatsRegistry {
  public:
   /// Adds `delta` to counter `name` (creating it at zero first).
@@ -31,7 +33,7 @@ class StatsRegistry {
   /// Sets a counter to an absolute value (for gauges like "pages split").
   void set(std::string_view name, std::uint64_t value);
 
-  /// Removes all counters.
+  /// Removes all counters and histograms.
   void clear();
 
   /// All counters, for iteration in reports.
@@ -40,11 +42,27 @@ class StatsRegistry {
     return counters_;
   }
 
-  /// Multi-line "name = value" dump, sorted by name.
+  // ----- distributions ----------------------------------------------------
+  /// Named log-bucketed histogram, created empty on first touch. Any
+  /// subsystem can record a distribution the same way it bumps a counter:
+  ///   stats->histogram("serve.latency_ns").record(ns);
+  [[nodiscard]] LogHistogram& histogram(std::string_view name);
+
+  /// Read access without creating the key; nullptr if never touched.
+  [[nodiscard]] const LogHistogram* find_histogram(std::string_view name) const;
+
+  [[nodiscard]] const std::map<std::string, LogHistogram, std::less<>>&
+  histograms() const {
+    return histograms_;
+  }
+
+  /// Multi-line "name = value" dump, sorted by name; histogram lines
+  /// (quantile summaries) follow the counters.
   [[nodiscard]] std::string to_string() const;
 
  private:
   std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, LogHistogram, std::less<>> histograms_;
 };
 
 /// Where a guest thread's virtual time went. Mirrors the breakdown the

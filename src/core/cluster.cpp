@@ -82,6 +82,30 @@ Cluster::Cluster(ClusterConfig config, trace::Tracer* tracer)
   };
   syscalls_->set_hooks(std::move(sys_hooks));
 
+  if (config_.serve.enabled) {
+    if (!serve::compiled_in()) {
+      // Runtime gate on, compile-time gate off: refuse loudly rather than
+      // silently run the batch semantics of a serving config.
+      fatal_ = "serving requested but compiled out (DQEMU_ENABLE_SERVING=OFF)";
+    } else {
+      serving_.emplace(
+          queue_, config_.serve, &stats_, tracer_,
+          [this](NodeId dst, GuestTid tid, std::int64_t result,
+                 std::uint64_t flow) {
+            // Every dispatch/EOF pays the same manager service delay as any
+            // other syscall response.
+            syscalls_->send_response(dst, tid, result, {}, flow);
+          });
+      syscalls_->set_serve_handler([this](const sys::SyscallRequest& req) {
+        if (req.num == isa::Sys::kServeGet) {
+          serving_->on_get_request(req.src, req.tid, req.flow);
+        } else {
+          serving_->on_done(req.src, req.tid, req.args[0], req.flow);
+        }
+      });
+    }
+  }
+
   // Message routing: master traffic splits between the directory, the
   // syscall engine, migration bookkeeping and the node itself.
   network_.attach(kMasterNode,
@@ -153,6 +177,9 @@ Status Cluster::load(const isa::Program& program) {
   thread_node_[main_ctx.tid] = kMasterNode;
   alive_threads_ = 1;
   nodes_[kMasterNode]->add_thread(main_ctx, /*ctid=*/0, /*hint_group=*/-1);
+
+  // Offered load starts at the same virtual instant the guest boots.
+  if (serving_.has_value()) serving_->start();
 
   loaded_ = true;
   return Status::ok();

@@ -27,6 +27,7 @@
 #include "dsm/directory.hpp"
 #include "isa/program.hpp"
 #include "net/network.hpp"
+#include "serve/load_generator.hpp"
 #include "sim/event_queue.hpp"
 #include "sys/master_syscalls.hpp"
 #include "trace/tracer.hpp"
@@ -83,6 +84,11 @@ class Cluster {
     return directory_.has_value() ? &*directory_ : nullptr;
   }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  /// Serving-plane load generator; null unless ServeConfig::enabled (and
+  /// the subsystem is compiled in — see DQEMU_ENABLE_SERVING).
+  [[nodiscard]] serve::LoadGenerator* serving() {
+    return serving_.has_value() ? &*serving_ : nullptr;
+  }
   /// Node currently hosting `tid` (master bookkeeping), or kInvalidNode.
   [[nodiscard]] NodeId thread_node(GuestTid tid) const;
   [[nodiscard]] GuestTid main_tid() const { return 1; }
@@ -108,6 +114,7 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::optional<dsm::Directory> directory_;
   std::optional<sys::MasterSyscalls> syscalls_;
+  std::optional<serve::LoadGenerator> serving_;
 
   // Master-side global thread table.
   GuestTid next_tid_ = 1;

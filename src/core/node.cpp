@@ -501,6 +501,12 @@ void Node::delegate_syscall(GuestThread& t, PendingSyscall& call) {
       call.args[3] = static_cast<std::uint32_t>(t.ctx.hint_group);
       break;
     }
+    case Sys::kServeGet:
+      // A worker parked at the load generator is waiting for offered load,
+      // not doing work — account the blocked time as idle, like a futex
+      // wait, so serving runs report meaningful busy fractions.
+      call.block_is_idle = true;
+      break;
     case Sys::kFutex: {
       if (call.args[1] == isa::kFutexWait) {
         // The atomic re-check (section 4.4): we hold a read copy of the

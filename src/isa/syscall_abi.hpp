@@ -2,8 +2,9 @@
 //
 // GA32's SYSCALL instruction carries the call number as an immediate;
 // arguments are in a0..a3 and the result returns in a0 (negative errno on
-// failure, Linux style). The set is the 19 calls needed by the workloads —
-// the same count the paper reports implementing (section 4.3).
+// failure, Linux style). Calls 1..19 are the set the workloads need — the
+// same count the paper reports implementing (section 4.3); 20..21 are the
+// serving-plane extension (DESIGN.md §14).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +33,13 @@ enum class Sys : std::uint16_t {
   kNanosleep = 17, ///< a0 = nanoseconds (32-bit)
   kMunmap = 18,    ///< a0 = addr, a1 = length (accounting only)
   kGetcpu = 19,    ///< -> node id the thread currently runs on
+
+  // Serving-plane calls (DESIGN.md §14) — beyond the paper's 19; only
+  // guests built by workloads::serve_pool use them, and they return
+  // -ENOSYS unless the cluster runs with ServeConfig::enabled.
+  kServeGet = 20,  ///< block for the next request -> work descriptor
+                   ///< (class << 28 | work units), or -1 for "no more work"
+  kServeDone = 21, ///< a0 = result checksum of the request just served
 };
 
 /// Futex operations for Sys::kFutex.

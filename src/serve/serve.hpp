@@ -1,0 +1,20 @@
+// Compile-time gate for the request-serving plane (DESIGN.md §14).
+//
+// Mirrors the other dual-gated subsystems (DBT fast paths, hierarchical
+// locking, DSM diffs, fault injection): the DQEMU_ENABLE_SERVING CMake
+// option defines DQEMU_SERVING_ENABLED=0 to compile the load generator out,
+// and ServeConfig::enabled gates it at runtime. With either gate off, a
+// batch run is bit-identical to a build that never had the subsystem.
+#pragma once
+
+#ifndef DQEMU_SERVING_ENABLED
+#define DQEMU_SERVING_ENABLED 1
+#endif
+
+namespace dqemu::serve {
+
+[[nodiscard]] constexpr bool compiled_in() {
+  return DQEMU_SERVING_ENABLED != 0;
+}
+
+}  // namespace dqemu::serve

@@ -228,6 +228,16 @@ void MasterSyscalls::dispatch(const SyscallRequest& req) {
     case Sys::kExitGroup:
       if (hooks_.on_exit_group) hooks_.on_exit_group(req.args[0]);
       return;
+    case Sys::kServeGet:
+    case Sys::kServeDone:
+      // The serving plane owns these; a kServeGet may be parked (deferred
+      // response) exactly like FUTEX_WAIT, so the handler replies itself.
+      if (serve_handler_) {
+        serve_handler_(req);
+      } else {
+        send_response(req.src, req.tid, -isa::kENOSYS, {}, req.flow);
+      }
+      return;
     default:
       DQEMU_WARN("unimplemented delegated syscall %u",
                  static_cast<unsigned>(req.num));

@@ -78,6 +78,15 @@ class MasterSyscalls {
 
   void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
 
+  /// Serving-plane escape hatch: kServeGet / kServeDone requests are handed
+  /// to this callback (the core layer binds it to the load generator),
+  /// which replies — possibly much later, for parked workers — through
+  /// send_response. Without a handler both calls return -ENOSYS.
+  using ServeHandler = std::function<void(const SyscallRequest&)>;
+  void set_serve_handler(ServeHandler handler) {
+    serve_handler_ = std::move(handler);
+  }
+
   [[nodiscard]] Vfs& vfs() { return vfs_; }
   [[nodiscard]] const Vfs& vfs() const { return vfs_; }
   [[nodiscard]] FutexTable& futexes() { return futexes_; }
@@ -138,6 +147,7 @@ class MasterSyscalls {
   StatsRegistry* stats_;
   trace::Tracer* tracer_;
   Hooks hooks_;
+  ServeHandler serve_handler_;
   Vfs vfs_;
   FutexTable futexes_;
   SysConfig sys_;

@@ -25,6 +25,7 @@ enum class Cat : std::uint32_t {
   kSys = 1u << 4,      ///< syscall delegation and the distributed futex
   kCounter = 1u << 5,  ///< periodic counter snapshots (stats timelines)
   kQueue = 1u << 6,    ///< raw event-queue dispatch (very voluminous)
+  kServe = 1u << 7,    ///< serving plane: request arrival/dispatch/complete
 };
 
 [[nodiscard]] constexpr std::uint32_t cat_bit(Cat c) {
@@ -35,7 +36,8 @@ enum class Cat : std::uint32_t {
 /// firehose, which records one instant per simulation event.
 inline constexpr std::uint32_t kDefaultCategories =
     cat_bit(Cat::kSim) | cat_bit(Cat::kCore) | cat_bit(Cat::kNet) |
-    cat_bit(Cat::kDsm) | cat_bit(Cat::kSys) | cat_bit(Cat::kCounter);
+    cat_bit(Cat::kDsm) | cat_bit(Cat::kSys) | cat_bit(Cat::kCounter) |
+    cat_bit(Cat::kServe);
 
 inline constexpr std::uint32_t kAllCategories =
     kDefaultCategories | cat_bit(Cat::kQueue);
@@ -50,6 +52,7 @@ inline constexpr std::uint32_t kAllCategories =
     case Cat::kSys: return "sys";
     case Cat::kCounter: return "counter";
     case Cat::kQueue: return "queue";
+    case Cat::kServe: return "serve";
   }
   return "?";
 }

@@ -78,7 +78,7 @@ std::optional<std::uint32_t> parse_categories(std::string_view list) {
     }
     bool found = false;
     for (const Cat c : {Cat::kSim, Cat::kCore, Cat::kNet, Cat::kDsm,
-                        Cat::kSys, Cat::kCounter, Cat::kQueue}) {
+                        Cat::kSys, Cat::kCounter, Cat::kQueue, Cat::kServe}) {
       if (item == cat_name(c)) {
         mask |= cat_bit(c);
         found = true;

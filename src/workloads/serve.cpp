@@ -1,0 +1,149 @@
+#include "workloads/serve.hpp"
+
+#include "workloads/common.hpp"
+
+namespace dqemu::workloads {
+
+using isa::Assembler;
+using isa::Sys;
+using enum isa::Reg;
+
+Result<isa::Program> serve_pool(const ServePoolParams& params) {
+  if (params.workers == 0) {
+    return Status::invalid_argument("serve_pool: workers must be >= 1");
+  }
+  // The medium kernel wraps its table index with an andi mask, so the
+  // table size must be a power of two small enough for a 16-bit immediate.
+  if (params.table_words < 2 || params.table_words > 32768 ||
+      (params.table_words & (params.table_words - 1)) != 0) {
+    return Status::invalid_argument(
+        "serve_pool: table_words must be a power of two in [2, 32768]");
+  }
+  Assembler a;
+  Assembler::Label main_fn = a.make_label("main");
+  Assembler::Label worker = a.make_label("worker");
+  Assembler::Label locks = a.make_label("locks");
+  Assembler::Label table = a.make_label("table");
+
+  guestlib::emit_crt0(a, main_fn);
+  guestlib::Runtime rt = guestlib::emit_runtime(a);
+
+  // Shared-data layout (each item on its own page so its coherence
+  // traffic is attributable):
+  //   locks + 0             global mutex (heavy kernel + completion total)
+  //   locks + 4096 + 8      completed-execution total
+  //   locks + 8192 + 8      heavy kernel's hot shared counter
+  constexpr std::int32_t kTotalOff = 4096 + 8;
+  constexpr std::int32_t kHotOff = 2 * 4096 + 8;
+  const std::uint32_t table_mask = params.table_words - 1;
+
+  // worker(a0 = idx, unused): pull-execute-report loop.
+  //   s0 = executions completed locally, s1 = work units, s2 = checksum.
+  {
+    a.bind(worker);
+    a.addi(kSp, kSp, -16);
+    a.sw(kSp, kRa, 0);
+    a.li(kS0, 0);
+
+    Assembler::Label loop = a.make_label();
+    Assembler::Label cksum_loop = a.make_label();
+    Assembler::Label submit = a.make_label();
+    Assembler::Label medium = a.make_label();
+    Assembler::Label med_loop = a.make_label();
+    Assembler::Label heavy = a.make_label();
+    Assembler::Label drain = a.make_label();
+
+    a.bind(loop);
+    emit_syscall(a, Sys::kServeGet);  // a0 = (class << 28) | work, or < 0
+    a.blt(kA0, kZero, drain);
+    a.srli(kT0, kA0, 28);  // t0 = service class
+    a.li(kT1, 0x0FFFFFFF);
+    a.and_(kS1, kA0, kT1);  // s1 = work units (>= 1 by contract)
+
+    // All classes: the checksum accumulation the master verifies —
+    // sum of 1..work in 32-bit wrap-around.
+    a.li(kS2, 0);
+    a.mov(kT1, kS1);
+    a.bind(cksum_loop);
+    a.add(kS2, kS2, kT1);
+    a.addi(kT1, kT1, -1);
+    a.bne(kT1, kZero, cksum_loop);
+
+    a.li(kT1, 1);
+    a.beq(kT0, kT1, medium);
+    a.li(kT1, 2);
+    a.beq(kT0, kT1, heavy);
+
+    a.bind(submit);
+    a.mov(kA0, kS2);
+    emit_syscall(a, Sys::kServeDone);
+    a.addi(kS0, kS0, 1);
+    a.j(loop);
+
+    // Medium: `work` strided reads over the read-shared table — every
+    // worker node ends up holding read copies of its pages.
+    a.bind(medium);
+    a.la(kT1, table);
+    a.li(kT2, 0);
+    a.mov(kT3, kS1);
+    a.bind(med_loop);
+    a.slli(kT4, kT2, 2);
+    a.add(kT4, kT1, kT4);
+    a.lw(kT0, kT4, 0);  // value discarded: the fault is the point
+    a.addi(kT2, kT2, 131);
+    a.andi(kT2, kT2, static_cast<std::int32_t>(table_mask));
+    a.addi(kT3, kT3, -1);
+    a.bne(kT3, kZero, med_loop);
+    a.j(submit);
+
+    // Heavy: one global-mutex critical section bumping a hot shared
+    // counter — the request classes contend for the same lock + page.
+    a.bind(heavy);
+    a.la(kA0, locks);
+    a.call(rt.mutex_lock);
+    a.la(kT0, locks);
+    a.lw(kT1, kT0, kHotOff);
+    a.addi(kT1, kT1, 1);
+    a.sw(kT0, kT1, kHotOff);
+    a.la(kA0, locks);
+    a.call(rt.mutex_unlock);
+    a.j(submit);
+
+    // EOF: fold the local completion count into the shared total under
+    // the global mutex, then return to the join.
+    a.bind(drain);
+    a.la(kA0, locks);
+    a.call(rt.mutex_lock);
+    a.la(kT0, locks);
+    a.lw(kT1, kT0, kTotalOff);
+    a.add(kT1, kT1, kS0);
+    a.sw(kT0, kT1, kTotalOff);
+    a.la(kA0, locks);
+    a.call(rt.mutex_unlock);
+    a.li(kA0, 0);
+    a.lw(kRa, kSp, 0);
+    a.addi(kSp, kSp, 16);
+    a.ret();
+  }
+
+  ParallelMainOptions options;
+  options.threads = params.workers;
+  options.epilogue = [&](Assembler& as) {
+    // The only guest output: total executions completed. Equal to
+    // requests x clones whatever the serve seed, arrival process or
+    // cluster layout — the anchor of the determinism tests.
+    as.la(kT0, locks);
+    as.lw(kA0, kT0, kTotalOff);
+    as.call(rt.print_u32);
+  };
+  emit_parallel_main(a, rt, main_fn, worker, options);
+
+  a.d_align(4096);
+  a.bind_data(locks);
+  a.d_space(3 * 4096);
+  a.bind_data(table);
+  a.d_space(params.table_words * 4);
+  return a.finalize();
+}
+
+}  // namespace dqemu::workloads

@@ -1,0 +1,32 @@
+// Guest-side worker pool for the serving plane (DESIGN.md §14).
+//
+// serve_pool() emits a GA32 program whose worker threads pull request
+// descriptors from the master's load generator with the kServeGet syscall,
+// run the class's service kernel (cheap ALU loop / medium read-shared
+// table scan / heavy global-mutex critical section), report the kernel's
+// checksum back with kServeDone and loop until the generator signals EOF.
+// The program's only stdout is the total number of executions completed —
+// requests x clones for any serve seed, which is what the determinism
+// tests pin down.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "isa/program.hpp"
+
+namespace dqemu::workloads {
+
+struct ServePoolParams {
+  /// Worker threads pulling from the load generator (cluster-wide; the
+  /// scheduler spreads them over the slave nodes).
+  std::uint32_t workers = 32;
+  /// Words in the read-shared table the medium kernel scans (page-aligned
+  /// static data; every word is one potential remote read fault).
+  std::uint32_t table_words = 4096;
+};
+
+/// Emits the serve worker-pool guest program.
+[[nodiscard]] Result<isa::Program> serve_pool(const ServePoolParams& params);
+
+}  // namespace dqemu::workloads

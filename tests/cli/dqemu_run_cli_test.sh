@@ -33,14 +33,25 @@ esac
 # And for no program at all.
 "$RUN" >/dev/null 2>&1 && fail "no arguments exited 0"
 
-# The usage text must mention every fault-injection flag this PR added.
+# The usage text must mention every accepted flag — it is generated from
+# the same table the parser matches against, and this list is the external
+# contract. A flag added to the parser but missing here (or vice versa)
+# must fail the test.
 usage=$("$RUN" 2>&1)
-for flag in --faults --fault-seed --drop-pct --hier-locking; do
+for flag in --nodes --cores --quantum --rtt-us --gbps --forwarding \
+            --splitting --dsm-diff --hier-locking --hint-sched \
+            --faults --fault-seed --drop-pct \
+            --serve --requests --arrival --rate --clients --think-us \
+            --clone --serve-workers --serve-seed \
+            --stats --breakdown --trace --trace-categories --verbose --help; do
   case "$usage" in
     *"$flag"*) ;;
     *) fail "usage does not mention $flag" ;;
   esac
 done
+
+# --help prints the same usage text and exits 0.
+"$RUN" --help >/dev/null 2>&1 || fail "--help exited non-zero"
 
 # A good invocation (with the new flags) still runs to completion.
 out=$("$RUN" "$GUEST" --nodes 2 --faults --fault-seed 3 --drop-pct 2 2>&1)
@@ -53,6 +64,41 @@ esac
 case "$out" in
   *"retrans="*) ;;
   *) fail "fault run printed no net summary: $out" ;;
+esac
+
+# Serving mode: --serve takes no program argument...
+"$RUN" "$GUEST" --serve >/dev/null 2>&1 && fail "--serve with a program exited 0"
+
+# ...and either runs the built-in pool (serving compiled in) or refuses
+# loudly (DQEMU_ENABLE_SERVING=OFF build).
+out=$("$RUN" --serve --nodes 2 --requests 200 --rate 4000 \
+      --serve-workers 8 --serve-seed 5 2>&1)
+status=$?
+case "$out" in
+  *"compiled out"*)
+    [ "$status" -ne 0 ] || fail "compiled-out --serve exited 0"
+    ;;
+  *)
+    [ "$status" -eq 0 ] || fail "--serve run exited $status: $out"
+    case "$out" in
+      *"serve: requests=200 retired=200"*) ;;
+      *) fail "--serve printed no serve summary: $out" ;;
+    esac
+    case "$out" in
+      *"p99="*) ;;
+      *) fail "--serve summary has no tail percentiles: $out" ;;
+    esac
+    # Same seed, same everything: the whole output must be byte-identical,
+    # lossy wire included.
+    two=$("$RUN" --serve --nodes 2 --requests 200 --rate 4000 \
+          --serve-workers 8 --serve-seed 5 2>&1)
+    [ "$out" = "$two" ] || fail "same-seed --serve runs differ"
+    f1=$("$RUN" --serve --nodes 2 --requests 200 --rate 4000 \
+         --serve-workers 8 --faults --drop-pct 2 2>&1)
+    f2=$("$RUN" --serve --nodes 2 --requests 200 --rate 4000 \
+         --serve-workers 8 --faults --drop-pct 2 2>&1)
+    [ "$f1" = "$f2" ] || fail "same-seed --serve --faults runs differ"
+    ;;
 esac
 
 [ "$failures" -eq 0 ] && echo "PASS"

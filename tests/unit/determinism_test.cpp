@@ -18,11 +18,13 @@
 #include <sstream>
 #include <string>
 
-#include "net/network.hpp"  // for DQEMU_FAULTS_ENABLED
+#include "net/network.hpp"   // for DQEMU_FAULTS_ENABLED
+#include "serve/serve.hpp"   // for DQEMU_SERVING_ENABLED
 #include "testutil.hpp"
 #include "trace/export.hpp"
 #include "trace/tracer.hpp"
 #include "workloads/micro.hpp"
+#include "workloads/serve.hpp"
 
 namespace dqemu {
 namespace {
@@ -38,6 +40,7 @@ struct Observation {
   core::Cluster::RunResult result;
   std::map<std::string, std::uint64_t, std::less<>> counters;  ///< host-only keys removed
   std::string trace_json;                         ///< counter records excluded
+  std::string hist_dump;  ///< every registry histogram (latency distributions)
 };
 
 Observation observe_with(const isa::Program& program, ClusterConfig config) {
@@ -58,6 +61,9 @@ Observation observe_with(const isa::Program& program, ClusterConfig config) {
 
   obs.counters = cluster.stats().counters();
   for (const auto& key : kHostOnlyCounters) obs.counters.erase(key);
+  for (const auto& [name, hist] : cluster.stats().histograms()) {
+    obs.hist_dump += name + " " + hist.to_string() + "\n";
+  }
 
   std::ostringstream out;
   trace::write_chrome_json(tracer, out);
@@ -103,6 +109,7 @@ void expect_identical(const Observation& on, const Observation& off) {
   }
 
   EXPECT_EQ(on.trace_json, off.trace_json);
+  EXPECT_EQ(on.hist_dump, off.hist_dump);
 }
 
 isa::Program must(Result<isa::Program> r) {
@@ -267,6 +274,80 @@ TEST(FaultDeterminism, DisabledFaultsLeaveTheCleanRunUntouched) {
   ClusterConfig constructed = test::test_config(2);
   constructed.faults.seed = 99;      // non-default knobs, gate still off
   constructed.faults.drop_pct = 50;  // ignored while enabled=false
+  expect_identical(observe_with(program, off),
+                   observe_with(program, constructed));
+}
+
+// The serving plane (DESIGN.md §14) must inherit the simulator's
+// bit-reproducibility: every arrival, dispatch and latency is a pure
+// function of (config, seed), so two same-seed runs agree on everything —
+// including the latency histograms (hist_dump) and the per-request trace
+// flows — and a serving-disabled config cannot perturb a batch run.
+
+#if DQEMU_SERVING_ENABLED
+#define SKIP_WITHOUT_SERVING() (void)0
+#else
+#define SKIP_WITHOUT_SERVING() \
+  GTEST_SKIP() << "built with DQEMU_ENABLE_SERVING=OFF"
+#endif
+
+ClusterConfig serving_config(std::uint32_t nodes, std::uint64_t seed) {
+  ClusterConfig config = test::test_config(nodes);
+  config.serve.enabled = true;
+  config.serve.seed = seed;
+  config.serve.requests = 200;
+  config.serve.rate = 8000.0;
+  config.serve.workers = 8;
+  return config;
+}
+
+TEST(ServeDeterminism, SameSeedRunsAreByteIdentical) {
+  SKIP_WITHOUT_SERVING();
+  const auto program = must(workloads::serve_pool({.workers = 8}));
+  expect_identical(observe_with(program, serving_config(2, 7)),
+                   observe_with(program, serving_config(2, 7)));
+}
+
+TEST(ServeDeterminism, SameSeedRunsAreByteIdenticalUnderLoss) {
+  SKIP_WITHOUT_SERVING();
+  const auto program = must(workloads::serve_pool({.workers = 8}));
+  ClusterConfig config = serving_config(2, 7);
+  config.faults.enabled = true;
+  config.faults.seed = 3;
+  config.faults.drop_pct = 2;
+  config.faults.dup_pct = 1;
+  config.faults.jitter_pct = 5;
+  expect_identical(observe_with(program, config),
+                   observe_with(program, config));
+}
+
+TEST(ServeDeterminism, DifferentServeSeedChangesOnlyTheServingPlane) {
+  SKIP_WITHOUT_SERVING();
+  const auto program = must(workloads::serve_pool({.workers = 8}));
+  const Observation a = observe_with(program, serving_config(2, 7));
+  const Observation b = observe_with(program, serving_config(2, 8));
+  // The guest-visible results are seed-invariant: the pool completes every
+  // execution whatever the arrival schedule.
+  EXPECT_EQ(a.result.exit_code, b.result.exit_code);
+  EXPECT_EQ(a.result.guest_stdout, b.result.guest_stdout);
+  EXPECT_EQ(a.result.guest_stdout, "200\n");
+  EXPECT_EQ(a.counters.at("serve.retired"), b.counters.at("serve.retired"));
+  // But the serving plane honestly changed: different arrival times mean a
+  // different latency distribution.
+  EXPECT_NE(a.hist_dump, b.hist_dump);
+}
+
+TEST(ServeDeterminism, DisabledServingReproducesTheBatchBaseline) {
+  // The dual-gate contract: serve knobs set but enabled=false must not
+  // move a single picosecond of a batch run. Runs in every build flavor —
+  // with serving compiled out this doubles as the compiled-out-identity
+  // gate.
+  const auto program = must(workloads::mutex_stress(8, 50, /*global=*/true));
+  ClusterConfig off = test::test_config(2);
+  ClusterConfig constructed = test::test_config(2);
+  constructed.serve.seed = 99;        // non-default knobs, gate still off
+  constructed.serve.requests = 5000;  // ignored while enabled=false
+  constructed.serve.rate = 1e6;
   expect_identical(observe_with(program, off),
                    observe_with(program, constructed));
 }

@@ -1,0 +1,132 @@
+// Log-bucketed histogram (src/common/histogram): bucket geometry, bounded
+// relative error of quantile queries, exact merging, and the stats-registry
+// surface the serving plane records latencies through.
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace dqemu {
+namespace {
+
+TEST(LogHistogram, SmallValuesHaveExactBuckets) {
+  LogHistogram h;
+  for (std::uint64_t v = 0; v < LogHistogram::kSubBucketCount; ++v) {
+    EXPECT_EQ(LogHistogram::bucket_index(v), v);
+    EXPECT_EQ(LogHistogram::bucket_upper(static_cast<std::uint32_t>(v)), v);
+    h.record(v);
+  }
+  // With one sample per exact bucket, every quantile is an exact sample.
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 15u);
+  EXPECT_EQ(h.quantile(1.0), 31u);
+}
+
+TEST(LogHistogram, BucketUpperIsTightestContainingBound) {
+  // For any value, bucket_upper(bucket_index(v)) >= v, and the bucket one
+  // below (when it exists) cannot contain v.
+  for (std::uint64_t v : {1ULL, 31ULL, 32ULL, 33ULL, 500ULL, 1000ULL,
+                          4095ULL, 4096ULL, 1ULL << 31, (1ULL << 62) + 17}) {
+    const std::uint32_t index = LogHistogram::bucket_index(v);
+    EXPECT_GE(LogHistogram::bucket_upper(index), v) << v;
+    if (index > 0) {
+      EXPECT_LT(LogHistogram::bucket_upper(index - 1), v) << v;
+    }
+  }
+}
+
+TEST(LogHistogram, QuantileErrorIsBounded) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  // Rank 500's bucket is [496, 503] (32 sub-buckets in [256, 512)), so the
+  // p50 answer is the bucket's upper bound: 503 — within 1/32 of the true
+  // median, and never an understatement.
+  EXPECT_EQ(h.quantile(0.5), 503u);
+  EXPECT_EQ(h.quantile(0.0), 1u);    // exact min
+  EXPECT_EQ(h.quantile(1.0), 1000u);  // exact max (clamped)
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.sum(), 500500u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(LogHistogram, QuantilesAreMonotone) {
+  LogHistogram h;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 200; ++i) {
+    h.record(v);
+    v = v * 3 + 1;
+    if (v > (1ULL << 40)) v = 1;
+  }
+  std::uint64_t prev = 0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::uint64_t value = h.quantile(q);
+    EXPECT_GE(value, prev) << q;
+    prev = value;
+  }
+}
+
+TEST(LogHistogram, WeightedRecordEqualsRepeatedRecord) {
+  LogHistogram repeated;
+  LogHistogram weighted;
+  for (int i = 0; i < 7; ++i) repeated.record(12345);
+  weighted.record(12345, 7);
+  EXPECT_EQ(repeated, weighted);
+}
+
+TEST(LogHistogram, MergeIsExactBucketwiseAddition) {
+  LogHistogram a;
+  LogHistogram b;
+  LogHistogram combined;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    a.record(v * 17);
+    combined.record(v * 17);
+  }
+  for (std::uint64_t v = 1; v <= 300; ++v) {
+    b.record(v * 1001);
+    combined.record(v * 1001);
+  }
+  a.merge(b);
+  EXPECT_EQ(a, combined);
+  EXPECT_EQ(a.to_string(), combined.to_string());
+}
+
+TEST(LogHistogram, EmptyAndClear) {
+  LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  h.record(99);
+  EXPECT_FALSE(h.empty());
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h, LogHistogram{});
+}
+
+TEST(LogHistogram, ToStringIsDeterministic) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v * v);
+  const std::string dump = h.to_string();
+  EXPECT_EQ(dump, h.to_string());
+  EXPECT_NE(dump.find("count=100"), std::string::npos);
+  EXPECT_NE(dump.find("max=10000"), std::string::npos);
+  EXPECT_NE(dump.find("p99="), std::string::npos);
+}
+
+TEST(StatsRegistryHistograms, CreateOnTouchFindAndClear) {
+  StatsRegistry stats;
+  EXPECT_EQ(stats.find_histogram("serve.latency_ns"), nullptr);
+  stats.histogram("serve.latency_ns").record(250);
+  stats.histogram("serve.latency_ns").record(750);
+  const LogHistogram* found = stats.find_histogram("serve.latency_ns");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count(), 2u);
+  // Histograms ride the same to_string dump as the counters.
+  EXPECT_NE(stats.to_string().find("serve.latency_ns"), std::string::npos);
+  stats.clear();
+  EXPECT_EQ(stats.find_histogram("serve.latency_ns"), nullptr);
+}
+
+}  // namespace
+}  // namespace dqemu

@@ -1,18 +1,29 @@
 #!/usr/bin/env python3
 """Diff two BENCH_*.json files produced by the bench/ binaries.
 
-Usage: tools/bench_compare.py OLD.json NEW.json
+Usage: tools/bench_compare.py [--latency-tol PCT] OLD.json NEW.json
 
 Prints per-scenario guest-MIPS ratios (new/old) and flags virtual-time
 drift: wall-clock numbers legitimately differ across machines and runs,
 but `guest_insns` and `sim_seconds` are virtual-time observables and must
-match exactly between two runs of the same bench configuration. Exits
-non-zero only on malformed input or virtual-time drift — never on a speed
-difference, so it is safe as an informational CI step across hardware.
+match exactly between two runs of the same bench configuration. Latency
+benches (ablation_serving) additionally carry throughput and latency
+quantiles; those are derived from virtual time and integer-nanosecond
+histograms, so they too must match exactly — unless --latency-tol loosens
+them to a relative percentage for comparisons across code revisions where
+bit-equality is not expected. Exits non-zero only on malformed input or
+virtual-time drift — never on a speed difference, so it is safe as an
+informational CI step across hardware.
 """
 
 import json
 import sys
+
+# Virtual-time exact observables present in every bench.
+EXACT_FIELDS = ("guest_insns", "sim_seconds")
+# Latency-bench observables: exact by default, tolerance-checked with
+# --latency-tol. Only compared when a scenario carries them.
+LATENCY_FIELDS = ("throughput_rps", "p50_ms", "p99_ms", "p999_ms", "max_ms")
 
 
 def load(path):
@@ -27,10 +38,28 @@ def key(scenario):
     return (scenario["name"], scenario.get("fastpath"))
 
 
+def latency_drifted(old_value, new_value, tol_pct):
+    if old_value == new_value:
+        return False
+    if tol_pct is None:
+        return True
+    bound = abs(old_value) * tol_pct / 100.0
+    return abs(new_value - old_value) > bound
+
+
 def main():
-    if len(sys.argv) != 3:
+    argv = sys.argv[1:]
+    tol_pct = None
+    if "--latency-tol" in argv:
+        at = argv.index("--latency-tol")
+        try:
+            tol_pct = float(argv[at + 1])
+        except (IndexError, ValueError):
+            sys.exit("--latency-tol needs a numeric percentage")
+        del argv[at:at + 2]
+    if len(argv) != 2:
         sys.exit(__doc__.strip().splitlines()[2])
-    old_doc, new_doc = load(sys.argv[1]), load(sys.argv[2])
+    old_doc, new_doc = load(argv[0]), load(argv[1])
     old = {key(s): s for s in old_doc["scenarios"]}
     new = {key(s): s for s in new_doc["scenarios"]}
     comparable = old_doc.get("quick") == new_doc.get("quick")
@@ -52,11 +81,24 @@ def main():
         print(f"{name:<20} {fp:>8} {o['guest_mips']:>10.2f} "
               f"{n['guest_mips']:>10.2f} {ratio:>6.2f}x")
         if comparable:
-            for field in ("guest_insns", "sim_seconds"):
+            for field in EXACT_FIELDS:
                 if o.get(field) != n.get(field):
                     drift = True
                     print(f"  !! {field} drifted: "
                           f"{o.get(field)} -> {n.get(field)}")
+            for field in LATENCY_FIELDS:
+                if field not in o and field not in n:
+                    continue
+                if field not in o or field not in n:
+                    drift = True
+                    print(f"  !! {field} present on only one side")
+                    continue
+                if latency_drifted(o[field], n[field], tol_pct):
+                    drift = True
+                    within = ("" if tol_pct is None
+                              else f" (tol {tol_pct:g}%)")
+                    print(f"  !! {field} drifted{within}: "
+                          f"{o[field]} -> {n[field]}")
     if drift:
         sys.exit("virtual-time results differ: the runs are not equivalent")
 

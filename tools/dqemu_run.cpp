@@ -1,36 +1,18 @@
 // dqemu_run — command-line driver: assemble a GA32 source file and run it
-// on a simulated DQEMU cluster.
+// on a simulated DQEMU cluster, or drive the built-in request-serving
+// workload (DESIGN.md §14) with --serve.
 //
 //   dqemu_run prog.s [options]
+//   dqemu_run --serve [options]
 //
-//   --nodes N        slave nodes (default 2); 0 = QEMU single-node baseline
-//   --cores N        cores per node (default 4)
-//   --forwarding     enable data forwarding (paper 5.2)
-//   --splitting      enable page splitting (paper 5.1)
-//   --dsm-diff       diff-encoded page transfers (DESIGN.md §12)
-//   --hier-locking   hierarchical distributed locking (DESIGN.md §11)
-//   --hint-sched     hint-based locality-aware scheduling (paper 5.3)
-//   --quantum N      instructions per scheduling slice (default 20000)
-//   --rtt-us N       network round-trip time in microseconds (default 55)
-//   --gbps X         network bandwidth in Gbit/s (default 1.0)
-//   --faults         deterministic fault injection + reliable delivery
-//                    (DESIGN.md §13)
-//   --fault-seed N   seed of the fault decision stream (default 1)
-//   --drop-pct X     per-transmission drop probability, percent (default 0;
-//                    implies --faults when > 0)
-//   --stats          dump all simulator counters after the run
-//   --breakdown      print per-thread execute/pagefault/syscall shares
-//   --trace FILE     write a Chrome trace_event JSON (load in Perfetto /
-//                    chrome://tracing); FILE ending in .txt gets the
-//                    compact text dump instead
-//   --trace-categories LIST
-//                    comma-separated subset of sim,core,net,dsm,sys,
-//                    counter,queue (or "all" / "default")
-//   --verbose        debug-level protocol logging
+// Every accepted option lives in kFlags below; the usage text is generated
+// from the same table, so the two cannot drift apart (the CLI test checks
+// that every flag appears in the usage output).
 //
-// Example:
+// Examples:
 //   ./build/tools/dqemu_run examples/guest/hello.s --nodes 4 --stats
 //   ./build/tools/dqemu_run examples/guest/pi.s --trace out.json
+//   ./build/tools/dqemu_run --serve --nodes 4 --rate 8000 --requests 20000
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -43,22 +25,88 @@
 #include "common/log.hpp"
 #include "core/cluster.hpp"
 #include "isa/text_asm.hpp"
+#include "serve/serve.hpp"
 #include "trace/export.hpp"
 #include "trace/tracer.hpp"
+#include "workloads/serve.hpp"
 
 using namespace dqemu;
 
 namespace {
 
+struct FlagSpec {
+  const char* name;
+  const char* metavar;  ///< null for boolean flags
+  const char* help;
+};
+
+// The single source of truth for the option surface. The parser accepts
+// exactly these names and usage() prints exactly these lines.
+constexpr FlagSpec kFlags[] = {
+    {"--nodes", "N", "slave nodes (default 2); 0 = QEMU single-node baseline"},
+    {"--cores", "N", "cores per node (default 4)"},
+    {"--quantum", "N", "instructions per scheduling slice (default 20000)"},
+    {"--rtt-us", "N", "network round-trip time in microseconds (default 55)"},
+    {"--gbps", "X", "network bandwidth in Gbit/s (default 1.0)"},
+    {"--forwarding", nullptr, "enable data forwarding (paper 5.2)"},
+    {"--splitting", nullptr, "enable page splitting (paper 5.1)"},
+    {"--dsm-diff", nullptr, "diff-encoded page transfers (DESIGN.md §12)"},
+    {"--hier-locking", nullptr,
+     "hierarchical distributed locking (DESIGN.md §11)"},
+    {"--hint-sched", nullptr,
+     "hint-based locality-aware scheduling (paper 5.3)"},
+    {"--faults", nullptr,
+     "deterministic fault injection + reliable delivery (DESIGN.md §13)"},
+    {"--fault-seed", "N", "seed of the fault decision stream (default 1)"},
+    {"--drop-pct", "X",
+     "per-transmission drop probability, percent (default 0; implies"
+     " --faults when > 0)"},
+    {"--serve", nullptr,
+     "run the built-in request-serving workload instead of a program"
+     " (DESIGN.md §14)"},
+    {"--requests", "N", "serving: total requests to issue (default 2000)"},
+    {"--arrival", "KIND",
+     "serving: arrival process, poisson | uniform | closed (default"
+     " poisson)"},
+    {"--rate", "X", "serving: open-loop offered load, req/s (default 2000)"},
+    {"--clients", "N", "serving: closed-loop client count (default 16)"},
+    {"--think-us", "N",
+     "serving: closed-loop mean think time, microseconds (default 2000)"},
+    {"--clone", "N",
+     "serving: executions per request, first reply wins (default 1)"},
+    {"--serve-workers", "N", "serving: guest worker threads (default 32)"},
+    {"--serve-seed", "N", "serving: load-generator seed (default 7)"},
+    {"--stats", nullptr, "dump all simulator counters after the run"},
+    {"--breakdown", nullptr,
+     "print per-thread execute/pagefault/syscall shares"},
+    {"--trace", "FILE",
+     "write a Chrome trace_event JSON (Perfetto / chrome://tracing); FILE"
+     " ending in .txt gets the compact text dump"},
+    {"--trace-categories", "LIST",
+     "comma-separated subset of sim,core,net,dsm,sys,counter,queue,serve"
+     " (or \"all\" / \"default\")"},
+    {"--verbose", nullptr, "debug-level protocol logging"},
+    {"--help", nullptr, "print this usage text"},
+};
+
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <program.s> [--nodes N] [--cores N] [--forwarding]"
-               " [--splitting]\n               [--dsm-diff] [--hier-locking]"
-               " [--hint-sched] [--quantum N] [--rtt-us N]\n               "
-               "[--gbps X] [--faults] [--fault-seed N] [--drop-pct X]"
-               " [--stats]\n               [--breakdown] [--trace FILE]"
-               " [--trace-categories LIST] [--verbose]\n",
-               argv0);
+               "usage: %s <program.s> [options]\n"
+               "       %s --serve [options]\n\noptions:\n",
+               argv0, argv0);
+  for (const FlagSpec& flag : kFlags) {
+    char left[40];
+    std::snprintf(left, sizeof left, "%s %s", flag.name,
+                  flag.metavar != nullptr ? flag.metavar : "");
+    std::fprintf(stderr, "  %-24s %s\n", left, flag.help);
+  }
+}
+
+const FlagSpec* find_flag(const char* arg) {
+  for (const FlagSpec& flag : kFlags) {
+    if (std::strcmp(arg, flag.name) == 0) return &flag;
+  }
+  return nullptr;
 }
 
 bool parse_u32(const char* text, std::uint32_t* out) {
@@ -86,47 +134,49 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    auto next_value = [&]() -> const char* {
-      return (i + 1 < argc) ? argv[++i] : nullptr;
-    };
-    if (std::strcmp(arg, "--nodes") == 0) {
-      std::uint32_t n = 0;
-      if (const char* v = next_value(); v == nullptr || !parse_u32(v, &n)) {
+    if (arg[0] != '-') {
+      if (source_path != nullptr) {
         usage(argv[0]);
         return 2;
       }
-      if (n == 0) {
-        config.single_node_baseline = true;
-        config.slave_nodes = 0;
-      } else {
+      source_path = arg;
+      continue;
+    }
+    const FlagSpec* spec = find_flag(arg);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      usage(argv[0]);
+      return 2;
+    }
+    const char* value = nullptr;
+    if (spec->metavar != nullptr) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg);
+        usage(argv[0]);
+        return 2;
+      }
+      value = argv[++i];
+    }
+    // `ok` collects the value-parse outcomes so every branch shares one
+    // error exit.
+    bool ok = true;
+    if (std::strcmp(arg, "--nodes") == 0) {
+      std::uint32_t n = 0;
+      ok = parse_u32(value, &n);
+      if (ok) {
+        config.single_node_baseline = (n == 0);
         config.slave_nodes = n;
       }
     } else if (std::strcmp(arg, "--cores") == 0) {
-      const char* v = next_value();
-      if (v == nullptr || !parse_u32(v, &config.machine.cores_per_node)) {
-        usage(argv[0]);
-        return 2;
-      }
+      ok = parse_u32(value, &config.machine.cores_per_node);
     } else if (std::strcmp(arg, "--quantum") == 0) {
-      const char* v = next_value();
-      if (v == nullptr || !parse_u32(v, &config.dbt.quantum_insns)) {
-        usage(argv[0]);
-        return 2;
-      }
+      ok = parse_u32(value, &config.dbt.quantum_insns);
     } else if (std::strcmp(arg, "--rtt-us") == 0) {
       std::uint32_t rtt = 0;
-      if (const char* v = next_value(); v == nullptr || !parse_u32(v, &rtt)) {
-        usage(argv[0]);
-        return 2;
-      }
-      config.net.one_way_latency = rtt * time_literals::kUs / 2;
+      ok = parse_u32(value, &rtt);
+      if (ok) config.net.one_way_latency = rtt * time_literals::kUs / 2;
     } else if (std::strcmp(arg, "--gbps") == 0) {
-      const char* v = next_value();
-      if (v == nullptr) {
-        usage(argv[0]);
-        return 2;
-      }
-      config.net.bandwidth_gbps = std::strtod(v, nullptr);
+      config.net.bandwidth_gbps = std::strtod(value, nullptr);
     } else if (std::strcmp(arg, "--forwarding") == 0) {
       config.dsm.enable_forwarding = true;
     } else if (std::strcmp(arg, "--splitting") == 0) {
@@ -141,33 +191,52 @@ int main(int argc, char** argv) {
       config.faults.enabled = true;
     } else if (std::strcmp(arg, "--fault-seed") == 0) {
       std::uint32_t seed = 0;
-      if (const char* v = next_value(); v == nullptr || !parse_u32(v, &seed)) {
-        usage(argv[0]);
-        return 2;
-      }
-      config.faults.seed = seed;
+      ok = parse_u32(value, &seed);
+      if (ok) config.faults.seed = seed;
     } else if (std::strcmp(arg, "--drop-pct") == 0) {
-      const char* v = next_value();
-      if (v == nullptr) {
-        usage(argv[0]);
+      config.faults.drop_pct = std::strtod(value, nullptr);
+      if (config.faults.drop_pct > 0.0) config.faults.enabled = true;
+    } else if (std::strcmp(arg, "--serve") == 0) {
+      config.serve.enabled = true;
+    } else if (std::strcmp(arg, "--requests") == 0) {
+      ok = parse_u32(value, &config.serve.requests);
+    } else if (std::strcmp(arg, "--arrival") == 0) {
+      if (std::strcmp(value, "poisson") == 0) {
+        config.serve.arrival = ArrivalProcess::kPoisson;
+      } else if (std::strcmp(value, "uniform") == 0) {
+        config.serve.arrival = ArrivalProcess::kUniform;
+      } else if (std::strcmp(value, "closed") == 0) {
+        config.serve.arrival = ArrivalProcess::kClosed;
+      } else {
+        std::fprintf(stderr,
+                     "bad --arrival %s (want poisson, uniform or closed)\n",
+                     value);
         return 2;
       }
-      config.faults.drop_pct = std::strtod(v, nullptr);
-      if (config.faults.drop_pct > 0.0) config.faults.enabled = true;
+    } else if (std::strcmp(arg, "--rate") == 0) {
+      config.serve.rate = std::strtod(value, nullptr);
+    } else if (std::strcmp(arg, "--clients") == 0) {
+      ok = parse_u32(value, &config.serve.clients);
+    } else if (std::strcmp(arg, "--think-us") == 0) {
+      std::uint32_t think_us = 0;
+      ok = parse_u32(value, &think_us);
+      if (ok) config.serve.think_mean = think_us * time_literals::kUs;
+    } else if (std::strcmp(arg, "--clone") == 0) {
+      ok = parse_u32(value, &config.serve.clones);
+    } else if (std::strcmp(arg, "--serve-workers") == 0) {
+      ok = parse_u32(value, &config.serve.workers);
+    } else if (std::strcmp(arg, "--serve-seed") == 0) {
+      std::uint32_t seed = 0;
+      ok = parse_u32(value, &seed);
+      if (ok) config.serve.seed = seed;
     } else if (std::strcmp(arg, "--stats") == 0) {
       dump_stats = true;
     } else if (std::strcmp(arg, "--breakdown") == 0) {
       breakdown = true;
     } else if (std::strcmp(arg, "--trace") == 0) {
-      trace_path = next_value();
-      if (trace_path == nullptr) {
-        usage(argv[0]);
-        return 2;
-      }
+      trace_path = value;
     } else if (std::strcmp(arg, "--trace-categories") == 0) {
-      const char* v = next_value();
-      const auto mask =
-          v != nullptr ? trace::parse_categories(v) : std::nullopt;
+      const auto mask = trace::parse_categories(value);
       if (!mask.has_value()) {
         std::fprintf(stderr,
                      "bad --trace-categories (want e.g. net,dsm,sys or"
@@ -177,19 +246,29 @@ int main(int argc, char** argv) {
       trace_config.categories = *mask;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       set_log_level(LogLevel::kDebug);
-    } else if (arg[0] == '-') {
-      std::fprintf(stderr, "unknown option: %s\n", arg);
+    } else if (std::strcmp(arg, "--help") == 0) {
       usage(argv[0]);
-      return 2;
-    } else if (source_path == nullptr) {
-      source_path = arg;
-    } else {
+      return 0;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad value for %s\n", arg);
       usage(argv[0]);
       return 2;
     }
   }
-  if (source_path == nullptr) {
+  if (config.serve.enabled && source_path != nullptr) {
+    std::fprintf(stderr,
+                 "--serve runs the built-in worker pool; drop %s\n",
+                 source_path);
+    return 2;
+  }
+  if (!config.serve.enabled && source_path == nullptr) {
     usage(argv[0]);
+    return 2;
+  }
+  if (config.serve.enabled && !serve::compiled_in()) {
+    std::fprintf(stderr,
+                 "serving plane compiled out (DQEMU_ENABLE_SERVING=OFF)\n");
     return 2;
   }
   if (const Status valid = config.validate(); !valid.is_ok()) {
@@ -197,17 +276,23 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::ifstream in(source_path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", source_path);
-    return 1;
-  }
-  std::ostringstream text;
-  text << in.rdbuf();
-
-  auto program = isa::assemble_text(text.str());
+  Result<isa::Program> program = [&]() -> Result<isa::Program> {
+    if (config.serve.enabled) {
+      workloads::ServePoolParams pool;
+      pool.workers = config.serve.workers;
+      return workloads::serve_pool(pool);
+    }
+    std::ifstream in(source_path);
+    if (!in) {
+      return Status::not_found(std::string("cannot open ") + source_path);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return isa::assemble_text(text.str());
+  }();
   if (!program.is_ok()) {
-    std::fprintf(stderr, "%s: %s\n", source_path,
+    std::fprintf(stderr, "%s: %s\n",
+                 source_path != nullptr ? source_path : "--serve",
                  program.status().to_string().c_str());
     return 1;
   }
@@ -310,6 +395,34 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.get("net.retrans")),
         static_cast<unsigned long long>(stats.get("net.dup_suppressed")),
         static_cast<unsigned long long>(stats.get("dsm.timeouts")));
+
+    // Serving-plane summary (DESIGN.md §14): offered vs served load and
+    // the tail of the latency distribution.
+    if (config.serve.enabled) {
+      const LogHistogram* lat = stats.find_histogram("serve.latency_ns");
+      const double sim_seconds = ps_to_seconds(result.sim_time);
+      const auto retired = stats.get("serve.retired");
+      const double throughput =
+          sim_seconds > 0.0 ? static_cast<double>(retired) / sim_seconds : 0.0;
+      auto ms = [&](double q) {
+        return lat != nullptr && !lat->empty()
+                   ? static_cast<double>(lat->quantile(q)) / 1e6
+                   : 0.0;
+      };
+      std::fprintf(
+          stderr,
+          "[dqemu_run] serve: requests=%llu retired=%llu executions=%llu "
+          "checksum_errors=%llu throughput=%.1f req/s p50=%.3fms p99=%.3fms "
+          "p999=%.3fms max=%.3fms\n",
+          static_cast<unsigned long long>(stats.get("serve.requests")),
+          static_cast<unsigned long long>(retired),
+          static_cast<unsigned long long>(stats.get("serve.executions")),
+          static_cast<unsigned long long>(stats.get("serve.checksum_errors")),
+          throughput, ms(0.5), ms(0.99), ms(0.999),
+          lat != nullptr && !lat->empty()
+              ? static_cast<double>(lat->max()) / 1e6
+              : 0.0);
+    }
   }
 
   if (breakdown) {
