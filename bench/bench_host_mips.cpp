@@ -4,18 +4,25 @@
 // measures how fast the DBT engine itself runs on the host: guest
 // instructions retired per host wall-clock second. It is the repo's
 // perf-trajectory datapoint for the execution hot path (software TLB,
-// indirect-jump cache, LL/SC store filter — DESIGN.md section 10).
+// indirect-jump cache, LL/SC store filter — DESIGN.md section 10 — and the
+// superblock hot-trace tier — DESIGN.md section 15).
 //
 // Scenarios:
-//   * hotloop_1node  — single-node baseline; main thread runs a
+//   * hotloop_1node      — single-node baseline; main thread runs a
 //     memory-heavy loop (lw/sw per iteration) calling a leaf function via
 //     jal/jalr, so every layer of the fast path is exercised.
-//   * memwalk_4node  — 4 slave nodes; workloads::memwalk with protection
+//   * memwalk_4node      — 4 slave nodes; workloads::memwalk with protection
 //     checks and remote page faults in the loop.
+//   * mutex_stress_4node — 4 slave nodes; lock-heavy loop (ll/sc + futex)
+//     with short straight-line critical sections between side exits.
 //
-// Each scenario runs twice, with the runtime fast-path toggle on and off,
-// and the results (plus the on/off speedup) are written to BENCH_dbt.json
-// (or argv[1]). Compare two result files with tools/bench_compare.py.
+// Each scenario runs three configurations — (fastpath on, superblocks on),
+// (fastpath on, superblocks off) and (fastpath off, superblocks off) — and
+// the per-scenario speedups (superblocks on/off at fastpath on; fastpath
+// on/off with superblocks off) land in BENCH_dbt.json (or argv[1]).
+// guest_insns and sim_seconds must be byte-identical across the three rows
+// of a scenario: both accelerations are host-side only. Compare two result
+// files with tools/bench_compare.py (which enforces exactly that).
 //
 // DQEMU_BENCH_QUICK=1 shrinks the workloads ~8x (CI smoke runs).
 #include <cstdio>
@@ -92,15 +99,17 @@ struct Scenario {
 struct Sample {
   std::string scenario;
   bool fastpath = false;
+  bool superblocks = false;
   std::uint64_t guest_insns = 0;
   double wall_seconds = 0.0;
   double guest_mips = 0.0;
   double sim_seconds = 0.0;
 };
 
-Sample measure(const Scenario& s, bool fastpath) {
+Sample measure(const Scenario& s, bool fastpath, bool superblocks) {
   ClusterConfig config = s.config;
   config.dbt.enable_fastpath = fastpath;
+  config.dbt.enable_superblocks = superblocks;
   // Warm-up run (page cache, allocator); then the measured run.
   must_ok(run_cluster(config, s.program), s.name.c_str());
   const BenchRun run = run_cluster(config, s.program);
@@ -108,6 +117,7 @@ Sample measure(const Scenario& s, bool fastpath) {
   Sample out;
   out.scenario = s.name;
   out.fastpath = fastpath;
+  out.superblocks = superblocks;
   out.guest_insns = run.result.guest_insns;
   out.wall_seconds = run.wall_seconds;
   out.guest_mips =
@@ -145,23 +155,42 @@ int main(int argc, char** argv) {
     s.config = paper_config(4);
     scenarios.push_back(std::move(s));
   }
+  {
+    Scenario s;
+    s.name = "mutex_stress_4node";
+    s.program = must_program(
+        workloads::mutex_stress(/*threads=*/8, scaled(20'000, 4),
+                                /*global_lock=*/false),
+        "mutex_stress");
+    s.config = paper_config(4);
+    s.config.sys.enable_hierarchical_locking = true;
+    scenarios.push_back(std::move(s));
+  }
+
+  // Per scenario: superblocks on/off at fastpath on, then the legacy
+  // fastpath on/off pair (superblocks off) — triples are adjacent in
+  // `samples` and the speedup loop below indexes into them.
+  struct Mode {
+    bool fastpath;
+    bool superblocks;
+  };
+  constexpr Mode kModes[] = {{true, true}, {true, false}, {false, false}};
 
   std::vector<Sample> samples;
-  std::printf("%-16s %9s %12s %9s %10s\n", "scenario", "fastpath", "insns",
-              "wall s", "MIPS");
+  std::printf("%-18s %9s %12s %12s %9s %10s\n", "scenario", "fastpath",
+              "superblocks", "insns", "wall s", "MIPS");
   for (const Scenario& s : scenarios) {
-    for (const bool fastpath : {true, false}) {
-      const Sample sample = measure(s, fastpath);
-      std::printf("%-16s %9s %12llu %9.3f %10.1f\n", sample.scenario.c_str(),
-                  sample.fastpath ? "on" : "off",
+    for (const Mode mode : kModes) {
+      const Sample sample = measure(s, mode.fastpath, mode.superblocks);
+      std::printf("%-18s %9s %12s %12llu %9.3f %10.1f\n",
+                  sample.scenario.c_str(), sample.fastpath ? "on" : "off",
+                  sample.superblocks ? "on" : "off",
                   static_cast<unsigned long long>(sample.guest_insns),
                   sample.wall_seconds, sample.guest_mips);
       samples.push_back(sample);
     }
   }
 
-  // Speedup of fastpath-on over fastpath-off per scenario (pairs are
-  // adjacent: on first, then off).
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "FATAL: cannot write %s\n", out_path);
@@ -173,21 +202,28 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];
     std::fprintf(f,
-                 "    {\"name\": \"%s\", \"fastpath\": %s, \"guest_insns\": "
-                 "%llu, \"wall_seconds\": %.6f, \"guest_mips\": %.2f, "
-                 "\"sim_seconds\": %.6f}%s\n",
+                 "    {\"name\": \"%s\", \"fastpath\": %s, \"superblocks\": "
+                 "%s, \"guest_insns\": %llu, \"wall_seconds\": %.6f, "
+                 "\"guest_mips\": %.2f, \"sim_seconds\": %.6f}%s\n",
                  s.scenario.c_str(), s.fastpath ? "true" : "false",
+                 s.superblocks ? "true" : "false",
                  static_cast<unsigned long long>(s.guest_insns),
                  s.wall_seconds, s.guest_mips, s.sim_seconds,
                  i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"speedups\": {\n");
-  for (std::size_t i = 0; i + 1 < samples.size(); i += 2) {
-    const double ratio = samples[i].guest_mips / samples[i + 1].guest_mips;
-    std::fprintf(f, "    \"%s\": %.3f%s\n", samples[i].scenario.c_str(),
-                 ratio, i + 2 < samples.size() ? "," : "");
-    std::printf("%-16s fastpath speedup: %.2fx\n",
-                samples[i].scenario.c_str(), ratio);
+  for (std::size_t i = 0; i + 2 < samples.size(); i += 3) {
+    const Sample& both = samples[i];      // fastpath on, superblocks on
+    const Sample& fp_only = samples[i + 1];  // fastpath on, superblocks off
+    const Sample& neither = samples[i + 2];  // fastpath off, superblocks off
+    const double sb_ratio = both.guest_mips / fp_only.guest_mips;
+    const double fp_ratio = fp_only.guest_mips / neither.guest_mips;
+    std::fprintf(f,
+                 "    \"%s\": {\"superblocks\": %.3f, \"fastpath\": %.3f}%s\n",
+                 both.scenario.c_str(), sb_ratio, fp_ratio,
+                 i + 3 < samples.size() ? "," : "");
+    std::printf("%-18s superblock speedup: %.2fx   fastpath speedup: %.2fx\n",
+                both.scenario.c_str(), sb_ratio, fp_ratio);
   }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);

@@ -83,6 +83,24 @@ struct DbtConfig {
   /// byte-identical either way (DESIGN.md section 10). Also gated at
   /// compile time by the DQEMU_ENABLE_FASTPATH CMake option.
   bool enable_fastpath = true;
+  /// Superblock hot-trace tier (DESIGN.md section 15): hot translation
+  /// blocks are stitched into straight-line traces across their recorded
+  /// chain edges, a micro-op fusion pass combines adjacent guest
+  /// instructions, and a specialized dispatch loop executes the trace with
+  /// guards only at block boundaries and side exits. Host-side only:
+  /// virtual-time results are byte-identical with superblocks on or off.
+  /// Also gated at compile time by the DQEMU_ENABLE_SUPERBLOCKS option.
+  bool enable_superblocks = true;
+  /// Executions of a block between superblock-formation attempts (the hot
+  /// threshold). Low = eager trace selection, high = sticky block engine.
+  std::uint32_t sb_hot_threshold = 64;
+  /// Trace limits: constituent blocks and total guest instructions.
+  std::uint32_t sb_max_blocks = 16;
+  std::uint32_t sb_max_insns = 256;
+  /// Micro-op fusion pass on formed traces (compare+branch, load+ALU,
+  /// ALU+store, pre-resolved TLB lines). Differential-test toggle; fused
+  /// ops charge exactly the cost of their unfused sequence.
+  bool sb_fusion = true;
 };
 
 /// DSM protocol + optimizations (sections 4.2, 5.1, 5.2).
@@ -343,6 +361,14 @@ struct ClusterConfig {
       return S::invalid_argument("split_shards must divide page_size");
     if (dbt.quantum_insns == 0)
       return S::invalid_argument("quantum_insns must be >= 1");
+    if (dbt.enable_superblocks) {
+      if (dbt.sb_hot_threshold == 0)
+        return S::invalid_argument("sb_hot_threshold must be >= 1");
+      if (dbt.sb_max_blocks == 0)
+        return S::invalid_argument("sb_max_blocks must be >= 1");
+      if (dbt.sb_max_insns == 0)
+        return S::invalid_argument("sb_max_insns must be >= 1");
+    }
     if (sys.enable_hierarchical_locking && sys.lease_request_threshold == 0)
       return S::invalid_argument("lease_request_threshold must be >= 1");
     if (faults.enabled) {

@@ -44,7 +44,18 @@ Node::Node(NodeId id, const ClusterConfig& config, sim::EventQueue& queue,
                   [this](GuestTid tid, std::uint64_t flow) {
                     on_local_futex_wake(tid, flow);
                   }),
-      core_busy_(machine_.cores_per_node, false) {}
+      core_busy_(machine_.cores_per_node, false) {
+  // Superblock lifecycle records ride the opt-in kDbt category (not in the
+  // default set: formation is host-side and would differ with the trace
+  // tier compiled out). a = trace entry pc, b = guest insns covered.
+  tcache_.set_sb_event_hook(
+      [this](dbt::SbEvent event, const dbt::Superblock& sb) {
+        note(event == dbt::SbEvent::kFormed ? "dbt.sb_formed"
+                                            : "dbt.sb_invalidated",
+             trace::Cat::kDbt, trace::Kind::kInstant, 0, 0, sb.entry_pc,
+             sb.guest_insns);
+      });
+}
 
 void Node::note(const char* name, trace::Cat cat, trace::Kind kind,
                 GuestTid tid, std::uint64_t flow, std::uint64_t a,

@@ -58,6 +58,8 @@ class Node {
   [[nodiscard]] const mem::AddressSpace& space() const { return space_; }
   [[nodiscard]] mem::ShadowMap& shadow() { return shadow_; }
   [[nodiscard]] dbt::LlscTable& llsc() { return llsc_; }
+  [[nodiscard]] dbt::TranslationCache& tcache() { return tcache_; }
+  [[nodiscard]] const dbt::TranslationCache& tcache() const { return tcache_; }
   [[nodiscard]] dsm::DsmClient& dsm_client() { return dsm_; }
   [[nodiscard]] const std::map<GuestTid, GuestThread>& threads() const {
     return threads_;

@@ -66,16 +66,38 @@ void ExecEngine::sync_fast_caches() {
 }
 #endif
 
+#if DQEMU_SUPERBLOCKS_ENABLED
+void ExecEngine::sync_sb_epoch() {
+  // Same invariant as sync_fast_caches(): protections and the shadow map
+  // are stable for the duration of one run(), so traces entered this
+  // quantum may keep their per-op TLB lines until the next epoch move.
+  const std::uint64_t protection = space_.protection_generation();
+  const std::uint64_t shadow = shadow_ != nullptr ? shadow_->generation() : 0;
+  if (protection != sb_seen_protection_gen_ ||
+      shadow != sb_seen_shadow_gen_) {
+    ++sb_mem_epoch_;
+    sb_seen_protection_gen_ = protection;
+    sb_seen_shadow_gen_ = shadow;
+  }
+}
+#endif
+
 void ExecEngine::invalidate_fast_caches() {
 #if DQEMU_FASTPATH_ENABLED
   tlb_.fill(TlbEntry{});
   jmp_cache_.fill(JmpCacheEntry{});
+#endif
+#if DQEMU_SUPERBLOCKS_ENABLED
+  ++sb_mem_epoch_;  // orphan every superblock's per-op TLB lines
 #endif
 }
 
 ExecResult ExecEngine::run(CpuContext& ctx, std::uint64_t max_insns) {
 #if DQEMU_FASTPATH_ENABLED
   if (config_.enable_fastpath) sync_fast_caches();
+#endif
+#if DQEMU_SUPERBLOCKS_ENABLED
+  if (config_.enable_superblocks) sync_sb_epoch();
 #endif
   HotCounters hot;
   ExecResult result = run_loop(ctx, max_insns, hot);
@@ -90,6 +112,11 @@ ExecResult ExecEngine::run(CpuContext& ctx, std::uint64_t max_insns) {
     if (hot.llsc_fastpath != 0) {
       stats_->add("dbt.llsc_fastpath", hot.llsc_fastpath);
     }
+    if (hot.sb_exec != 0) stats_->add("dbt.sb_exec", hot.sb_exec);
+    if (hot.sb_side_exit != 0) {
+      stats_->add("dbt.sb_side_exit", hot.sb_side_exit);
+    }
+    if (hot.fused_ops != 0) stats_->add("dbt.fused_ops", hot.fused_ops);
   }
   return result;
 }
@@ -106,8 +133,11 @@ ExecResult ExecEngine::run_loop(CpuContext& ctx, std::uint64_t max_insns,
 
 #if DQEMU_FASTPATH_ENABLED
   const bool fast = config_.enable_fastpath;
-  const GuestAddr page_mask = space_.page_size() - 1;
 #endif
+#if DQEMU_SUPERBLOCKS_ENABLED
+  const bool sb_on = config_.enable_superblocks;
+#endif
+  [[maybe_unused]] const GuestAddr page_mask = space_.page_size() - 1;
 
   // Validates a data access; on failure fills `result` and returns false.
   // `addr` is already shadow-resolved.
@@ -225,6 +255,721 @@ ExecResult ExecEngine::run_loop(CpuContext& ctx, std::uint64_t max_insns,
     return found;
   };
 
+  // The interpreter switch, shared by the block loop (every op) and the
+  // superblock trace loop (kSimple fallback only, always with cur ==
+  // nullptr — formation keeps control flow out of kSimple, so the chain
+  // slots are never touched there). Plain ops return kNext and the caller
+  // charges insns/cycles; control ops set ctx.pc (and next_tb via `cur`)
+  // and return kEnd; faults and syscalls finalize `result` and return
+  // kReturn (syscall does its own accounting, faults retire nothing).
+  enum class OpOut : std::uint8_t { kNext, kEnd, kReturn };
+  TranslationBlock* next_tb = nullptr;
+
+  auto exec_op = [&](const isa::Insn& in, GuestAddr pc, std::uint32_t cost,
+                     TranslationBlock* cur) -> OpOut {
+    switch (in.op) {
+      // ---- integer R-type ------------------------------------------
+      case Opcode::kAdd: write_gpr(in.rd, gpr[in.rs1] + gpr[in.rs2]); break;
+      case Opcode::kSub: write_gpr(in.rd, gpr[in.rs1] - gpr[in.rs2]); break;
+      case Opcode::kMul: write_gpr(in.rd, gpr[in.rs1] * gpr[in.rs2]); break;
+      case Opcode::kDiv: {
+        const std::int32_t a = to_signed(gpr[in.rs1]);
+        const std::int32_t b = to_signed(gpr[in.rs2]);
+        std::int32_t q;
+        if (b == 0) {
+          q = -1;  // RISC-style: division by zero yields all ones
+        } else if (a == std::numeric_limits<std::int32_t>::min() && b == -1) {
+          q = a;   // overflow wraps
+        } else {
+          q = a / b;
+        }
+        write_gpr(in.rd, to_unsigned(q));
+        break;
+      }
+      case Opcode::kDivu: {
+        const std::uint32_t b = gpr[in.rs2];
+        write_gpr(in.rd, b == 0 ? ~0u : gpr[in.rs1] / b);
+        break;
+      }
+      case Opcode::kRem: {
+        const std::int32_t a = to_signed(gpr[in.rs1]);
+        const std::int32_t b = to_signed(gpr[in.rs2]);
+        std::int32_t r;
+        if (b == 0) {
+          r = a;
+        } else if (a == std::numeric_limits<std::int32_t>::min() && b == -1) {
+          r = 0;
+        } else {
+          r = a % b;
+        }
+        write_gpr(in.rd, to_unsigned(r));
+        break;
+      }
+      case Opcode::kRemu: {
+        const std::uint32_t b = gpr[in.rs2];
+        write_gpr(in.rd, b == 0 ? gpr[in.rs1] : gpr[in.rs1] % b);
+        break;
+      }
+      case Opcode::kAnd: write_gpr(in.rd, gpr[in.rs1] & gpr[in.rs2]); break;
+      case Opcode::kOr: write_gpr(in.rd, gpr[in.rs1] | gpr[in.rs2]); break;
+      case Opcode::kXor: write_gpr(in.rd, gpr[in.rs1] ^ gpr[in.rs2]); break;
+      case Opcode::kSll: write_gpr(in.rd, gpr[in.rs1] << (gpr[in.rs2] & 31)); break;
+      case Opcode::kSrl: write_gpr(in.rd, gpr[in.rs1] >> (gpr[in.rs2] & 31)); break;
+      case Opcode::kSra:
+        write_gpr(in.rd, to_unsigned(to_signed(gpr[in.rs1]) >>
+                                     (gpr[in.rs2] & 31)));
+        break;
+      case Opcode::kSlt:
+        write_gpr(in.rd, to_signed(gpr[in.rs1]) < to_signed(gpr[in.rs2]) ? 1 : 0);
+        break;
+      case Opcode::kSltu:
+        write_gpr(in.rd, gpr[in.rs1] < gpr[in.rs2] ? 1 : 0);
+        break;
+
+      // ---- integer I-type ------------------------------------------
+      case Opcode::kAddi:
+        write_gpr(in.rd, gpr[in.rs1] + to_unsigned(in.imm));
+        break;
+      case Opcode::kAndi:
+        write_gpr(in.rd, gpr[in.rs1] & to_unsigned(in.imm));
+        break;
+      case Opcode::kOri:
+        write_gpr(in.rd, gpr[in.rs1] | to_unsigned(in.imm));
+        break;
+      case Opcode::kXori:
+        write_gpr(in.rd, gpr[in.rs1] ^ to_unsigned(in.imm));
+        break;
+      case Opcode::kSlli:
+        write_gpr(in.rd, gpr[in.rs1] << (in.imm & 31));
+        break;
+      case Opcode::kSrli:
+        write_gpr(in.rd, gpr[in.rs1] >> (in.imm & 31));
+        break;
+      case Opcode::kSrai:
+        write_gpr(in.rd, to_unsigned(to_signed(gpr[in.rs1]) >> (in.imm & 31)));
+        break;
+      case Opcode::kSlti:
+        write_gpr(in.rd, to_signed(gpr[in.rs1]) < in.imm ? 1 : 0);
+        break;
+      case Opcode::kSltiu:
+        write_gpr(in.rd, gpr[in.rs1] < to_unsigned(in.imm) ? 1 : 0);
+        break;
+      case Opcode::kLui:
+        write_gpr(in.rd, to_unsigned(in.imm) << 12);
+        break;
+      case Opcode::kAuipc:
+        write_gpr(in.rd, pc + (to_unsigned(in.imm) << 12));
+        break;
+
+      // ---- loads ----------------------------------------------------
+      case Opcode::kLb:
+      case Opcode::kLbu:
+      case Opcode::kLh:
+      case Opcode::kLhu:
+      case Opcode::kLw:
+      case Opcode::kLl: {
+        const unsigned bytes = isa::insn_info(in.op).mem_bytes;
+        GuestAddr addr;
+        if (!mem_access(gpr[in.rs1] + to_unsigned(in.imm), bytes,
+                        /*write=*/false, pc, addr)) {
+          ctx.pc = pc;  // re-execute after the fault is serviced
+          return OpOut::kReturn;
+        }
+        const std::uint64_t raw = space_.load(addr, bytes);
+        std::uint32_t value = 0;
+        switch (in.op) {
+          case Opcode::kLb:
+            value = to_unsigned(static_cast<std::int8_t>(raw));
+            break;
+          case Opcode::kLbu: value = static_cast<std::uint8_t>(raw); break;
+          case Opcode::kLh:
+            value = to_unsigned(static_cast<std::int16_t>(raw));
+            break;
+          case Opcode::kLhu: value = static_cast<std::uint16_t>(raw); break;
+          default: value = static_cast<std::uint32_t>(raw); break;
+        }
+        write_gpr(in.rd, value);
+        if (in.op == Opcode::kLl) llsc_.on_ll(addr, ctx.tid);
+        break;
+      }
+      case Opcode::kFld: {
+        GuestAddr addr;
+        if (!mem_access(gpr[in.rs1] + to_unsigned(in.imm), 8,
+                        /*write=*/false, pc, addr)) {
+          ctx.pc = pc;
+          return OpOut::kReturn;
+        }
+        const std::uint64_t raw = space_.load(addr, 8);
+        double value;
+        static_assert(sizeof value == 8);
+        std::memcpy(&value, &raw, 8);
+        fpr[in.rd] = value;
+        break;
+      }
+
+      // ---- stores ---------------------------------------------------
+      case Opcode::kSb:
+      case Opcode::kSh:
+      case Opcode::kSw: {
+        const unsigned bytes = isa::insn_info(in.op).mem_bytes;
+        GuestAddr addr;
+        if (!mem_access(gpr[in.rs1] + to_unsigned(in.imm), bytes,
+                        /*write=*/true, pc, addr)) {
+          ctx.pc = pc;
+          return OpOut::kReturn;
+        }
+        space_.store(addr, gpr[in.rs2], bytes);
+        snoop_store(addr);
+        break;
+      }
+      case Opcode::kFsd: {
+        GuestAddr addr;
+        if (!mem_access(gpr[in.rs1] + to_unsigned(in.imm), 8,
+                        /*write=*/true, pc, addr)) {
+          ctx.pc = pc;
+          return OpOut::kReturn;
+        }
+        std::uint64_t raw;
+        std::memcpy(&raw, &fpr[in.rs2], 8);
+        space_.store(addr, raw, 8);
+        snoop_store(addr);
+        break;
+      }
+      case Opcode::kSc: {
+        GuestAddr addr;
+        if (!mem_access(gpr[in.rs1], 4, /*write=*/true, pc, addr)) {
+          ctx.pc = pc;
+          return OpOut::kReturn;
+        }
+        if (llsc_.on_sc(addr, ctx.tid)) {
+          space_.store(addr, gpr[in.rs2], 4);
+          write_gpr(in.rd, 0);
+        } else {
+          write_gpr(in.rd, 1);
+        }
+        break;
+      }
+
+      // ---- control flow ---------------------------------------------
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+      case Opcode::kBltu:
+      case Opcode::kBgeu: {
+        bool taken = false;
+        switch (in.op) {
+          case Opcode::kBeq: taken = gpr[in.rs1] == gpr[in.rs2]; break;
+          case Opcode::kBne: taken = gpr[in.rs1] != gpr[in.rs2]; break;
+          case Opcode::kBlt:
+            taken = to_signed(gpr[in.rs1]) < to_signed(gpr[in.rs2]);
+            break;
+          case Opcode::kBge:
+            taken = to_signed(gpr[in.rs1]) >= to_signed(gpr[in.rs2]);
+            break;
+          case Opcode::kBltu: taken = gpr[in.rs1] < gpr[in.rs2]; break;
+          default: taken = gpr[in.rs1] >= gpr[in.rs2]; break;
+        }
+        const GuestAddr target =
+            taken ? pc + 4 + to_unsigned(in.imm) * 4u : pc + 4;
+        ctx.pc = target;
+#if DQEMU_SUPERBLOCKS_ENABLED
+        cur->last_taken = taken;  // trace selection follows this edge
+#endif
+        // Direct-jump chaining (targets are static).
+        next_tb = chain_to(taken ? cur->next_taken : cur->next_fall, target);
+        return OpOut::kEnd;
+      }
+      case Opcode::kJal: {
+        const GuestAddr target = pc + 4 + to_unsigned(in.imm) * 4u;
+        write_gpr(in.rd, pc + 4);
+        ctx.pc = target;
+        next_tb = chain_to(cur->next_taken, target);
+        return OpOut::kEnd;
+      }
+      case Opcode::kJalr: {
+        const GuestAddr target = (gpr[in.rs1] + to_unsigned(in.imm)) & ~3u;
+        write_gpr(in.rd, pc + 4);
+        ctx.pc = target;  // indirect: no chain slot
+#if DQEMU_SUPERBLOCKS_ENABLED
+        cur->last_indirect_target = target;
+#endif
+#if DQEMU_FASTPATH_ENABLED
+        if (fast) {
+          const JmpCacheEntry& entry = jmp_slot(target);
+          if (entry.pc == target) {
+            ++hot.jmp_cache_hit;
+            next_tb = entry.tb;
+          }
+        }
+#endif
+        return OpOut::kEnd;
+      }
+
+      // ---- system ----------------------------------------------------
+      case Opcode::kFence:
+        break;  // sequential DES: ordering is already total
+      case Opcode::kSyscall:
+        ctx.pc = pc + 4;
+        ++result.insns;
+        result.exec_cycles += cost;
+        result.reason = StopReason::kSyscall;
+        result.syscall_num = in.imm;
+        return OpOut::kReturn;
+      case Opcode::kHint:
+        // 0xFFFF is the "no group" sentinel (N-format immediates are
+        // zero-extended on decode).
+        ctx.hint_group = in.imm == 0xFFFF ? -1 : in.imm;
+        ++hot.hints;
+        break;
+
+      // ---- FP ---------------------------------------------------------
+      case Opcode::kFadd: fpr[in.rd] = fpr[in.rs1] + fpr[in.rs2]; break;
+      case Opcode::kFsub: fpr[in.rd] = fpr[in.rs1] - fpr[in.rs2]; break;
+      case Opcode::kFmul: fpr[in.rd] = fpr[in.rs1] * fpr[in.rs2]; break;
+      case Opcode::kFdiv: fpr[in.rd] = fpr[in.rs1] / fpr[in.rs2]; break;
+      case Opcode::kFmin: fpr[in.rd] = std::fmin(fpr[in.rs1], fpr[in.rs2]); break;
+      case Opcode::kFmax: fpr[in.rd] = std::fmax(fpr[in.rs1], fpr[in.rs2]); break;
+      case Opcode::kFneg: fpr[in.rd] = -fpr[in.rs1]; break;
+      case Opcode::kFabs: fpr[in.rd] = std::fabs(fpr[in.rs1]); break;
+      case Opcode::kFmov: fpr[in.rd] = fpr[in.rs1]; break;
+      case Opcode::kFcvtdw:
+        fpr[in.rd] = static_cast<double>(to_signed(gpr[in.rs1]));
+        break;
+      case Opcode::kFcvtwd:
+        write_gpr(in.rd, to_unsigned(fp_to_int(fpr[in.rs1])));
+        break;
+      case Opcode::kFlt:
+        write_gpr(in.rd, fpr[in.rs1] < fpr[in.rs2] ? 1 : 0);
+        break;
+      case Opcode::kFle:
+        write_gpr(in.rd, fpr[in.rs1] <= fpr[in.rs2] ? 1 : 0);
+        break;
+      case Opcode::kFeq:
+        write_gpr(in.rd, fpr[in.rs1] == fpr[in.rs2] ? 1 : 0);
+        break;
+      case Opcode::kFsqrt: fpr[in.rd] = std::sqrt(fpr[in.rs1]); break;
+      case Opcode::kFexp: fpr[in.rd] = std::exp(fpr[in.rs1]); break;
+      case Opcode::kFlog: fpr[in.rd] = std::log(fpr[in.rs1]); break;
+      case Opcode::kFpow: fpr[in.rd] = std::pow(fpr[in.rs1], fpr[in.rs2]); break;
+      case Opcode::kFerf: fpr[in.rd] = std::erf(fpr[in.rs1]); break;
+      case Opcode::kFsin: fpr[in.rd] = std::sin(fpr[in.rs1]); break;
+      case Opcode::kFcos: fpr[in.rd] = std::cos(fpr[in.rs1]); break;
+    }
+    return OpOut::kNext;
+  };
+
+#if DQEMU_SUPERBLOCKS_ENABLED
+  // ---- superblock trace dispatch (DESIGN.md section 15) ----------------
+  // The specialized loop below is the hot-path payoff: fused ops and
+  // inlined ALU/mem fast kinds dispatch through one dense switch, and the
+  // quantum is re-checked only at the original block boundaries (so stop
+  // points — and therefore virtual time — are identical to the block
+  // engine's top-of-loop check).
+
+  auto alu_eval = [&](const isa::Insn& in, GuestAddr pc) -> std::uint32_t {
+    switch (in.op) {
+      case Opcode::kAdd: return gpr[in.rs1] + gpr[in.rs2];
+      case Opcode::kSub: return gpr[in.rs1] - gpr[in.rs2];
+      case Opcode::kAnd: return gpr[in.rs1] & gpr[in.rs2];
+      case Opcode::kOr: return gpr[in.rs1] | gpr[in.rs2];
+      case Opcode::kXor: return gpr[in.rs1] ^ gpr[in.rs2];
+      case Opcode::kSll: return gpr[in.rs1] << (gpr[in.rs2] & 31);
+      case Opcode::kSrl: return gpr[in.rs1] >> (gpr[in.rs2] & 31);
+      case Opcode::kSra:
+        return to_unsigned(to_signed(gpr[in.rs1]) >> (gpr[in.rs2] & 31));
+      case Opcode::kSlt:
+        return to_signed(gpr[in.rs1]) < to_signed(gpr[in.rs2]) ? 1u : 0u;
+      case Opcode::kSltu: return gpr[in.rs1] < gpr[in.rs2] ? 1u : 0u;
+      case Opcode::kAddi: return gpr[in.rs1] + to_unsigned(in.imm);
+      case Opcode::kAndi: return gpr[in.rs1] & to_unsigned(in.imm);
+      case Opcode::kOri: return gpr[in.rs1] | to_unsigned(in.imm);
+      case Opcode::kXori: return gpr[in.rs1] ^ to_unsigned(in.imm);
+      case Opcode::kSlli: return gpr[in.rs1] << (in.imm & 31);
+      case Opcode::kSrli: return gpr[in.rs1] >> (in.imm & 31);
+      case Opcode::kSrai:
+        return to_unsigned(to_signed(gpr[in.rs1]) >> (in.imm & 31));
+      case Opcode::kSlti: return to_signed(gpr[in.rs1]) < in.imm ? 1u : 0u;
+      case Opcode::kSltiu:
+        return gpr[in.rs1] < to_unsigned(in.imm) ? 1u : 0u;
+      case Opcode::kLui: return to_unsigned(in.imm) << 12;
+      default: return pc + (to_unsigned(in.imm) << 12);  // kAuipc
+    }
+  };
+
+  auto branch_taken = [&](const isa::Insn& in) -> bool {
+    switch (in.op) {
+      case Opcode::kBeq: return gpr[in.rs1] == gpr[in.rs2];
+      case Opcode::kBne: return gpr[in.rs1] != gpr[in.rs2];
+      case Opcode::kBlt:
+        return to_signed(gpr[in.rs1]) < to_signed(gpr[in.rs2]);
+      case Opcode::kBge:
+        return to_signed(gpr[in.rs1]) >= to_signed(gpr[in.rs2]);
+      case Opcode::kBltu: return gpr[in.rs1] < gpr[in.rs2];
+      default: return gpr[in.rs1] >= gpr[in.rs2];  // kBgeu
+    }
+  };
+
+  // Resolves the mem half of a trace op. A per-op TLB-line hit proves the
+  // page is identity-mapped, in bounds and accessible for this op's access
+  // type (mem_access verified all of that when the tag was adopted, and the
+  // epoch check on trace entry drops stale tags); alignment still needs its
+  // per-access check since the base register varies. On success, `host`
+  // points straight at the access bytes when the page's storage could be
+  // adopted, else null — `out` then holds the resolved guest address for
+  // the generic AddressSpace path.
+  auto sb_resolve = [&](SbOp& op, const isa::Insn& in, GuestAddr pc,
+                        bool write, std::uint8_t*& host,
+                        GuestAddr& out) -> bool {
+    const GuestAddr vaddr = gpr[in.rs1] + to_unsigned(in.imm);
+    if (op.tlb_tag == (vaddr & ~page_mask) &&
+        (vaddr & (op.mem_bytes - 1u)) == 0) {
+      out = vaddr;
+      host = op.host_page + (vaddr & page_mask);
+      return true;
+    }
+    if (!mem_access(vaddr, op.mem_bytes, write, pc, out)) return false;
+    host = nullptr;
+    if (out == vaddr) {
+      const std::uint32_t page = space_.page_of(vaddr);
+      // Host page storage is stable once materialized, so the line can
+      // cache a raw pointer. Stores materialize the page anyway; loads
+      // must not (whether a page was ever touched is protocol-observable),
+      // so a load only adopts a page that already has storage.
+      if (write || space_.page_materialized(page)) {
+        op.tlb_tag = vaddr & ~page_mask;
+        op.host_page = space_.page_data(page).data();
+        host = op.host_page + (vaddr & page_mask);
+      }
+    }
+    return true;
+  };
+
+  // Size-specialized accessors: constant sizes fold the memcpy into a
+  // single move, where the generic block path pays a real memcpy call per
+  // access. The *_host variants run against an adopted TLB line; the
+  // guest-address variants are the fallback for unadopted pages.
+  auto load_host = [&](const isa::Insn& in,
+                       const std::uint8_t* host) -> std::uint32_t {
+    std::uint8_t v8;
+    std::uint16_t v16;
+    std::uint32_t v32;
+    switch (in.op) {
+      case Opcode::kLb:
+        std::memcpy(&v8, host, 1);
+        return to_unsigned(static_cast<std::int8_t>(v8));
+      case Opcode::kLbu:
+        std::memcpy(&v8, host, 1);
+        return v8;
+      case Opcode::kLh:
+        std::memcpy(&v16, host, 2);
+        return to_unsigned(static_cast<std::int16_t>(v16));
+      case Opcode::kLhu:
+        std::memcpy(&v16, host, 2);
+        return v16;
+      default:
+        std::memcpy(&v32, host, 4);
+        return v32;
+    }
+  };
+
+  auto store_host = [&](std::uint8_t* host, std::uint32_t value,
+                        std::uint8_t bytes) {
+    switch (bytes) {
+      case 1: {
+        const std::uint8_t v = static_cast<std::uint8_t>(value);
+        std::memcpy(host, &v, 1);
+        break;
+      }
+      case 2: {
+        const std::uint16_t v = static_cast<std::uint16_t>(value);
+        std::memcpy(host, &v, 2);
+        break;
+      }
+      default:
+        std::memcpy(host, &value, 4);
+        break;
+    }
+  };
+
+  auto load_value = [&](const isa::Insn& in, GuestAddr addr) -> std::uint32_t {
+    switch (in.op) {
+      case Opcode::kLb:
+        return to_unsigned(static_cast<std::int8_t>(space_.load(addr, 1)));
+      case Opcode::kLbu:
+        return static_cast<std::uint8_t>(space_.load(addr, 1));
+      case Opcode::kLh:
+        return to_unsigned(static_cast<std::int16_t>(space_.load(addr, 2)));
+      case Opcode::kLhu:
+        return static_cast<std::uint16_t>(space_.load(addr, 2));
+      default:
+        return static_cast<std::uint32_t>(space_.load(addr, 4));
+    }
+  };
+
+  auto store_sized = [&](GuestAddr addr, std::uint32_t value,
+                         std::uint8_t bytes) {
+    switch (bytes) {
+      case 1: space_.store(addr, value, 1); break;
+      case 2: space_.store(addr, value, 2); break;
+      default: space_.store(addr, value, 4); break;
+    }
+  };
+
+  enum class TraceOut : std::uint8_t { kExit, kReturn };
+
+  // Returns kReturn when `result` is final (fault/quantum/syscall) and
+  // kExit when execution left the trace with ctx.pc holding the off-trace
+  // continuation (the block loop resumes there, re-checking the quantum at
+  // its top exactly where the block engine would).
+  //
+  // Retirement counters accumulate in locals (registers) and flush to
+  // `result`/`hot` through sync() at every exit — two memory RMWs per op
+  // would dominate the dispatch this loop exists to shrink.
+  auto run_trace = [&](Superblock* sb) -> TraceOut {
+    SbOp* const ops = sb->ops.data();
+    std::uint64_t insns = result.insns;
+    std::uint64_t cycles = result.exec_cycles;
+    std::uint64_t fused = 0;
+    auto sync = [&] {
+      result.insns = insns;
+      result.exec_cycles = cycles;
+      hot.fused_ops += fused;
+      fused = 0;
+    };
+    std::uint32_t i = 0;
+    for (;;) {
+      SbOp& op = ops[i];
+      switch (op.kind) {
+        case SbOpKind::kAluFast:
+          write_gpr(op.a.rd, alu_eval(op.a, op.pc));
+          ++insns;
+          cycles += op.cost_a;
+          break;
+
+        case SbOpKind::kMemLoad: {
+          std::uint8_t* host;
+          GuestAddr addr;
+          if (!sb_resolve(op, op.a, op.pc, /*write=*/false, host, addr)) {
+            ctx.pc = op.pc;
+            sync();
+            return TraceOut::kReturn;
+          }
+          if (op.a.op == Opcode::kFld) {
+            std::uint64_t raw;
+            if (host != nullptr) {
+              std::memcpy(&raw, host, 8);
+            } else {
+              raw = space_.load(addr, 8);
+            }
+            double value;
+            std::memcpy(&value, &raw, 8);
+            fpr[op.a.rd] = value;
+          } else {
+            write_gpr(op.a.rd, host != nullptr ? load_host(op.a, host)
+                                               : load_value(op.a, addr));
+          }
+          ++insns;
+          cycles += op.cost_a;
+          break;
+        }
+
+        case SbOpKind::kMemStore: {
+          std::uint8_t* host;
+          GuestAddr addr;
+          if (!sb_resolve(op, op.a, op.pc, /*write=*/true, host, addr)) {
+            ctx.pc = op.pc;
+            sync();
+            return TraceOut::kReturn;
+          }
+          if (op.a.op == Opcode::kFsd) {
+            std::uint64_t raw;
+            std::memcpy(&raw, &fpr[op.a.rs2], 8);
+            if (host != nullptr) {
+              std::memcpy(host, &raw, 8);
+            } else {
+              space_.store(addr, raw, 8);
+            }
+          } else if (host != nullptr) {
+            store_host(host, gpr[op.a.rs2], op.mem_bytes);
+          } else {
+            store_sized(addr, gpr[op.a.rs2], op.mem_bytes);
+          }
+          snoop_store(addr);
+          ++insns;
+          cycles += op.cost_a;
+          break;
+        }
+
+        case SbOpKind::kLoadAlu: {
+          std::uint8_t* host;
+          GuestAddr addr;
+          if (!sb_resolve(op, op.a, op.pc, /*write=*/false, host, addr)) {
+            ctx.pc = op.pc;  // the load faults first: nothing retires
+            sync();
+            return TraceOut::kReturn;
+          }
+          write_gpr(op.a.rd, host != nullptr ? load_host(op.a, host)
+                                             : load_value(op.a, addr));
+          write_gpr(op.b.rd, alu_eval(op.b, op.pc + 4));
+          insns += 2;
+          cycles += op.cost_a + op.cost_b;
+          ++fused;
+          break;
+        }
+
+        case SbOpKind::kAluStore: {
+          write_gpr(op.a.rd, alu_eval(op.a, op.pc));
+          ++insns;
+          cycles += op.cost_a;  // the ALU half retires even if
+          std::uint8_t* host;   // the store half faults below
+          GuestAddr addr;
+          if (!sb_resolve(op, op.b, op.pc + 4, /*write=*/true, host, addr)) {
+            ctx.pc = op.pc + 4;
+            sync();
+            return TraceOut::kReturn;
+          }
+          if (host != nullptr) {
+            store_host(host, gpr[op.b.rs2], op.mem_bytes);
+          } else {
+            store_sized(addr, gpr[op.b.rs2], op.mem_bytes);
+          }
+          snoop_store(addr);
+          ++insns;
+          cycles += op.cost_b;
+          ++fused;
+          break;
+        }
+
+        case SbOpKind::kCmpBranch: {
+          write_gpr(op.a.rd, alu_eval(op.a, op.pc));
+          const GuestAddr target =
+              branch_taken(op.b) ? op.taken_pc : op.fall_pc;
+          insns += 2;
+          cycles += op.cost_a + op.cost_b;
+          ++fused;
+          if (target == op.on_trace_pc) {
+            if (insns >= max_insns) {
+              ctx.pc = target;
+              result.reason = StopReason::kQuantum;
+              sync();
+              return TraceOut::kReturn;
+            }
+            i = op.next_index;
+            continue;
+          }
+          ctx.pc = target;
+          if (op.next_index != kSbExitIndex) {
+            ++hot.sb_side_exit;
+            ++sb->side_exits;
+          }
+          sync();
+          return TraceOut::kExit;
+        }
+
+        case SbOpKind::kBranch: {
+          const GuestAddr target =
+              branch_taken(op.a) ? op.taken_pc : op.fall_pc;
+          ++insns;
+          cycles += op.cost_a;
+          if (target == op.on_trace_pc) {
+            if (insns >= max_insns) {
+              ctx.pc = target;
+              result.reason = StopReason::kQuantum;
+              sync();
+              return TraceOut::kReturn;
+            }
+            i = op.next_index;
+            continue;
+          }
+          ctx.pc = target;
+          if (op.next_index != kSbExitIndex) {
+            ++hot.sb_side_exit;
+            ++sb->side_exits;
+          }
+          sync();
+          return TraceOut::kExit;
+        }
+
+        case SbOpKind::kJal: {
+          write_gpr(op.a.rd, op.pc + 4);
+          ++insns;
+          cycles += op.cost_a;
+          if (op.next_index != kSbExitIndex) {
+            if (insns >= max_insns) {
+              ctx.pc = op.taken_pc;
+              result.reason = StopReason::kQuantum;
+              sync();
+              return TraceOut::kReturn;
+            }
+            i = op.next_index;
+            continue;
+          }
+          ctx.pc = op.taken_pc;
+          sync();
+          return TraceOut::kExit;
+        }
+
+        case SbOpKind::kJalr: {
+          const GuestAddr target =
+              (gpr[op.a.rs1] + to_unsigned(op.a.imm)) & ~3u;
+          write_gpr(op.a.rd, op.pc + 4);
+          ++insns;
+          cycles += op.cost_a;
+          if (target == op.on_trace_pc) {
+            if (insns >= max_insns) {
+              ctx.pc = target;
+              result.reason = StopReason::kQuantum;
+              sync();
+              return TraceOut::kReturn;
+            }
+            i = op.next_index;
+            continue;
+          }
+          ctx.pc = target;
+          if (op.next_index != kSbExitIndex) {
+            ++hot.sb_side_exit;
+            ++sb->side_exits;
+          }
+          sync();
+          return TraceOut::kExit;
+        }
+
+        case SbOpKind::kSimple: {
+          // exec_op reads/writes `result` directly (syscall accounting),
+          // so the locals flush first and reload after.
+          sync();
+          const OpOut out = exec_op(op.a, op.pc, op.cost_a, nullptr);
+          if (out == OpOut::kReturn) return TraceOut::kReturn;
+          insns = result.insns + 1;
+          cycles = result.exec_cycles + op.cost_a;
+          break;
+        }
+      }
+
+      // Straight-line advance. Cut-block boundaries are quantum guard
+      // points: the block engine re-checks the budget between any two
+      // blocks, so the trace must stop at exactly the same insn counts.
+      if (op.boundary) {
+        if (insns >= max_insns) {
+          ctx.pc = op.boundary_pc;
+          result.reason = StopReason::kQuantum;
+          sync();
+          return TraceOut::kReturn;
+        }
+        if (op.next_index == kSbExitIndex) {
+          ctx.pc = op.boundary_pc;
+          sync();
+          return TraceOut::kExit;
+        }
+        i = op.next_index;
+      } else {
+        ++i;
+      }
+    }
+  };
+#endif  // DQEMU_SUPERBLOCKS_ENABLED
+
   TranslationBlock* tb = nullptr;
   while (true) {
     if (result.insns >= max_insns) {
@@ -264,303 +1009,37 @@ ExecResult ExecEngine::run_loop(CpuContext& ctx, std::uint64_t max_insns,
 #endif
     }
 
-    // Execute the block.
-    TranslationBlock* next_tb = nullptr;
-    for (const MicroOp& mop : tb->ops) {
-      const isa::Insn& in = mop.insn;
-      const GuestAddr pc = mop.pc;
-      bool block_done = false;
-
-      switch (in.op) {
-        // ---- integer R-type ------------------------------------------
-        case Opcode::kAdd: write_gpr(in.rd, gpr[in.rs1] + gpr[in.rs2]); break;
-        case Opcode::kSub: write_gpr(in.rd, gpr[in.rs1] - gpr[in.rs2]); break;
-        case Opcode::kMul: write_gpr(in.rd, gpr[in.rs1] * gpr[in.rs2]); break;
-        case Opcode::kDiv: {
-          const std::int32_t a = to_signed(gpr[in.rs1]);
-          const std::int32_t b = to_signed(gpr[in.rs2]);
-          std::int32_t q;
-          if (b == 0) {
-            q = -1;  // RISC-style: division by zero yields all ones
-          } else if (a == std::numeric_limits<std::int32_t>::min() && b == -1) {
-            q = a;   // overflow wraps
-          } else {
-            q = a / b;
-          }
-          write_gpr(in.rd, to_unsigned(q));
-          break;
+#if DQEMU_SUPERBLOCKS_ENABLED
+    if (sb_on) {
+      if (tb->sb == nullptr) {
+        // Host-side hot counting; formation charges no virtual time.
+        if (++tb->hot_count >= tb->next_hot_trigger) {
+          tb->next_hot_trigger = tb->hot_count + config_.sb_hot_threshold;
+          cache_.maybe_form_superblock(tb);
         }
-        case Opcode::kDivu: {
-          const std::uint32_t b = gpr[in.rs2];
-          write_gpr(in.rd, b == 0 ? ~0u : gpr[in.rs1] / b);
-          break;
-        }
-        case Opcode::kRem: {
-          const std::int32_t a = to_signed(gpr[in.rs1]);
-          const std::int32_t b = to_signed(gpr[in.rs2]);
-          std::int32_t r;
-          if (b == 0) {
-            r = a;
-          } else if (a == std::numeric_limits<std::int32_t>::min() && b == -1) {
-            r = 0;
-          } else {
-            r = a % b;
-          }
-          write_gpr(in.rd, to_unsigned(r));
-          break;
-        }
-        case Opcode::kRemu: {
-          const std::uint32_t b = gpr[in.rs2];
-          write_gpr(in.rd, b == 0 ? gpr[in.rs1] : gpr[in.rs1] % b);
-          break;
-        }
-        case Opcode::kAnd: write_gpr(in.rd, gpr[in.rs1] & gpr[in.rs2]); break;
-        case Opcode::kOr: write_gpr(in.rd, gpr[in.rs1] | gpr[in.rs2]); break;
-        case Opcode::kXor: write_gpr(in.rd, gpr[in.rs1] ^ gpr[in.rs2]); break;
-        case Opcode::kSll: write_gpr(in.rd, gpr[in.rs1] << (gpr[in.rs2] & 31)); break;
-        case Opcode::kSrl: write_gpr(in.rd, gpr[in.rs1] >> (gpr[in.rs2] & 31)); break;
-        case Opcode::kSra:
-          write_gpr(in.rd, to_unsigned(to_signed(gpr[in.rs1]) >>
-                                       (gpr[in.rs2] & 31)));
-          break;
-        case Opcode::kSlt:
-          write_gpr(in.rd, to_signed(gpr[in.rs1]) < to_signed(gpr[in.rs2]) ? 1 : 0);
-          break;
-        case Opcode::kSltu:
-          write_gpr(in.rd, gpr[in.rs1] < gpr[in.rs2] ? 1 : 0);
-          break;
-
-        // ---- integer I-type ------------------------------------------
-        case Opcode::kAddi:
-          write_gpr(in.rd, gpr[in.rs1] + to_unsigned(in.imm));
-          break;
-        case Opcode::kAndi:
-          write_gpr(in.rd, gpr[in.rs1] & to_unsigned(in.imm));
-          break;
-        case Opcode::kOri:
-          write_gpr(in.rd, gpr[in.rs1] | to_unsigned(in.imm));
-          break;
-        case Opcode::kXori:
-          write_gpr(in.rd, gpr[in.rs1] ^ to_unsigned(in.imm));
-          break;
-        case Opcode::kSlli:
-          write_gpr(in.rd, gpr[in.rs1] << (in.imm & 31));
-          break;
-        case Opcode::kSrli:
-          write_gpr(in.rd, gpr[in.rs1] >> (in.imm & 31));
-          break;
-        case Opcode::kSrai:
-          write_gpr(in.rd, to_unsigned(to_signed(gpr[in.rs1]) >> (in.imm & 31)));
-          break;
-        case Opcode::kSlti:
-          write_gpr(in.rd, to_signed(gpr[in.rs1]) < in.imm ? 1 : 0);
-          break;
-        case Opcode::kSltiu:
-          write_gpr(in.rd, gpr[in.rs1] < to_unsigned(in.imm) ? 1 : 0);
-          break;
-        case Opcode::kLui:
-          write_gpr(in.rd, to_unsigned(in.imm) << 12);
-          break;
-        case Opcode::kAuipc:
-          write_gpr(in.rd, pc + (to_unsigned(in.imm) << 12));
-          break;
-
-        // ---- loads ----------------------------------------------------
-        case Opcode::kLb:
-        case Opcode::kLbu:
-        case Opcode::kLh:
-        case Opcode::kLhu:
-        case Opcode::kLw:
-        case Opcode::kLl: {
-          const unsigned bytes = isa::insn_info(in.op).mem_bytes;
-          GuestAddr addr;
-          if (!mem_access(gpr[in.rs1] + to_unsigned(in.imm), bytes,
-                          /*write=*/false, pc, addr)) {
-            ctx.pc = pc;  // re-execute after the fault is serviced
-            return result;
-          }
-          const std::uint64_t raw = space_.load(addr, bytes);
-          std::uint32_t value = 0;
-          switch (in.op) {
-            case Opcode::kLb:
-              value = to_unsigned(static_cast<std::int8_t>(raw));
-              break;
-            case Opcode::kLbu: value = static_cast<std::uint8_t>(raw); break;
-            case Opcode::kLh:
-              value = to_unsigned(static_cast<std::int16_t>(raw));
-              break;
-            case Opcode::kLhu: value = static_cast<std::uint16_t>(raw); break;
-            default: value = static_cast<std::uint32_t>(raw); break;
-          }
-          write_gpr(in.rd, value);
-          if (in.op == Opcode::kLl) llsc_.on_ll(addr, ctx.tid);
-          break;
-        }
-        case Opcode::kFld: {
-          GuestAddr addr;
-          if (!mem_access(gpr[in.rs1] + to_unsigned(in.imm), 8,
-                          /*write=*/false, pc, addr)) {
-            ctx.pc = pc;
-            return result;
-          }
-          const std::uint64_t raw = space_.load(addr, 8);
-          double value;
-          static_assert(sizeof value == 8);
-          std::memcpy(&value, &raw, 8);
-          fpr[in.rd] = value;
-          break;
-        }
-
-        // ---- stores ---------------------------------------------------
-        case Opcode::kSb:
-        case Opcode::kSh:
-        case Opcode::kSw: {
-          const unsigned bytes = isa::insn_info(in.op).mem_bytes;
-          GuestAddr addr;
-          if (!mem_access(gpr[in.rs1] + to_unsigned(in.imm), bytes,
-                          /*write=*/true, pc, addr)) {
-            ctx.pc = pc;
-            return result;
-          }
-          space_.store(addr, gpr[in.rs2], bytes);
-          snoop_store(addr);
-          break;
-        }
-        case Opcode::kFsd: {
-          GuestAddr addr;
-          if (!mem_access(gpr[in.rs1] + to_unsigned(in.imm), 8,
-                          /*write=*/true, pc, addr)) {
-            ctx.pc = pc;
-            return result;
-          }
-          std::uint64_t raw;
-          std::memcpy(&raw, &fpr[in.rs2], 8);
-          space_.store(addr, raw, 8);
-          snoop_store(addr);
-          break;
-        }
-        case Opcode::kSc: {
-          GuestAddr addr;
-          if (!mem_access(gpr[in.rs1], 4, /*write=*/true, pc, addr)) {
-            ctx.pc = pc;
-            return result;
-          }
-          if (llsc_.on_sc(addr, ctx.tid)) {
-            space_.store(addr, gpr[in.rs2], 4);
-            write_gpr(in.rd, 0);
-          } else {
-            write_gpr(in.rd, 1);
-          }
-          break;
-        }
-
-        // ---- control flow ---------------------------------------------
-        case Opcode::kBeq:
-        case Opcode::kBne:
-        case Opcode::kBlt:
-        case Opcode::kBge:
-        case Opcode::kBltu:
-        case Opcode::kBgeu: {
-          bool taken = false;
-          switch (in.op) {
-            case Opcode::kBeq: taken = gpr[in.rs1] == gpr[in.rs2]; break;
-            case Opcode::kBne: taken = gpr[in.rs1] != gpr[in.rs2]; break;
-            case Opcode::kBlt:
-              taken = to_signed(gpr[in.rs1]) < to_signed(gpr[in.rs2]);
-              break;
-            case Opcode::kBge:
-              taken = to_signed(gpr[in.rs1]) >= to_signed(gpr[in.rs2]);
-              break;
-            case Opcode::kBltu: taken = gpr[in.rs1] < gpr[in.rs2]; break;
-            default: taken = gpr[in.rs1] >= gpr[in.rs2]; break;
-          }
-          const GuestAddr target =
-              taken ? pc + 4 + to_unsigned(in.imm) * 4u : pc + 4;
-          ctx.pc = target;
-          // Direct-jump chaining (targets are static).
-          next_tb = chain_to(taken ? tb->next_taken : tb->next_fall, target);
-          block_done = true;
-          break;
-        }
-        case Opcode::kJal: {
-          const GuestAddr target = pc + 4 + to_unsigned(in.imm) * 4u;
-          write_gpr(in.rd, pc + 4);
-          ctx.pc = target;
-          next_tb = chain_to(tb->next_taken, target);
-          block_done = true;
-          break;
-        }
-        case Opcode::kJalr: {
-          const GuestAddr target = (gpr[in.rs1] + to_unsigned(in.imm)) & ~3u;
-          write_gpr(in.rd, pc + 4);
-          ctx.pc = target;  // indirect: no chain slot
-#if DQEMU_FASTPATH_ENABLED
-          if (fast) {
-            const JmpCacheEntry& entry = jmp_slot(target);
-            if (entry.pc == target) {
-              ++hot.jmp_cache_hit;
-              next_tb = entry.tb;
-            }
-          }
-#endif
-          block_done = true;
-          break;
-        }
-
-        // ---- system ----------------------------------------------------
-        case Opcode::kFence:
-          break;  // sequential DES: ordering is already total
-        case Opcode::kSyscall:
-          ctx.pc = pc + 4;
-          ++result.insns;
-          result.exec_cycles += mop.cost_cycles;
-          result.reason = StopReason::kSyscall;
-          result.syscall_num = in.imm;
-          return result;
-        case Opcode::kHint:
-          // 0xFFFF is the "no group" sentinel (N-format immediates are
-          // zero-extended on decode).
-          ctx.hint_group = in.imm == 0xFFFF ? -1 : in.imm;
-          ++hot.hints;
-          break;
-
-        // ---- FP ---------------------------------------------------------
-        case Opcode::kFadd: fpr[in.rd] = fpr[in.rs1] + fpr[in.rs2]; break;
-        case Opcode::kFsub: fpr[in.rd] = fpr[in.rs1] - fpr[in.rs2]; break;
-        case Opcode::kFmul: fpr[in.rd] = fpr[in.rs1] * fpr[in.rs2]; break;
-        case Opcode::kFdiv: fpr[in.rd] = fpr[in.rs1] / fpr[in.rs2]; break;
-        case Opcode::kFmin: fpr[in.rd] = std::fmin(fpr[in.rs1], fpr[in.rs2]); break;
-        case Opcode::kFmax: fpr[in.rd] = std::fmax(fpr[in.rs1], fpr[in.rs2]); break;
-        case Opcode::kFneg: fpr[in.rd] = -fpr[in.rs1]; break;
-        case Opcode::kFabs: fpr[in.rd] = std::fabs(fpr[in.rs1]); break;
-        case Opcode::kFmov: fpr[in.rd] = fpr[in.rs1]; break;
-        case Opcode::kFcvtdw:
-          fpr[in.rd] = static_cast<double>(to_signed(gpr[in.rs1]));
-          break;
-        case Opcode::kFcvtwd:
-          write_gpr(in.rd, to_unsigned(fp_to_int(fpr[in.rs1])));
-          break;
-        case Opcode::kFlt:
-          write_gpr(in.rd, fpr[in.rs1] < fpr[in.rs2] ? 1 : 0);
-          break;
-        case Opcode::kFle:
-          write_gpr(in.rd, fpr[in.rs1] <= fpr[in.rs2] ? 1 : 0);
-          break;
-        case Opcode::kFeq:
-          write_gpr(in.rd, fpr[in.rs1] == fpr[in.rs2] ? 1 : 0);
-          break;
-        case Opcode::kFsqrt: fpr[in.rd] = std::sqrt(fpr[in.rs1]); break;
-        case Opcode::kFexp: fpr[in.rd] = std::exp(fpr[in.rs1]); break;
-        case Opcode::kFlog: fpr[in.rd] = std::log(fpr[in.rs1]); break;
-        case Opcode::kFpow: fpr[in.rd] = std::pow(fpr[in.rs1], fpr[in.rs2]); break;
-        case Opcode::kFerf: fpr[in.rd] = std::erf(fpr[in.rs1]); break;
-        case Opcode::kFsin: fpr[in.rd] = std::sin(fpr[in.rs1]); break;
-        case Opcode::kFcos: fpr[in.rd] = std::cos(fpr[in.rs1]); break;
       }
+      if (Superblock* sb = tb->sb; sb != nullptr) {
+        ++hot.sb_exec;
+        ++sb->exec_count;
+        if (sb->mem_epoch != sb_mem_epoch_) {
+          for (SbOp& op : sb->ops) op.tlb_tag = kSbNoPc;
+          sb->mem_epoch = sb_mem_epoch_;
+        }
+        if (run_trace(sb) == TraceOut::kReturn) return result;
+        tb = nullptr;  // ctx.pc holds the off-trace continuation
+        continue;
+      }
+    }
+#endif
 
+    // Execute the block.
+    next_tb = nullptr;
+    for (const MicroOp& mop : tb->ops) {
+      const OpOut out = exec_op(mop.insn, mop.pc, mop.cost_cycles, tb);
+      if (out == OpOut::kReturn) return result;
       ++result.insns;
       result.exec_cycles += mop.cost_cycles;
-      if (block_done) break;
+      if (out == OpOut::kEnd) break;
     }
 
     if (next_tb == nullptr && !isa::insn_info(tb->ops.back().insn.op).ends_block) {

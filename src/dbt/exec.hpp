@@ -88,6 +88,9 @@ class ExecEngine {
     std::uint64_t tlb_miss = 0;
     std::uint64_t jmp_cache_hit = 0;
     std::uint64_t llsc_fastpath = 0;
+    std::uint64_t sb_exec = 0;       ///< superblock trace entries
+    std::uint64_t sb_side_exit = 0;  ///< guarded exits off a live trace
+    std::uint64_t fused_ops = 0;     ///< fused pairs executed
   };
 
   ExecResult run_loop(CpuContext& ctx, std::uint64_t max_insns,
@@ -139,6 +142,18 @@ class ExecEngine {
   std::uint64_t seen_protection_gen_ = ~std::uint64_t{0};
   std::uint64_t seen_shadow_gen_ = ~std::uint64_t{0};
   std::uint64_t seen_tcache_gen_ = ~std::uint64_t{0};
+#endif
+
+#if DQEMU_SUPERBLOCKS_ENABLED
+  /// Advances the superblock memory epoch when page protections or the
+  /// shadow map changed; traces whose per-op TLB tags were filled under an
+  /// older epoch reset them lazily on entry. Independent of the software
+  /// TLB so superblocks stay correct with the fast paths compiled out.
+  void sync_sb_epoch();
+
+  std::uint64_t sb_mem_epoch_ = 1;  ///< 0 is "never valid" (fresh traces)
+  std::uint64_t sb_seen_protection_gen_ = ~std::uint64_t{0};
+  std::uint64_t sb_seen_shadow_gen_ = ~std::uint64_t{0};
 #endif
 };
 

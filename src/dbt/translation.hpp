@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "common/stats.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "dbt/superblock.hpp"
 #include "isa/isa.hpp"
 #include "mem/address_space.hpp"
 
@@ -39,6 +41,22 @@ struct TranslationBlock {
   TranslationBlock* next_taken = nullptr;
   TranslationBlock* next_fall = nullptr;
 
+#if DQEMU_SUPERBLOCKS_ENABLED
+  /// Superblock headed by this block, owned by the cache (nullptr until
+  /// formed; cleared when the superblock dies).
+  Superblock* sb = nullptr;
+  /// Host-side hot counter: executions of this block in block (non-trace)
+  /// mode. Cumulative, for the census; formation triggers each time it
+  /// crosses `next_hot_trigger` (seeded with DbtConfig::sb_hot_threshold
+  /// at translation, re-armed on every attempt).
+  std::uint64_t hot_count = 0;
+  std::uint64_t next_hot_trigger = 0;
+  /// Last observed control-flow outcome, recorded by the engine; trace
+  /// selection follows these edges.
+  bool last_taken = false;
+  GuestAddr last_indirect_target = 0;
+#endif
+
   [[nodiscard]] std::uint32_t insn_count() const {
     return static_cast<std::uint32_t>(ops.size());
   }
@@ -56,6 +74,27 @@ struct TranslateResult {
   bool decode_error = false;       ///< invalid opcode encountered
   std::uint64_t translate_cycles = 0;  ///< one-time cost charged to caller
 };
+
+/// Census rows for `--dump-hot` and the superblock tests.
+struct HotBlockInfo {
+  GuestAddr pc = 0;
+  std::uint32_t insns = 0;
+  std::uint64_t hot_count = 0;
+  bool has_sb = false;
+};
+struct SuperblockInfo {
+  GuestAddr entry_pc = 0;
+  std::uint32_t blocks = 0;
+  std::uint32_t insns = 0;
+  std::uint32_t fused_pairs = 0;
+  bool loops = false;
+  std::uint64_t exec_count = 0;
+  std::uint64_t side_exits = 0;
+};
+
+/// Superblock lifecycle events, surfaced to the embedder (Node) which
+/// stamps them into the trace flight recorder under Cat::kDbt.
+enum class SbEvent : std::uint8_t { kFormed, kInvalidated };
 
 /// Per-node translation cache.
 class TranslationCache {
@@ -94,15 +133,47 @@ class TranslationCache {
   /// dereferences `tb`). Test hook for chain-invalidation regressions.
   [[nodiscard]] bool contains_block(const TranslationBlock* tb) const;
 
- private:
+  /// Per-execution virtual-time cost of one guest instruction — the single
+  /// source the block translator and the superblock fusion pass both charge
+  /// from, so fused ops cost exactly their unfused sequence.
   [[nodiscard]] std::uint32_t op_cost(const isa::Insn& insn) const;
 
+  // ---- superblock tier (DESIGN.md section 15) --------------------------
+  // All of these are safe to call with the tier compiled out; they then
+  // return nullptr/empty/false and form nothing.
+
+  /// Attempts to stitch the chain headed by `head` into a superblock
+  /// (implemented in superblock.cpp). Returns the superblock now heading
+  /// `head`, or nullptr if no viable trace exists. Host-side only: charges
+  /// no virtual time and perturbs no counters shared with the block path.
+  Superblock* maybe_form_superblock(TranslationBlock* head);
+
+  /// True if `sb` is a currently-live superblock (pointer identity).
+  [[nodiscard]] bool contains_superblock(const Superblock* sb) const;
+
+  [[nodiscard]] std::size_t superblock_count() const;
+
+  /// Live superblock entered at `entry_pc`, or nullptr. Test hook.
+  [[nodiscard]] const Superblock* superblock_at(GuestAddr entry_pc) const;
+
+  /// Census snapshots for --dump-hot (unsorted; callers order them).
+  [[nodiscard]] std::vector<HotBlockInfo> hot_census() const;
+  [[nodiscard]] std::vector<SuperblockInfo> superblock_census() const;
+
+  /// Installs a superblock lifecycle observer (formation/invalidation).
+  void set_sb_event_hook(std::function<void(SbEvent, const Superblock&)> hook);
+
+ private:
   const mem::AddressSpace& space_;
   DbtConfig config_;
   bool check_protection_;
   StatsRegistry* stats_;
   std::uint64_t generation_ = 0;
   std::unordered_map<GuestAddr, std::unique_ptr<TranslationBlock>> blocks_;
+#if DQEMU_SUPERBLOCKS_ENABLED
+  std::unordered_map<GuestAddr, std::unique_ptr<Superblock>> superblocks_;
+  std::function<void(SbEvent, const Superblock&)> sb_event_hook_;
+#endif
 };
 
 }  // namespace dqemu::dbt

@@ -26,6 +26,7 @@ enum class Cat : std::uint32_t {
   kCounter = 1u << 5,  ///< periodic counter snapshots (stats timelines)
   kQueue = 1u << 6,    ///< raw event-queue dispatch (very voluminous)
   kServe = 1u << 7,    ///< serving plane: request arrival/dispatch/complete
+  kDbt = 1u << 8,      ///< DBT internals: superblock formation/invalidation
 };
 
 [[nodiscard]] constexpr std::uint32_t cat_bit(Cat c) {
@@ -33,14 +34,17 @@ enum class Cat : std::uint32_t {
 }
 
 /// Default-enabled categories: everything except the raw event-queue
-/// firehose, which records one instant per simulation event.
+/// firehose (one instant per simulation event) and DBT internals, whose
+/// records depend on host-side trace formation — keeping them out of the
+/// default set keeps default exports byte-identical with superblocks on
+/// or off.
 inline constexpr std::uint32_t kDefaultCategories =
     cat_bit(Cat::kSim) | cat_bit(Cat::kCore) | cat_bit(Cat::kNet) |
     cat_bit(Cat::kDsm) | cat_bit(Cat::kSys) | cat_bit(Cat::kCounter) |
     cat_bit(Cat::kServe);
 
 inline constexpr std::uint32_t kAllCategories =
-    kDefaultCategories | cat_bit(Cat::kQueue);
+    kDefaultCategories | cat_bit(Cat::kQueue) | cat_bit(Cat::kDbt);
 
 /// Short name of a category (for exports and --trace-categories).
 [[nodiscard]] constexpr const char* cat_name(Cat c) {
@@ -53,6 +57,7 @@ inline constexpr std::uint32_t kAllCategories =
     case Cat::kCounter: return "counter";
     case Cat::kQueue: return "queue";
     case Cat::kServe: return "serve";
+    case Cat::kDbt: return "dbt";
   }
   return "?";
 }

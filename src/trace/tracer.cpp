@@ -77,8 +77,9 @@ std::optional<std::uint32_t> parse_categories(std::string_view list) {
       continue;
     }
     bool found = false;
-    for (const Cat c : {Cat::kSim, Cat::kCore, Cat::kNet, Cat::kDsm,
-                        Cat::kSys, Cat::kCounter, Cat::kQueue, Cat::kServe}) {
+    for (const Cat c :
+         {Cat::kSim, Cat::kCore, Cat::kNet, Cat::kDsm, Cat::kSys,
+          Cat::kCounter, Cat::kQueue, Cat::kServe, Cat::kDbt}) {
       if (item == cat_name(c)) {
         mask |= cat_bit(c);
         found = true;

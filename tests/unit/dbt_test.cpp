@@ -19,8 +19,9 @@ using enum isa::FReg;
 /// Single-space harness: assemble, load, run with full access.
 struct Harness {
   explicit Harness(std::function<void(Assembler&)> emit,
-                   bool check_protection = false)
+                   bool check_protection = false, DbtConfig dbt_config = {})
       : space(32u << 20, 4096),
+        config(dbt_config),
         llsc(&stats),
         cache(space, config, check_protection, &stats),
         engine(space, &shadow, llsc, cache, config, check_protection, &stats),
@@ -455,13 +456,19 @@ TEST(ExecFaults, QuantumStopsAtBlockBoundary) {
 // ---- translation cache ---------------------------------------------------------
 
 TEST(TranslationCacheTest, CachesAndChains) {
-  Harness h([](Assembler& a) {
-    auto loop = a.here();
-    a.addi(kT0, kT0, 1);
-    a.slti(kT1, kT0, 100);
-    a.bne(kT1, kZero, loop);
-    a.syscall(1);
-  });
+  // Block-engine chaining behavior: superblocks off, or the hot loop would
+  // migrate onto a trace and stop exercising the chain slots.
+  DbtConfig no_sb;
+  no_sb.enable_superblocks = false;
+  Harness h(
+      [](Assembler& a) {
+        auto loop = a.here();
+        a.addi(kT0, kT0, 1);
+        a.slti(kT1, kT0, 100);
+        a.bne(kT1, kZero, loop);
+        a.syscall(1);
+      },
+      /*check_protection=*/false, no_sb);
   ASSERT_EQ(h.run().reason, StopReason::kSyscall);
   EXPECT_EQ(h.ctx.gpr[kT0], 100u);
   EXPECT_GT(h.stats.get("dbt.tcache_hit") + h.stats.get("dbt.chain_hit"), 90u);

@@ -36,6 +36,20 @@ const std::set<std::string> kHostOnlyCounters = {
     "dbt.llsc_fastpath", "dbt.tcache_hit",
 };
 
+/// Additional counters that legitimately shift when the superblock tier is
+/// toggled (DESIGN.md section 15): the sb.* family exists only while traces
+/// form and run, and trace dispatch bypasses the per-block tcache/chain
+/// bookkeeping, so those hit/miss counts move too. Everything virtual-time
+/// related must still match exactly.
+std::set<std::string> superblock_divergent_counters() {
+  std::set<std::string> keys = kHostOnlyCounters;
+  keys.insert({"dbt.tcache_miss", "dbt.chain_hit", "dbt.sb_formed",
+               "dbt.sb_invalidated", "dbt.sb_exec", "dbt.sb_side_exit",
+               "dbt.fused_ops", "dbt.sb_blocks", "dbt.sb_insns",
+               "dbt.fused_pairs"});
+  return keys;
+}
+
 struct Observation {
   core::Cluster::RunResult result;
   std::map<std::string, std::uint64_t, std::less<>> counters;  ///< host-only keys removed
@@ -43,7 +57,9 @@ struct Observation {
   std::string hist_dump;  ///< every registry histogram (latency distributions)
 };
 
-Observation observe_with(const isa::Program& program, ClusterConfig config) {
+Observation observe_with(const isa::Program& program, ClusterConfig config,
+                         const std::set<std::string>& host_only =
+                             kHostOnlyCounters) {
   // Counter snapshots sample the host-only counters into the trace, so the
   // export would trivially differ; every other category must match.
   trace::TraceConfig trace_config;
@@ -60,7 +76,7 @@ Observation observe_with(const isa::Program& program, ClusterConfig config) {
   if (run.is_ok()) obs.result = run.take();
 
   obs.counters = cluster.stats().counters();
-  for (const auto& key : kHostOnlyCounters) obs.counters.erase(key);
+  for (const auto& key : host_only) obs.counters.erase(key);
   for (const auto& [name, hist] : cluster.stats().histograms()) {
     obs.hist_dump += name + " " + hist.to_string() + "\n";
   }
@@ -139,6 +155,47 @@ TEST(FastPathDeterminism, MemwalkMultiNode) {
   const auto program = must(workloads::memwalk(256 * 1024, 2, true));
   expect_identical(observe(program, 3, /*fastpath=*/true),
                    observe(program, 3, /*fastpath=*/false));
+}
+
+// The superblock hot-trace tier (DESIGN.md section 15) is the same kind of
+// host-side acceleration as the fast paths: with it enabled or disabled
+// (DbtConfig::enable_superblocks), every virtual-time observable must be
+// byte-identical. Only the counters in superblock_divergent_counters() may
+// move. A low hot threshold makes traces form inside these small workloads.
+
+Observation observe_sb(const isa::Program& program, std::uint32_t nodes,
+                       bool superblocks, bool fusion = true) {
+  ClusterConfig config = test::test_config(nodes);
+  config.dbt.enable_superblocks = superblocks;
+  config.dbt.sb_hot_threshold = 4;
+  config.dbt.sb_fusion = fusion;
+  return observe_with(program, config, superblock_divergent_counters());
+}
+
+TEST(SuperblockDeterminism, MutexStressGlobalLock) {
+  // LL/SC retry loops are hot and full of side exits; traces form and die
+  // across DSM protection changes.
+  const auto program = must(workloads::mutex_stress(8, 50, /*global=*/true));
+  expect_identical(observe_sb(program, 4, /*superblocks=*/true),
+                   observe_sb(program, 4, /*superblocks=*/false));
+}
+
+TEST(SuperblockDeterminism, MemwalkMultiNode) {
+  // The walk loop is the canonical straight-line trace: load+ALU and
+  // compare-branch fusion both fire on every iteration.
+  const auto program = must(workloads::memwalk(256 * 1024, 2, true));
+  expect_identical(observe_sb(program, 3, /*superblocks=*/true),
+                   observe_sb(program, 3, /*superblocks=*/false));
+}
+
+TEST(SuperblockDeterminism, FusionToggleIsInvisible) {
+  // Fusion is a second, inner gate: traces still form either way, but the
+  // fused dispatch must charge exactly the unfused costs.
+  const auto program = must(workloads::memwalk(128 * 1024, 2, true));
+  expect_identical(observe_sb(program, 2, /*superblocks=*/true,
+                              /*fusion=*/true),
+                   observe_sb(program, 2, /*superblocks=*/true,
+                              /*fusion=*/false));
 }
 
 // Hierarchical locking (DESIGN.md section 11) is a *protocol* change, not a

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "dbt/exec.hpp"
@@ -20,37 +21,24 @@ using enum isa::FReg;
 
 constexpr std::uint32_t kScratchBytes = 2048;
 
-/// Emits a random but well-defined program: ALU/imm/FP ops over all
-/// registers, aligned loads/stores into a scratch buffer addressed via s2,
-/// short forward branches, LL/SC pairs — ending in a syscall.
-isa::Program random_program(std::uint64_t seed, unsigned length) {
-  Rng rng(seed);
-  Assembler a;
-  auto scratch = a.make_label("scratch");
-  a.la(kS2, scratch);  // stable base register for memory ops
-
+/// Emits `length` random but well-defined operations: ALU/imm/FP ops over
+/// all registers, aligned loads/stores into a scratch buffer addressed via
+/// s2, short forward branches, LL/SC pairs. With `reserve_s1`, s1 is never
+/// a destination (the looped programs use it as their trip counter).
+void emit_random_ops(Rng& rng, Assembler& a, unsigned length,
+                     bool reserve_s1) {
   auto any_gpr = [&] {
-    // Never rd = s2 (the base would wander off the scratch region).
+    // Never rd = s2 (the base would wander off the scratch region), nor
+    // s1 when it is the caller's loop counter.
     std::uint8_t reg;
     do {
       reg = static_cast<std::uint8_t>(rng.next_below(16));
-    } while (reg == kS2);
+    } while (reg == kS2 || (reserve_s1 && reg == kS1));
     return static_cast<isa::Reg>(reg);
   };
   auto any_src = [&] { return static_cast<isa::Reg>(rng.next_below(16)); };
   auto any_fpr = [&] { return static_cast<isa::FReg>(rng.next_below(16)); };
   auto imm16 = [&] { return std::int32_t(rng.next_below(65536)) - 32768; };
-
-  // Seed registers with random values.
-  for (unsigned reg = 1; reg < 16; ++reg) {
-    if (reg == kS2) continue;
-    a.li(static_cast<isa::Reg>(reg), std::int64_t(std::int32_t(rng.next())));
-  }
-  for (unsigned reg = 0; reg < 16; ++reg) {
-    a.fli(static_cast<isa::FReg>(reg), rng.next_double(-100.0, 100.0), kT4);
-  }
-  // (fli clobbered t4; reseed it.)
-  a.li(kT4, std::int64_t(std::int32_t(rng.next())));
 
   for (unsigned i = 0; i < length; ++i) {
     switch (rng.next_below(10)) {
@@ -128,6 +116,22 @@ isa::Program random_program(std::uint64_t seed, unsigned length) {
       }
     }
   }
+}
+
+/// Seeds every GPR/FPR with random values (s2 keeps the scratch base).
+void seed_registers(Rng& rng, Assembler& a) {
+  for (unsigned reg = 1; reg < 16; ++reg) {
+    if (reg == kS2) continue;
+    a.li(static_cast<isa::Reg>(reg), std::int64_t(std::int32_t(rng.next())));
+  }
+  for (unsigned reg = 0; reg < 16; ++reg) {
+    a.fli(static_cast<isa::FReg>(reg), rng.next_double(-100.0, 100.0), kT4);
+  }
+  // (fli clobbered t4; reseed it.)
+  a.li(kT4, std::int64_t(std::int32_t(rng.next())));
+}
+
+isa::Program finalize_program(Assembler& a, Assembler::Label scratch) {
   a.syscall(1);
   a.d_align(8);
   a.bind_data(scratch);
@@ -135,6 +139,36 @@ isa::Program random_program(std::uint64_t seed, unsigned length) {
   auto result = a.finalize();
   EXPECT_TRUE(result.is_ok()) << result.status().to_string();
   return result.is_ok() ? result.take() : isa::Program{};
+}
+
+/// Straight-line random program ending in a syscall.
+isa::Program random_program(std::uint64_t seed, unsigned length) {
+  Rng rng(seed);
+  Assembler a;
+  auto scratch = a.make_label("scratch");
+  a.la(kS2, scratch);  // stable base register for memory ops
+  seed_registers(rng, a);
+  emit_random_ops(rng, a, length, /*reserve_s1=*/false);
+  return finalize_program(a, scratch);
+}
+
+/// Random body wrapped in a counted loop (s1 = trip counter). The backward
+/// branch makes the body hot, so with a low sb_hot_threshold the superblock
+/// tier stitches and re-executes it — and the loop-closing addi+bne is
+/// exactly the compare-and-branch fusion shape, so fusion always fires.
+isa::Program looped_random_program(std::uint64_t seed, unsigned body_length,
+                                   std::uint32_t reps) {
+  Rng rng(seed);
+  Assembler a;
+  auto scratch = a.make_label("scratch");
+  a.la(kS2, scratch);
+  seed_registers(rng, a);
+  a.li(kS1, static_cast<std::int64_t>(reps));
+  Assembler::Label loop = a.here();
+  emit_random_ops(rng, a, body_length, /*reserve_s1=*/true);
+  a.addi(kS1, kS1, -1);
+  a.bne(kS1, kZero, loop);
+  return finalize_program(a, scratch);
 }
 
 class Differential : public ::testing::TestWithParam<std::uint64_t> {};
@@ -190,6 +224,103 @@ TEST_P(Differential, EngineMatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, Differential,
                          ::testing::Range<std::uint64_t>(1, 25));
+
+// ---------------------------------------------------------------------------
+// Looped variants: the counted loop makes its blocks hot, so with a low
+// sb_hot_threshold the superblock tier stitches and re-executes them. Every
+// engine mode — superblocks with fusion, superblocks without fusion, and
+// superblocks disabled — must match the reference interpreter bit for bit,
+// including the retired-instruction count.
+
+struct EngineRun {
+  ExecResult result;
+  CpuContext ctx;
+  std::vector<std::uint64_t> scratch;  // final scratch buffer, 8B words
+  std::size_t superblocks = 0;         // traces formed during the run
+};
+
+EngineRun run_engine(const isa::Program& program, const DbtConfig& dbt) {
+  mem::AddressSpace space(32u << 20, 4096);
+  space.load_program(program);
+  space.set_all_access(mem::PageAccess::kReadWrite);
+  LlscTable llsc;
+  TranslationCache cache(space, dbt, false, nullptr);
+  ExecEngine engine(space, nullptr, llsc, cache, dbt, false, nullptr);
+  EngineRun out;
+  out.ctx.pc = program.entry;
+  out.ctx.tid = 1;
+  out.result = engine.run(out.ctx, 10'000'000);
+  out.superblocks = cache.superblock_count();
+  const GuestAddr scratch = program.symbol("scratch");
+  for (std::uint32_t off = 0; off < kScratchBytes; off += 8) {
+    out.scratch.push_back(space.load(scratch + off, 8));
+  }
+  return out;
+}
+
+class LoopedDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LoopedDifferential, SuperblockEngineMatchesReference) {
+  const isa::Program program =
+      looped_random_program(GetParam(), /*body_length=*/60, /*reps=*/40);
+
+  // Reference interpreter.
+  mem::AddressSpace ref_space(32u << 20, 4096);
+  ref_space.load_program(program);
+  CpuContext ref_ctx;
+  ref_ctx.pc = program.entry;
+  ref_ctx.tid = 1;
+  const ReferenceResult ref = reference_run(ref_ctx, ref_space, 10'000'000);
+  ASSERT_EQ(ref.stop, ReferenceResult::Stop::kSyscall) << ref.error;
+
+  DbtConfig sb_fused;
+  sb_fused.enable_superblocks = true;
+  sb_fused.sb_hot_threshold = 4;
+  sb_fused.sb_fusion = true;
+  DbtConfig sb_plain = sb_fused;
+  sb_plain.sb_fusion = false;
+  DbtConfig no_sb;
+  no_sb.enable_superblocks = false;
+
+  const struct {
+    const char* name;
+    const DbtConfig* dbt;
+  } kModes[] = {
+      {"superblocks+fusion", &sb_fused},
+      {"superblocks, fusion off", &sb_plain},
+      {"block engine", &no_sb},
+  };
+  const GuestAddr scratch = program.symbol("scratch");
+  for (const auto& mode : kModes) {
+    SCOPED_TRACE(mode.name);
+    const EngineRun run = run_engine(program, *mode.dbt);
+    ASSERT_EQ(run.result.reason, StopReason::kSyscall) << run.result.error;
+#if DQEMU_SUPERBLOCKS_ENABLED
+    // The looped programs must actually reach the trace tier — a fuzz
+    // pass that never forms a superblock would prove nothing.
+    if (mode.dbt->enable_superblocks) {
+      EXPECT_GT(run.superblocks, 0u);
+    }
+#endif
+    EXPECT_EQ(run.result.insns, ref.insns);
+    EXPECT_EQ(run.ctx.pc, ref_ctx.pc);
+    EXPECT_EQ(run.ctx.gpr, ref_ctx.gpr);
+    for (unsigned i = 0; i < isa::kNumFpr; ++i) {
+      std::uint64_t a_bits;
+      std::uint64_t b_bits;
+      std::memcpy(&a_bits, &run.ctx.fpr[i], 8);
+      std::memcpy(&b_bits, &ref_ctx.fpr[i], 8);
+      EXPECT_EQ(a_bits, b_bits) << "f" << i;
+    }
+    for (std::uint32_t off = 0; off < kScratchBytes; off += 8) {
+      EXPECT_EQ(run.scratch[off / 8], ref_space.load(scratch + off, 8))
+          << "scratch+" << off;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, LoopedDifferential,
+                         ::testing::Range<std::uint64_t>(100, 116));
 
 }  // namespace
 }  // namespace dqemu::dbt

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Diff two BENCH_*.json files produced by the bench/ binaries.
 
-Usage: tools/bench_compare.py [--latency-tol PCT] OLD.json NEW.json
+Usage: tools/bench_compare.py [--latency-tol PCT] [--mips-floor PCT] \
+           OLD.json NEW.json
 
 Prints per-scenario guest-MIPS ratios (new/old) and flags virtual-time
 drift: wall-clock numbers legitimately differ across machines and runs,
@@ -11,9 +12,14 @@ benches (ablation_serving) additionally carry throughput and latency
 quantiles; those are derived from virtual time and integer-nanosecond
 histograms, so they too must match exactly — unless --latency-tol loosens
 them to a relative percentage for comparisons across code revisions where
-bit-equality is not expected. Exits non-zero only on malformed input or
-virtual-time drift — never on a speed difference, so it is safe as an
-informational CI step across hardware.
+bit-equality is not expected.
+
+--mips-floor PCT turns the comparison into a host-performance gate: fail
+when any scenario's new guest MIPS drops below PCT% of the old value
+(e.g. --mips-floor 50 tolerates a 2x slowdown but catches an
+order-of-magnitude hot-path regression). Without it, exits non-zero only
+on malformed input or virtual-time drift — never on a speed difference,
+so it is safe as an informational CI step across hardware.
 """
 
 import json
@@ -35,7 +41,12 @@ def load(path):
 
 
 def key(scenario):
-    return (scenario["name"], scenario.get("fastpath"))
+    return (scenario["name"], scenario.get("fastpath"),
+            scenario.get("superblocks"))
+
+
+def onoff(value):
+    return {True: "on", False: "off", None: "-"}[value]
 
 
 def latency_drifted(old_value, new_value, tol_pct):
@@ -47,18 +58,24 @@ def latency_drifted(old_value, new_value, tol_pct):
     return abs(new_value - old_value) > bound
 
 
+def float_arg(argv, flag):
+    if flag not in argv:
+        return None
+    at = argv.index(flag)
+    try:
+        value = float(argv[at + 1])
+    except (IndexError, ValueError):
+        sys.exit(f"{flag} needs a numeric percentage")
+    del argv[at:at + 2]
+    return value
+
+
 def main():
     argv = sys.argv[1:]
-    tol_pct = None
-    if "--latency-tol" in argv:
-        at = argv.index("--latency-tol")
-        try:
-            tol_pct = float(argv[at + 1])
-        except (IndexError, ValueError):
-            sys.exit("--latency-tol needs a numeric percentage")
-        del argv[at:at + 2]
+    tol_pct = float_arg(argv, "--latency-tol")
+    floor_pct = float_arg(argv, "--mips-floor")
     if len(argv) != 2:
-        sys.exit(__doc__.strip().splitlines()[2])
+        sys.exit(__doc__.strip().splitlines()[2].strip())
     old_doc, new_doc = load(argv[0]), load(argv[1])
     old = {key(s): s for s in old_doc["scenarios"]}
     new = {key(s): s for s in new_doc["scenarios"]}
@@ -67,19 +84,23 @@ def main():
         print("note: quick-mode mismatch; virtual-time checks skipped")
 
     drift = False
-    print(f"{'scenario':<20} {'fastpath':>8} {'old MIPS':>10} "
+    too_slow = []
+    print(f"{'scenario':<20} {'fastpath':>8} {'sb':>4} {'old MIPS':>10} "
           f"{'new MIPS':>10} {'ratio':>7}")
     for k in sorted(old.keys() | new.keys(), key=str):
-        name, fastpath = k
-        fp = {True: "on", False: "off", None: "-"}[fastpath]
+        name, fastpath, superblocks = k
+        fp, sb = onoff(fastpath), onoff(superblocks)
         if k not in old or k not in new:
             where = "old" if k in old else "new"
-            print(f"{name:<20} {fp:>8}   (only in {where})")
+            print(f"{name:<20} {fp:>8} {sb:>4}   (only in {where})")
             continue
         o, n = old[k], new[k]
         ratio = n["guest_mips"] / o["guest_mips"] if o["guest_mips"] else 0.0
-        print(f"{name:<20} {fp:>8} {o['guest_mips']:>10.2f} "
+        print(f"{name:<20} {fp:>8} {sb:>4} {o['guest_mips']:>10.2f} "
               f"{n['guest_mips']:>10.2f} {ratio:>6.2f}x")
+        if floor_pct is not None and ratio * 100.0 < floor_pct:
+            too_slow.append(f"{name} (fastpath {fp}, sb {sb}): "
+                            f"{ratio * 100.0:.0f}% < {floor_pct:g}%")
         if comparable:
             for field in EXACT_FIELDS:
                 if o.get(field) != n.get(field):
@@ -101,6 +122,8 @@ def main():
                           f"{o[field]} -> {n[field]}")
     if drift:
         sys.exit("virtual-time results differ: the runs are not equivalent")
+    if too_slow:
+        sys.exit("guest MIPS below --mips-floor:\n  " + "\n  ".join(too_slow))
 
 
 if __name__ == "__main__":

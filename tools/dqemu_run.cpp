@@ -13,6 +13,7 @@
 //   ./build/tools/dqemu_run examples/guest/hello.s --nodes 4 --stats
 //   ./build/tools/dqemu_run examples/guest/pi.s --trace out.json
 //   ./build/tools/dqemu_run --serve --nodes 4 --rate 8000 --requests 20000
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,6 +22,8 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/log.hpp"
 #include "core/cluster.hpp"
@@ -46,6 +49,12 @@ constexpr FlagSpec kFlags[] = {
     {"--nodes", "N", "slave nodes (default 2); 0 = QEMU single-node baseline"},
     {"--cores", "N", "cores per node (default 4)"},
     {"--quantum", "N", "instructions per scheduling slice (default 20000)"},
+    {"--superblocks", nullptr,
+     "enable the DBT superblock hot-trace tier (default; DESIGN.md §15)"},
+    {"--no-superblocks", nullptr,
+     "disable the hot-trace tier (virtual time is identical either way)"},
+    {"--dump-hot", "N",
+     "after the run, dump the N hottest blocks and all superblocks"},
     {"--rtt-us", "N", "network round-trip time in microseconds (default 55)"},
     {"--gbps", "X", "network bandwidth in Gbit/s (default 1.0)"},
     {"--forwarding", nullptr, "enable data forwarding (paper 5.2)"},
@@ -83,7 +92,7 @@ constexpr FlagSpec kFlags[] = {
      "write a Chrome trace_event JSON (Perfetto / chrome://tracing); FILE"
      " ending in .txt gets the compact text dump"},
     {"--trace-categories", "LIST",
-     "comma-separated subset of sim,core,net,dsm,sys,counter,queue,serve"
+     "comma-separated subset of sim,core,net,dsm,sys,counter,queue,serve,dbt"
      " (or \"all\" / \"default\")"},
     {"--verbose", nullptr, "debug-level protocol logging"},
     {"--help", nullptr, "print this usage text"},
@@ -129,6 +138,7 @@ int main(int argc, char** argv) {
   config.slave_nodes = 2;
   bool dump_stats = false;
   bool breakdown = false;
+  std::uint32_t dump_hot = 0;
   const char* trace_path = nullptr;
   trace::TraceConfig trace_config;
 
@@ -171,6 +181,12 @@ int main(int argc, char** argv) {
       ok = parse_u32(value, &config.machine.cores_per_node);
     } else if (std::strcmp(arg, "--quantum") == 0) {
       ok = parse_u32(value, &config.dbt.quantum_insns);
+    } else if (std::strcmp(arg, "--superblocks") == 0) {
+      config.dbt.enable_superblocks = true;
+    } else if (std::strcmp(arg, "--no-superblocks") == 0) {
+      config.dbt.enable_superblocks = false;
+    } else if (std::strcmp(arg, "--dump-hot") == 0) {
+      ok = parse_u32(value, &dump_hot);
     } else if (std::strcmp(arg, "--rtt-us") == 0) {
       std::uint32_t rtt = 0;
       ok = parse_u32(value, &rtt);
@@ -358,6 +374,19 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.get("dbt.tlb_miss")),
         static_cast<unsigned long long>(stats.get("dbt.llsc_fastpath")));
 
+    // Superblock hot-trace tier (DESIGN.md §15). All host-side: the
+    // counters stay zero with --no-superblocks or the tier compiled out,
+    // while virtual time is byte-identical.
+    std::fprintf(
+        stderr,
+        "[dqemu_run] sb: formed=%llu invalidated=%llu exec=%llu "
+        "side_exit=%llu fused_ops=%llu\n",
+        static_cast<unsigned long long>(stats.get("dbt.sb_formed")),
+        static_cast<unsigned long long>(stats.get("dbt.sb_invalidated")),
+        static_cast<unsigned long long>(stats.get("dbt.sb_exec")),
+        static_cast<unsigned long long>(stats.get("dbt.sb_side_exit")),
+        static_cast<unsigned long long>(stats.get("dbt.fused_ops")));
+
     // DSM optimization counters (page splitting / data forwarding / diff
     // transfers) and the hierarchical-locking counters; all zero when the
     // feature is off. bytes_on_wire counts data-plane payload traffic;
@@ -441,6 +470,47 @@ int main(int argc, char** argv) {
   if (dump_stats) {
     std::fprintf(stderr, "[dqemu_run] counters:\n%s",
                  cluster.stats().to_string().c_str());
+  }
+  if (dump_hot > 0) {
+    // Hot-block census across every node's translation cache, hottest
+    // first, plus every live superblock. Per-block hot counters advance
+    // whether or not the block migrated onto a trace, so this is useful
+    // with --no-superblocks too (what *would* the tier pick up?).
+    std::vector<std::pair<NodeId, dbt::HotBlockInfo>> blocks;
+    std::vector<std::pair<NodeId, dbt::SuperblockInfo>> sbs;
+    for (NodeId n = 0; n < cluster.node_count(); ++n) {
+      for (const dbt::HotBlockInfo& b : cluster.node(n).tcache().hot_census())
+        blocks.emplace_back(n, b);
+      for (const dbt::SuperblockInfo& s :
+           cluster.node(n).tcache().superblock_census())
+        sbs.emplace_back(n, s);
+    }
+    std::sort(blocks.begin(), blocks.end(), [](const auto& x, const auto& y) {
+      return x.second.hot_count > y.second.hot_count;
+    });
+    std::sort(sbs.begin(), sbs.end(), [](const auto& x, const auto& y) {
+      return x.second.exec_count > y.second.exec_count;
+    });
+    std::fprintf(stderr, "[dqemu_run] hottest blocks (top %u of %zu):\n",
+                 dump_hot, blocks.size());
+    for (std::size_t i = 0; i < blocks.size() && i < dump_hot; ++i) {
+      const auto& [n, b] = blocks[i];
+      std::fprintf(stderr,
+                   "  node %-2u pc 0x%08x  insns %-3u hot %-10llu %s\n", n,
+                   b.pc, b.insns,
+                   static_cast<unsigned long long>(b.hot_count),
+                   b.has_sb ? "[sb]" : "");
+    }
+    std::fprintf(stderr, "[dqemu_run] superblocks (%zu):\n", sbs.size());
+    for (const auto& [n, s] : sbs) {
+      std::fprintf(stderr,
+                   "  node %-2u entry 0x%08x  blocks %-2u insns %-3u "
+                   "fused %-2u %s exec %-10llu side_exits %llu\n",
+                   n, s.entry_pc, s.blocks, s.insns, s.fused_pairs,
+                   s.loops ? "loop    " : "straight",
+                   static_cast<unsigned long long>(s.exec_count),
+                   static_cast<unsigned long long>(s.side_exits));
+    }
   }
   return static_cast<int>(result.exit_code);
 }
