@@ -55,6 +55,16 @@ struct NetworkConfig {
                       bandwidth_gbps;
     return static_cast<DurationPs>(ns * 1000.0 + 0.5);
   }
+
+  /// Conservative-simulation lookahead (DESIGN.md §16): a lower bound on
+  /// (delivery time - send time) for every cross-node message. The send
+  /// path charges endpoint_overhead on each side plus propagation plus at
+  /// least the zero-payload wire time; fault injection and egress queueing
+  /// only ever add delay. Loopback traffic is faster but stays inside one
+  /// node's event queue, so it does not bound the cross-queue window.
+  [[nodiscard]] DurationPs lookahead() const {
+    return 2 * endpoint_overhead + one_way_latency + wire_time(0);
+  }
 };
 
 /// DBT engine cost model.
@@ -299,6 +309,18 @@ struct ServeConfig {
   std::uint32_t work_heavy = 1000;   ///< + a global-mutex critical section
 };
 
+/// Host-side simulation kernel tuning (DESIGN.md §16). With host_threads
+/// == 1 (or the feature compiled out via DQEMU_ENABLE_PARALLEL_SIM=OFF)
+/// the cluster runs on the original single global event queue, bit-for-
+/// bit. With N > 1, the kernel is partitioned into one event queue per
+/// simulated node and executed on a pool of N host threads under
+/// conservative (CMB-style) synchronization, with the modeled cross-node
+/// link latency as the lookahead window. Host-side only: virtual-time
+/// results are byte-identical for every N.
+struct SimConfig {
+  std::uint32_t host_threads = 1;
+};
+
 /// Guest-thread placement policy (sections 4.1, 5.3).
 enum class SchedPolicy {
   kRoundRobin,     ///< spread threads evenly over slave nodes
@@ -336,6 +358,7 @@ struct ClusterConfig {
   SchedConfig sched;
   FaultConfig faults;
   ServeConfig serve;
+  SimConfig sim;
 
   std::uint64_t seed = 42;  ///< seed for all workload/test randomness
 
@@ -404,6 +427,12 @@ struct ClusterConfig {
           return S::invalid_argument("serve work units must be in [1, 2^27]");
       }
     }
+    if (sim.host_threads == 0)
+      return S::invalid_argument("sim.host_threads must be >= 1");
+    if (sim.host_threads > 1 && net.lookahead() == 0)
+      return S::invalid_argument(
+          "sim.host_threads > 1 needs a nonzero network lookahead "
+          "(endpoint_overhead, one_way_latency and wire time all zero)");
     if (guest_mem_bytes < 16u * 1024 * 1024)
       return S::invalid_argument("guest_mem_bytes too small (< 16 MiB)");
     if (!node_machines.empty()) {

@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/histogram.hpp"
 #include "common/types.hpp"
@@ -21,6 +23,18 @@ namespace dqemu {
 /// tests.
 class StatsRegistry {
  public:
+  StatsRegistry() = default;
+  /// Copies snapshot the merged maps only; transient parallel-scheduler
+  /// shard state (below) never travels with a copy. Benches and examples
+  /// copy registries after the run, when every shard is already folded.
+  StatsRegistry(const StatsRegistry& other)
+      : counters_(other.counters_), histograms_(other.histograms_) {}
+  StatsRegistry& operator=(const StatsRegistry& other) {
+    counters_ = other.counters_;
+    histograms_ = other.histograms_;
+    return *this;
+  }
+
   /// Adds `delta` to counter `name` (creating it at zero first).
   void add(std::string_view name, std::uint64_t delta = 1);
 
@@ -60,9 +74,37 @@ class StatsRegistry {
   /// (quantile summaries) follow the counters.
   [[nodiscard]] std::string to_string() const;
 
+  // ---- parallel-scheduler shards (DESIGN.md §16) -------------------------
+  // One shard per simulated-node event queue. While a host thread executes
+  // a queue's window it binds that queue's shard; add() and histogram()
+  // then touch only shard-local maps, so concurrent windows never race.
+  // merge_shards() at a barrier folds the deltas back — counters by
+  // addition, histograms by exact bucket-wise merge — both commutative, so
+  // totals are independent of the host thread count.
+
+  /// Creates `count` empty shards. Call once, before any binding.
+  void configure_shards(std::size_t count);
+
+  /// Binds shard `index` to the calling thread until unbind_shard().
+  void bind_shard(std::size_t index);
+  void unbind_shard();
+
+  /// Folds and clears every shard (single-threaded phases only).
+  void merge_shards();
+
  private:
+  struct Shard {
+    std::map<std::string, std::uint64_t, std::less<>> counters;
+    std::map<std::string, LogHistogram, std::less<>> histograms;
+  };
+
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, LogHistogram, std::less<>> histograms_;
+  /// unique_ptr keeps shard addresses stable for the thread-local binding.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  static thread_local StatsRegistry* bound_owner_;
+  static thread_local Shard* bound_shard_;
 };
 
 /// Where a guest thread's virtual time went. Mirrors the breakdown the

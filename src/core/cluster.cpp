@@ -1,6 +1,8 @@
 #include "core/cluster.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <mutex>
 
 #include "common/log.hpp"
 #include "dsm/wire.hpp"
@@ -33,14 +35,47 @@ Cluster::Cluster(ClusterConfig config, trace::Tracer* tracer)
 
   Node::Hooks hooks;
   hooks.fatal = [this](std::string message) {
+    // Node fatal hooks fire inside whichever window is executing the node,
+    // so in parallel mode this races with other workers' hooks.
+    const std::lock_guard<std::mutex> lock(fatal_mutex_);
     if (!fatal_.has_value()) fatal_ = std::move(message);
   };
   hooks.thread_exited = [](GuestTid) {};
 
   const std::uint32_t total = config_.total_nodes();
+
+#if DQEMU_PARALLEL_SIM_ENABLED
+  if (config_.sim.host_threads > 1 && total > 1) {
+    // Partitioned kernel: node 0 (and with it the directory, the syscall
+    // engine and the serving plane, which all captured queue_ below) stays
+    // on queue_; every slave node gets a private queue. Cross-node traffic
+    // becomes barrier-drained posts (Network::bind_queues).
+    queues_.reserve(total);
+    queues_.push_back(&queue_);
+    slave_queues_.reserve(total - 1);
+    for (NodeId id = 1; id < total; ++id) {
+      slave_queues_.push_back(std::make_unique<sim::EventQueue>());
+      slave_queues_.back()->set_tracer(tracer_);
+      queues_.push_back(slave_queues_.back().get());
+    }
+    network_.bind_queues(queues_);
+    if (tracer_ != nullptr) tracer_->configure_shards(total);
+    stats_.configure_shards(total);
+  }
+#else
+  if (config_.sim.host_threads > 1) {
+    // Runtime gate on, compile-time gate off: refuse loudly rather than
+    // silently fall back to the serial kernel.
+    fatal_ =
+        "host_threads > 1 requested but the parallel scheduler is compiled "
+        "out (DQEMU_ENABLE_PARALLEL_SIM=OFF)";
+  }
+#endif
+
   nodes_.reserve(total);
   for (NodeId id = 0; id < total; ++id) {
-    nodes_.push_back(std::make_unique<Node>(id, config_, queue_, network_,
+    sim::EventQueue& node_queue = queues_.empty() ? queue_ : *queues_[id];
+    nodes_.push_back(std::make_unique<Node>(id, config_, node_queue, network_,
                                             &stats_, hooks, tracer_));
   }
 
@@ -282,10 +317,10 @@ Status Cluster::migrate_thread(GuestTid tid, NodeId target) {
   return Status::ok();
 }
 
-void Cluster::snapshot_counters() {
+void Cluster::snapshot_counters(TimePs at) {
   if (!trace::wants(tracer_, trace::Cat::kCounter)) return;
   trace::Record r;
-  r.time = queue_.now();
+  r.time = at;
   r.kind = trace::Kind::kCounter;
   r.cat = trace::Cat::kCounter;
   r.node = kMasterNode;
@@ -315,15 +350,31 @@ void Cluster::snapshot_counters() {
   }
 }
 
+bool Cluster::fatal_set() const {
+  const std::lock_guard<std::mutex> lock(fatal_mutex_);
+  return fatal_.has_value();
+}
+
+void Cluster::bind_execution_shard(std::size_t index) {
+  if (tracer_ != nullptr) tracer_->bind_shard(index);
+  stats_.bind_shard(index);
+}
+
+void Cluster::unbind_execution_shard() {
+  if (tracer_ != nullptr) tracer_->unbind_shard();
+  stats_.unbind_shard();
+}
+
 Result<Cluster::RunResult> Cluster::run(RunLimits limits) {
   if (!loaded_) return Status::failed_precondition("no program loaded");
+  if (!queues_.empty()) return run_parallel(limits);
 
   const bool counters = trace::wants(tracer_, trace::Cat::kCounter);
   TimePs next_snapshot = counters ? tracer_->config().counter_interval : 0;
   while (!exit_code_.has_value() && !fatal_.has_value()) {
     if (!queue_.run_one()) break;
     if (counters && queue_.now() >= next_snapshot) {
-      snapshot_counters();
+      snapshot_counters(queue_.now());
       next_snapshot = queue_.now() + tracer_->config().counter_interval;
     }
     if (queue_.now() > limits.max_sim_time) {
@@ -333,8 +384,12 @@ Result<Cluster::RunResult> Cluster::run(RunLimits limits) {
       return Status::resource_exhausted("event limit exceeded");
     }
   }
-  if (counters) snapshot_counters();  // final sample at guest completion
+  if (counters) snapshot_counters(queue_.now());  // final guest-completion sample
+  return epilogue();
+}
 
+Result<Cluster::RunResult> Cluster::epilogue() {
+  const std::lock_guard<std::mutex> lock(fatal_mutex_);
   if (fatal_.has_value()) {
     return Status::internal(*fatal_);
   }
@@ -358,6 +413,106 @@ Result<Cluster::RunResult> Cluster::run(RunLimits limits) {
   }
   result.guest_stdout = syscalls_->vfs().stdout_text();
   return result;
+}
+
+Result<Cluster::RunResult> Cluster::run_parallel(RunLimits limits) {
+  // Conservative (CMB-style) synchronization, DESIGN.md §16. Every window:
+  //
+  //   1. Barrier (single-threaded): drain cross-queue mailboxes, find the
+  //      global horizon H = earliest pending event anywhere.
+  //   2. Run the master-plane queue over [H, H + L) inline — guest exit and
+  //      serving decisions all happen there, and the exit time caps how far
+  //      the slaves may still run.
+  //   3. Run every slave queue over the same window on the thread pool.
+  //
+  // L is the network lookahead: no cross-node message sent inside a window
+  // can be delivered inside that same window, so each queue can run its
+  // slice without ever seeing an input it should have handled earlier.
+  // Cross-queue sends land in the target's mailbox and become visible at
+  // the next barrier, ordered by (time, sender, sender send-order) — host
+  // thread count never changes what any window executes.
+  const DurationPs lookahead = config_.net.lookahead();
+  sim::ThreadPool pool(config_.sim.host_threads);
+  const std::size_t n_queues = queues_.size();
+
+  const bool counters = trace::wants(tracer_, trace::Cat::kCounter);
+  TimePs next_snapshot = counters ? tracer_->config().counter_interval : 0;
+  Status limit_hit = Status::ok();
+
+  // The slave task and its argument buffers live across windows so the hot
+  // loop allocates nothing: windows are microseconds of host work each.
+  std::vector<std::size_t> active;
+  active.reserve(n_queues);
+  TimePs slave_end = 0;
+  const std::function<void(std::size_t)> slave_task = [&](std::size_t i) {
+    const std::size_t qi = active[i];
+    bind_execution_shard(qi);
+    (void)queues_[qi]->run_window(slave_end);
+    unbind_execution_shard();
+  };
+
+  while (!exit_code_.has_value() && !fatal_set()) {
+    for (sim::EventQueue* q : queues_) (void)q->drain_posted();
+
+    std::optional<TimePs> horizon;
+    for (sim::EventQueue* q : queues_) {
+      const std::optional<TimePs> t = q->next_time();
+      if (t.has_value() && (!horizon.has_value() || *t < *horizon)) {
+        horizon = t;
+      }
+    }
+    if (!horizon.has_value()) break;  // fully drained: exit or deadlock
+    if (*horizon > limits.max_sim_time) {
+      limit_hit = Status::resource_exhausted("simulated time limit exceeded");
+      break;
+    }
+
+    if (counters && *horizon >= next_snapshot) {
+      stats_.merge_shards();
+      snapshot_counters(*horizon);
+      next_snapshot = *horizon + tracer_->config().counter_interval;
+    }
+
+    const TimePs window_end = *horizon + lookahead;
+
+    bind_execution_shard(0);
+    (void)queue_.run_window(window_end, [this] {
+      return exit_code_.has_value() || fatal_set();
+    });
+    unbind_execution_shard();
+
+    // On guest exit at T_e the serial kernel stops dead; slaves here still
+    // owe their events up to T_e (which the serial kernel fired before the
+    // exit event), and nothing after it.
+    slave_end = window_end;
+    if (exit_code_.has_value() || fatal_set()) {
+      slave_end = std::min(window_end, queue_.now() + 1);
+    }
+
+    // Dispatch only the queues with events inside the window: a node idle
+    // this window (blocked on a remote page, parked worker pool) costs no
+    // pool traffic, and a master-only window skips the barrier entirely.
+    active.clear();
+    for (std::size_t qi = 1; qi < n_queues; ++qi) {
+      const std::optional<TimePs> t = queues_[qi]->next_time();
+      if (t.has_value() && *t < slave_end) active.push_back(qi);
+    }
+    pool.run_tasks(active.size(), slave_task);
+
+    std::uint64_t fired = 0;
+    for (sim::EventQueue* q : queues_) fired += q->fired();
+    if (fired > limits.max_events) {
+      limit_hit = Status::resource_exhausted("event limit exceeded");
+      break;
+    }
+  }
+
+  // Fold the per-queue stats shards back into the main registry before
+  // anything reads it (counter snapshot, RunResult, the embedding).
+  stats_.merge_shards();
+  if (!limit_hit.is_ok()) return limit_hit;
+  if (counters) snapshot_counters(queue_.now());
+  return epilogue();
 }
 
 }  // namespace dqemu::core

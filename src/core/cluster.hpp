@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "net/network.hpp"
 #include "serve/load_generator.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/parallel.hpp"
 #include "sys/master_syscalls.hpp"
 #include "trace/tracer.hpp"
 
@@ -104,12 +106,35 @@ class Cluster {
   void on_thread_exit(const sys::SyscallRequest& req);
   /// Samples every stats counter plus the aggregate time breakdown into the
   /// tracer (kCounter records) — the timeline form of the Fig. 8 data.
-  void snapshot_counters();
+  /// `at` is the virtual timestamp stamped on the sample: the event time in
+  /// the serial loop, the window horizon at a parallel barrier.
+  void snapshot_counters(TimePs at);
+  /// Conservative-window scheduler (DESIGN.md §16): one event queue per
+  /// node on a host thread pool. Taken by run() when host_threads > 1.
+  [[nodiscard]] Result<RunResult> run_parallel(RunLimits limits);
+  /// Shared end-of-run path: fatal error, guest-deadlock diagnosis, or the
+  /// assembled RunResult. Runs single-threaded after the event loop stops.
+  [[nodiscard]] Result<RunResult> epilogue();
+  /// Routes this thread's trace records, flow ids and stats increments to
+  /// queue `index`'s private shard while a window executes.
+  void bind_execution_shard(std::size_t index);
+  void unbind_execution_shard();
+  /// fatal_ can be set from any worker (node fatal hooks run inside slave
+  /// windows), so all access goes through the mutex.
+  [[nodiscard]] bool fatal_set() const;
 
   ClusterConfig config_;
   trace::Tracer* tracer_ = nullptr;
   StatsRegistry stats_;
   sim::EventQueue queue_;
+  /// Parallel mode only: one private event queue per slave node (the
+  /// master plane — node 0, directory, syscalls, serving — keeps queue_).
+  /// Declared before network_: the reliable channel's per-link timers
+  /// cancel into these queues on destruction, so they must outlive it.
+  std::vector<std::unique_ptr<sim::EventQueue>> slave_queues_;
+  /// Parallel mode only: queues_[i] is node i's queue (queues_[0] ==
+  /// &queue_). Empty in the serial kernel — this doubles as the mode flag.
+  std::vector<sim::EventQueue*> queues_;
   net::Network network_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::optional<dsm::Directory> directory_;
@@ -127,6 +152,7 @@ class Cluster {
 
   bool loaded_ = false;
   std::optional<std::uint32_t> exit_code_;
+  mutable std::mutex fatal_mutex_;
   std::optional<std::string> fatal_;
 };
 

@@ -43,7 +43,7 @@ void DsmClient::request_page(std::uint32_t page, std::uint32_t offset,
   if (trace::wants(tracer_, trace::Cat::kDsm)) {
     pending.flow = tracer_->new_flow();
     trace::Record r;
-    r.time = network_.now();
+    r.time = network_.now(self_);
     r.name = "dsm.fault";
     r.kind = trace::Kind::kFlowBegin;
     r.cat = trace::Cat::kDsm;
@@ -86,7 +86,7 @@ void DsmClient::arm_watchdog(std::uint32_t page) {
   if (it == pending_.end()) return;
   Pending& p = it->second;
   if (p.watchdog == nullptr) {
-    p.watchdog = std::make_unique<sim::Timer>(network_.queue());
+    p.watchdog = std::make_unique<sim::Timer>(network_.queue_for(self_));
   }
   p.watchdog->arm(p.timeout, [this, page] { on_request_timeout(page); });
 }
@@ -121,7 +121,7 @@ void DsmClient::end_fault_flow(std::uint32_t page, bool retried) {
   if (it == pending_.end() || it->second.flow == 0) return;
   if (!trace::wants(tracer_, trace::Cat::kDsm)) return;
   trace::Record r;
-  r.time = network_.now();
+  r.time = network_.now(self_);
   r.name = "dsm.fault";
   r.kind = trace::Kind::kFlowEnd;
   r.cat = trace::Cat::kDsm;
@@ -137,7 +137,7 @@ void DsmClient::note(const char* name, std::uint64_t flow, std::uint64_t a,
                      std::uint64_t b) {
   if (!trace::wants(tracer_, trace::Cat::kDsm)) return;
   trace::Record r;
-  r.time = network_.now();
+  r.time = network_.now(self_);
   r.name = name;
   r.kind = flow == 0 ? trace::Kind::kInstant : trace::Kind::kFlowStep;
   r.cat = trace::Cat::kDsm;

@@ -1,5 +1,6 @@
 #include "net/fault/fault_injector.hpp"
 
+#include "common/log.hpp"
 #include "common/rng.hpp"
 
 namespace dqemu::net {
@@ -27,11 +28,30 @@ DurationPs draw_delay(std::uint64_t& state, DurationPs max) {
 
 }  // namespace
 
+FaultInjector::FaultInjector(const FaultConfig& config,
+                             std::uint32_t node_count)
+    : config_(config),
+      node_count_(node_count),
+      link_tx_(static_cast<std::size_t>(node_count) * node_count, 0),
+      rule_matches_(config.rules.size() * static_cast<std::size_t>(node_count) *
+                        node_count,
+                    0) {}
+
 WireFate FaultInjector::decide(const Message& msg) {
-  // Key the decision stream by seed + transmission number only: the fate of
-  // transmission N never depends on the fate of transmissions before it.
-  const std::uint64_t n = ++transmissions_;
-  std::uint64_t state = config_.seed + n * 0x9E3779B97F4A7C15ull;
+  DQEMU_CHECK(msg.src < node_count_ && msg.dst < node_count_,
+              "fault: transmission with out-of-range endpoint %u->%u "
+              "(injector sized for %u nodes)",
+              unsigned(msg.src), unsigned(msg.dst), node_count_);
+  const std::size_t link = link_index(msg.src, msg.dst);
+  // Key the decision stream by (seed, link, link transmission number) only:
+  // the fate of a transmission never depends on earlier fates, nor on how
+  // transmissions on other links interleave with this one.
+  const std::uint64_t n = ++link_tx_[link];
+  transmissions_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t link_key = (static_cast<std::uint64_t>(msg.src) << 32) |
+                           msg.dst;
+  std::uint64_t state =
+      (config_.seed ^ splitmix64(link_key)) + n * 0x9E3779B97F4A7C15ull;
 
   double drop = config_.drop_pct;
   double dup = config_.dup_pct;
@@ -39,13 +59,16 @@ WireFate FaultInjector::decide(const Message& msg) {
   double reorder = config_.reorder_pct;
   for (std::size_t i = 0; i < config_.rules.size(); ++i) {
     const FaultConfig::Rule& rule = config_.rules[i];
+    std::uint32_t& matched =
+        rule_matches_[i * static_cast<std::size_t>(node_count_) * node_count_ +
+                      link];
     const bool matches =
         (rule.type == FaultConfig::Rule::kAny || rule.type == msg.type) &&
         (rule.src == FaultConfig::Rule::kAny || rule.src == msg.src) &&
         (rule.dst == FaultConfig::Rule::kAny || rule.dst == msg.dst) &&
-        (rule.max_matches == 0 || rule_matches_[i] < rule.max_matches);
+        (rule.max_matches == 0 || matched < rule.max_matches);
     if (!matches) continue;
-    ++rule_matches_[i];
+    ++matched;
     if (rule.drop_pct >= 0.0) drop = rule.drop_pct;
     if (rule.dup_pct >= 0.0) dup = rule.dup_pct;
     if (rule.jitter_pct >= 0.0) jitter = rule.jitter_pct;

@@ -2,12 +2,17 @@
 //
 // Decides, per physical transmission, whether the switch drops, duplicates,
 // jitters or reorder-delays the packet. Decisions come from a counter-based
-// SplitMix64 stream keyed by FaultConfig::seed and the transmission number —
-// never from host randomness — so the same configuration produces the same
-// faults at the same virtual times on every run. Loopback messages never
-// reach the injector (they do not cross the wire).
+// SplitMix64 stream keyed by FaultConfig::seed, the directed link and the
+// link-local transmission number — never from host randomness — so the same
+// configuration produces the same faults at the same virtual times on every
+// run. Keying per link (rather than by a global transmission count) is what
+// keeps the stream independent of how transmissions on *different* links
+// interleave, which the parallel scheduler (DESIGN.md §16) does not define:
+// each link's counter is touched only by its sender's execution context.
+// Loopback messages never reach the injector (they do not cross the wire).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -27,21 +32,32 @@ struct WireFate {
 
 class FaultInjector {
  public:
-  explicit FaultInjector(const FaultConfig& config)
-      : config_(config), rule_matches_(config.rules.size(), 0) {}
+  FaultInjector(const FaultConfig& config, std::uint32_t node_count);
 
-  /// Fate of the next physical transmission of `msg`. Advances the
-  /// transmission counter (and any matching rule's match budget) even when
-  /// the message sails through clean, so decisions stay aligned run-to-run.
+  /// Fate of the next physical transmission of `msg`. Advances the link's
+  /// transmission counter (and any matching rule's per-link match budget)
+  /// even when the message sails through clean, so decisions stay aligned
+  /// run-to-run. Called from the sender's execution context only.
   WireFate decide(const Message& msg);
 
-  /// Physical transmissions decided so far.
-  [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+  /// Physical transmissions decided so far (all links).
+  [[nodiscard]] std::uint64_t transmissions() const {
+    return transmissions_.load(std::memory_order_relaxed);
+  }
 
  private:
+  [[nodiscard]] std::size_t link_index(NodeId src, NodeId dst) const {
+    return static_cast<std::size_t>(src) * node_count_ + dst;
+  }
+
   const FaultConfig& config_;
-  std::uint64_t transmissions_ = 0;
-  /// Times each FaultConfig::Rule has matched (for max_matches budgets).
+  std::uint32_t node_count_;
+  std::atomic<std::uint64_t> transmissions_{0};
+  /// Per directed link: transmissions decided (the decision-stream counter).
+  std::vector<std::uint64_t> link_tx_;
+  /// Times each FaultConfig::Rule has matched on each directed link, for
+  /// max_matches budgets (indexed rule * n^2 + link). Per-link budgets keep
+  /// a kAny rule's accounting inside one sender context.
   std::vector<std::uint32_t> rule_matches_;
 };
 

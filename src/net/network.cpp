@@ -18,16 +18,35 @@ Network::Network(sim::EventQueue& queue, NetworkConfig config,
       egress_free_(node_count, 0),
       channel_last_(static_cast<std::size_t>(node_count) * node_count, 0),
       node_count_(node_count),
+      post_order_(node_count, 0),
       faults_(std::move(faults)) {
 #if DQEMU_FAULTS_ENABLED
   if (faults_.enabled) {
-    injector_ = std::make_unique<FaultInjector>(faults_);
+    injector_ = std::make_unique<FaultInjector>(faults_, node_count);
     reliable_ = std::make_unique<ReliableChannel>(
         queue_, faults_, stats_, tracer_,
         [this](Message m, TxKind kind) { transmit(std::move(m), kind); },
         [this](Message m) { deliver(std::move(m)); });
   }
 #endif
+}
+
+void Network::bind_queues(const std::vector<sim::EventQueue*>& queues) {
+  DQEMU_CHECK(queues.size() == node_count_,
+              "net: bind_queues with %zu queues for %u nodes", queues.size(),
+              node_count_);
+  queues_ = queues;
+  if (reliable_ != nullptr) reliable_->bind_queues(queues);
+}
+
+void Network::schedule_into(NodeId src, NodeId dst, TimePs when,
+                            sim::EventQueue::Callback fn) {
+  sim::EventQueue& dst_queue = queue_for(dst);
+  if (queues_.empty() || &queue_for(src) == &dst_queue) {
+    dst_queue.schedule_at(when, std::move(fn));
+  } else {
+    dst_queue.post(when, src, post_order_[src]++, std::move(fn));
+  }
 }
 
 void Network::attach(NodeId node, Handler handler) {
@@ -42,7 +61,8 @@ void Network::send(Message msg) {
               "net: send type=0x%x with out-of-range endpoint %u->%u "
               "(cluster has %u nodes)",
               msg.type, unsigned(msg.src), unsigned(msg.dst), node_count_);
-  const TimePs now = queue_.now();
+  // send() always runs in the source's execution context.
+  const TimePs now = queue_for(msg.src).now();
 
   if (reliable_ != nullptr && msg.src != msg.dst) {
     // Lossy-wire path. Assign the net-owned trace flow up front so the
@@ -106,13 +126,16 @@ void Network::send(Message msg) {
   delivery = std::max(delivery, last);
   last = delivery;
 
-  queue_.schedule_at(delivery, [this, m = std::move(msg)]() mutable {
+  const NodeId src = msg.src, dst = msg.dst;
+  schedule_into(src, dst, delivery, [this, m = std::move(msg)]() mutable {
     deliver(std::move(m));
   });
 }
 
 void Network::transmit(Message msg, TxKind kind) {
-  const TimePs now = queue_.now();
+  // Initial transmissions, retransmit-timer fires and pure-ack fires all
+  // happen in the source's execution context.
+  const TimePs now = queue_for(msg.src).now();
   const std::uint64_t bytes = msg.wire_bytes();
 
   // One send-side record per physical transmission: retransmissions show
@@ -182,14 +205,15 @@ void Network::transmit(Message msg, TxKind kind) {
 
   // No FIFO clamp here: jitter and reorder delays are the whole point, and
   // the receive-side sequence check restores delivery order.
+  const NodeId src = msg.src, dst = msg.dst;
   if (fate.duplicate) {
     if (stats_ != nullptr) stats_->add("net.wire_dup");
     const TimePs dup_at = arrival + fate.dup_extra_delay;
-    queue_.schedule_at(dup_at, [this, m = msg]() mutable {
+    schedule_into(src, dst, dup_at, [this, m = msg]() mutable {
       reliable_->on_wire_arrival(std::move(m));
     });
   }
-  queue_.schedule_at(arrival, [this, m = std::move(msg)]() mutable {
+  schedule_into(src, dst, arrival, [this, m = std::move(msg)]() mutable {
     reliable_->on_wire_arrival(std::move(m));
   });
 }
@@ -206,7 +230,7 @@ void Network::deliver(Message msg) {
               static_cast<unsigned long long>(msg.wire_bytes()));
   if (msg.flow != 0 && trace::wants(tracer_, trace::Cat::kNet)) {
     trace::Record r;
-    r.time = queue_.now();
+    r.time = queue_for(msg.dst).now();
     r.node = msg.dst;
     r.track = trace::kTrackNic;
     r.cat = trace::Cat::kNet;

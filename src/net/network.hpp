@@ -66,9 +66,29 @@ class Network {
   /// network reference).
   [[nodiscard]] TimePs now() const { return queue_.now(); }
 
+  /// Current virtual time of `ctx`'s execution context. Identical to
+  /// now() in the serial kernel; the partitioned kernel resolves the
+  /// caller's own queue (per-node clocks differ inside a window).
+  [[nodiscard]] TimePs now(NodeId ctx) const {
+    return queues_.empty() ? queue_.now() : queues_[ctx]->now();
+  }
+
   /// The event queue driving this network. Protocol watchdogs (DSM fault /
   /// lease-recall timeouts) arm their timers here.
   [[nodiscard]] sim::EventQueue& queue() { return queue_; }
+
+  /// `node`'s own event queue — where that node's timers must live so
+  /// they fire in its execution context. The shared queue unless
+  /// bind_queues was called.
+  [[nodiscard]] sim::EventQueue& queue_for(NodeId node) {
+    return queues_.empty() ? queue_ : *queues_[node];
+  }
+
+  /// Parallel scheduler (DESIGN.md §16): gives every node its own event
+  /// queue. Deliveries then cross queues as barrier-drained posts ordered
+  /// by (time, src, send order); the reliable channel rebinds its per-link
+  /// timers to the owning ends. Call once, before any traffic.
+  void bind_queues(const std::vector<sim::EventQueue*>& queues);
 
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
@@ -82,6 +102,13 @@ class Network {
   /// consults the fault injector, and schedules the arrival(s) into the
   /// reliable channel. Fault path only.
   void transmit(Message msg, TxKind kind);
+  /// Schedules `fn` at `when` in dst's context, from src's context: a
+  /// plain schedule_at on a shared queue, a deterministic cross-queue post
+  /// otherwise. `when` is always >= the conservative window bound
+  /// (NetworkConfig::lookahead) past src's clock, which is what makes the
+  /// post invisible until the next window barrier safe.
+  void schedule_into(NodeId src, NodeId dst, TimePs when,
+                     sim::EventQueue::Callback fn);
 
   sim::EventQueue& queue_;
   NetworkConfig config_;
@@ -95,6 +122,11 @@ class Network {
   /// check supersedes it.
   std::vector<TimePs> channel_last_;
   std::uint32_t node_count_;
+  /// Per-node queues when running partitioned; empty in the serial kernel.
+  std::vector<sim::EventQueue*> queues_;
+  /// Per src node: cross-queue posts issued, the deterministic order key
+  /// for posts at equal times. Owned by src's execution context.
+  std::vector<std::uint64_t> post_order_;
 
   FaultConfig faults_;
   std::unique_ptr<FaultInjector> injector_;   ///< non-null iff faults active

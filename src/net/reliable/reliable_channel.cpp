@@ -12,10 +12,26 @@ ReliableChannel::Link& ReliableChannel::link(NodeId src, NodeId dst) {
     it = links_
              .emplace(std::piecewise_construct,
                       std::forward_as_tuple(src, dst),
-                      std::forward_as_tuple(queue_, config_.retrans_timeout))
+                      std::forward_as_tuple(queue_for(src), queue_for(dst),
+                                            config_.retrans_timeout))
              .first;
   }
   return it->second;
+}
+
+void ReliableChannel::bind_queues(
+    const std::vector<sim::EventQueue*>& queues) {
+  DQEMU_CHECK(links_.empty(),
+              "net: reliable channel rebound after traffic started");
+  queues_ = queues;
+  // Eagerly create every directed link so the map never mutates while
+  // windows execute concurrently; link() then always hits.
+  const auto n = static_cast<NodeId>(queues_.size());
+  for (NodeId src = 0; src < n; ++src) {
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (src != dst) link(src, dst);
+    }
+  }
 }
 
 void ReliableChannel::bump(const char* counter, std::uint64_t delta) {
@@ -26,7 +42,7 @@ void ReliableChannel::trace_step(const Message& msg, const char* name,
                                  NodeId node) {
   if (msg.flow == 0 || !trace::wants(tracer_, trace::Cat::kNet)) return;
   trace::Record r;
-  r.time = queue_.now();
+  r.time = queue_for(node).now();
   r.node = node;
   r.track = trace::kTrackNic;
   r.cat = trace::Cat::kNet;
@@ -108,10 +124,12 @@ void ReliableChannel::schedule_ack(NodeId data_src, NodeId data_dst) {
 void ReliableChannel::on_wire_arrival(Message msg) {
   // Straggler window: the destination's communicator thread is wedged, so
   // everything that lands during the pause is processed at the window end.
+  // This runs in msg.dst's context; the deferral stays on its own queue.
+  sim::EventQueue& dst_queue = queue_for(msg.dst);
   TimePs until = 0;
-  if (config_.paused_at(msg.dst, queue_.now(), &until)) {
+  if (config_.paused_at(msg.dst, dst_queue.now(), &until)) {
     bump("net.paused_deferrals");
-    queue_.schedule_at(until, [this, m = std::move(msg)]() mutable {
+    dst_queue.schedule_at(until, [this, m = std::move(msg)]() mutable {
       on_wire_arrival(std::move(m));
     });
     return;
@@ -123,7 +141,7 @@ void ReliableChannel::on_wire_arrival(Message msg) {
     // A pure ack carries no payload to deliver; close its trace flow.
     if (msg.flow != 0 && trace::wants(tracer_, trace::Cat::kNet)) {
       trace::Record r;
-      r.time = queue_.now();
+      r.time = dst_queue.now();
       r.node = msg.dst;
       r.track = trace::kTrackNic;
       r.cat = trace::Cat::kNet;

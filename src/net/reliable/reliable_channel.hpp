@@ -20,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <utility>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
@@ -67,13 +68,22 @@ class ReliableChannel {
   /// state machine; may invoke the deliver hook zero or more times.
   void on_wire_arrival(Message msg);
 
+  /// Parallel scheduler (DESIGN.md §16): gives every node its own event
+  /// queue and eagerly creates all n^2 links with their timers bound to
+  /// the owning ends — the retransmit timer fires in the sender's context,
+  /// the delayed-ack timer in the receiver's — so the link map is never
+  /// mutated while windows execute concurrently. Call before any traffic.
+  void bind_queues(const std::vector<sim::EventQueue*>& queues);
+
  private:
   /// State of one directed link. The sender half tracks messages this link
-  /// originated; the receiver half tracks what arrived on it. The receiver
+  /// originated; the receiver half tracks what arrived on it — each half
+  /// is touched only by its owning end's execution context. The receiver
   /// half's ack timer emits the reverse-direction pure ack.
   struct Link {
-    Link(sim::EventQueue& queue, DurationPs rto0)
-        : rto(rto0), retrans(queue), ack_due(queue) {}
+    Link(sim::EventQueue& sender_queue, sim::EventQueue& receiver_queue,
+         DurationPs rto0)
+        : rto(rto0), retrans(sender_queue), ack_due(receiver_queue) {}
 
     // Sender half.
     std::uint64_t next_seq = 1;
@@ -88,6 +98,11 @@ class ReliableChannel {
   };
 
   Link& link(NodeId src, NodeId dst);
+  /// Event queue of `node`'s execution context (the shared queue unless
+  /// bind_queues was called).
+  [[nodiscard]] sim::EventQueue& queue_for(NodeId node) {
+    return queues_.empty() ? queue_ : *queues_[node];
+  }
   void process_ack(NodeId from, NodeId to, std::uint64_t ack);
   void retransmit_all(NodeId src, NodeId dst);
   void schedule_ack(NodeId from, NodeId to);
@@ -100,8 +115,11 @@ class ReliableChannel {
   trace::Tracer* tracer_;
   TransmitFn transmit_;
   DeliverFn deliver_;
-  /// Directed links, created on first use. std::map keeps Link addresses
-  /// stable, which the embedded (non-movable) timers require.
+  /// Per-node queues when running partitioned; empty in the serial kernel.
+  std::vector<sim::EventQueue*> queues_;
+  /// Directed links, created on first use (serial) or all at bind_queues
+  /// time (parallel). std::map keeps Link addresses stable, which the
+  /// embedded (non-movable) timers require.
   std::map<std::pair<NodeId, NodeId>, Link> links_;
 };
 

@@ -10,6 +10,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
 
 #include "common/types.hpp"
 #include "trace/tracer.hpp"
@@ -61,6 +64,34 @@ class EventQueue {
   /// Returns events fired.
   std::uint64_t run(std::uint64_t max_events = ~0ULL);
 
+  /// Runs events with time strictly below `end` (the conservative-window
+  /// bound: events at exactly `end` belong to the next window). Unlike
+  /// run_until, the clock is left at the last fired event rather than
+  /// advanced to `end`, so in-the-past clamping behaves exactly as in the
+  /// single-queue kernel. `stop` (may be empty) is checked after every
+  /// event; returning true ends the window early. Returns events fired.
+  std::uint64_t run_window(TimePs end, const std::function<bool()>& stop = {});
+
+  /// Time of the earliest pending event (posted-but-undrained hand-offs
+  /// are not considered — drain first).
+  [[nodiscard]] std::optional<TimePs> next_time() const {
+    if (events_.empty()) return std::nullopt;
+    return events_.begin()->first.time;
+  }
+
+  /// Cross-thread hand-off: enqueues `fn` for absolute time `when` from
+  /// another queue's execution context (thread-safe, unlike schedule_at).
+  /// Posted events stay invisible until drain_posted() — called at an
+  /// epoch barrier — folds them in with fresh local seqs in (when, poster,
+  /// order) order, a total order independent of host-thread interleaving:
+  /// `poster` is the posting context (source node) and `order` a counter
+  /// that context owns.
+  void post(TimePs when, NodeId poster, std::uint64_t order, Callback fn);
+
+  /// Folds posted events into the queue (single-threaded phases only).
+  /// Returns the number of events adopted.
+  std::size_t drain_posted();
+
   /// Total events fired since construction.
   [[nodiscard]] std::uint64_t fired() const { return fired_; }
 
@@ -75,11 +106,21 @@ class EventQueue {
     friend auto operator<=>(const Key&, const Key&) = default;
   };
 
+  struct Posted {
+    TimePs when;
+    NodeId poster;
+    std::uint64_t order;
+    Callback fn;
+  };
+
   TimePs now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
   std::map<Key, Callback> events_;
   trace::Tracer* tracer_ = nullptr;
+
+  std::mutex post_mutex_;
+  std::vector<Posted> posted_;
 };
 
 }  // namespace dqemu::sim

@@ -1,14 +1,71 @@
 #include "trace/export.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <ostream>
 #include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 namespace dqemu::trace {
 namespace {
+
+/// Canonical export order + flow-id normalization (DESIGN.md §16).
+///
+/// Records at equal times are ordered by (node, track), then by content.
+/// The content refinement matters for lanes the master plane shares with
+/// cross-node deliveries: two events at the same picosecond on the same
+/// queue fire in (time, seq) order, and seq assignment is the one thing
+/// the serial and the partitioned kernel legitimately disagree on (the
+/// serial kernel numbers events in global schedule order, the partitioned
+/// one per queue with mailbox drains at barriers). Sorting same-instant
+/// records of one lane by content erases that difference. Span records
+/// order close-before-open so back-to-back spans keep nesting; flow ids
+/// stay out of the key because they are exactly the run-dependent value
+/// being normalized below.
+///
+/// Causal ids are then renumbered by first appearance in that order:
+/// the serial kernel allocates flow ids from one counter in global event
+/// order, the parallel kernel from per-shard namespaces, and only
+/// normalization makes the two export byte-identically. kAutoFlowBit
+/// survives the renumbering (receivers key on it).
+std::vector<Record> canonical_records(const Tracer& tracer) {
+  std::vector<Record> records = tracer.records();
+  // kSpanEnd first: "previous span closes, next one opens" at the same
+  // instant is common; a zero-length span is not.
+  const auto kind_rank = [](Kind k) {
+    return k == Kind::kSpanEnd ? -1 : static_cast<int>(k);
+  };
+  std::stable_sort(
+      records.begin(), records.end(),
+      [&](const Record& a, const Record& b) {
+        if (std::tie(a.time, a.node, a.track) !=
+            std::tie(b.time, b.node, b.track)) {
+          return std::tie(a.time, a.node, a.track) <
+                 std::tie(b.time, b.node, b.track);
+        }
+        const int ra = kind_rank(a.kind), rb = kind_rank(b.kind);
+        if (ra != rb) return ra < rb;
+        const int names = std::strcmp(a.name != nullptr ? a.name : "",
+                                      b.name != nullptr ? b.name : "");
+        if (names != 0) return names < 0;
+        return std::tie(a.tid, a.a, a.b) < std::tie(b.tid, b.a, b.b);
+      });
+  std::map<std::uint64_t, std::uint64_t> remap;
+  std::uint64_t next = 1;
+  for (Record& r : records) {
+    if (r.flow == 0) continue;
+    const std::uint64_t key = r.flow & ~kAutoFlowBit;
+    auto [it, fresh] = remap.try_emplace(key, 0);
+    if (fresh) it->second = next++;
+    r.flow = it->second | (r.flow & kAutoFlowBit);
+  }
+  return records;
+}
 
 /// Virtual picoseconds -> Chrome's microsecond timestamps, formatted with
 /// integer math so output is bit-stable ("12.000345").
@@ -125,7 +182,7 @@ void append_event(std::string& out, const Record& r) {
 }  // namespace
 
 void write_chrome_json(const Tracer& tracer, std::ostream& out) {
-  const std::vector<Record> records = tracer.records();
+  const std::vector<Record> records = canonical_records(tracer);
 
   // Metadata first: name every (node) process and (node, track) lane that
   // appears in the trace, so Perfetto shows meaningful labels.
@@ -174,7 +231,7 @@ void write_chrome_json(const Tracer& tracer, std::ostream& out) {
 
 void write_text(const Tracer& tracer, std::ostream& out) {
   std::string body;
-  for (const Record& r : tracer.records()) {
+  for (const Record& r : canonical_records(tracer)) {
     char buf[192];
     std::snprintf(buf, sizeof buf,
                   "%14" PRIu64 " %c %-7s n%-2u t%-2u %-24s tid=%-4u"

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -60,35 +61,69 @@ class Tracer {
   }
 
   /// Appends a record, overwriting the oldest one when the ring is full.
+  /// Routed to the calling thread's bound shard when one is bound.
   void record(const Record& r);
 
   /// Allocates a fresh causal id (never 0). Chains created in event order
   /// get deterministic ids, so traces of identical runs match exactly.
-  [[nodiscard]] std::uint64_t new_flow() { return next_flow_++; }
+  /// A bound shard allocates from its own namespace (the shard index in
+  /// bits 40+, below kAutoFlowBit); export normalizes all ids by first
+  /// appearance, so serial and sharded runs export identical flows.
+  [[nodiscard]] std::uint64_t new_flow();
+
+  // ---- parallel-scheduler shards (DESIGN.md §16) -------------------------
+  // One shard per simulated-node event queue. While a host thread executes
+  // a queue's window it binds that queue's shard; record()/new_flow() then
+  // touch only shard-local state, so concurrent windows never share sinks.
+  // Shards are keyed by queue (not host thread), which is what makes the
+  // exported trace independent of the host thread count.
+
+  /// Creates `count` empty shards (each with the ring capacity of the
+  /// config). Call once, before any binding.
+  void configure_shards(std::size_t count);
+
+  /// Binds shard `index` to the calling thread until unbind_shard().
+  void bind_shard(std::size_t index);
+  void unbind_shard();
 
   /// Stable pointer for a dynamic name (e.g. a stats counter key). The
   /// same string always returns the same pointer.
   [[nodiscard]] const char* intern(std::string_view name);
 
-  /// Records currently held, oldest first.
+  /// Records currently held, oldest first: the main ring followed by each
+  /// shard in index order, stably sorted by time.
   [[nodiscard]] std::vector<Record> records() const;
 
-  [[nodiscard]] std::size_t size() const { return count_; }
-  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t dropped() const;
   [[nodiscard]] const TraceConfig& config() const { return config_; }
 
   void clear();
 
  private:
+  /// One bounded ring + flow allocator; the legacy single-threaded sink
+  /// and every shard are instances of this.
+  struct Sink {
+    std::vector<Record> ring;
+    std::size_t next = 0;   ///< next write slot
+    std::size_t count = 0;  ///< valid records (<= capacity)
+    std::uint64_t dropped = 0;
+    std::uint64_t next_flow = 1;
+  };
+
+  void append(Sink& sink, const Record& r);
+
   TraceConfig config_;
-  std::vector<Record> ring_;
-  std::size_t next_ = 0;   ///< next write slot
-  std::size_t count_ = 0;  ///< valid records (<= capacity)
-  std::uint64_t dropped_ = 0;
-  std::uint64_t next_flow_ = 1;
+  Sink main_;
+  /// unique_ptr keeps shard addresses stable for the thread-local binding.
+  std::vector<std::unique_ptr<Sink>> shards_;
   /// Interned dynamic names; deque gives pointer stability.
   std::deque<std::string> interned_;
   std::map<std::string, const char*, std::less<>> intern_index_;
+
+  static thread_local Tracer* bound_owner_;
+  static thread_local Sink* bound_sink_;
+  static thread_local std::uint64_t bound_index_;
 };
 
 #if DQEMU_TRACING_ENABLED

@@ -157,7 +157,7 @@ Result<isa::Program> mutex_stress(std::uint32_t threads, std::uint32_t iters,
 }
 
 Result<isa::Program> memwalk(std::uint32_t bytes, std::uint32_t reps,
-                             bool touch_first) {
+                             bool touch_first, std::uint32_t workers) {
   Assembler a;
   Assembler::Label main_fn = a.make_label("main");
   Assembler::Label worker = a.make_label("worker");
@@ -166,18 +166,27 @@ Result<isa::Program> memwalk(std::uint32_t bytes, std::uint32_t reps,
   guestlib::emit_crt0(a, main_fn);
   guestlib::Runtime rt = guestlib::emit_runtime(a);
 
-  // worker(a0 = idx, ignored): reps sequential passes over the region,
-  // 8x-unrolled byte loads (the paper's 1-byte-increment walker).
+  if (workers == 0) workers = 1;
+  const std::uint32_t slice = bytes / workers;
+
+  // worker(a0 = idx): reps sequential passes over its own bytes/workers
+  // slice of the region, 8x-unrolled byte loads (the paper's
+  // 1-byte-increment walker). One worker == the original whole-region walk.
   {
     a.bind(worker);
     a.la(kT0, region);
     a.lw(kS2, kT0, 0);  // base
+    if (workers > 1) {
+      a.li(kT1, static_cast<std::int64_t>(slice));
+      a.mul(kT1, kA0, kT1);
+      a.add(kS2, kS2, kT1);  // my slice base
+    }
     a.li(kS1, static_cast<std::int64_t>(reps));
     Assembler::Label rep_loop = a.make_label();
     Assembler::Label byte_loop = a.make_label();
     a.bind(rep_loop);
     a.mov(kT1, kS2);
-    a.li(kT2, static_cast<std::int64_t>(bytes / 4));
+    a.li(kT2, static_cast<std::int64_t>(slice / 4));
     a.bind(byte_loop);
     for (std::int32_t u = 0; u < 4; ++u) a.lbu(kT3, kT1, u);
     a.addi(kT1, kT1, 4);
@@ -190,7 +199,7 @@ Result<isa::Program> memwalk(std::uint32_t bytes, std::uint32_t reps,
   }
 
   ParallelMainOptions options;
-  options.threads = 1;
+  options.threads = workers;
   options.prologue = [&](Assembler& as) {
     as.li(kA0, static_cast<std::int64_t>(bytes));
     emit_syscall(as, Sys::kMmap);

@@ -27,16 +27,21 @@ namespace dqemu::workloads {
                                                 std::uint32_t iters,
                                                 bool global_lock);
 
-/// Table 1 rows 1-3 — sequential page-walk bandwidth. One worker thread
-/// (scheduled on a slave node under DQEMU) mmaps `bytes` and reads them
-/// byte-by-byte `reps` times (8x-unrolled LBU loop). The region's pages
-/// start owned by the master, so every page is a remote fetch.
-/// `touch_first` makes the MAIN thread write one byte per page before the
-/// walk so pages are master-resident-dirty (matching the paper's
-/// "reserve 1GB on the master" setup).
+/// Table 1 rows 1-3 — sequential page-walk bandwidth. `workers` threads
+/// (scheduled on slave nodes under DQEMU) mmap `bytes` and each reads its
+/// own `bytes / workers` slice byte-by-byte `reps` times (8x-unrolled LBU
+/// loop). The region's pages start owned by the master, so every page is
+/// a remote fetch; with `bytes / workers` a page multiple the slices are
+/// page-disjoint, so the walkers never share a page and every slave node
+/// streams independently (the layout the parallel-scheduler bench sweeps,
+/// DESIGN.md §16). `workers = 1` is the paper's original single-walker
+/// setup. `touch_first` makes the MAIN thread write one byte per page
+/// before the walk so pages are master-resident-dirty (matching the
+/// paper's "reserve 1GB on the master" setup).
 [[nodiscard]] Result<isa::Program> memwalk(std::uint32_t bytes,
                                            std::uint32_t reps,
-                                           bool touch_first);
+                                           bool touch_first,
+                                           std::uint32_t workers = 1);
 
 /// Table 1 rows 4-6 — false sharing. `threads` workers each own a
 /// `section_bytes` slice of the SAME page and walk it with byte stores,

@@ -13,6 +13,13 @@ fail() {
   failures=$((failures + 1))
 }
 
+# Byte-identity comparisons must ignore the host-side cost line: wall-clock
+# seconds and guest-MIPS are real time, not virtual time, and jitter is
+# expected there. Everything else must match exactly.
+strip_host() {
+  printf '%s\n' "$1" | grep -v '^\[dqemu_run\] host:'
+}
+
 # Unknown flags are an error: non-zero exit, a diagnostic naming the flag,
 # and the usage text so the caller can self-correct.
 out=$("$RUN" "$GUEST" --no-such-flag 2>&1)
@@ -40,7 +47,7 @@ esac
 usage=$("$RUN" 2>&1)
 for flag in --nodes --cores --quantum --rtt-us --gbps --forwarding \
             --splitting --dsm-diff --hier-locking --hint-sched \
-            --faults --fault-seed --drop-pct \
+            --host-threads --faults --fault-seed --drop-pct \
             --serve --requests --arrival --rate --clients --think-us \
             --clone --serve-workers --serve-seed \
             --stats --breakdown --trace --trace-categories --verbose --help; do
@@ -92,12 +99,32 @@ case "$out" in
     # lossy wire included.
     two=$("$RUN" --serve --nodes 2 --requests 200 --rate 4000 \
           --serve-workers 8 --serve-seed 5 2>&1)
-    [ "$out" = "$two" ] || fail "same-seed --serve runs differ"
+    [ "$(strip_host "$out")" = "$(strip_host "$two")" ] ||
+      fail "same-seed --serve runs differ"
     f1=$("$RUN" --serve --nodes 2 --requests 200 --rate 4000 \
          --serve-workers 8 --faults --drop-pct 2 2>&1)
     f2=$("$RUN" --serve --nodes 2 --requests 200 --rate 4000 \
          --serve-workers 8 --faults --drop-pct 2 2>&1)
-    [ "$f1" = "$f2" ] || fail "same-seed --serve --faults runs differ"
+    [ "$(strip_host "$f1")" = "$(strip_host "$f2")" ] ||
+      fail "same-seed --serve --faults runs differ"
+    ;;
+esac
+
+# The parallel scheduler must not change a single byte of the summary
+# (virtual time, counters, serve percentiles) — only the host cost line.
+par=$("$RUN" --serve --nodes 2 --requests 200 --rate 4000 \
+      --serve-workers 8 --serve-seed 5 --host-threads 2 2>&1)
+status=$?
+case "$par" in
+  *"compiled out"*)
+    [ "$status" -ne 0 ] || fail "compiled-out --host-threads exited 0"
+    ;;
+  *)
+    [ "$status" -eq 0 ] || fail "--host-threads 2 run exited $status: $par"
+    one=$("$RUN" --serve --nodes 2 --requests 200 --rate 4000 \
+          --serve-workers 8 --serve-seed 5 2>&1)
+    [ "$(strip_host "$par")" = "$(strip_host "$one")" ] ||
+      fail "--host-threads 2 output differs from --host-threads 1"
     ;;
 esac
 

@@ -112,7 +112,7 @@ TEST(FaultInjector, SameSeedSameDecisions) {
   config.dup_pct = 10;
   config.jitter_pct = 20;
   config.reorder_pct = 5;
-  net::FaultInjector a(config), b(config);
+  net::FaultInjector a(config, 3), b(config, 3);
   for (int i = 0; i < 2000; ++i) {
     const net::Message msg =
         typed(0x100u + std::uint32_t(i % 7), NodeId(i % 3));
@@ -130,10 +130,10 @@ TEST(FaultInjector, DifferentSeedsDiffer) {
   config.enabled = true;
   config.drop_pct = 30;
   config.seed = 1;
-  net::FaultInjector a(config);
+  net::FaultInjector a(config, 3);
   FaultConfig other = config;
   other.seed = 2;
-  net::FaultInjector b(other);
+  net::FaultInjector b(other, 3);
   int differing = 0;
   for (int i = 0; i < 500; ++i) {
     const net::Message msg = typed(0x100);
@@ -145,7 +145,7 @@ TEST(FaultInjector, DifferentSeedsDiffer) {
 TEST(FaultInjector, ZeroRatesNeverFault) {
   FaultConfig config;
   config.enabled = true;
-  net::FaultInjector injector(config);
+  net::FaultInjector injector(config, 3);
   for (int i = 0; i < 1000; ++i) {
     const net::WireFate fate = injector.decide(typed(0x100));
     EXPECT_FALSE(fate.drop);
@@ -158,7 +158,7 @@ TEST(FaultInjector, RatesRoughlyMatchProbabilities) {
   FaultConfig config;
   config.enabled = true;
   config.drop_pct = 25;
-  net::FaultInjector injector(config);
+  net::FaultInjector injector(config, 3);
   int drops = 0;
   const int n = 4000;
   for (int i = 0; i < n; ++i) {
@@ -180,7 +180,7 @@ TEST(FaultInjector, RuleTargetsTypeLinkAndBudget) {
   rule.drop_pct = 100;
   rule.max_matches = 2;
   config.rules.push_back(rule);
-  net::FaultInjector injector(config);
+  net::FaultInjector injector(config, 3);
 
   EXPECT_FALSE(injector.decide(typed(rule.type, 0, 1)).drop);  // other link
   EXPECT_FALSE(injector.decide(typed(0x101, 0, 2)).drop);      // other type

@@ -3,6 +3,7 @@
 
 Usage: tools/bench_compare.py [--latency-tol PCT] [--mips-floor PCT] \
            OLD.json NEW.json
+       tools/bench_compare.py --gate-parallel FILE.json [FILE2.json]
 
 Prints per-scenario guest-MIPS ratios (new/old) and flags virtual-time
 drift: wall-clock numbers legitimately differ across machines and runs,
@@ -20,6 +21,15 @@ when any scenario's new guest MIPS drops below PCT% of the old value
 order-of-magnitude hot-path regression). Without it, exits non-zero only
 on malformed input or virtual-time drift — never on a speed difference,
 so it is safe as an informational CI step across hardware.
+
+--gate-parallel checks the parallel-scheduler contract WITHIN each given
+file (BENCH_parallel.json): scenario rows carrying "group"/"host_threads"
+are grouped, every virtual-time observable must be byte-identical to the
+group's host_threads=1 baseline, and the wall-clock speedup
+(baseline wall / row wall) must clear the per-group "speedup_floor" the
+bench recorded. Floors tolerate host jitter by construction: the bench
+writes them with margin and waives them (0.0) on hosts without enough
+cores. With two files, the normal two-run comparison also applies.
 """
 
 import json
@@ -58,6 +68,54 @@ def latency_drifted(old_value, new_value, tol_pct):
     return abs(new_value - old_value) > bound
 
 
+def gate_parallel(path, doc):
+    """Within-file check of the parallel scheduler's contract.
+
+    Returns a list of problem strings (empty = pass). Identity failures
+    compare every virtual-time observable against the group's
+    host_threads=1 row; speedup failures compare wall-clock ratios against
+    the floors the bench itself recorded (0.0/absent = waived).
+    """
+    groups = {}
+    for s in doc["scenarios"]:
+        if "group" in s and "host_threads" in s:
+            groups.setdefault(s["group"], {})[s["host_threads"]] = s
+    if not groups:
+        return [f"{path}: no scenarios carry group/host_threads rows"]
+    floors = doc.get("speedup_floor", {})
+    problems = []
+    print(f"{'group':<22} {'ht':>3} {'wall s':>10} {'speedup':>8} "
+          f"{'floor':>6} {'virtual':>8}")
+    for name in sorted(groups):
+        by_threads = groups[name]
+        base = by_threads.get(1)
+        if base is None:
+            problems.append(f"{name}: no host_threads=1 baseline row")
+            continue
+        for threads in sorted(by_threads):
+            row = by_threads[threads]
+            identical = all(
+                base.get(field) == row.get(field)
+                for field in EXACT_FIELDS + LATENCY_FIELDS)
+            speedup = (base["wall_seconds"] / row["wall_seconds"]
+                       if row["wall_seconds"] else 0.0)
+            floor = floors.get(name, {}).get(f"ht{threads}", 0.0)
+            print(f"{name:<22} {threads:>3} {row['wall_seconds']:>10.6f} "
+                  f"{speedup:>7.2f}x {floor:>6.2f} "
+                  f"{'same' if identical else 'DRIFT':>8}")
+            if not identical:
+                fields = [f for f in EXACT_FIELDS + LATENCY_FIELDS
+                          if base.get(f) != row.get(f)]
+                problems.append(
+                    f"{name} ht{threads}: virtual time differs from the"
+                    f" serial run in {', '.join(fields)}")
+            if floor and speedup < floor:
+                problems.append(
+                    f"{name} ht{threads}: wall-clock speedup {speedup:.2f}x"
+                    f" below the recorded floor {floor:g}x")
+    return problems
+
+
 def float_arg(argv, flag):
     if flag not in argv:
         return None
@@ -74,6 +132,20 @@ def main():
     argv = sys.argv[1:]
     tol_pct = float_arg(argv, "--latency-tol")
     floor_pct = float_arg(argv, "--mips-floor")
+    parallel = "--gate-parallel" in argv
+    if parallel:
+        argv.remove("--gate-parallel")
+        if len(argv) not in (1, 2):
+            sys.exit("--gate-parallel needs one or two bench files")
+        problems = []
+        for path in argv:
+            problems += gate_parallel(path, load(path))
+        if problems:
+            sys.exit("parallel-scheduler contract violated:\n  " +
+                     "\n  ".join(problems))
+        if len(argv) == 1:
+            return
+        # Fall through: two files also get the normal two-run comparison.
     if len(argv) != 2:
         sys.exit(__doc__.strip().splitlines()[2].strip())
     old_doc, new_doc = load(argv[0]), load(argv[1])
