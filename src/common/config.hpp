@@ -113,14 +113,22 @@ struct DbtConfig {
   bool sb_fusion = true;
 };
 
+/// Placement policy mapping guest pages (and futex addresses, via their
+/// containing page) to home nodes when home sharding is on (DESIGN.md §17).
+enum class HomePlacement : std::uint8_t {
+  kHash,        ///< deterministic hash of the page number over the slaves
+  kFirstTouch,  ///< master assigns the first requester as the page's home
+};
+
 /// DSM protocol + optimizations (sections 4.2, 5.1, 5.2).
 struct DsmConfig {
-  /// Directory lookup / state machine cost on the master, per request.
+  /// Directory lookup / state machine cost per request — on the master,
+  /// or on a page's home node when home sharding is on.
   std::uint32_t directory_cycles = 600;
 
-  /// Per-message service time of a slave's manager thread on the master
-  /// (paper Fig. 2: one manager thread per slave). Demand traffic to a
-  /// node serializes on its manager; this is the dominant software cost
+  /// Per-message service time of a slave's manager thread at the directory
+  /// host (paper Fig. 2: one manager thread per slave). Demand traffic to
+  /// a node serializes on its manager; this is the dominant software cost
   /// inside the paper's 410 us remote-page figure.
   DurationPs manager_service = 100 * time_literals::kUs;
   /// Manager cost of emitting one speculative forward push (no request
@@ -158,6 +166,16 @@ struct DsmConfig {
   /// Concurrent streams tracked per node (Linux readahead keeps a table
   /// too); must cover the threads-per-node that walk disjoint regions.
   std::uint32_t forward_streams = 48;
+
+  /// Home-node sharding (DESIGN.md §17): distribute the coherence
+  /// directory and the futex/lease tables across per-page home nodes
+  /// instead of funneling every protocol action through the master. The
+  /// thin master keeps boot, placement authority, run control and the
+  /// serving plane. With this off (or the feature compiled out via the
+  /// DQEMU_ENABLE_HOME_SHARDING CMake option) every protocol message is
+  /// addressed to node 0 — bit-for-bit the single-master protocol.
+  bool enable_home_sharding = false;
+  HomePlacement home_placement = HomePlacement::kHash;
 };
 
 /// Deterministic network fault injection + the reliable-delivery sublayer
@@ -367,6 +385,12 @@ struct ClusterConfig {
     using S = Status;
     if (slave_nodes == 0 && !single_node_baseline)
       return S::invalid_argument("slave_nodes must be >= 1");
+    if (!single_node_baseline && total_nodes() > 256)
+      return S::invalid_argument(
+          "at most 255 slave_nodes (the sharer set covers 256 nodes)");
+    if (dsm.enable_home_sharding && single_node_baseline)
+      return S::invalid_argument(
+          "home sharding needs a DSM cluster (not single_node_baseline)");
     if (machine.cores_per_node == 0)
       return S::invalid_argument("cores_per_node must be >= 1");
     if (machine.cpu_ghz <= 0.0)

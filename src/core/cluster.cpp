@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <mutex>
 
 #include "common/log.hpp"
+#include "dsm/placement.hpp"
 #include "dsm/wire.hpp"
+#include "isa/syscall_abi.hpp"
 #include "sys/wire.hpp"
 
 namespace dqemu::core {
@@ -13,12 +16,12 @@ namespace {
 
 using time_literals::kSec;
 
-/// Memory layout knobs (see DESIGN.md "layout"): the top of the guest
-/// space is reserved for shadow pages, a 1 MiB main stack sits below it,
-/// anonymous mmaps grow from the middle, and brk grows from the end of the
-/// static image.
+/// Memory layout knob (see DESIGN.md "layout"): a 1 MiB main stack sits
+/// below the shadow pool, anonymous mmaps grow from the middle, and brk
+/// grows from the end of the static image. The shadow-pool geometry itself
+/// comes from dsm::home_layout — the one source the placement layer and
+/// the memory layout share.
 constexpr std::uint32_t kMainStackBytes = 1u << 20;
-constexpr std::uint32_t kMaxShadowPoolBytes = 32u << 20;
 
 }  // namespace
 
@@ -27,7 +30,8 @@ Cluster::Cluster(ClusterConfig config, trace::Tracer* tracer)
       tracer_(tracer),
       queue_(),
       network_(queue_, config.net, config.total_nodes(), &stats_, tracer,
-               config.faults) {
+               config.faults),
+      home_map_(config.dsm, dsm::home_layout(config)) {
   const Status valid = config_.validate();
   assert(valid.is_ok() && "invalid ClusterConfig");
   (void)valid;
@@ -79,23 +83,60 @@ Cluster::Cluster(ClusterConfig config, trace::Tracer* tracer)
                                             &stats_, hooks, tracer_));
   }
 
-  // Shadow pool: top of the guest space.
-  const std::uint32_t page = config_.machine.page_size;
-  const std::uint32_t pool_bytes =
-      std::min<std::uint32_t>(kMaxShadowPoolBytes, config_.guest_mem_bytes / 8) /
-      page * page;
-  const std::uint32_t pool_first_page =
-      (config_.guest_mem_bytes - pool_bytes) / page;
+  // Shadow pool: top of the guest space (geometry from the placement layer).
+  const dsm::HomeLayout& layout = home_map_.layout();
+  const bool sharded = home_map_.sharded();
 
   if (!config_.single_node_baseline) {
     dsm::Directory::Params params;
     params.dsm = config_.dsm;
     params.machine = config_.machine;
     params.node_count = total;
-    params.shadow_pool_first_page = pool_first_page;
-    params.shadow_pool_page_count = pool_bytes / page;
+    params.shadow_pool_first_page =
+        static_cast<std::uint32_t>(layout.shadow_first_page);
+    params.shadow_pool_page_count =
+        sharded ? 0 : static_cast<std::uint32_t>(layout.shadow_page_count);
+    params.self = kMasterNode;
+    params.sharded = sharded;
     directory_.emplace(network_, queue_, nodes_[kMasterNode]->space(), params,
                        &stats_, tracer_);
+    if (sharded) {
+      // The sharded Directory ctor skips the single-master boot claim, but
+      // the master still owns every byte at boot (it loads the image): the
+      // shards' entries default to owner == master, so their first
+      // transaction recalls the boot content from the master's client over
+      // the ordinary wire protocol. The master's own shard gets an empty
+      // shadow slice — it never splits pages — so the whole pool is split
+      // among the slave homes.
+      mem::AddressSpace& master_space = nodes_[kMasterNode]->space();
+      master_space.set_all_access(mem::PageAccess::kReadWrite);
+      for (std::uint64_t i = 0; i < layout.shadow_page_count; ++i) {
+        master_space.set_access(
+            static_cast<std::uint32_t>(layout.shadow_first_page + i),
+            mem::PageAccess::kNone);
+      }
+      home_shards_.resize(total);
+      futex_homes_.resize(total);
+      for (NodeId id = 1; id < total; ++id) {
+        sim::EventQueue& node_queue = queues_.empty() ? queue_ : *queues_[id];
+        dsm::Directory::Params sp = params;
+        sp.machine = config_.machine_for(id);
+        sp.self = id;
+        sp.shadow_pool_first_page =
+            static_cast<std::uint32_t>(layout.slice_first(id));
+        sp.shadow_pool_page_count =
+            static_cast<std::uint32_t>(layout.slice_count(id));
+        home_shards_[id] = std::make_unique<dsm::Directory>(
+            network_, node_queue, nodes_[id]->space(), sp, &stats_, tracer_);
+        futex_homes_[id] = std::make_unique<sys::FutexService>(
+            id, network_, node_queue, config_.machine_for(id),
+            config_.dbt.syscall_service_cycles, &stats_, tracer_);
+        futex_homes_[id]->configure_locking(config_.sys);
+        futex_homes_[id]->configure_faults(config_.faults.request_timeout);
+        nodes_[id]->host_home_shard(home_shards_[id].get(),
+                                    futex_homes_[id].get());
+      }
+    }
   } else {
     // Baseline "QEMU" mode: one node, no DSM, direct memory access.
     nodes_[kMasterNode]->space().set_all_access(mem::PageAccess::kReadWrite);
@@ -105,6 +146,14 @@ Cluster::Cluster(ClusterConfig config, trace::Tracer* tracer)
                     config_.dbt.syscall_service_cycles, &stats_, tracer_);
   syscalls_->configure_locking(config_.sys);
   syscalls_->configure_faults(config_.faults);
+  if (sharded) {
+    // Thread-exit ctid wakes must reach whichever home arbitrates the
+    // futex. Resolved against the *original* address's page, like every
+    // other futex routing decision (see Node::futex_home).
+    syscalls_->set_futex_home([this](GuestAddr addr) {
+      return home_map_.home_of(addr / config_.machine.page_size);
+    });
+  }
   sys::MasterSyscalls::Hooks sys_hooks;
   sys_hooks.on_clone = [this](const sys::SyscallRequest& req) {
     return on_clone(req);
@@ -153,6 +202,7 @@ Cluster::Cluster(ClusterConfig config, trace::Tracer* tracer)
 }
 
 void Cluster::master_handler(const net::Message& msg) {
+  if (home_map_.sharded() && relay_if_misdirected(msg)) return;
   switch (msg.type) {
     case static_cast<std::uint32_t>(dsm::DsmMsg::kReadReq):
     case static_cast<std::uint32_t>(dsm::DsmMsg::kWriteReq):
@@ -178,14 +228,57 @@ void Cluster::master_handler(const net::Message& msg) {
   }
 }
 
+bool Cluster::relay_if_misdirected(const net::Message& msg) {
+  const std::uint32_t page_size = config_.machine.page_size;
+  NodeId home = kMasterNode;
+  switch (msg.type) {
+    case static_cast<std::uint32_t>(dsm::DsmMsg::kReadReq):
+    case static_cast<std::uint32_t>(dsm::DsmMsg::kWriteReq):
+      home = home_map_.home_for(msg.a, msg.src);
+      break;
+    case static_cast<std::uint32_t>(sys::SysMsg::kSyscallReq): {
+      // Only futex delegation is home-routed; every other syscall is the
+      // master's to serve. args[0] (the futex address) is the first LE
+      // word of the request payload.
+      if (static_cast<isa::Sys>(msg.a) != isa::Sys::kFutex) return false;
+      assert(msg.data.size() >= sizeof(std::uint32_t));
+      std::uint32_t addr = 0;
+      std::memcpy(&addr, msg.data.data(), sizeof(addr));
+      home = home_map_.home_for(addr / page_size, msg.src);
+      break;
+    }
+    case static_cast<std::uint32_t>(sys::SysMsg::kLeaseReq):
+      home = home_map_.home_for(
+          static_cast<GuestAddr>(msg.a) / page_size, msg.src);
+      break;
+    default:
+      return false;
+  }
+  if (home == kMasterNode) return false;
+
+  // Re-address to the true home with the original requester parked in the
+  // high half of `c` (relay_mark); the low half — the tid of a page
+  // request — rides along. The master becomes the wire-level sender, so
+  // per-channel FIFO accounting stays sane; `seq`/`ack` are reassigned by
+  // the reliable channel on send.
+  net::Message relay = msg;
+  relay.src = kMasterNode;
+  relay.dst = home;
+  relay.seq = 0;
+  relay.ack = 0;
+  relay.c = net::relay_mark(msg.src) | (msg.c & 0xFFFFFFFFull);
+  stats_.add("dsm.home_relays");
+  network_.send(std::move(relay));
+  return true;
+}
+
 Status Cluster::load(const isa::Program& program) {
   if (loaded_) return Status::failed_precondition("program already loaded");
 
   const std::uint32_t page = config_.machine.page_size;
-  const std::uint32_t pool_bytes =
-      std::min<std::uint32_t>(kMaxShadowPoolBytes, config_.guest_mem_bytes / 8) /
-      page * page;
-  const GuestAddr pool_start = config_.guest_mem_bytes - pool_bytes;
+  const dsm::HomeLayout& layout = home_map_.layout();
+  const GuestAddr pool_start =
+      static_cast<GuestAddr>(layout.shadow_first_page) * page;
   const GuestAddr main_stack_top = pool_start;  // stack grows down from here
   const GuestAddr mmap_end = main_stack_top - kMainStackBytes;
   const GuestAddr mmap_start = config_.guest_mem_bytes / 2;

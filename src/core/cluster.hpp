@@ -26,6 +26,7 @@
 #include "common/stats.hpp"
 #include "core/node.hpp"
 #include "dsm/directory.hpp"
+#include "dsm/placement.hpp"
 #include "isa/program.hpp"
 #include "net/network.hpp"
 #include "serve/load_generator.hpp"
@@ -86,6 +87,14 @@ class Cluster {
     return directory_.has_value() ? &*directory_ : nullptr;
   }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  /// Placement authority (DESIGN.md §17). sharded() is false — and every
+  /// home is the master — unless home sharding is compiled in and enabled.
+  [[nodiscard]] const dsm::HomeMap& homes() const { return home_map_; }
+  /// Directory shard hosted on slave `id`; null when sharding is off or
+  /// `id` is not a home. The master's (boot) directory stays directory().
+  [[nodiscard]] dsm::Directory* home_shard(NodeId id) {
+    return id < home_shards_.size() ? home_shards_[id].get() : nullptr;
+  }
   /// Serving-plane load generator; null unless ServeConfig::enabled (and
   /// the subsystem is compiled in — see DQEMU_ENABLE_SERVING).
   [[nodiscard]] serve::LoadGenerator* serving() {
@@ -102,6 +111,12 @@ class Cluster {
  private:
   [[nodiscard]] NodeId pick_node(std::int32_t hint_group);
   void master_handler(const net::Message& msg);
+  /// First-touch relay (DESIGN.md §17): a request for a page/futex homed on
+  /// a slave that arrived at the master (the sender's placement view had
+  /// not learned the home yet) is re-addressed to the true home, tagged
+  /// with the original requester via relay_mark. Returns true when the
+  /// message was relayed (and must not be handled here).
+  [[nodiscard]] bool relay_if_misdirected(const net::Message& msg);
   std::int32_t on_clone(const sys::SyscallRequest& req);
   void on_thread_exit(const sys::SyscallRequest& req);
   /// Samples every stats counter plus the aggregate time breakdown into the
@@ -136,10 +151,18 @@ class Cluster {
   /// &queue_). Empty in the serial kernel — this doubles as the mode flag.
   std::vector<sim::EventQueue*> queues_;
   net::Network network_;
+  /// Placement authority; lives on the master plane (first-touch assignment
+  /// happens in master_handler, so it needs no locking).
+  dsm::HomeMap home_map_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::optional<dsm::Directory> directory_;
   std::optional<sys::MasterSyscalls> syscalls_;
   std::optional<serve::LoadGenerator> serving_;
+  /// Sharding only, indexed by home node id (slot 0 unused): the directory
+  /// shard and futex service each slave hosts. Run on that node's event
+  /// queue and backed by that node's address space.
+  std::vector<std::unique_ptr<dsm::Directory>> home_shards_;
+  std::vector<std::unique_ptr<sys::FutexService>> futex_homes_;
 
   // Master-side global thread table.
   GuestTid next_tid_ = 1;

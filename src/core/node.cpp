@@ -4,7 +4,9 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "dsm/directory.hpp"
 #include "dsm/wire.hpp"
+#include "sys/futex_home.hpp"
 #include "sys/wire.hpp"
 
 namespace dqemu::core {
@@ -37,14 +39,18 @@ Node::Node(NodeId id, const ClusterConfig& config, sim::EventQueue& queue,
               stats),
       engine_(space_, &shadow_, llsc_, tcache_, config.dbt,
               /*check_protection=*/!config.single_node_baseline, stats),
+      homes_(config.dsm, dsm::home_layout(config)),
       dsm_(id, network, space_, shadow_, &llsc_, &tcache_, stats,
            [this](std::uint32_t page) { wake_page_waiters(page); }, tracer,
-           config.dsm.enable_diff_transfers, config.faults.request_timeout),
+           config.dsm.enable_diff_transfers, config.faults.request_timeout,
+           &homes_),
       lock_agent_(id, config.sys, queue, network, stats, tracer,
                   [this](GuestTid tid, std::uint64_t flow) {
                     on_local_futex_wake(tid, flow);
                   }),
       core_busy_(machine_.cores_per_node, false) {
+  lock_agent_.set_home_resolver(
+      [this](GuestAddr addr) { return futex_home(addr); });
   // Superblock lifecycle records ride the opt-in kDbt category (not in the
   // default set: formation is host-side and would differ with the trace
   // tier compiled out). a = trace entry pc, b = guest insns covered.
@@ -569,6 +575,7 @@ void Node::delegate_syscall(GuestThread& t, PendingSyscall& call) {
             }
             net::Message req = sys::make_syscall_request(
                 id_, t.ctx.tid, call.num, call.args, payload);
+            req.dst = futex_home(faddr);
             req.flow = call.flow;
             network_.send(std::move(req));
             t.state = ThreadState::kBlockedSyscall;
@@ -639,6 +646,10 @@ void Node::delegate_syscall(GuestThread& t, PendingSyscall& call) {
   }
   net::Message req =
       sys::make_syscall_request(id_, t.ctx.tid, call.num, call.args, payload);
+  // Futex ops go to the address's home (the master unless sharding is on and
+  // the node has learned/computed a different one — first-touch misses are
+  // relayed by the master). Every other syscall is master business.
+  if (call.num == Sys::kFutex) req.dst = futex_home(call.args[0]);
   req.flow = call.flow;
   network_.send(std::move(req));
   t.state = ThreadState::kBlockedSyscall;
@@ -747,11 +758,25 @@ void Node::commit_syscall(GuestTid tid) {
 
 void Node::handle_message(const net::Message& msg) {
   if (dsm::is_dsm_message(msg.type)) {
+    // When this node is a home (sharding), directory-addressed traffic for
+    // its slice of the page space lands here; everything else in the DSM
+    // range is for this node's client.
+    if (home_shard_ != nullptr && dsm::is_directory_message(msg.type)) {
+      home_shard_->handle_message(msg);
+      return;
+    }
     dsm_.handle_message(msg);
     return;
   }
   if (msg.type == static_cast<std::uint32_t>(sys::SysMsg::kSyscallResp)) {
     on_syscall_response(msg);
+    return;
+  }
+  // Futex traffic addressed to this node as a *home* (delegated futex ops
+  // and lease arbitration). Disjoint from LockAgent::handles, which covers
+  // the node-as-lease-owner half of the protocol.
+  if (futex_home_svc_ != nullptr && sys::FutexService::handles(msg.type)) {
+    futex_home_svc_->handle_message(msg);
     return;
   }
   if (sys::LockAgent::handles(msg.type)) {

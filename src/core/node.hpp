@@ -34,6 +34,13 @@
 #include "sys/master_syscalls.hpp"
 #include "trace/tracer.hpp"
 
+namespace dqemu::dsm {
+class Directory;
+}  // namespace dqemu::dsm
+namespace dqemu::sys {
+class FutexService;
+}  // namespace dqemu::sys
+
 namespace dqemu::core {
 
 class Node {
@@ -70,8 +77,22 @@ class Node {
   void add_thread(const dbt::CpuContext& ctx, GuestAddr ctid,
                   std::int32_t hint_group);
 
+  /// Home sharding (DESIGN.md §17): makes this node a home — the cluster
+  /// hands it the directory shard and futex service it constructed for this
+  /// node's slice of the page space. Null (the default) on every node when
+  /// sharding is off; then all home traffic goes to the master.
+  void host_home_shard(dsm::Directory* shard, sys::FutexService* futexes) {
+    home_shard_ = shard;
+    futex_home_svc_ = futexes;
+  }
+
+  /// This node's placement view: home of each page (kMasterNode throughout
+  /// when sharding is off).
+  [[nodiscard]] const dsm::HomeView& homes() const { return homes_; }
+
   /// Handles node-addressed messages the cluster routes here: DSM client
-  /// traffic, syscall responses and thread-management messages.
+  /// traffic, home-shard traffic when this node is a home, syscall
+  /// responses and thread-management messages.
   void handle_message(const net::Message& msg);
 
   /// Number of threads not yet exited.
@@ -122,6 +143,15 @@ class Node {
   void send_migration(GuestTid tid);
   void finish_thread_exit(GuestTid tid);
 
+  /// Home of the futex at `addr` — the home of its containing *original*
+  /// page. Deliberately not shadow-translated: every node (and the master's
+  /// exit-wake resolver) must map a futex to the same home even while their
+  /// shadow maps transiently diverge during a page split, or a wait and its
+  /// wake could be arbitrated by different homes (DESIGN.md §17).
+  [[nodiscard]] NodeId futex_home(GuestAddr addr) const {
+    return homes_.home_of(addr / machine_.page_size);
+  }
+
   /// Records a point/flow event on this node's node-level track.
   void note(const char* name, trace::Cat cat, trace::Kind kind, GuestTid tid,
             std::uint64_t flow, std::uint64_t a, std::uint64_t b);
@@ -145,8 +175,13 @@ class Node {
   dbt::LlscTable llsc_;
   dbt::TranslationCache tcache_;
   dbt::ExecEngine engine_;
+  /// Placement view; must precede dsm_, which captures a pointer to it.
+  dsm::HomeView homes_;
   dsm::DsmClient dsm_;
   sys::LockAgent lock_agent_;
+  /// Set by host_home_shard when this node is a home under sharding.
+  dsm::Directory* home_shard_ = nullptr;
+  sys::FutexService* futex_home_svc_ = nullptr;
 
   std::map<GuestTid, GuestThread> threads_;
   std::deque<GuestTid> run_queue_;

@@ -14,7 +14,7 @@ DsmClient::DsmClient(NodeId self, net::Network& network,
                      StatsRegistry* stats,
                      std::function<void(std::uint32_t)> wake_page,
                      trace::Tracer* tracer, bool enable_diff_transfers,
-                     DurationPs request_timeout)
+                     DurationPs request_timeout, HomeView* homes)
     : self_(self),
       network_(network),
       space_(space),
@@ -25,7 +25,8 @@ DsmClient::DsmClient(NodeId self, net::Network& network,
       wake_page_(std::move(wake_page)),
       tracer_(tracer),
       enable_diff_(enable_diff_transfers),
-      request_timeout_(request_timeout) {}
+      request_timeout_(request_timeout),
+      homes_(homes) {}
 
 void DsmClient::request_page(std::uint32_t page, std::uint32_t offset,
                              bool write, GuestTid tid) {
@@ -64,7 +65,7 @@ void DsmClient::request_page(std::uint32_t page, std::uint32_t offset,
   }
   net::Message msg;
   msg.src = self_;
-  msg.dst = kMasterNode;
+  msg.dst = home_of(page);
   msg.type = static_cast<std::uint32_t>(write ? DsmMsg::kWriteReq
                                               : DsmMsg::kReadReq);
   msg.a = page;
@@ -103,7 +104,7 @@ void DsmClient::on_request_timeout(std::uint32_t page) {
   // queues it and an already-satisfied requester gets a benign re-grant.
   net::Message msg;
   msg.src = self_;
-  msg.dst = kMasterNode;
+  msg.dst = home_of(page);
   msg.type = static_cast<std::uint32_t>(p.write ? DsmMsg::kWriteReq
                                                 : DsmMsg::kReadReq);
   msg.a = page;
@@ -150,6 +151,9 @@ void DsmClient::note(const char* name, std::uint64_t flow, std::uint64_t a,
 }
 
 void DsmClient::handle_message(const net::Message& msg) {
+  // Every directory-originated message is authoritative about which node
+  // homes its page (first-touch placement learns routes from this).
+  learn_home(static_cast<std::uint32_t>(msg.a), msg.src);
   switch (static_cast<DsmMsg>(msg.type)) {
     case DsmMsg::kPageData: return on_page_data(msg, /*grant_only=*/false);
     case DsmMsg::kPageGrant: return on_page_data(msg, /*grant_only=*/true);

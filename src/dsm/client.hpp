@@ -17,6 +17,7 @@
 #include "dbt/llsc_table.hpp"
 #include "dbt/translation.hpp"
 #include "dsm/wire.hpp"
+#include "dsm/placement.hpp"
 #include "mem/address_space.hpp"
 #include "mem/page_diff.hpp"
 #include "mem/shadow_map.hpp"
@@ -42,7 +43,7 @@ class DsmClient {
             std::function<void(std::uint32_t page)> wake_page,
             trace::Tracer* tracer = nullptr,
             bool enable_diff_transfers = false,
-            DurationPs request_timeout = 0);
+            DurationPs request_timeout = 0, HomeView* homes = nullptr);
 
   /// Issues a read or write request for `page` unless one is already in
   /// flight (in which case the write intent is merged: a still-unsatisfied
@@ -108,6 +109,15 @@ class DsmClient {
   void note(const char* name, std::uint64_t flow, std::uint64_t a,
             std::uint64_t b);
 
+  /// Home of `page` (kMasterNode unless sharding is on), and the learn
+  /// hook that records authoritative senders under first-touch placement.
+  [[nodiscard]] NodeId home_of(std::uint32_t page) const {
+    return homes_ != nullptr ? homes_->home_of(page) : kMasterNode;
+  }
+  void learn_home(std::uint32_t page, NodeId home) {
+    if (homes_ != nullptr) homes_->learn(page, home);
+  }
+
   NodeId self_;
   net::Network& network_;
   mem::AddressSpace& space_;
@@ -132,6 +142,8 @@ class DsmClient {
     std::unique_ptr<sim::Timer> watchdog;  ///< cancelled by completion
   };
   std::unordered_map<std::uint32_t, Pending> pending_;
+  /// Null in single-master mode; the node's placement view when sharded.
+  HomeView* homes_ = nullptr;
 };
 
 }  // namespace dqemu::dsm

@@ -20,15 +20,21 @@ Directory::Directory(net::Network& network, sim::EventQueue& queue,
       entries_(home.num_pages()),
       shadow_of_(home.num_pages()),
       shadow_next_(params.shadow_pool_first_page) {
-  assert(params_.node_count >= 1 && params_.node_count <= 32);
+  assert(params_.node_count >= 1 && params_.node_count <= NodeSet::kMaxNodes);
   assert(params_.shadow_pool_first_page + params_.shadow_pool_page_count <=
          home.num_pages());
   streams_.resize(params_.node_count,
                   StreamDetector(params_.dsm.forward_streams));
   manager_free_.resize(params_.node_count, 0);
-  // The master boots owning everything (it loaded the program)...
-  home_.set_all_access(mem::PageAccess::kReadWrite);
-  // ...except the shadow pool, which no application code may touch.
+  home_msgs_counter_ = "dsm.home_msgs." + std::to_string(params_.self);
+  if (!params_.sharded) {
+    // The master boots owning everything (it loaded the program)...
+    home_.set_all_access(mem::PageAccess::kReadWrite);
+  } else {
+    homed_.assign(home.num_pages(), false);
+  }
+  // The shadow pool (this instance's slice of it, when sharded) starts
+  // kHome with no access anywhere: no application code may touch it.
   for (std::uint32_t i = 0; i < params_.shadow_pool_page_count; ++i) {
     const std::uint32_t page = params_.shadow_pool_first_page + i;
     entries_[page].state = PageState::kHome;
@@ -40,7 +46,7 @@ Directory::Directory(net::Network& network, sim::EventQueue& queue,
 net::Message Directory::make(NodeId dst, DsmMsg type, std::uint64_t a,
                              std::uint64_t b) const {
   net::Message msg;
-  msg.src = kMasterNode;
+  msg.src = params_.self;
   msg.dst = dst;
   msg.type = static_cast<std::uint32_t>(type);
   msg.a = a;
@@ -55,12 +61,12 @@ void Directory::send(net::Message msg) {
   // stream operations and much cheaper than demand handling.
   // Cheap messages: speculative pushes (batched stream work), no-payload
   // grants (no page preparation / fault hand-off), and loopback traffic to
-  // the master's own client (a function call, not a manager wakeup).
+  // the home's own client (a function call, not a manager wakeup).
   const bool cheap =
       msg.type == static_cast<std::uint32_t>(DsmMsg::kForwardData) ||
       msg.type == static_cast<std::uint32_t>(DsmMsg::kForwardDiff) ||
       msg.type == static_cast<std::uint32_t>(DsmMsg::kPageGrant) ||
-      msg.dst == kMasterNode;
+      msg.dst == params_.self;
   const DurationPs service =
       params_.machine.cycles(params_.dsm.directory_cycles) +
       (cheap ? params_.dsm.forward_service : params_.dsm.manager_service);
@@ -74,7 +80,7 @@ void Directory::send(net::Message msg) {
     trace::Record r;
     r.name = "dsm.manager";
     r.cat = trace::Cat::kDsm;
-    r.node = kMasterNode;
+    r.node = params_.self;
     r.track = static_cast<std::uint16_t>(trace::kTrackManagerBase + msg.dst);
     r.flow = msg.flow;
     r.a = msg.a;
@@ -104,7 +110,7 @@ void Directory::note(const char* name, std::uint64_t flow, std::uint64_t a,
   r.name = name;
   r.kind = flow == 0 ? trace::Kind::kInstant : trace::Kind::kFlowStep;
   r.cat = trace::Cat::kDsm;
-  r.node = kMasterNode;
+  r.node = params_.self;
   r.track = trace::kTrackManager;
   r.flow = flow;
   r.a = a;
@@ -113,6 +119,9 @@ void Directory::note(const char* name, std::uint64_t flow, std::uint64_t a,
 }
 
 void Directory::handle_message(const net::Message& msg) {
+  // Per-home protocol-load counter: the spread of these across homes is
+  // the directory-load-evenness figure (EXPERIMENTS.md).
+  if (stats_ != nullptr) stats_->add(home_msgs_counter_);
   switch (static_cast<DsmMsg>(msg.type)) {
     case DsmMsg::kReadReq: return on_request(msg, /*write=*/false);
     case DsmMsg::kWriteReq: return on_request(msg, /*write=*/true);
@@ -250,8 +259,11 @@ void Directory::on_request(const net::Message& msg, bool write) {
   if (stats_ != nullptr) {
     stats_->add(write ? "dir.write_reqs" : "dir.read_reqs");
   }
+  if (params_.sharded) homed_[page] = true;
 
-  const Request req{msg.src, write,
+  // The requester is the wire-level sender unless the master relayed the
+  // request here on the sender's behalf (first-touch placement).
+  const Request req{relayed_requester(msg, msg.c), write,
                     static_cast<std::uint32_t>(msg.b),
                     static_cast<GuestTid>(msg.c), msg.flow};
   note("dsm.dir.request", req.flow, page,
@@ -290,7 +302,7 @@ void Directory::start_transaction(std::uint32_t page, const Request& req) {
     // Recall every cached copy, then split (complete_transaction).
     entry.splitting = true;
     if (entry.state == PageState::kModified) {
-      if (entry.owner == kMasterNode) {
+      if (entry.owner == params_.self) {
         // Home copy is the owned copy; nothing to recall.
         home_.set_access(page, mem::PageAccess::kNone);
       } else {
@@ -300,7 +312,7 @@ void Directory::start_transaction(std::uint32_t page, const Request& req) {
       }
     } else if (entry.state == PageState::kShared) {
       for (NodeId n = 0; n < params_.node_count; ++n) {
-        if ((entry.sharers >> n) & 1u) {
+        if (entry.sharers.contains(n)) {
           send_chained(make(n, DsmMsg::kInvalidate, page, 0), req.flow);
           ++entry.acks_outstanding;
         }
@@ -324,7 +336,7 @@ void Directory::start_transaction(std::uint32_t page, const Request& req) {
         return;
       case PageState::kShared: {
         for (NodeId n = 0; n < params_.node_count; ++n) {
-          if (n != req.node && ((entry.sharers >> n) & 1u)) {
+          if (n != req.node && entry.sharers.contains(n)) {
             send_chained(make(n, DsmMsg::kInvalidate, page, 0), req.flow);
             ++entry.acks_outstanding;
           }
@@ -397,7 +409,7 @@ void Directory::on_downgrade_ack(const net::Message& msg) {
   }
   // The former owner keeps a read-only copy.
   entry.state = PageState::kShared;
-  entry.sharers = 1u << entry.owner;
+  entry.sharers = NodeSet::single(entry.owner);
   entry.owner = kInvalidNode;
   if (--entry.acks_outstanding == 0) complete_transaction(page);
 }
@@ -414,7 +426,7 @@ void Directory::complete_transaction(std::uint32_t page) {
 void Directory::grant_and_finish(std::uint32_t page) {
   Entry& entry = entries_[page];
   const Request& req = entry.current;
-  const bool already_sharer = ((entry.sharers >> req.node) & 1u) != 0;
+  const bool already_sharer = entry.sharers.contains(req.node);
   const bool already_owner =
       entry.state == PageState::kModified && entry.owner == req.node;
 
@@ -432,10 +444,10 @@ void Directory::grant_and_finish(std::uint32_t page) {
   if (req.write) {
     entry.state = PageState::kModified;
     entry.owner = req.node;
-    entry.sharers = 0;
+    entry.sharers.clear();
   } else {
     entry.state = PageState::kShared;
-    entry.sharers |= 1u << req.node;
+    entry.sharers.add(req.node);
     entry.owner = kInvalidNode;
   }
 
@@ -455,9 +467,9 @@ void Directory::grant_and_finish(std::uint32_t page) {
     if (stats_ != nullptr) stats_->add("dir.grants_with_data");
   }
 
-  // A write grant makes the home copy stale, including the master's own
-  // mapping of it (unless the master is the new owner).
-  if (req.write && req.node != kMasterNode) {
+  // A write grant makes the home copy stale, including the home node's own
+  // mapping of it (unless the home is the new owner).
+  if (req.write && req.node != params_.self) {
     home_.set_access(page, mem::PageAccess::kNone);
   }
 
@@ -505,12 +517,13 @@ void Directory::perform_split(std::uint32_t page) {
     Entry& shadow_entry = entries_[shadows[s]];
     shadow_entry.state = PageState::kHome;
     shadow_entry.owner = kInvalidNode;
-    shadow_entry.sharers = 0;
+    shadow_entry.sharers.clear();
+    if (params_.sharded) homed_[shadows[s]] = true;
   }
   shadow_of_[page] = shadows;
   entry.state = PageState::kSplit;
   entry.owner = kInvalidNode;
-  entry.sharers = 0;
+  entry.sharers.clear();
   // The original page is retired and the shadow pages start life as fresh
   // home content: no diff base survives the split on either side.
   diff_.erase(page);
@@ -551,11 +564,11 @@ void Directory::maybe_forward(NodeId requester, std::uint32_t page) {
   const std::uint32_t run = streams_[requester].on_request(page);
   if (run < params_.dsm.forward_trigger) return;
 
-  // Back-pressure: when the master's egress link is already backed up,
+  // Back-pressure: when this home's egress link is already backed up,
   // speculative pushes would head-of-line-block demand grants. Skip; the
   // stream stays alive and resumes pushing once the NIC drains.
   using time_literals::kUs;
-  if (network_.egress_free_at(kMasterNode) > queue_.now() + 2000 * kUs) {
+  if (network_.egress_free_at(params_.self) > queue_.now() + 2000 * kUs) {
     if (stats_ != nullptr) stats_->add("dir.forwards_skipped_backpressure");
     return;
   }
@@ -568,35 +581,38 @@ void Directory::maybe_forward(NodeId requester, std::uint32_t page) {
   for (std::uint32_t p = page + 1;
        p <= page + window && p < entries_.size(); ++p) {
     Entry& entry = entries_[p];
+    // A shard may only speculate on pages it homes: anything it has not
+    // already served belongs (or may belong) to another home.
+    if (params_.sharded && !homed_[p]) continue;
     if (entry.busy || entry.state == PageState::kSplit ||
         in_shadow_pool(p)) {
       continue;
     }
-    if ((entry.sharers >> requester) & 1u) continue;  // already cached there
+    if (entry.sharers.contains(requester)) continue;  // already cached there
     // Never push a page some other node has been writing: the Shared copy
     // would tax every later write with an invalidation round-trip.
     if (entry.fs_last_node != kInvalidNode && entry.fs_last_node != requester) {
       continue;
     }
     if (entry.state == PageState::kModified) {
-      if (entry.owner == kMasterNode) {
-        // Home copy is the fresh copy: downgrade the master in place so
-        // the page becomes shareable without a recall round-trip. The
-        // master may have written the home copy while it owned the page,
-        // so any recorded version label is stale: advance the epoch with
-        // an unknown mask before handing the content out.
+      if (entry.owner == params_.self) {
+        // Home copy is the fresh copy: downgrade the home node in place so
+        // the page becomes shareable without a recall round-trip. The home
+        // node may have written the home copy while it owned the page, so
+        // any recorded version label is stale: advance the epoch with an
+        // unknown mask before handing the content out.
         record_home_update(p, 0, /*known=*/false);
-        record_node_copy(p, kMasterNode);
+        record_node_copy(p, params_.self);
         home_.set_access(p, mem::PageAccess::kRead);
         entry.state = PageState::kShared;
-        entry.sharers = 1u << kMasterNode;
+        entry.sharers = NodeSet::single(params_.self);
         entry.owner = kInvalidNode;
       } else {
         continue;  // fresh copy is remote; forwarding would need a recall
       }
     }
     entry.state = PageState::kShared;
-    entry.sharers |= 1u << requester;
+    entry.sharers.add(requester);
     note("dsm.forward_push", 0, p, requester);
     net::Message msg = make_data_message(requester, p, 0, /*forward=*/true);
     charge_data_plane(stats_, msg, home_.page_size());
@@ -618,20 +634,20 @@ bool Directory::check_invariants() const {
     if (entry.busy) continue;  // transitional states are exempt
     switch (entry.state) {
       case PageState::kModified:
-        if (entry.sharers != 0 || entry.owner == kInvalidNode ||
+        if (!entry.sharers.empty() || entry.owner == kInvalidNode ||
             entry.owner >= params_.node_count) {
           DQEMU_ERROR("invariant: modified page %u has sharers/bad owner", page);
           return false;
         }
         break;
       case PageState::kShared:
-        if (entry.sharers == 0) {
+        if (entry.sharers.empty()) {
           DQEMU_ERROR("invariant: shared page %u has no sharers", page);
           return false;
         }
         break;
       case PageState::kSplit:
-        if (entry.sharers != 0 || shadow_of_[page].empty()) {
+        if (!entry.sharers.empty() || shadow_of_[page].empty()) {
           DQEMU_ERROR("invariant: split page %u inconsistent", page);
           return false;
         }

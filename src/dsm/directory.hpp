@@ -1,8 +1,12 @@
-// Centralized page-level directory (paper section 4.2).
+// Page-level coherence directory (paper section 4.2; DESIGN.md §17).
 //
-// Lives on the master node; the per-slave manager threads of the paper are
-// modeled as the directory's message handlers plus a service delay. For
-// every guest page the directory tracks one of:
+// Classically this lives on the master node; with home sharding enabled it
+// is instantiated once per home node, each instance running the same state
+// machines for the pages the placement policy assigns to it (the master is
+// then one shard among many, mostly idle under hash placement). The
+// per-slave manager threads of the paper are modeled as the directory's
+// message handlers plus a service delay. For every guest page the
+// directory tracks one of:
 //   kHome     - content only in home storage (master's memory), no caches
 //   kShared   - home fresh; `sharers` nodes hold read-only copies
 //   kModified - `owner` holds the only fresh, writable copy
@@ -15,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -39,18 +44,27 @@ class Directory {
     MachineConfig machine;
     std::uint32_t node_count = 0;
     /// Reserved guest region for shadow pages (never used by applications).
+    /// With sharding on, this is the hosting node's *slice* of the pool.
     std::uint32_t shadow_pool_first_page = 0;
     std::uint32_t shadow_pool_page_count = 0;
+    /// Node hosting this directory instance: the master classically, the
+    /// home node for a shard (DESIGN.md §17).
+    NodeId self = kMasterNode;
+    /// True for a home shard. A shard does not claim the whole address
+    /// space at boot (entries still default to "the master's client owns
+    /// the boot content") and only forwards pages it has already served.
+    bool sharded = false;
   };
 
-  /// `home` is the master node's address space (= home storage). The
-  /// directory boots with the master owning every page except the shadow
-  /// pool, which starts kHome with no access anywhere.
+  /// `home` is the hosting node's address space (= home storage for the
+  /// pages this instance homes). Unsharded, the directory boots with the
+  /// master owning every page except the shadow pool, which starts kHome
+  /// with no access anywhere; a shard only claims its shadow slice.
   Directory(net::Network& network, sim::EventQueue& queue,
             mem::AddressSpace& home, Params params,
             StatsRegistry* stats = nullptr, trace::Tracer* tracer = nullptr);
 
-  /// Dispatches a request/ack addressed to the master.
+  /// Dispatches a request/ack addressed to this home.
   void handle_message(const net::Message& msg);
 
   // ---- introspection (tests / reports) ---------------------------------
@@ -60,8 +74,17 @@ class Directory {
   [[nodiscard]] NodeId owner(std::uint32_t page) const {
     return entries_[page].owner;
   }
+  /// Low-32 view of the sharer set (legacy test shorthand; clusters larger
+  /// than 32 nodes should use is_sharer()).
   [[nodiscard]] std::uint32_t sharer_mask(std::uint32_t page) const {
-    return entries_[page].sharers;
+    std::uint32_t mask = 0;
+    for (NodeId n = 0; n < 32 && n < params_.node_count; ++n) {
+      if (entries_[page].sharers.contains(n)) mask |= 1u << n;
+    }
+    return mask;
+  }
+  [[nodiscard]] bool is_sharer(std::uint32_t page, NodeId node) const {
+    return entries_[page].sharers.contains(node);
   }
   [[nodiscard]] bool busy(std::uint32_t page) const {
     return entries_[page].busy;
@@ -101,7 +124,7 @@ class Directory {
   struct Entry {
     PageState state = PageState::kModified;
     NodeId owner = kMasterNode;
-    std::uint32_t sharers = 0;  ///< node bitmask (node_count <= 32)
+    NodeSet sharers;  ///< nodes holding read-only copies
     bool busy = false;
     bool splitting = false;
     std::uint32_t acks_outstanding = 0;
@@ -195,6 +218,14 @@ class Directory {
   std::vector<std::vector<std::uint32_t>> shadow_of_;  ///< page -> shadows
   std::uint32_t shadow_next_;  ///< next unallocated shadow page
   std::uint64_t splits_ = 0;
+  /// Sharded only: pages this instance has serviced a request for. The
+  /// forwarding window is restricted to them so a shard never speculates
+  /// on pages homed elsewhere (for first-touch this doubles as the learned
+  /// "assigned to me" set; the master relays until it is populated).
+  std::vector<bool> homed_;
+  /// Per-shard protocol-message counter name ("dsm.home_msgs.<self>") for
+  /// the directory-load-evenness report.
+  std::string home_msgs_counter_;
   /// page -> version bookkeeping (diff data plane only, lazily created).
   std::unordered_map<std::uint32_t, DiffState> diff_;
 };

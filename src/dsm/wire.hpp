@@ -6,9 +6,12 @@
 //   0x300-0x3FF  thread management (core/node.hpp)
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "common/stats.hpp"
+#include "common/types.hpp"
 #include "net/message.hpp"
 
 // Compile-time gate for the diff-encoded data plane (DESIGN.md §12). With
@@ -20,7 +23,20 @@
 #define DQEMU_DSM_DIFF_ENABLED 1
 #endif
 
+// Compile-time gate for home-node sharding (DESIGN.md §17). With
+// DQEMU_HOME_SHARDING_ENABLED == 0 (CMake -DDQEMU_ENABLE_HOME_SHARDING=OFF)
+// the placement layer collapses to "every page is homed on the master" and
+// no per-node shards are constructed, so the protocol is bit-for-bit the
+// single-master one regardless of DsmConfig::enable_home_sharding.
+#ifndef DQEMU_HOME_SHARDING_ENABLED
+#define DQEMU_HOME_SHARDING_ENABLED 1
+#endif
+
 namespace dqemu::dsm {
+
+[[nodiscard]] constexpr bool home_sharding_compiled_in() {
+  return DQEMU_HOME_SHARDING_ENABLED != 0;
+}
 
 enum class DsmMsg : std::uint32_t {
   // Slave -> master (manager thread).
@@ -51,9 +67,79 @@ enum class DsmMsg : std::uint32_t {
   return type >= 0x100 && type < 0x200;
 }
 
+/// Directory-addressed subset of the DSM vocabulary: requests and recall
+/// acks. When a node hosts a home shard (DESIGN.md §17), these route to the
+/// shard; everything else in the DSM range is client-addressed.
+[[nodiscard]] constexpr bool is_directory_message(std::uint32_t type) {
+  switch (static_cast<DsmMsg>(type)) {
+    case DsmMsg::kReadReq:
+    case DsmMsg::kWriteReq:
+    case DsmMsg::kInvAck:
+    case DsmMsg::kDowngradeAck:
+    case DsmMsg::kInvAckDiff:
+    case DsmMsg::kDowngradeAckDiff:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Access codes carried in PageData/PageGrant `b` fields.
 inline constexpr std::uint64_t kAccessRead = 1;
 inline constexpr std::uint64_t kAccessWrite = 2;
+
+/// Relay encoding for first-touch home handoff: see net/message.hpp
+/// (relay_mark / relayed_requester) — shared with the sys plane.
+using net::relay_mark;
+using net::relayed_requester;
+
+/// Sharer bitmask wide enough for 256 simulated nodes (the u32 mask the
+/// directory used before home sharding capped the cluster at 32 nodes).
+class NodeSet {
+ public:
+  static constexpr std::uint32_t kMaxNodes = 256;
+
+  [[nodiscard]] static NodeSet single(NodeId n) {
+    NodeSet s;
+    s.add(n);
+    return s;
+  }
+
+  void add(NodeId n) { bits_[word(n)] |= bit(n); }
+  void remove(NodeId n) { bits_[word(n)] &= ~bit(n); }
+  void clear() { bits_ = {}; }
+  [[nodiscard]] bool contains(NodeId n) const {
+    return (bits_[word(n)] & bit(n)) != 0;
+  }
+  [[nodiscard]] bool empty() const {
+    for (const std::uint64_t w : bits_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::uint32_t count() const {
+    std::uint32_t n = 0;
+    for (std::uint64_t w : bits_) {
+      while (w != 0) {
+        w &= w - 1;
+        ++n;
+      }
+    }
+    return n;
+  }
+  [[nodiscard]] bool operator==(const NodeSet& other) const {
+    return bits_ == other.bits_;
+  }
+
+ private:
+  static constexpr std::size_t word(NodeId n) {
+    return static_cast<std::size_t>(n) / 64;
+  }
+  static constexpr std::uint64_t bit(NodeId n) {
+    return 1ULL << (static_cast<std::size_t>(n) % 64);
+  }
+  std::array<std::uint64_t, kMaxNodes / 64> bits_{};
+};
 
 /// Data-plane wire accounting: every DSM message that carries page content
 /// (full or diff-encoded) is charged here so benches can assert transfer

@@ -58,4 +58,28 @@ struct Message {
   }
 };
 
+// ---- relay encoding (home sharding, DESIGN.md §17) ------------------------
+//
+// Under first-touch placement only the master holds the authoritative
+// page->home map, so a request from a node that has not yet learned a
+// page's home is sent to the master and relayed to the true home (at most
+// two hops: a home never moves once assigned). The relay keeps the master
+// as the wire-level sender — channel FIFO order and occupancy stay per
+// physical link — and carries the original requester in the high half of a
+// scalar the relayable requests leave free (`c` for DSM page requests and
+// kSyscallReq/kLeaseReq). Encoded as node+1 so 0 keeps meaning "not
+// relayed".
+
+[[nodiscard]] inline constexpr std::uint64_t relay_mark(NodeId requester) {
+  return (static_cast<std::uint64_t>(requester) + 1) << 32;
+}
+
+/// The node a (possibly relayed) request originates from: the relay mark
+/// in `scalar` when present, else the wire-level sender.
+[[nodiscard]] inline NodeId relayed_requester(const Message& msg,
+                                              std::uint64_t scalar) {
+  const std::uint64_t hi = scalar >> 32;
+  return hi != 0 ? static_cast<NodeId>(hi - 1) : msg.src;
+}
+
 }  // namespace dqemu::net

@@ -1,0 +1,348 @@
+#include "sys/futex_home.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "isa/syscall_abi.hpp"
+#include "sys/master_syscalls.hpp"
+
+namespace dqemu::sys {
+
+FutexService::FutexService(NodeId self, net::Network& network,
+                           sim::EventQueue& queue, MachineConfig machine,
+                           std::uint32_t service_cycles, StatsRegistry* stats,
+                           trace::Tracer* tracer)
+    : self_(self),
+      network_(network),
+      queue_(queue),
+      machine_(machine),
+      service_cycles_(service_cycles),
+      stats_(stats),
+      tracer_(tracer),
+      home_msgs_counter_("sys.futex_home_msgs." + std::to_string(self)) {}
+
+void FutexService::note(const char* name, std::uint64_t flow, std::uint64_t a,
+                        std::uint64_t b) {
+  if (!trace::wants(tracer_, trace::Cat::kSys)) return;
+  trace::Record r;
+  r.time = queue_.now();
+  r.name = name;
+  r.kind = flow == 0 ? trace::Kind::kInstant : trace::Kind::kFlowStep;
+  r.cat = trace::Cat::kSys;
+  r.node = self_;
+  r.track = trace::kTrackManager;
+  r.flow = flow;
+  r.a = a;
+  r.b = b;
+  tracer_->record(r);
+}
+
+void FutexService::send_after_service(net::Message msg) {
+  const DurationPs service = machine_.cycles(service_cycles_);
+  queue_.schedule_in(service, [this, m = std::move(msg)]() mutable {
+    network_.send(std::move(m));
+  });
+}
+
+// Lease-protocol messages must hit the wire at processing time, not after a
+// modeled service delay: the no-lost-wakeup argument (DESIGN.md §11) needs
+// home *send* order to equal home *processing* order across every component
+// resident on the home node. The DSM directory (of this home) shares the
+// home->node FIFO channels; if a wait handoff lingered for service_cycles_
+// while the directory released the write grant that lets the lease owner
+// complete its unlock store, the owner's wake could run against a queue
+// that does not yet hold the handed-off waiter. The per-endpoint network
+// overhead already charges the software cost of these messages.
+void FutexService::send_protocol(net::Message msg) {
+  network_.send(std::move(msg));
+}
+
+void FutexService::send_response(NodeId dst, GuestTid tid, std::int64_t result,
+                                 std::uint64_t flow) {
+  net::Message msg;
+  msg.src = self_;
+  msg.dst = dst;
+  msg.type = static_cast<std::uint32_t>(SysMsg::kSyscallResp);
+  msg.a = static_cast<std::uint64_t>(result);
+  msg.b = tid;
+  msg.flow = flow;
+  send_after_service(std::move(msg));
+}
+
+void FutexService::handle_message(const net::Message& msg) {
+  // Per-home load counter; only slave-hosted homes tick it so the master's
+  // stats are untouched when sharding is off.
+  if (stats_ != nullptr && self_ != kMasterNode) {
+    stats_->add(home_msgs_counter_);
+  }
+  switch (static_cast<SysMsg>(msg.type)) {
+    case SysMsg::kLeaseReq:
+      on_lease_request(msg);
+      return;
+    case SysMsg::kLeaseReturn:
+      on_lease_return(msg);
+      return;
+    case SysMsg::kSyscallReq:
+      break;  // decoded below
+    default:
+      assert(false && "not a futex-home sys message");
+      return;
+  }
+  assert(msg.data.size() >= 16);
+  SyscallRequest req;
+  req.src = relayed_requester(msg, msg.c);
+  req.tid = static_cast<GuestTid>(msg.b);
+  req.num = static_cast<isa::Sys>(msg.a);
+  std::memcpy(req.args.data(), msg.data.data(), 16);
+  req.payload = std::span<const std::uint8_t>(msg.data).subspan(16);
+  req.flow = msg.flow;
+  assert(req.num == isa::Sys::kFutex &&
+         "only futex syscalls are homed off-master");
+  if (stats_ != nullptr) stats_->add("sys.delegated");
+  note("sys.service", req.flow, msg.a, req.tid);
+  do_futex(req);
+}
+
+std::uint32_t FutexService::home_wake(GuestAddr addr, std::uint32_t count) {
+  const auto woken = futexes_.wake(addr, count);
+  for (const FutexTable::Waiter& waiter : woken) {
+    // The deferred response rides the *waiter's* chain: the trace shows
+    // wait -> (this wake) -> response as one causal arc.
+    note("sys.futex_wake", waiter.flow, addr, waiter.tid);
+    send_response(waiter.node, waiter.tid, 0, waiter.flow);
+  }
+  return static_cast<std::uint32_t>(woken.size());
+}
+
+void FutexService::forward_wait(const SyscallRequest& req) {
+  const GuestAddr addr = req.args[0];
+  net::Message msg;
+  msg.src = self_;
+  msg.dst = futexes_.lease_owner(addr);
+  msg.type = static_cast<std::uint32_t>(SysMsg::kWaitHandoff);
+  msg.a = addr;
+  msg.b = req.tid;
+  msg.c = req.src;
+  msg.flow = req.flow;
+  if (stats_ != nullptr) stats_->add("sys.lease_handoffs");
+  note("sys.lock_handoff", req.flow, addr, req.tid);
+  send_protocol(std::move(msg));
+}
+
+void FutexService::forward_wake(GuestAddr addr, std::uint32_t count,
+                                NodeId requester, GuestTid requester_tid,
+                                std::uint64_t flow) {
+  net::Message msg;
+  msg.src = self_;
+  msg.dst = futexes_.lease_owner(addr);
+  msg.type = static_cast<std::uint32_t>(SysMsg::kWakeHandoff);
+  msg.a = addr;
+  msg.b = count;
+  const std::uint64_t who =
+      requester == kInvalidNode ? kNoWakeResponse : requester;
+  msg.c = (who << 32) | requester_tid;
+  msg.flow = flow;
+  if (stats_ != nullptr) stats_->add("sys.lease_handoffs");
+  note("sys.lock_handoff", flow, addr, count);
+  send_protocol(std::move(msg));
+}
+
+void FutexService::do_futex(const SyscallRequest& req) {
+  const GuestAddr addr = req.args[0];
+  const std::uint32_t op = req.args[1];
+  const FutexTable::LeasePhase phase = futexes_.lease_phase(addr);
+  if (op == isa::kFutexWait) {
+    if (phase == FutexTable::LeasePhase::kGranted) {
+      forward_wait(req);
+      return;  // deferred response, now owed by the lease owner
+    }
+    if (phase == FutexTable::LeasePhase::kRecalling) {
+      recall_buffer_[addr].push_back(BufferedFutexOp{
+          req.src, req.tid, op, 0, req.flow, /*respond=*/true});
+      return;
+    }
+    // The caller's node already verified *addr == expected while holding a
+    // read copy; the protocol orders any racing write (and its wake) after
+    // this request, so enqueueing unconditionally cannot lose a wakeup.
+    futexes_.wait(addr, FutexTable::Waiter{req.src, req.tid, req.flow});
+    if (stats_ != nullptr) stats_->add("sys.futex_waits");
+    note("sys.futex_wait", req.flow, addr, futexes_.waiters(addr));
+    return;  // deferred response
+  }
+  if (op == isa::kFutexWake) {
+    // The hierarchical path marks wakes fire-and-forget (kFutexAsyncWake):
+    // the waker's agent already acknowledged the syscall, nobody awaits
+    // the count.
+    const bool respond = (req.args[3] & kFutexAsyncWake) == 0;
+    if (phase == FutexTable::LeasePhase::kGranted) {
+      forward_wake(addr, req.args[2], respond ? req.src : kInvalidNode,
+                   req.tid, req.flow);
+      return;  // the owner answers the requester directly (if anyone does)
+    }
+    if (phase == FutexTable::LeasePhase::kRecalling) {
+      recall_buffer_[addr].push_back(BufferedFutexOp{
+          req.src, req.tid, op, req.args[2], req.flow, respond});
+      return;
+    }
+    const std::uint32_t woken = home_wake(addr, req.args[2]);
+    if (stats_ != nullptr) stats_->add("sys.futex_wakes", woken);
+    if (respond) send_response(req.src, req.tid, woken, req.flow);
+    return;
+  }
+  send_response(req.src, req.tid, -isa::kEINVAL, req.flow);
+}
+
+void FutexService::exit_wake(const SyscallRequest& req, GuestAddr ctid) {
+  // The exiting thread never awaits a count, hence no response either way.
+  switch (futexes_.lease_phase(ctid)) {
+    case FutexTable::LeasePhase::kGranted:
+      forward_wake(ctid, UINT32_MAX, kInvalidNode, 0, req.flow);
+      break;
+    case FutexTable::LeasePhase::kRecalling:
+      recall_buffer_[ctid].push_back(BufferedFutexOp{
+          req.src, req.tid, isa::kFutexWake, UINT32_MAX, req.flow,
+          /*respond=*/false});
+      break;
+    case FutexTable::LeasePhase::kNone:
+      (void)home_wake(ctid, UINT32_MAX);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lease protocol (hierarchical locking, DESIGN.md section 11)
+// ---------------------------------------------------------------------------
+
+void FutexService::on_lease_request(const net::Message& msg) {
+  const auto addr = static_cast<GuestAddr>(msg.a);
+  const NodeId requester = relayed_requester(msg, msg.c);
+  switch (futexes_.lease_phase(addr)) {
+    case FutexTable::LeasePhase::kNone: {
+      const auto queue = futexes_.grant_lease(addr, requester, queue_.now());
+      if (stats_ != nullptr) stats_->add("sys.lease_grants");
+      note("sys.lease_grant", msg.flow, addr, queue.size());
+      net::Message grant;
+      grant.src = self_;
+      grant.dst = requester;
+      grant.type = static_cast<std::uint32_t>(SysMsg::kLeaseGrant);
+      grant.a = addr;
+      grant.flow = msg.flow;
+      FutexTable::pack_waiters(queue, grant.data);
+      send_protocol(std::move(grant));
+      return;
+    }
+    case FutexTable::LeasePhase::kGranted: {
+      const NodeId owner = futexes_.lease_owner(addr);
+      if (owner == requester) return;  // crossed its own grant in flight
+      if (queue_.now() - futexes_.lease_granted_at(addr) <
+          sys_.lease_min_hold) {
+        return;  // too young to recall; the requester retries when still hot
+      }
+      futexes_.begin_recall(addr, requester);
+      pending_lease_flow_[addr] = msg.flow;
+      if (stats_ != nullptr) stats_->add("sys.lease_recalls");
+      note("sys.lease_recall", msg.flow, addr, owner);
+      net::Message recall;
+      recall.src = self_;
+      recall.dst = owner;
+      recall.type = static_cast<std::uint32_t>(SysMsg::kLeaseRecall);
+      recall.a = addr;
+      recall.flow = msg.flow;
+      send_protocol(std::move(recall));
+      if (recall_timeout_ > 0 && network_.faults_active()) {
+        arm_recall_watchdog(addr, recall_timeout_);
+      }
+      return;
+    }
+    case FutexTable::LeasePhase::kRecalling:
+      return;  // already moving; the loser re-requests if still interested
+  }
+}
+
+void FutexService::on_lease_return(const net::Message& msg) {
+  const auto addr = static_cast<GuestAddr>(msg.a);
+  if (futexes_.lease_phase(addr) != FutexTable::LeasePhase::kRecalling) {
+    // Not recalling this address: a stale return (the fault model's
+    // watchdog can make the agent and home race). Dropping it is safe —
+    // whatever state the return carried was already applied.
+    if (stats_ != nullptr) stats_->add("sys.stale_lease_returns");
+    return;
+  }
+  recall_watchdogs_.erase(addr);
+  const auto returned = FutexTable::unpack_waiters(msg.data);
+  const NodeId next_owner = futexes_.finish_recall(addr, returned);
+
+  // Replay everything that arrived mid-recall, in arrival order, against
+  // the home-owned queue (returned waiters were spliced to its front).
+  auto buffered = recall_buffer_.find(addr);
+  if (buffered != recall_buffer_.end()) {
+    for (const BufferedFutexOp& op : buffered->second) {
+      if (op.op == isa::kFutexWait) {
+        futexes_.wait(addr, FutexTable::Waiter{op.src, op.tid, op.flow});
+        if (stats_ != nullptr) stats_->add("sys.futex_waits");
+      } else {
+        const std::uint32_t woken = home_wake(addr, op.count);
+        if (op.respond) {
+          if (stats_ != nullptr) stats_->add("sys.futex_wakes", woken);
+          send_response(op.src, op.tid, woken, op.flow);
+        }
+      }
+    }
+    recall_buffer_.erase(buffered);
+  }
+
+  // Hand the lease (and whatever the queue now holds) to the recaller.
+  std::uint64_t flow = msg.flow;
+  auto pending = pending_lease_flow_.find(addr);
+  if (pending != pending_lease_flow_.end()) {
+    flow = pending->second;
+    pending_lease_flow_.erase(pending);
+  }
+  const auto queue = futexes_.grant_lease(addr, next_owner, queue_.now());
+  if (stats_ != nullptr) stats_->add("sys.lease_grants");
+  note("sys.lease_grant", flow, addr, queue.size());
+  net::Message grant;
+  grant.src = self_;
+  grant.dst = next_owner;
+  grant.type = static_cast<std::uint32_t>(SysMsg::kLeaseGrant);
+  grant.a = addr;
+  grant.flow = flow;
+  FutexTable::pack_waiters(queue, grant.data);
+  send_protocol(std::move(grant));
+}
+
+void FutexService::arm_recall_watchdog(GuestAddr addr, DurationPs timeout) {
+  RecallWatchdog& wd = recall_watchdogs_[addr];
+  if (wd.timer == nullptr) wd.timer = std::make_unique<sim::Timer>(queue_);
+  wd.timeout = timeout;
+  wd.timer->arm(timeout, [this, addr] { on_recall_timeout(addr); });
+}
+
+void FutexService::on_recall_timeout(GuestAddr addr) {
+  if (futexes_.lease_phase(addr) != FutexTable::LeasePhase::kRecalling) {
+    recall_watchdogs_.erase(addr);  // lease came home since the arm
+    return;
+  }
+  const NodeId owner = futexes_.lease_owner(addr);
+  std::uint64_t flow = 0;
+  auto pending = pending_lease_flow_.find(addr);
+  if (pending != pending_lease_flow_.end()) flow = pending->second;
+  if (stats_ != nullptr) stats_->add("sys.recall_timeouts");
+  note("sys.recall_timeout", flow, addr, owner);
+  // Re-send the recall. The agent ignores a recall for a lease it already
+  // returned, so a crossed-in-flight return stays harmless.
+  net::Message recall;
+  recall.src = self_;
+  recall.dst = owner;
+  recall.type = static_cast<std::uint32_t>(SysMsg::kLeaseRecall);
+  recall.a = addr;
+  recall.flow = flow;
+  send_protocol(std::move(recall));
+  const DurationPs next = std::min<DurationPs>(
+      recall_watchdogs_[addr].timeout * 2, recall_timeout_ * 8);
+  arm_recall_watchdog(addr, next);
+}
+
+}  // namespace dqemu::sys

@@ -1,0 +1,140 @@
+// Per-home futex + lease service (paper section 4.3; DESIGN.md §11, §17).
+//
+// The futex wait/wake arbitration and the hierarchical-locking lease
+// protocol, factored out of MasterSyscalls so it can run on any node.
+// Classically exactly one instance exists, on the master; with home
+// sharding every node hosts one and serves the futex addresses whose
+// containing *page* it homes. Keeping the futex home equal to the page's
+// DSM home is what preserves the no-lost-wakeup argument (§7/§11) per
+// home: the waiter's value re-check, the racing writer's invalidation and
+// the wait request all serialize through one node's FIFO channels.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/timer.hpp"
+#include "sys/futex_table.hpp"
+#include "sys/wire.hpp"
+#include "trace/tracer.hpp"
+
+namespace dqemu::sys {
+
+struct SyscallRequest;  // sys/master_syscalls.hpp
+
+class FutexService {
+ public:
+  /// `self` is the hosting node (kMasterNode classically); responses and
+  /// protocol messages are sent from it, and its event `queue` carries the
+  /// service delays and recall watchdogs (the node's own queue under the
+  /// parallel kernel).
+  FutexService(NodeId self, net::Network& network, sim::EventQueue& queue,
+               MachineConfig machine, std::uint32_t service_cycles,
+               StatsRegistry* stats = nullptr, trace::Tracer* tracer = nullptr);
+
+  void configure_locking(const SysConfig& sys) { sys_ = sys; }
+  void configure_faults(DurationPs recall_timeout) {
+    recall_timeout_ = recall_timeout;
+  }
+
+  [[nodiscard]] FutexTable& table() { return futexes_; }
+  [[nodiscard]] NodeId self() const { return self_; }
+
+  /// True for the home-plane messages this service consumes when hosted on
+  /// a slave node: kSyscallReq (futex only), kLeaseReq, kLeaseReturn.
+  [[nodiscard]] static bool handles(std::uint32_t type) {
+    switch (static_cast<SysMsg>(type)) {
+      case SysMsg::kSyscallReq:
+      case SysMsg::kLeaseReq:
+      case SysMsg::kLeaseReturn:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Dispatches a home-plane message (see handles()). kSyscallReq bodies
+  /// must decode to a futex call; the requester is the wire-level sender
+  /// unless the master relay-marked the message (dsm::relay_mark).
+  void handle_message(const net::Message& msg);
+
+  /// Serves a decoded futex call (wait/wake/lease fast paths; DESIGN.md
+  /// §11). Responses are deferred for waits.
+  void do_futex(const SyscallRequest& req);
+
+  /// kExit ctid wake: wakes every joiner parked on `ctid`, routing through
+  /// the lease state exactly like a wake with nobody awaiting the count.
+  void exit_wake(const SyscallRequest& req, GuestAddr ctid);
+
+ private:
+  /// A futex op that arrived while its address's lease was being recalled;
+  /// replayed against the home queue when the owner returns the lease.
+  struct BufferedFutexOp {
+    NodeId src = kInvalidNode;
+    GuestTid tid = kInvalidTid;
+    std::uint32_t op = 0;
+    std::uint32_t count = 0;
+    std::uint64_t flow = 0;
+    bool respond = true;  ///< false for exit-wakes: the waker is gone
+  };
+
+  /// Wakes up to `count` waiters of a home-owned address and sends the
+  /// deferred responses; returns the number woken.
+  std::uint32_t home_wake(GuestAddr addr, std::uint32_t count);
+  /// Forwards a wait/wake on a leased address to its owner agent.
+  void forward_wait(const SyscallRequest& req);
+  void forward_wake(GuestAddr addr, std::uint32_t count, NodeId requester,
+                    GuestTid requester_tid, std::uint64_t flow);
+  void on_lease_request(const net::Message& msg);
+  void on_lease_return(const net::Message& msg);
+  /// Arms (or re-arms after backoff) the recall watchdog for `addr`.
+  void arm_recall_watchdog(GuestAddr addr, DurationPs timeout);
+  /// Watchdog fire: the recall (or its return) is presumed stuck somewhere
+  /// on the lossy wire — re-send the kLeaseRecall. Safe because the lock
+  /// agent treats a recall for a lease it no longer owns as a no-op.
+  void on_recall_timeout(GuestAddr addr);
+  void send_response(NodeId dst, GuestTid tid, std::int64_t result,
+                     std::uint64_t flow);
+  /// Schedules `msg` onto the wire after the manager service delay (the
+  /// same delay every response pays, so per-channel FIFO order follows
+  /// home processing order).
+  void send_after_service(net::Message msg);
+  /// Lease-protocol messages hit the wire at processing time — see the
+  /// ordering comment in futex_home.cpp.
+  void send_protocol(net::Message msg);
+  void note(const char* name, std::uint64_t flow, std::uint64_t a,
+            std::uint64_t b);
+
+  NodeId self_;
+  net::Network& network_;
+  sim::EventQueue& queue_;
+  MachineConfig machine_;
+  std::uint32_t service_cycles_;
+  StatsRegistry* stats_;
+  trace::Tracer* tracer_;
+  FutexTable futexes_;
+  SysConfig sys_;
+  /// Ops buffered per address while a recall is in flight (arrival order).
+  std::unordered_map<GuestAddr, std::vector<BufferedFutexOp>> recall_buffer_;
+  /// Causal chain of the lease request that triggered the pending recall.
+  std::unordered_map<GuestAddr, std::uint64_t> pending_lease_flow_;
+  /// Per-address recall watchdog (fault model only): timer + current
+  /// backed-off period. Erased when the lease comes home.
+  struct RecallWatchdog {
+    std::unique_ptr<sim::Timer> timer;
+    DurationPs timeout = 0;
+  };
+  std::unordered_map<GuestAddr, RecallWatchdog> recall_watchdogs_;
+  DurationPs recall_timeout_ = 0;
+  /// "sys.futex_home_msgs.<self>": per-home futex-plane message counter.
+  std::string home_msgs_counter_;
+};
+
+}  // namespace dqemu::sys

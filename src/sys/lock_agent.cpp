@@ -127,7 +127,7 @@ void LockAgent::note_delegated(GuestAddr addr) {
 
   net::Message req;
   req.src = id_;
-  req.dst = kMasterNode;
+  req.dst = home_resolver_ ? home_resolver_(addr) : kMasterNode;
   req.type = static_cast<std::uint32_t>(SysMsg::kLeaseReq);
   req.a = addr;
   if (stats_ != nullptr) stats_->add("sys.lease_requests");
@@ -175,15 +175,15 @@ void LockAgent::on_lease_recall(const net::Message& msg) {
     return;
   }
   // Hand the whole queue (locals included, tagged with this node's id)
-  // back to the master; waiters parked here stay blocked until the master
-  // or the next owner wakes them.
+  // back to the recalling home (the master classically); waiters parked
+  // here stay blocked until the home or the next owner wakes them.
   std::vector<FutexTable::Waiter> queue(it->second.queue.begin(),
                                         it->second.queue.end());
   owned_.erase(it);
 
   net::Message ret;
   ret.src = id_;
-  ret.dst = kMasterNode;
+  ret.dst = msg.src;
   ret.type = static_cast<std::uint32_t>(SysMsg::kLeaseReturn);
   ret.a = addr;
   ret.flow = msg.flow;  // keep riding the recalling requester's chain

@@ -62,6 +62,15 @@ class LockAgent {
             net::Network& network, StatsRegistry* stats,
             trace::Tracer* tracer, WakeLocalFn wake_local);
 
+  /// Home sharding (DESIGN.md §17): maps a futex address to the node whose
+  /// FutexService arbitrates its lease. Unset, every kLeaseReq goes to the
+  /// master — the classic single-home protocol. (Lease *returns* always go
+  /// to whichever home sent the recall, so they need no resolver.)
+  using HomeResolver = std::function<NodeId(GuestAddr)>;
+  void set_home_resolver(HomeResolver resolver) {
+    home_resolver_ = std::move(resolver);
+  }
+
   /// True when this agent holds the lease for `addr`.
   [[nodiscard]] bool owns(GuestAddr addr) const {
     return owned_.contains(addr);
@@ -128,6 +137,7 @@ class LockAgent {
   StatsRegistry* stats_;
   trace::Tracer* tracer_;
   WakeLocalFn wake_local_;
+  HomeResolver home_resolver_;
 
   std::unordered_map<GuestAddr, Entry> owned_;
   /// Delegated-op counts for addresses we do not own (reset on request).

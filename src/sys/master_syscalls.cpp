@@ -36,6 +36,8 @@ MasterSyscalls::MasterSyscalls(net::Network& network, sim::EventQueue& queue,
       service_cycles_(service_cycles),
       stats_(stats),
       tracer_(tracer),
+      futex_(kMasterNode, network, queue, machine, service_cycles, stats,
+             tracer),
       page_mask_(machine.page_size - 1) {}
 
 void MasterSyscalls::note(const char* name, std::uint64_t flow,
@@ -71,19 +73,6 @@ void MasterSyscalls::send_after_service(net::Message msg) {
   });
 }
 
-// Lease-protocol messages must hit the wire at processing time, not after a
-// modeled service delay: the no-lost-wakeup argument (DESIGN.md section 11)
-// needs master *send* order to equal master *processing* order across every
-// master-resident component. The DSM directory shares the master->node FIFO
-// channels; if a wait handoff lingered for service_cycles_ while the
-// directory released the write grant that lets the lease owner complete its
-// unlock store, the owner's wake could run against a queue that does not yet
-// hold the handed-off waiter. The per-endpoint network overhead already
-// charges the software cost of these messages.
-void MasterSyscalls::send_protocol(net::Message msg) {
-  network_.send(std::move(msg));
-}
-
 void MasterSyscalls::send_response(NodeId dst, GuestTid tid,
                                    std::int64_t result,
                                    std::span<const std::uint8_t> payload,
@@ -104,10 +93,8 @@ void MasterSyscalls::handle_message(const net::Message& msg) {
     case SysMsg::kSyscallReq:
       break;  // decoded below
     case SysMsg::kLeaseReq:
-      on_lease_request(msg);
-      return;
     case SysMsg::kLeaseReturn:
-      on_lease_return(msg);
+      futex_.handle_message(msg);
       return;
     default:
       assert(false && "not a master-addressed sys message");
@@ -191,7 +178,7 @@ void MasterSyscalls::dispatch(const SyscallRequest& req) {
       send_response(req.src, req.tid, 0, {}, req.flow);  // accounting-only
       return;
     case Sys::kFutex:
-      do_futex(req);
+      futex_.do_futex(req);
       return;
     case Sys::kClone: {
       assert(hooks_.on_clone && "core layer must install the clone hook");
@@ -202,24 +189,23 @@ void MasterSyscalls::dispatch(const SyscallRequest& req) {
     case Sys::kExit: {
       // args: [0]=status, [1]=ctid address (0 if none). The node already
       // stored 0 to *ctid through the coherence protocol; waking joiners
-      // is the master's job since the futex table lives here — unless the
-      // ctid address is leased out, in which case its queue lives at the
-      // owner and the wake is forwarded (or buffered mid-recall). The
-      // exiting thread never awaits a count, hence kNoWakeResponse.
+      // is the job of whichever node homes the ctid address — the master
+      // classically, possibly a slave under home sharding, in which case
+      // the wake is relayed there as a fire-and-forget futex request. The
+      // exiting thread never awaits a count either way.
       if (req.args[1] != 0) {
         const GuestAddr ctid = req.args[1];
-        switch (futexes_.lease_phase(ctid)) {
-          case FutexTable::LeasePhase::kGranted:
-            forward_wake(ctid, UINT32_MAX, kInvalidNode, 0, req.flow);
-            break;
-          case FutexTable::LeasePhase::kRecalling:
-            recall_buffer_[ctid].push_back(BufferedFutexOp{
-                req.src, req.tid, isa::kFutexWake, UINT32_MAX, req.flow,
-                /*respond=*/false});
-            break;
-          case FutexTable::LeasePhase::kNone:
-            (void)master_wake(ctid, UINT32_MAX);
-            break;
+        const NodeId home = futex_home_ ? futex_home_(ctid) : kMasterNode;
+        if (home == kMasterNode) {
+          futex_.exit_wake(req, ctid);
+        } else {
+          net::Message wake = make_syscall_request(
+              kMasterNode, req.tid, Sys::kFutex,
+              {ctid, isa::kFutexWake, UINT32_MAX, kFutexAsyncWake}, {});
+          wake.dst = home;
+          wake.c = net::relay_mark(req.src);
+          wake.flow = req.flow;
+          network_.send(std::move(wake));
         }
       }
       if (hooks_.on_exit) hooks_.on_exit(req);
@@ -244,230 +230,6 @@ void MasterSyscalls::dispatch(const SyscallRequest& req) {
       send_response(req.src, req.tid, -isa::kENOSYS, {}, req.flow);
       return;
   }
-}
-
-std::uint32_t MasterSyscalls::master_wake(GuestAddr addr,
-                                          std::uint32_t count) {
-  const auto woken = futexes_.wake(addr, count);
-  for (const FutexTable::Waiter& waiter : woken) {
-    // The deferred response rides the *waiter's* chain: the trace shows
-    // wait -> (this wake) -> response as one causal arc.
-    note("sys.futex_wake", waiter.flow, addr, waiter.tid);
-    send_response(waiter.node, waiter.tid, 0, {}, waiter.flow);
-  }
-  return static_cast<std::uint32_t>(woken.size());
-}
-
-void MasterSyscalls::forward_wait(const SyscallRequest& req) {
-  const GuestAddr addr = req.args[0];
-  net::Message msg;
-  msg.src = kMasterNode;
-  msg.dst = futexes_.lease_owner(addr);
-  msg.type = static_cast<std::uint32_t>(SysMsg::kWaitHandoff);
-  msg.a = addr;
-  msg.b = req.tid;
-  msg.c = req.src;
-  msg.flow = req.flow;
-  if (stats_ != nullptr) stats_->add("sys.lease_handoffs");
-  note("sys.lock_handoff", req.flow, addr, req.tid);
-  send_protocol(std::move(msg));
-}
-
-void MasterSyscalls::forward_wake(GuestAddr addr, std::uint32_t count,
-                                  NodeId requester, GuestTid requester_tid,
-                                  std::uint64_t flow) {
-  net::Message msg;
-  msg.src = kMasterNode;
-  msg.dst = futexes_.lease_owner(addr);
-  msg.type = static_cast<std::uint32_t>(SysMsg::kWakeHandoff);
-  msg.a = addr;
-  msg.b = count;
-  const std::uint64_t who =
-      requester == kInvalidNode ? kNoWakeResponse : requester;
-  msg.c = (who << 32) | requester_tid;
-  msg.flow = flow;
-  if (stats_ != nullptr) stats_->add("sys.lease_handoffs");
-  note("sys.lock_handoff", flow, addr, count);
-  send_protocol(std::move(msg));
-}
-
-void MasterSyscalls::do_futex(const SyscallRequest& req) {
-  const GuestAddr addr = req.args[0];
-  const std::uint32_t op = req.args[1];
-  const FutexTable::LeasePhase phase = futexes_.lease_phase(addr);
-  if (op == isa::kFutexWait) {
-    if (phase == FutexTable::LeasePhase::kGranted) {
-      forward_wait(req);
-      return;  // deferred response, now owed by the lease owner
-    }
-    if (phase == FutexTable::LeasePhase::kRecalling) {
-      recall_buffer_[addr].push_back(BufferedFutexOp{
-          req.src, req.tid, op, 0, req.flow, /*respond=*/true});
-      return;
-    }
-    // The caller's node already verified *addr == expected while holding a
-    // read copy; the protocol orders any racing write (and its wake) after
-    // this request, so enqueueing unconditionally cannot lose a wakeup.
-    futexes_.wait(addr, FutexTable::Waiter{req.src, req.tid, req.flow});
-    if (stats_ != nullptr) stats_->add("sys.futex_waits");
-    note("sys.futex_wait", req.flow, addr, futexes_.waiters(addr));
-    return;  // deferred response
-  }
-  if (op == isa::kFutexWake) {
-    // The hierarchical path marks wakes fire-and-forget (kFutexAsyncWake):
-    // the waker's agent already acknowledged the syscall, nobody awaits
-    // the count.
-    const bool respond = (req.args[3] & kFutexAsyncWake) == 0;
-    if (phase == FutexTable::LeasePhase::kGranted) {
-      forward_wake(addr, req.args[2], respond ? req.src : kInvalidNode,
-                   req.tid, req.flow);
-      return;  // the owner answers the requester directly (if anyone does)
-    }
-    if (phase == FutexTable::LeasePhase::kRecalling) {
-      recall_buffer_[addr].push_back(BufferedFutexOp{
-          req.src, req.tid, op, req.args[2], req.flow, respond});
-      return;
-    }
-    const std::uint32_t woken = master_wake(addr, req.args[2]);
-    if (stats_ != nullptr) stats_->add("sys.futex_wakes", woken);
-    if (respond) send_response(req.src, req.tid, woken, {}, req.flow);
-    return;
-  }
-  send_response(req.src, req.tid, -isa::kEINVAL, {}, req.flow);
-}
-
-// ---------------------------------------------------------------------------
-// Lease protocol (hierarchical locking, DESIGN.md section 11)
-// ---------------------------------------------------------------------------
-
-void MasterSyscalls::on_lease_request(const net::Message& msg) {
-  const auto addr = static_cast<GuestAddr>(msg.a);
-  const NodeId requester = msg.src;
-  switch (futexes_.lease_phase(addr)) {
-    case FutexTable::LeasePhase::kNone: {
-      const auto queue = futexes_.grant_lease(addr, requester, queue_.now());
-      if (stats_ != nullptr) stats_->add("sys.lease_grants");
-      note("sys.lease_grant", msg.flow, addr, queue.size());
-      net::Message grant;
-      grant.src = kMasterNode;
-      grant.dst = requester;
-      grant.type = static_cast<std::uint32_t>(SysMsg::kLeaseGrant);
-      grant.a = addr;
-      grant.flow = msg.flow;
-      FutexTable::pack_waiters(queue, grant.data);
-      send_protocol(std::move(grant));
-      return;
-    }
-    case FutexTable::LeasePhase::kGranted: {
-      const NodeId owner = futexes_.lease_owner(addr);
-      if (owner == requester) return;  // crossed its own grant in flight
-      if (queue_.now() - futexes_.lease_granted_at(addr) <
-          sys_.lease_min_hold) {
-        return;  // too young to recall; the requester retries when still hot
-      }
-      futexes_.begin_recall(addr, requester);
-      pending_lease_flow_[addr] = msg.flow;
-      if (stats_ != nullptr) stats_->add("sys.lease_recalls");
-      note("sys.lease_recall", msg.flow, addr, owner);
-      net::Message recall;
-      recall.src = kMasterNode;
-      recall.dst = owner;
-      recall.type = static_cast<std::uint32_t>(SysMsg::kLeaseRecall);
-      recall.a = addr;
-      recall.flow = msg.flow;
-      send_protocol(std::move(recall));
-      if (recall_timeout_ > 0 && network_.faults_active()) {
-        arm_recall_watchdog(addr, recall_timeout_);
-      }
-      return;
-    }
-    case FutexTable::LeasePhase::kRecalling:
-      return;  // already moving; the loser re-requests if still interested
-  }
-}
-
-void MasterSyscalls::on_lease_return(const net::Message& msg) {
-  const auto addr = static_cast<GuestAddr>(msg.a);
-  if (futexes_.lease_phase(addr) != FutexTable::LeasePhase::kRecalling) {
-    // Not recalling this address: a stale return (the fault model's
-    // watchdog can make the agent and master race). Dropping it is safe —
-    // whatever state the return carried was already applied.
-    if (stats_ != nullptr) stats_->add("sys.stale_lease_returns");
-    return;
-  }
-  recall_watchdogs_.erase(addr);
-  const auto returned = FutexTable::unpack_waiters(msg.data);
-  const NodeId next_owner = futexes_.finish_recall(addr, returned);
-
-  // Replay everything that arrived mid-recall, in arrival order, against
-  // the master-owned queue (returned waiters were spliced to its front).
-  auto buffered = recall_buffer_.find(addr);
-  if (buffered != recall_buffer_.end()) {
-    for (const BufferedFutexOp& op : buffered->second) {
-      if (op.op == isa::kFutexWait) {
-        futexes_.wait(addr, FutexTable::Waiter{op.src, op.tid, op.flow});
-        if (stats_ != nullptr) stats_->add("sys.futex_waits");
-      } else {
-        const std::uint32_t woken = master_wake(addr, op.count);
-        if (op.respond) {
-          if (stats_ != nullptr) stats_->add("sys.futex_wakes", woken);
-          send_response(op.src, op.tid, woken, {}, op.flow);
-        }
-      }
-    }
-    recall_buffer_.erase(buffered);
-  }
-
-  // Hand the lease (and whatever the queue now holds) to the recaller.
-  std::uint64_t flow = msg.flow;
-  auto pending = pending_lease_flow_.find(addr);
-  if (pending != pending_lease_flow_.end()) {
-    flow = pending->second;
-    pending_lease_flow_.erase(pending);
-  }
-  const auto queue = futexes_.grant_lease(addr, next_owner, queue_.now());
-  if (stats_ != nullptr) stats_->add("sys.lease_grants");
-  note("sys.lease_grant", flow, addr, queue.size());
-  net::Message grant;
-  grant.src = kMasterNode;
-  grant.dst = next_owner;
-  grant.type = static_cast<std::uint32_t>(SysMsg::kLeaseGrant);
-  grant.a = addr;
-  grant.flow = flow;
-  FutexTable::pack_waiters(queue, grant.data);
-  send_protocol(std::move(grant));
-}
-
-void MasterSyscalls::arm_recall_watchdog(GuestAddr addr, DurationPs timeout) {
-  RecallWatchdog& wd = recall_watchdogs_[addr];
-  if (wd.timer == nullptr) wd.timer = std::make_unique<sim::Timer>(queue_);
-  wd.timeout = timeout;
-  wd.timer->arm(timeout, [this, addr] { on_recall_timeout(addr); });
-}
-
-void MasterSyscalls::on_recall_timeout(GuestAddr addr) {
-  if (futexes_.lease_phase(addr) != FutexTable::LeasePhase::kRecalling) {
-    recall_watchdogs_.erase(addr);  // lease came home since the arm
-    return;
-  }
-  const NodeId owner = futexes_.lease_owner(addr);
-  std::uint64_t flow = 0;
-  auto pending = pending_lease_flow_.find(addr);
-  if (pending != pending_lease_flow_.end()) flow = pending->second;
-  if (stats_ != nullptr) stats_->add("sys.recall_timeouts");
-  note("sys.recall_timeout", flow, addr, owner);
-  // Re-send the recall. The agent ignores a recall for a lease it already
-  // returned, so a crossed-in-flight return stays harmless.
-  net::Message recall;
-  recall.src = kMasterNode;
-  recall.dst = owner;
-  recall.type = static_cast<std::uint32_t>(SysMsg::kLeaseRecall);
-  recall.a = addr;
-  recall.flow = flow;
-  send_protocol(std::move(recall));
-  const DurationPs next = std::min<DurationPs>(
-      recall_watchdogs_[addr].timeout * 2, recall_timeout_ * 8);
-  arm_recall_watchdog(addr, next);
 }
 
 }  // namespace dqemu::sys

@@ -1,16 +1,16 @@
 // Master-side delegated-syscall engine (paper section 4.3).
 //
-// Owns the authoritative system state: the VFS + fd table, the distributed
-// futex table, and the guest heap/mmap break. Thread lifecycle calls
-// (clone / exit / exit_group) are forwarded to hooks the core layer
+// Owns the authoritative system state: the VFS + fd table, the guest
+// heap/mmap break, and (through an embedded FutexService) the master-homed
+// slice of the distributed futex table — all of it classically, only the
+// addresses home sharding leaves on node 0 otherwise. Thread lifecycle
+// calls (clone / exit / exit_group) are forwarded to hooks the core layer
 // installs, because placement and thread accounting live there.
 #pragma once
 
 #include <array>
 #include <functional>
-#include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
@@ -18,8 +18,7 @@
 #include "isa/syscall_abi.hpp"
 #include "net/network.hpp"
 #include "sim/event_queue.hpp"
-#include "sim/timer.hpp"
-#include "sys/futex_table.hpp"
+#include "sys/futex_home.hpp"
 #include "sys/vfs.hpp"
 #include "sys/wire.hpp"
 #include "trace/tracer.hpp"
@@ -62,13 +61,15 @@ class MasterSyscalls {
   /// Installs the hierarchical-locking knobs (lease hysteresis). Without
   /// this call leases are never granted and every futex op is served from
   /// the master table exactly as before.
-  void configure_locking(const SysConfig& sys) { sys_ = sys; }
+  void configure_locking(const SysConfig& sys) {
+    futex_.configure_locking(sys);
+  }
 
   /// Installs the fault-model knobs. With FaultConfig::request_timeout > 0
   /// and the network's fault path active, every outstanding lease recall
   /// gets a watchdog that re-sends the kLeaseRecall (DESIGN.md §13).
   void configure_faults(const FaultConfig& faults) {
-    recall_timeout_ = faults.request_timeout;
+    futex_.configure_faults(faults.request_timeout);
   }
 
   /// Guest heap layout: brk grows in [brk_start, mmap_start); anonymous
@@ -77,6 +78,16 @@ class MasterSyscalls {
                         GuestAddr mmap_end);
 
   void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Home sharding (DESIGN.md §17): maps a futex address to the node whose
+  /// FutexService owns it. The master consults it for the kExit ctid wake —
+  /// the one futex op that originates *at* the master — and relays the wake
+  /// to the home when it is not node 0. Unset means everything is
+  /// master-homed (the classic protocol).
+  using FutexHomeResolver = std::function<NodeId(GuestAddr)>;
+  void set_futex_home(FutexHomeResolver resolver) {
+    futex_home_ = std::move(resolver);
+  }
 
   /// Serving-plane escape hatch: kServeGet / kServeDone requests are handed
   /// to this callback (the core layer binds it to the load generator),
@@ -89,7 +100,7 @@ class MasterSyscalls {
 
   [[nodiscard]] Vfs& vfs() { return vfs_; }
   [[nodiscard]] const Vfs& vfs() const { return vfs_; }
-  [[nodiscard]] FutexTable& futexes() { return futexes_; }
+  [[nodiscard]] FutexTable& futexes() { return futex_.table(); }
   [[nodiscard]] GuestAddr current_brk() const { return brk_; }
 
   /// Handles a master-addressed sys message: kSyscallReq, and the lease
@@ -103,39 +114,11 @@ class MasterSyscalls {
                      std::uint64_t flow = 0);
 
  private:
-  /// A futex op that arrived while its address's lease was being recalled;
-  /// replayed against the master queue when the owner returns the lease.
-  struct BufferedFutexOp {
-    NodeId src = kInvalidNode;
-    GuestTid tid = kInvalidTid;
-    std::uint32_t op = 0;
-    std::uint32_t count = 0;
-    std::uint64_t flow = 0;
-    bool respond = true;  ///< false for exit-wakes: the waker is gone
-  };
-
   void dispatch(const SyscallRequest& req);
-  void do_futex(const SyscallRequest& req);
-  /// Wakes up to `count` waiters of a master-owned address and sends the
-  /// deferred responses; returns the number woken.
-  std::uint32_t master_wake(GuestAddr addr, std::uint32_t count);
-  /// Forwards a wait/wake on a leased address to its owner agent.
-  void forward_wait(const SyscallRequest& req);
-  void forward_wake(GuestAddr addr, std::uint32_t count, NodeId requester,
-                    GuestTid requester_tid, std::uint64_t flow);
-  void on_lease_request(const net::Message& msg);
-  void on_lease_return(const net::Message& msg);
-  /// Arms (or re-arms after backoff) the recall watchdog for `addr`.
-  void arm_recall_watchdog(GuestAddr addr, DurationPs timeout);
-  /// Watchdog fire: the recall (or its return) is presumed stuck somewhere
-  /// on the lossy wire — re-send the kLeaseRecall. Safe because the lock
-  /// agent treats a recall for a lease it no longer owns as a no-op.
-  void on_recall_timeout(GuestAddr addr);
   /// Schedules `msg` onto the wire after the manager service delay (the
   /// same delay every response pays, so per-channel FIFO order follows
   /// master processing order).
   void send_after_service(net::Message msg);
-  void send_protocol(net::Message msg);
   /// Records a master-side edge of chain `flow` on the manager track.
   void note(const char* name, std::uint64_t flow, std::uint64_t a,
             std::uint64_t b);
@@ -149,20 +132,11 @@ class MasterSyscalls {
   Hooks hooks_;
   ServeHandler serve_handler_;
   Vfs vfs_;
-  FutexTable futexes_;
-  SysConfig sys_;
-  /// Ops buffered per address while a recall is in flight (arrival order).
-  std::unordered_map<GuestAddr, std::vector<BufferedFutexOp>> recall_buffer_;
-  /// Causal chain of the lease request that triggered the pending recall.
-  std::unordered_map<GuestAddr, std::uint64_t> pending_lease_flow_;
-  /// Per-address recall watchdog (fault model only): timer + current
-  /// backed-off period. Erased when the lease comes home.
-  struct RecallWatchdog {
-    std::unique_ptr<sim::Timer> timer;
-    DurationPs timeout = 0;
-  };
-  std::unordered_map<GuestAddr, RecallWatchdog> recall_watchdogs_;
-  DurationPs recall_timeout_ = 0;
+  /// The master-resident futex home (futex table + lease protocol). With
+  /// home sharding most addresses are served by slave-hosted FutexService
+  /// instances instead; see sys/futex_home.hpp.
+  FutexService futex_;
+  FutexHomeResolver futex_home_;
   GuestAddr brk_ = 0;
   GuestAddr brk_min_ = 0;
   GuestAddr mmap_cursor_ = 0;

@@ -47,6 +47,7 @@ esac
 usage=$("$RUN" 2>&1)
 for flag in --nodes --cores --quantum --rtt-us --gbps --forwarding \
             --splitting --dsm-diff --hier-locking --hint-sched \
+            --home-sharding --placement \
             --host-threads --faults --fault-seed --drop-pct \
             --serve --requests --arrival --rate --clients --think-us \
             --clone --serve-workers --serve-seed \
@@ -72,6 +73,30 @@ case "$out" in
   *"retrans="*) ;;
   *) fail "fault run printed no net summary: $out" ;;
 esac
+
+# A bad placement policy fails loudly and names the accepted values.
+out=$("$RUN" "$GUEST" --home-sharding --placement sticky 2>&1)
+status=$?
+[ "$status" -ne 0 ] || fail "bad --placement exited 0"
+case "$out" in
+  *"first-touch"*) ;;
+  *) fail "bad --placement diagnostic lists no valid policies: $out" ;;
+esac
+
+# Home sharding: the run completes, prints the per-home evenness summary,
+# and is byte-reproducible. With the feature compiled out the flag is a
+# documented no-op (bit-for-bit single-master), so only exit status and
+# reproducibility are checked unconditionally.
+s1=$("$RUN" "$GUEST" --nodes 3 --home-sharding --placement hash 2>&1)
+status=$?
+[ "$status" -eq 0 ] || fail "--home-sharding run exited $status: $s1"
+case "$s1" in
+  *"homes: active="*) ;;
+  *) fail "--home-sharding printed no homes summary: $s1" ;;
+esac
+s2=$("$RUN" "$GUEST" --nodes 3 --home-sharding --placement hash 2>&1)
+[ "$(strip_host "$s1")" = "$(strip_host "$s2")" ] ||
+  fail "same-seed --home-sharding runs differ"
 
 # Serving mode: --serve takes no program argument...
 "$RUN" "$GUEST" --serve >/dev/null 2>&1 && fail "--serve with a program exited 0"

@@ -63,6 +63,12 @@ constexpr FlagSpec kFlags[] = {
     {"--dsm-diff", nullptr, "diff-encoded page transfers (DESIGN.md §12)"},
     {"--hier-locking", nullptr,
      "hierarchical distributed locking (DESIGN.md §11)"},
+    {"--home-sharding", nullptr,
+     "shard the DSM directory and futex table across per-page home nodes"
+     " (DESIGN.md §17)"},
+    {"--placement", "KIND",
+     "home placement policy, hash | first-touch (default hash; needs"
+     " --home-sharding)"},
     {"--host-threads", "N",
      "host threads driving the simulation (default 1; N > 1 runs the"
      " parallel scheduler, DESIGN.md §16 — results are byte-identical)"},
@@ -207,6 +213,18 @@ int main(int argc, char** argv) {
       config.sched.policy = SchedPolicy::kHintLocality;
     } else if (std::strcmp(arg, "--hier-locking") == 0) {
       config.sys.enable_hierarchical_locking = true;
+    } else if (std::strcmp(arg, "--home-sharding") == 0) {
+      config.dsm.enable_home_sharding = true;
+    } else if (std::strcmp(arg, "--placement") == 0) {
+      if (std::strcmp(value, "hash") == 0) {
+        config.dsm.home_placement = HomePlacement::kHash;
+      } else if (std::strcmp(value, "first-touch") == 0) {
+        config.dsm.home_placement = HomePlacement::kFirstTouch;
+      } else {
+        std::fprintf(stderr, "bad --placement %s (want hash or first-touch)\n",
+                     value);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--host-threads") == 0) {
       ok = parse_u32(value, &config.sim.host_threads);
     } else if (std::strcmp(arg, "--faults") == 0) {
@@ -434,6 +452,36 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.get("sys.wake_batches")),
         static_cast<unsigned long long>(stats.get("sys.lease_grants")),
         static_cast<unsigned long long>(stats.get("sys.lease_recalls")));
+
+    // Home-sharding summary (DESIGN.md §17): how evenly directory traffic
+    // spread across the per-page home nodes. spread = max/min over the
+    // slave homes; 1.0 is perfectly even. relays counts first-touch
+    // requests the master re-addressed to the true home.
+    if (config.dsm.enable_home_sharding) {
+      std::uint64_t lo = 0;
+      std::uint64_t hi = 0;
+      std::uint64_t total = 0;
+      std::uint32_t active = 0;
+      for (std::uint32_t n = 1; n < cluster.node_count(); ++n) {
+        const std::uint64_t msgs =
+            stats.get("dsm.home_msgs." + std::to_string(n));
+        total += msgs;
+        if (msgs == 0) continue;
+        ++active;
+        if (lo == 0 || msgs < lo) lo = msgs;
+        if (msgs > hi) hi = msgs;
+      }
+      std::fprintf(
+          stderr,
+          "[dqemu_run] homes: active=%u/%u msgs=%llu min=%llu max=%llu "
+          "spread=%.2f relays=%llu\n",
+          active, cluster.node_count() - 1,
+          static_cast<unsigned long long>(total),
+          static_cast<unsigned long long>(lo),
+          static_cast<unsigned long long>(hi),
+          lo > 0 ? static_cast<double>(hi) / static_cast<double>(lo) : 0.0,
+          static_cast<unsigned long long>(stats.get("dsm.home_relays")));
+    }
 
     // Interconnect summary. The fault-model counters (dropped onward) stay
     // zero on the reliable wire.
