@@ -231,6 +231,34 @@ struct FaultConfig {
   };
   std::vector<Pause> pauses;
 
+  /// Whole-node fault plane (DESIGN.md §18). A crash kills the node at a
+  /// seeded virtual time: its threads are captured and re-homed, its leases
+  /// and copysets revoked, and a hosted home shard handed to the master. A
+  /// pause is normalized into a `Pause` window (the node's communicator
+  /// wedges, then rejoins). node == 0 / at == 0 draw the target node and
+  /// fault time from the same counter-based SplitMix64 stream as the wire
+  /// faults, so same-seed runs fail identically. Also gated at compile time
+  /// by the DQEMU_ENABLE_NODE_FAULTS CMake option; with the vector empty
+  /// (or the gate off) every code path is bit-for-bit the lossy-wire-only
+  /// plane.
+  struct NodeFault {
+    enum class Kind : std::uint8_t { kCrash, kPause };
+    Kind kind = Kind::kCrash;
+    std::uint32_t node = 0;   ///< slave node id, or 0 = drawn from the seed
+    TimePs at = 0;            ///< fault time, or 0 = drawn in fault_window
+    DurationPs pause_for = 0; ///< kPause: how long deliveries are deferred
+  };
+  std::vector<NodeFault> node_faults;
+  /// Draw window for NodeFault::at == 0: the fault time lands uniformly in
+  /// [fault_window/4, fault_window).
+  DurationPs fault_window = 2 * time_literals::kMs;
+  /// Bounded retransmission give-up (the dead-peer backstop): after this
+  /// many consecutive zero-progress retransmit rounds on one link, the
+  /// sender declares the peer dead (`net.peer_dead`), reports it to the
+  /// fault plane and stops retransmitting. 0 = never give up (the pre-§18
+  /// behavior; a paused-not-dead peer must not be abandoned).
+  std::uint32_t giveup_retrans = 0;
+
   // Reliable-channel tuning.
   DurationPs retrans_timeout = 1 * time_literals::kMs;  ///< initial RTO
   DurationPs retrans_cap = 16 * time_literals::kMs;     ///< backoff ceiling
@@ -429,6 +457,38 @@ struct ClusterConfig {
           faults.retrans_cap < faults.retrans_timeout)
         return S::invalid_argument(
             "retrans_timeout must be >= 1 and <= retrans_cap");
+    }
+    if (!faults.node_faults.empty()) {
+      if (!faults.enabled)
+        return S::invalid_argument(
+            "node faults need faults.enabled (the reliable channel and the "
+            "protocol watchdogs are the recovery transport)");
+      if (single_node_baseline)
+        return S::invalid_argument(
+            "node faults need a DSM cluster (not single_node_baseline)");
+      if (faults.request_timeout == 0)
+        return S::invalid_argument(
+            "node faults need request_timeout > 0 (orphaned requests are "
+            "recovered by re-issue)");
+      if (faults.fault_window == 0)
+        return S::invalid_argument("fault_window must be > 0");
+      for (const FaultConfig::NodeFault& nf : faults.node_faults) {
+        // The master is the cluster's root of authority (it adopts a dead
+        // home's shard); it never crashes or pauses.
+        if (nf.node != 0 && (nf.node < 1 || nf.node > slave_nodes))
+          return S::invalid_argument(
+              "node fault target must be a slave node (1..slave_nodes) or 0 "
+              "to draw one");
+        if (nf.kind == FaultConfig::NodeFault::Kind::kPause &&
+            nf.pause_for == 0)
+          return S::invalid_argument("node pause needs pause_for > 0");
+        if (nf.kind == FaultConfig::NodeFault::Kind::kCrash &&
+            dsm.enable_home_sharding &&
+            dsm.home_placement == HomePlacement::kHash)
+          return S::invalid_argument(
+              "node crashes need first-touch placement (or sharding off): "
+              "hash placement cannot re-home a dead home's pages");
+      }
     }
     if (serve.enabled) {
       if (serve.requests == 0)

@@ -4,11 +4,15 @@
 #include <cassert>
 #include <cstring>
 #include <mutex>
+#include <span>
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "dsm/placement.hpp"
 #include "dsm/wire.hpp"
 #include "isa/syscall_abi.hpp"
+#include "net/fault/node_faults.hpp"
+#include "sys/futex_table.hpp"
 #include "sys/wire.hpp"
 
 namespace dqemu::core {
@@ -199,6 +203,55 @@ Cluster::Cluster(ClusterConfig config, trace::Tracer* tracer)
     network_.attach(id,
                     [node](net::Message msg) { node->handle_message(msg); });
   }
+
+  if (!config_.faults.node_faults.empty()) {
+    if (!net::node_faults_on(config_.faults)) {
+      // Runtime gate on, compile-time gate off: refuse loudly rather than
+      // silently run an immortal cluster under a fault config.
+      fatal_ =
+          "node faults requested but compiled out "
+          "(DQEMU_ENABLE_NODE_FAULTS=OFF)";
+    } else {
+      schedule_node_faults();
+    }
+  }
+}
+
+void Cluster::schedule_node_faults() {
+  // Each rule draws its unresolved fields (node == 0, at == 0) from a
+  // per-rule counter-based SplitMix64 stream off the fault seed — the same
+  // run-is-a-pure-function-of-the-config discipline as the wire injector
+  // and the load generator. The resolved values are written back into
+  // config_ so config() (and the CLI summary) reports what actually fired.
+  std::uint64_t rule = 0;
+  for (FaultConfig::NodeFault& nf : config_.faults.node_faults) {
+    if (nf.node == 0) {
+      std::uint64_t state = config_.faults.seed ^ 0x6E6F64656661756CULL ^
+                            (rule * 0x9E3779B97F4A7C15ULL);
+      nf.node =
+          static_cast<std::uint32_t>(splitmix64(state) % config_.slave_nodes) +
+          1;
+    }
+    if (nf.at == 0) {
+      std::uint64_t state = config_.faults.seed ^ 0x66617561745F6174ULL ^
+                            (rule * 0xBF58476D1CE4E5B9ULL);
+      const DurationPs window = config_.faults.fault_window;
+      nf.at = window / 4 + splitmix64(state) % (window - window / 4);
+    }
+    const auto target = static_cast<NodeId>(nf.node);
+    const DurationPs pause =
+        nf.kind == FaultConfig::NodeFault::Kind::kPause ? nf.pause_for : 0;
+    queue_.schedule_at(nf.at, [this, target, pause] {
+      stats_.add(pause == 0 ? "core.crash_cmds" : "core.pause_cmds");
+      net::Message cmd;
+      cmd.src = kMasterNode;
+      cmd.dst = target;
+      cmd.type = static_cast<std::uint32_t>(CoreMsg::kCrashCmd);
+      cmd.b = pause;
+      network_.send(std::move(cmd));
+    });
+    ++rule;
+  }
 }
 
 void Cluster::master_handler(const net::Message& msg) {
@@ -222,9 +275,127 @@ void Cluster::master_handler(const net::Message& msg) {
       thread_node_[static_cast<GuestTid>(msg.a)] =
           static_cast<NodeId>(msg.b);
       return;
+    case static_cast<std::uint32_t>(CoreMsg::kCrashFlush):
+      assert(directory_.has_value());
+      directory_->on_crash_flush(msg);
+      return;
+    case static_cast<std::uint32_t>(CoreMsg::kHomeHandoff):
+      assert(directory_.has_value());
+      directory_->adopt_entry(static_cast<std::uint32_t>(msg.a), msg.data);
+      return;
+    case static_cast<std::uint32_t>(CoreMsg::kFutexHandoff):
+      syscalls_->futex_service().adopt_handoff(msg.data);
+      return;
+    case static_cast<std::uint32_t>(CoreMsg::kCrashLeaseReturn):
+      syscalls_->futex_service().on_crash_lease_return(
+          msg.src, static_cast<GuestAddr>(msg.a),
+          sys::FutexTable::unpack_waiters(msg.data));
+      return;
+    case static_cast<std::uint32_t>(CoreMsg::kCrashReport):
+      on_crash_report(msg);
+      return;
     default:
       nodes_[kMasterNode]->handle_message(msg);
       return;
+  }
+}
+
+bool Cluster::is_dead(NodeId id) const {
+  return std::find(dead_nodes_.begin(), dead_nodes_.end(), id) !=
+         dead_nodes_.end();
+}
+
+NodeId Cluster::replacement_node() const {
+  const auto total = static_cast<NodeId>(nodes_.size());
+  for (NodeId id = 1; id < total; ++id) {
+    if (!is_dead(id)) return id;
+  }
+  return kMasterNode;  // every slave is dead: the master soldiers on
+}
+
+void Cluster::on_crash_report(const net::Message& msg) {
+  const auto dead = static_cast<NodeId>(msg.a);
+  if (is_dead(dead)) return;  // duplicate report (defensive)
+  dead_nodes_.push_back(dead);
+  stats_.add("core.nodes_dead");
+
+  // Placement authority: every page (and futex) homed on the dead node now
+  // answers at the master, which adopted the shard state moments ago — the
+  // dying node's FIFO put kHomeHandoff/kFutexHandoff ahead of this report.
+  stats_.add("dsm.pages_rehomed", home_map_.repoint_dead_home(dead));
+
+  // Master-plane sweeps, applied directly (the master does not message
+  // itself): boot directory, futex table, and node 0's client-side caches.
+  if (directory_.has_value()) directory_->on_node_dead(dead);
+  syscalls_->futex_service().on_node_dead(dead);
+  nodes_[kMasterNode]->on_node_dead(dead);
+
+  // Tell every surviving slave. Per-link FIFO from the master orders this
+  // kNodeDead ahead of the kMigrateThread re-homings below, so a surviving
+  // node always sweeps its state for the dead peer before it can run one
+  // of the dead peer's threads.
+  const auto total = static_cast<NodeId>(nodes_.size());
+  for (NodeId id = 1; id < total; ++id) {
+    if (id == dead || is_dead(id)) continue;
+    net::Message note;
+    note.src = kMasterNode;
+    note.dst = id;
+    note.type = static_cast<std::uint32_t>(CoreMsg::kNodeDead);
+    note.a = dead;
+    network_.send(std::move(note));
+  }
+
+  // Re-home the captured threads (record format: Node::capture_thread).
+  const NodeId replacement = replacement_node();
+  std::vector<GuestTid> serveget_tids;
+  std::span<const std::uint8_t> in(msg.data);
+  const std::size_t base = dbt::CpuContext::kWireBytes + kBreakdownWireBytes;
+  for (std::uint64_t i = 0; i < msg.b; ++i) {
+    assert(in.size() >= base + 3 * sizeof(std::uint32_t));
+    const std::span<const std::uint8_t> frame = in.subspan(0, base);
+    in = in.subspan(base);
+    const auto read_u32 = [&in] {
+      std::uint32_t v = 0;
+      std::memcpy(&v, in.data(), sizeof(v));
+      in = in.subspan(sizeof(v));
+      return v;
+    };
+    const std::uint32_t ctid = read_u32();
+    const std::uint32_t hint = read_u32();
+    const bool has_pending = read_u32() != 0;
+    std::span<const std::uint8_t> pending;
+    std::uint32_t pending_num = 0;
+    if (has_pending) {
+      assert(in.size() >= kPendingSyscallWireBytes);
+      pending = in.subspan(0, kPendingSyscallWireBytes);
+      std::memcpy(&pending_num, pending.data(), sizeof(pending_num));
+      in = in.subspan(kPendingSyscallWireBytes);
+    }
+    const dbt::CpuContext ctx = dbt::CpuContext::deserialize(frame);
+    thread_node_[ctx.tid] = replacement;
+    if (has_pending &&
+        static_cast<isa::Sys>(pending_num) == isa::Sys::kServeGet) {
+      serveget_tids.push_back(ctx.tid);
+    }
+    net::Message mig;
+    mig.src = kMasterNode;
+    mig.dst = replacement;
+    mig.type = static_cast<std::uint32_t>(CoreMsg::kMigrateThread);
+    mig.a = ctx.tid;
+    mig.b = ctid;
+    mig.c = static_cast<std::uint64_t>(hint);
+    mig.data.assign(frame.begin(), frame.end());
+    if (has_pending) {
+      mig.data.insert(mig.data.end(), pending.begin(), pending.end());
+    }
+    network_.send(std::move(mig));
+    stats_.add("core.threads_rehomed_sent");
+  }
+
+  // Patch the serving plane last: its re-queue/re-key decisions depend on
+  // which threads died mid-kServeGet, known only after the parse above.
+  if (serving_.has_value()) {
+    serving_->on_node_crash(dead, replacement, serveget_tids);
   }
 }
 
@@ -359,7 +530,8 @@ std::int32_t Cluster::on_clone(const sys::SyscallRequest& req) {
   const auto hint = static_cast<std::int32_t>(req.args[3]);
   child.hint_group = hint;
 
-  const NodeId target = pick_node(hint);
+  NodeId target = pick_node(hint);
+  if (is_dead(target)) target = replacement_node();
   thread_node_[child.tid] = target;
   ++alive_threads_;
   stats_.add("core.clones");
@@ -393,6 +565,9 @@ NodeId Cluster::thread_node(GuestTid tid) const {
 Status Cluster::migrate_thread(GuestTid tid, NodeId target) {
   if (target >= nodes_.size()) {
     return Status::invalid_argument("migration target out of range");
+  }
+  if (is_dead(target)) {
+    return Status::invalid_argument("migration target is dead");
   }
   const NodeId current = thread_node(tid);
   if (current == kInvalidNode) {
@@ -465,6 +640,10 @@ Result<Cluster::RunResult> Cluster::run(RunLimits limits) {
   const bool counters = trace::wants(tracer_, trace::Cat::kCounter);
   TimePs next_snapshot = counters ? tracer_->config().counter_interval : 0;
   while (!exit_code_.has_value() && !fatal_.has_value()) {
+    // Clean cut: every event strictly before the armed time has fired,
+    // none at-or-after has — exactly the state the next run_one would
+    // break, so capture now.
+    capture_if_due(queue_.next_time());
     if (!queue_.run_one()) break;
     if (counters && queue_.now() >= next_snapshot) {
       snapshot_counters(queue_.now());
@@ -479,6 +658,68 @@ Result<Cluster::RunResult> Cluster::run(RunLimits limits) {
   }
   if (counters) snapshot_counters(queue_.now());  // final guest-completion sample
   return epilogue();
+}
+
+void Cluster::capture_if_due(std::optional<TimePs> horizon) {
+  if (!checkpoint_at_.has_value() || checkpoint_.has_value()) return;
+  // Drained (nullopt) with the cut unreached means the guest finished
+  // first; leave checkpoint_ empty and let the embedding report it.
+  if (!horizon.has_value() || *horizon < *checkpoint_at_) return;
+  stats_.merge_shards();  // no-op in the serial kernel
+  // No stats counter here: the capture is a pure observer, and an armed
+  // run's counter dump must stay bit-identical to the unarmed run's.
+  checkpoint_ = capture_checkpoint();
+}
+
+CheckpointImage Cluster::capture_checkpoint() {
+  CheckpointImage image;
+  image.virtual_time = checkpoint_at_.value_or(queue_.now());
+  const auto total = static_cast<NodeId>(nodes_.size());
+  for (NodeId id = 0; id < total; ++id) {
+    const Node& node = *nodes_[id];
+    // Address space: page content plus access rights — the DSM-visible
+    // memory state of the node.
+    std::uint64_t h = fnv1a_seed();
+    const mem::AddressSpace& space = node.space();
+    for (std::uint32_t page = 0; page < space.num_pages(); ++page) {
+      h = fnv1a(space.page_data(page), h);
+      h = fnv1a_u32(static_cast<std::uint32_t>(space.access(page)), h);
+    }
+    image.add("space." + std::to_string(id), h);
+    // Threads: register file and run state, in tid order (std::map).
+    h = fnv1a_seed();
+    std::vector<std::uint8_t> ctx_bytes(dbt::CpuContext::kWireBytes);
+    for (const auto& [tid, thread] : node.threads()) {
+      thread.ctx.serialize(ctx_bytes);
+      h = fnv1a_u32(tid, h);
+      h = fnv1a(ctx_bytes, h);
+      h = fnv1a_u32(static_cast<std::uint32_t>(thread.state), h);
+    }
+    image.add("threads." + std::to_string(id), h);
+  }
+  if (directory_.has_value()) image.add("dir.0", directory_->digest());
+  for (NodeId id = 1; id < home_shards_.size(); ++id) {
+    if (home_shards_[id] != nullptr) {
+      image.add("dir." + std::to_string(id), home_shards_[id]->digest());
+    }
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    syscalls_->futexes().serialize(bytes);
+    image.add("futex.0", fnv1a(bytes));
+  }
+  for (NodeId id = 1; id < futex_homes_.size(); ++id) {
+    if (futex_homes_[id] == nullptr) continue;
+    std::vector<std::uint8_t> bytes;
+    futex_homes_[id]->table().serialize(bytes);
+    image.add("futex." + std::to_string(id), fnv1a(bytes));
+  }
+  if (serving_.has_value()) image.add("serve", serving_->digest());
+  // Progress fingerprint: total retired instructions pins the cut to one
+  // point on the execution, not just one shape of the state.
+  image.add("insns", stats_.get("dbt.insns"));
+  image.normalize();
+  return image;
 }
 
 Result<Cluster::RunResult> Cluster::epilogue() {
@@ -566,7 +807,19 @@ Result<Cluster::RunResult> Cluster::run_parallel(RunLimits limits) {
       next_snapshot = *horizon + tracer_->config().counter_interval;
     }
 
-    const TimePs window_end = *horizon + lookahead;
+    // Barrier context, single-threaded, every queue quiescent: the same
+    // clean cut the serial kernel sees between run_one calls.
+    capture_if_due(horizon);
+
+    TimePs window_end = *horizon + lookahead;
+    if (checkpoint_at_.has_value() && !checkpoint_.has_value() &&
+        window_end > *checkpoint_at_) {
+      // No event at-or-after the armed cut may run before the capture
+      // barrier. horizon < checkpoint_at_ here (the capture above would
+      // have fired otherwise), so the clamped window still progresses;
+      // run_window's end is exclusive, so the cut event itself waits.
+      window_end = *checkpoint_at_;
+    }
 
     bind_execution_shard(0);
     (void)queue_.run_window(window_end, [this] {

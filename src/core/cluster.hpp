@@ -24,6 +24,7 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "core/checkpoint.hpp"
 #include "core/node.hpp"
 #include "dsm/directory.hpp"
 #include "dsm/placement.hpp"
@@ -108,6 +109,27 @@ class Cluster {
   /// remote thread migration); takes effect at the thread's next dispatch.
   [[nodiscard]] Status migrate_thread(GuestTid tid, NodeId target);
 
+  // ---- whole-node fault plane (DESIGN.md §18) ---------------------------
+
+  /// Arms a cooperative checkpoint: when the simulation reaches the clean
+  /// cut at virtual time `at` (every event strictly before it fired, none
+  /// at-or-after started), the cluster state is fingerprinted into
+  /// checkpoint_image(). Call before run(); one checkpoint per run.
+  void arm_checkpoint(TimePs at) { checkpoint_at_ = at; }
+  /// The captured image; empty until the armed cut is reached (and forever
+  /// if the guest exits first — the CLI reports that as an error).
+  [[nodiscard]] const std::optional<CheckpointImage>& checkpoint_image()
+      const {
+    return checkpoint_;
+  }
+  /// Digest fingerprint of the current (quiescent) cluster state. Public
+  /// for tests; run() calls it at the armed cut.
+  [[nodiscard]] CheckpointImage capture_checkpoint();
+  /// Nodes that crashed during the run, in death order.
+  [[nodiscard]] const std::vector<NodeId>& dead_nodes() const {
+    return dead_nodes_;
+  }
+
  private:
   [[nodiscard]] NodeId pick_node(std::int32_t hint_group);
   void master_handler(const net::Message& msg);
@@ -137,6 +159,24 @@ class Cluster {
   /// fatal_ can be set from any worker (node fatal hooks run inside slave
   /// windows), so all access goes through the mutex.
   [[nodiscard]] bool fatal_set() const;
+
+  // ---- whole-node fault plane (DESIGN.md §18) ---------------------------
+  /// Resolves each node-fault rule's drawn fields (node = 0, at = 0) from
+  /// the fault seed (counter-based, per-rule streams) and schedules the
+  /// kCrashCmd for every rule on the master-plane queue.
+  void schedule_node_faults();
+  /// kCrashReport: the terminal step of a node's last gasp. Marks the node
+  /// dead, repoints its homes at the master, sweeps master-plane state,
+  /// broadcasts kNodeDead, re-homes the captured threads, and patches the
+  /// serving plane's bookkeeping.
+  void on_crash_report(const net::Message& msg);
+  /// Lowest-id surviving slave (the master if none remain): where a dead
+  /// node's threads land and where dead-slave placements are redirected.
+  [[nodiscard]] NodeId replacement_node() const;
+  [[nodiscard]] bool is_dead(NodeId id) const;
+  /// Captures the armed checkpoint if the clean cut has been reached
+  /// (`horizon` = earliest unfired event anywhere; nullopt = drained).
+  void capture_if_due(std::optional<TimePs> horizon);
 
   ClusterConfig config_;
   trace::Tracer* tracer_ = nullptr;
@@ -172,6 +212,13 @@ class Cluster {
   /// Smooth weighted round-robin state for heterogeneous clusters
   /// (weight = cores per slave node); empty when the cluster is uniform.
   std::vector<std::int64_t> rr_credits_;
+
+  /// Crashed nodes in death order (master-plane state; mutated only in
+  /// master_handler context).
+  std::vector<NodeId> dead_nodes_;
+  /// Armed checkpoint cut and the image captured there.
+  std::optional<TimePs> checkpoint_at_;
+  std::optional<CheckpointImage> checkpoint_;
 
   bool loaded_ = false;
   std::optional<std::uint32_t> exit_code_;

@@ -8,6 +8,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "dbt/cpu_context.hpp"
+#include "dbt/exec.hpp"
 #include "isa/syscall_abi.hpp"
 
 namespace dqemu::core {
@@ -58,6 +59,16 @@ struct GuestThread {
   TimeBreakdown breakdown;
   TimePs block_start = 0;  ///< when the current blocked/idle period began
   TimePs ready_since = 0;  ///< when the thread last became runnable
+
+  /// Stop info of the slice currently in flight (kRunning only). The engine
+  /// call is synchronous, so by the time the node is back in the event loop
+  /// the context already reflects the whole slice — but the stop reason
+  /// lives in the scheduled finish_slice closure, which dies with a crashed
+  /// node. Stashing it here lets Node::crash turn an unprocessed kSyscall
+  /// stop (pc already past the SYSCALL) into a re-issued PendingSyscall
+  /// instead of silently skipping the call (DESIGN.md §18).
+  dbt::StopReason inflight_stop = dbt::StopReason::kQuantum;
+  std::int32_t inflight_syscall = 0;
 };
 
 }  // namespace dqemu::core

@@ -1,7 +1,9 @@
 #include "core/node.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <span>
 
 #include "common/log.hpp"
 #include "dsm/directory.hpp"
@@ -17,7 +19,20 @@ using time_literals::kSec;
 
 /// Extra simulation-side payload carried by a migration message after the
 /// serialized CPU context: the thread's accumulated time breakdown.
-constexpr std::size_t kBreakdownBytes = 5 * sizeof(std::uint64_t);
+constexpr std::size_t kBreakdownBytes = kBreakdownWireBytes;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t>& in) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, in.data(), 4);
+  in = in.subspan(4);
+  return v;
+}
 
 }  // namespace
 
@@ -149,6 +164,7 @@ void Node::enqueue(GuestTid tid) {
 }
 
 void Node::kick() {
+  if (dead_ || paused_) return;
   while (!run_queue_.empty()) {
     // Find an idle core.
     CoreId core = kInvalidNode;
@@ -194,6 +210,8 @@ void Node::core_run(CoreId core, GuestTid tid) {
   }
 
   const dbt::ExecResult r = engine_.run(t.ctx, config_.dbt.quantum_insns);
+  t.inflight_stop = r.reason;
+  t.inflight_syscall = r.syscall_num;
 
   const DurationPs dt_exec = machine_.cycles(r.exec_cycles);
   const DurationPs dt_translate = machine_.cycles(r.translate_cycles);
@@ -216,12 +234,16 @@ void Node::release_core_after(CoreId core, DurationPs delay) {
     return;
   }
   queue_.schedule_in(delay, [this, core] {
+    if (dead_) return;
     core_busy_[core] = false;
     kick();
   });
 }
 
 void Node::finish_slice(CoreId core, GuestTid tid, const dbt::ExecResult& r) {
+  // A crash between the slice's start and this event captured the thread
+  // (or dropped it) already; the closure outlived the node.
+  if (dead_) return;
   GuestThread& t = threads_.at(tid);
   if (trace::wants(tracer_, trace::Cat::kSim)) {
     trace::Record rec;
@@ -463,6 +485,7 @@ void Node::run_local_syscall(GuestThread& t, PendingSyscall& call) {
       t.block_start = queue_.now();
       t.pending_syscall.reset();
       queue_.schedule_in(std::uint64_t(call.args[0]) * kNs, [this, tid] {
+        if (dead_) return;  // the sleeper was captured by the crash
         GuestThread& sleeper = threads_.at(tid);
         assert(sleeper.state == ThreadState::kSleeping);
         sleeper.breakdown.idle += queue_.now() - sleeper.block_start;
@@ -694,6 +717,7 @@ void Node::on_syscall_response(const net::Message& msg) {
 // ---------------------------------------------------------------------------
 
 void Node::complete_futex_locally(GuestTid tid, std::int64_t result) {
+  if (dead_) return;  // a scheduled agent-cost closure outlived the node
   auto it = threads_.find(tid);
   assert(it != threads_.end());
   GuestThread& t = it->second;
@@ -757,6 +781,16 @@ void Node::commit_syscall(GuestTid tid) {
 // ---------------------------------------------------------------------------
 
 void Node::handle_message(const net::Message& msg) {
+  if (dead_) {
+    // In-flight deliveries scheduled before the links were silenced still
+    // land here; a dead node is a black hole.
+    if (stats_ != nullptr) stats_->add("core.dead_msgs_dropped");
+    return;
+  }
+  if (paused_) {
+    paused_inbox_.push_back(msg);
+    return;
+  }
   if (dsm::is_dsm_message(msg.type)) {
     // When this node is a home (sharding), directory-addressed traffic for
     // its slice of the page space lands here; everything else in the DSM
@@ -791,11 +825,28 @@ void Node::handle_message(const net::Message& msg) {
     case CoreMsg::kCreateThread: return on_create_thread(msg);
     case CoreMsg::kMigrateReq: return on_migrate_req(msg);
     case CoreMsg::kMigrateThread: return on_migrate_thread(msg);
-    default:
-      if (hooks_.fatal) {
-        hooks_.fatal("node " + std::to_string(id_) +
-                     ": unroutable message type " + std::to_string(msg.type));
+    case CoreMsg::kCrashCmd:
+      // b = pause duration in ps; zero means die for good.
+      if (msg.b != 0) return pause(static_cast<DurationPs>(msg.b));
+      return crash();
+    case CoreMsg::kNodeDead: return on_node_dead(static_cast<NodeId>(msg.a));
+    case CoreMsg::kCrashFlush:
+      // A dying owner's last writeback of a page this node homes.
+      if (home_shard_ != nullptr) return home_shard_->on_crash_flush(msg);
+      break;
+    case CoreMsg::kCrashLeaseReturn:
+      if (futex_home_svc_ != nullptr) {
+        return futex_home_svc_->on_crash_lease_return(
+            msg.src, static_cast<GuestAddr>(msg.a),
+            sys::FutexTable::unpack_waiters(msg.data));
       }
+      break;
+    default:
+      break;
+  }
+  if (hooks_.fatal) {
+    hooks_.fatal("node " + std::to_string(id_) + ": unroutable message type " +
+                 std::to_string(msg.type));
   }
 }
 
@@ -859,17 +910,50 @@ void Node::on_migrate_thread(const net::Message& msg) {
     note("core.migrate", trace::Cat::kCore, trace::Kind::kFlowEnd, ctx.tid,
          msg.flow, ctx.tid, id_);
   }
-  add_thread(ctx, static_cast<GuestAddr>(msg.b),
-             static_cast<std::int32_t>(static_cast<std::uint32_t>(msg.c)));
-  GuestThread& t = threads_.at(ctx.tid);
   std::uint64_t parts[5];
   std::memcpy(parts, msg.data.data() + dbt::CpuContext::kWireBytes,
               kBreakdownBytes);
-  t.breakdown.execute = parts[0];
-  t.breakdown.translate = parts[1];
-  t.breakdown.pagefault = parts[2];
-  t.breakdown.syscall = parts[3];
-  t.breakdown.idle = parts[4];
+  const std::size_t base = dbt::CpuContext::kWireBytes + kBreakdownBytes;
+  if (msg.data.size() >= base + kPendingSyscallWireBytes) {
+    // Crash re-homing (DESIGN.md §18): the thread arrives carrying a
+    // syscall it must re-issue before executing a single instruction (its
+    // old node died mid-call; pc is already past the SYSCALL). add_thread
+    // would kick it straight into the engine, so insert it by hand and
+    // drive the pending-syscall machine instead.
+    std::span<const std::uint8_t> ext(msg.data.data() + base,
+                                      kPendingSyscallWireBytes);
+    PendingSyscall call;
+    call.num = static_cast<isa::Sys>(get_u32(ext));
+    for (std::uint32_t& arg : call.args) arg = get_u32(ext);
+    call.block_is_idle = get_u32(ext) != 0;
+    GuestThread thread;
+    thread.ctx = ctx;
+    thread.ctid = static_cast<GuestAddr>(msg.b);
+    thread.hint_group =
+        static_cast<std::int32_t>(static_cast<std::uint32_t>(msg.c));
+    thread.ready_since = queue_.now();
+    thread.pending_syscall = call;
+    assert(!threads_.contains(ctx.tid));
+    GuestThread& t = threads_.emplace(ctx.tid, std::move(thread)).first->second;
+    t.breakdown.execute = parts[0];
+    t.breakdown.translate = parts[1];
+    t.breakdown.pagefault = parts[2];
+    t.breakdown.syscall = parts[3];
+    t.breakdown.idle = parts[4];
+    if (stats_ != nullptr) stats_->add("core.threads_rehomed");
+    note("core.thread_rehomed", trace::Cat::kCore, trace::Kind::kInstant,
+         ctx.tid, 0, static_cast<std::uint64_t>(call.num), 0);
+    attempt_syscall(ctx.tid);
+  } else {
+    add_thread(ctx, static_cast<GuestAddr>(msg.b),
+               static_cast<std::int32_t>(static_cast<std::uint32_t>(msg.c)));
+    GuestThread& t = threads_.at(ctx.tid);
+    t.breakdown.execute = parts[0];
+    t.breakdown.translate = parts[1];
+    t.breakdown.pagefault = parts[2];
+    t.breakdown.syscall = parts[3];
+    t.breakdown.idle = parts[4];
+  }
 
   net::Message done;
   done.src = id_;
@@ -889,6 +973,186 @@ void Node::finish_thread_exit(GuestTid tid) {
     it = (*it == tid) ? run_queue_.erase(it) : it + 1;
   }
   if (hooks_.thread_exited) hooks_.thread_exited(tid);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-node fault plane (DESIGN.md §18)
+// ---------------------------------------------------------------------------
+
+void Node::capture_thread(const GuestThread& t,
+                          std::vector<std::uint8_t>& out) {
+  dbt::CpuContext ctx = t.ctx;
+  std::optional<PendingSyscall> pending;
+  switch (t.state) {
+    case ThreadState::kRunning:
+      // The engine call is synchronous, so ctx already reflects the whole
+      // in-flight slice; only the stop's *processing* is lost with the
+      // finish_slice closure. kQuantum / kPageFault stops need nothing —
+      // the thread re-faults on its new node — but an unprocessed kSyscall
+      // stop left pc past the SYSCALL, so the call must be re-issued.
+      if (t.inflight_stop == dbt::StopReason::kSyscall) {
+        PendingSyscall call;
+        call.num = static_cast<isa::Sys>(t.inflight_syscall);
+        for (unsigned i = 0; i < 4; ++i) call.args[i] = ctx.arg(i);
+        pending = call;
+      }
+      break;
+    case ThreadState::kRunnable:
+    case ThreadState::kBlockedPage:
+    case ThreadState::kBlockedSyscall:
+      // Any pending call restarts from kPreFault on the new node. For a
+      // FUTEX_WAIT this is exactly the level-triggered re-check (no lost
+      // wakeup: a wake that raced the crash changed the futex word, and the
+      // re-check sees it). For other non-idempotent calls this is
+      // at-least-once delivery — documented in DESIGN.md §18.
+      if (t.pending_syscall.has_value()) pending = *t.pending_syscall;
+      break;
+    case ThreadState::kSleeping:
+      // The crash cuts the sleep short: resume with nanosleep's success
+      // return. Bounded timing skew, no correctness impact.
+      ctx.set_a0(0);
+      break;
+    case ThreadState::kExited:
+      break;  // filtered by the caller
+  }
+
+  std::size_t at = out.size();
+  out.resize(at + dbt::CpuContext::kWireBytes);
+  ctx.serialize({out.data() + at, dbt::CpuContext::kWireBytes});
+  const std::uint64_t parts[5] = {t.breakdown.execute, t.breakdown.translate,
+                                  t.breakdown.pagefault, t.breakdown.syscall,
+                                  t.breakdown.idle};
+  at = out.size();
+  out.resize(at + kBreakdownBytes);
+  std::memcpy(out.data() + at, parts, kBreakdownBytes);
+  put_u32(out, t.ctid);
+  put_u32(out, static_cast<std::uint32_t>(t.hint_group));
+  put_u32(out, pending.has_value() ? 1u : 0u);
+  if (pending.has_value()) {
+    put_u32(out, static_cast<std::uint32_t>(pending->num));
+    for (const std::uint32_t arg : pending->args) put_u32(out, arg);
+    put_u32(out, pending->block_is_idle ? 1u : 0u);
+  }
+}
+
+void Node::crash() {
+  if (dead_) return;
+  if (stats_ != nullptr) stats_->add("core.node_crashes");
+  note("core.crash", trace::Cat::kCore, trace::Kind::kInstant, 0, 0,
+       live_threads(), 0);
+
+  // (1) Last writeback: every page held kReadWrite whose home is elsewhere
+  // gets a kCrashFlush ("reliable by fiat" — a dropped flush could not be
+  // retransmitted). Self-homed dirty pages need none: the shard handoff
+  // below ships their (already local) bytes.
+  for (std::uint32_t page = 0; page < space_.num_pages(); ++page) {
+    if (space_.access(page) != mem::PageAccess::kReadWrite) continue;
+    const NodeId home = homes_.home_of(page);
+    if (home == id_) continue;
+    net::Message flush;
+    flush.src = id_;
+    flush.dst = home;
+    flush.type = static_cast<std::uint32_t>(CoreMsg::kCrashFlush);
+    flush.a = page;
+    const std::span<const std::uint8_t> bytes = space_.page_data(page);
+    flush.data.assign(bytes.begin(), bytes.end());
+    network_.send(std::move(flush));
+    if (stats_ != nullptr) stats_->add("core.crash_flushes_sent");
+  }
+
+  // (2) Return every held lock lease, queue included; self-homed leases
+  // revoke synchronously (a loopback message would arrive after the shard
+  // below is serialized).
+  lock_agent_.return_all(
+      [this](GuestAddr addr, const std::vector<sys::FutexTable::Waiter>& q) {
+        if (futex_home_svc_ != nullptr) {
+          futex_home_svc_->crash_revoke_local(addr, q);
+        }
+      });
+
+  // (3) Hand any hosted home shard to the master: one kHomeHandoff per
+  // directory entry, one kFutexHandoff for the whole futex/lease table.
+  // FIFO on the master link orders these after the flushes above.
+  if (home_shard_ != nullptr) {
+    for (const std::uint32_t page : home_shard_->handoff_pages()) {
+      net::Message hand;
+      hand.src = id_;
+      hand.dst = kMasterNode;
+      hand.type = static_cast<std::uint32_t>(CoreMsg::kHomeHandoff);
+      hand.a = page;
+      home_shard_->serialize_entry(page, hand.data);
+      network_.send(std::move(hand));
+    }
+  }
+  if (futex_home_svc_ != nullptr) {
+    net::Message hand;
+    hand.src = id_;
+    hand.dst = kMasterNode;
+    hand.type = static_cast<std::uint32_t>(CoreMsg::kFutexHandoff);
+    futex_home_svc_->serialize_for_handoff(hand.data);
+    network_.send(std::move(hand));
+  }
+
+  // (4) Capture live threads (std::map order: deterministic) and send the
+  // report last on the master link, so the master adopts state before it
+  // re-homes anyone.
+  std::uint32_t captured = 0;
+  std::vector<std::uint8_t> report;
+  for (const auto& [tid, t] : threads_) {
+    if (t.state == ThreadState::kExited) continue;
+    capture_thread(t, report);
+    ++captured;
+  }
+  net::Message rep;
+  rep.src = id_;
+  rep.dst = kMasterNode;
+  rep.type = static_cast<std::uint32_t>(CoreMsg::kCrashReport);
+  rep.a = id_;
+  rep.b = captured;
+  rep.data = std::move(report);
+  network_.send(std::move(rep));
+
+  // (5) Go dark: cancel every timer that could fire into freed state (the
+  // DSM watchdogs are RAII — clearing the table cancels them), drop all
+  // thread state, silence the links. Closures already in the event queue
+  // hit the dead_ guards and fall through.
+  dsm_.crash_teardown();
+  if (futex_home_svc_ != nullptr) futex_home_svc_->cancel_watchdogs();
+  threads_.clear();
+  run_queue_.clear();
+  std::fill(core_busy_.begin(), core_busy_.end(), false);
+  paused_inbox_.clear();
+  dead_ = true;
+  network_.silence(id_);
+}
+
+void Node::pause(DurationPs pause_for) {
+  if (dead_ || paused_) return;
+  paused_ = true;
+  if (stats_ != nullptr) stats_->add("core.node_pauses");
+  note("core.pause", trace::Cat::kCore, trace::Kind::kInstant, 0, 0, pause_for,
+       0);
+  queue_.schedule_in(pause_for, [this] {
+    if (dead_) return;
+    paused_ = false;
+    if (stats_ != nullptr) stats_->add("core.node_rejoins");
+    note("core.rejoin", trace::Cat::kCore, trace::Kind::kInstant, 0, 0,
+         paused_inbox_.size(), 0);
+    // Drain in arrival order; the links stayed live below this layer, so
+    // per-link FIFO is preserved end to end.
+    std::vector<net::Message> inbox;
+    inbox.swap(paused_inbox_);
+    for (const net::Message& m : inbox) handle_message(m);
+    kick();
+  });
+}
+
+void Node::on_node_dead(NodeId dead) {
+  homes_.invalidate_home(dead);
+  lock_agent_.on_peer_dead(dead);
+  if (futex_home_svc_ != nullptr) futex_home_svc_->on_node_dead(dead);
+  if (home_shard_ != nullptr) home_shard_->on_node_dead(dead);
+  network_.note_peer_dead(id_, dead);
 }
 
 }  // namespace dqemu::core

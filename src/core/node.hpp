@@ -95,6 +95,25 @@ class Node {
   /// responses and thread-management messages.
   void handle_message(const net::Message& msg);
 
+  // ---- whole-node fault plane (DESIGN.md §18) ---------------------------
+
+  /// Crash last gasp, run in this node's own execution context so both
+  /// schedulers order it identically: flush dirty pages home, return held
+  /// lock leases with their queues, hand any hosted home shard to the
+  /// master, capture live threads into a kCrashReport (sent last, so FIFO
+  /// orders it after every flush/handoff), cancel all timers, go dark.
+  void crash();
+  /// Pause-and-rejoin: freeze guest execution and buffer every incoming
+  /// message for `pause_for` of virtual time; on rejoin, drain the buffer
+  /// in arrival order. The node's reliable links stay live (acks keep
+  /// flowing below this layer), so nothing is revoked — peers just wait.
+  void pause(DurationPs pause_for);
+  /// Survivor-side sweep on a kNodeDead notice: forget learned home routes
+  /// through the dead node, drop its waiters from owned lease queues, sweep
+  /// any hosted home shard, and stop retransmitting to it.
+  void on_node_dead(NodeId dead);
+  [[nodiscard]] bool dead() const { return dead_; }
+
   /// Number of threads not yet exited.
   [[nodiscard]] std::size_t live_threads() const;
   /// Number of runnable-or-running threads (diagnostics).
@@ -186,6 +205,14 @@ class Node {
   std::map<GuestTid, GuestThread> threads_;
   std::deque<GuestTid> run_queue_;
   std::vector<bool> core_busy_;
+
+  // ---- whole-node fault plane (DESIGN.md §18) ---------------------------
+  /// Serializes one captured thread into a kCrashReport record.
+  void capture_thread(const GuestThread& t, std::vector<std::uint8_t>& out);
+  bool dead_ = false;
+  bool paused_ = false;
+  /// Messages received while paused, replayed in arrival order at rejoin.
+  std::vector<net::Message> paused_inbox_;
 };
 
 }  // namespace dqemu::core

@@ -58,6 +58,12 @@ class DsmClient {
     return pending_.contains(page);
   }
 
+  /// Crash last gasp (DESIGN.md §18): drops every in-flight request with
+  /// its retransmission watchdog (the RAII timers cancel on destruction),
+  /// so nothing fires into the dead node's freed thread state. The captured
+  /// threads re-fault on their new node, which re-issues the requests.
+  void crash_teardown() { pending_.clear(); }
+
   /// Dispatches an incoming DSM message addressed to this node.
   void handle_message(const net::Message& msg);
 

@@ -269,6 +269,13 @@ void Directory::on_request(const net::Message& msg, bool write) {
   note("dsm.dir.request", req.flow, page,
        (static_cast<std::uint64_t>(entry.state) << 1) | (write ? 1 : 0));
 
+  // A request racing its sender's crash notification is dropped on the
+  // floor: granting to a ghost would strand the page Modified-by-nobody.
+  if (dead_nodes_.count(req.node) != 0) {
+    if (stats_ != nullptr) stats_->add("dir.dead_reqs_dropped");
+    return;
+  }
+
   // A request that arrives after the page was split raced with the shadow
   // broadcast: tell the node to re-fault through its (by now updated) map.
   if (entry.state == PageState::kSplit) {
@@ -429,6 +436,22 @@ void Directory::grant_and_finish(std::uint32_t page) {
   const bool already_sharer = entry.sharers.contains(req.node);
   const bool already_owner =
       entry.state == PageState::kModified && entry.owner == req.node;
+
+  // Never grant to a ghost: the requester died while its transaction was
+  // in flight. For a write the recalls already ran — every cached copy is
+  // invalidated and (unless the ghost was already the owner) the home
+  // bytes are fresh — so the page parks kHome. A dead owner's entry is
+  // left as-is for the crash flush / dead-node sweep to reclaim.
+  if (dead_nodes_.count(req.node) != 0) {
+    if (req.write && !already_owner) {
+      entry.state = PageState::kHome;
+      entry.owner = kInvalidNode;
+      entry.sharers.clear();
+    }
+    if (stats_ != nullptr) stats_->add("dir.dead_grants_skipped");
+    finish_entry(page);
+    return;
+  }
 
   // A request from the current owner (a duplicate/raced message: owners
   // never fault) must not demote the entry to Shared — the home copy may
@@ -628,6 +651,228 @@ void Directory::maybe_forward(NodeId requester, std::uint32_t page) {
   }
 }
 
+// ---- whole-node fault plane (DESIGN.md §18) --------------------------------
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  std::uint8_t b[4];
+  std::memcpy(b, &v, 4);
+  out.insert(out.end(), b, b + 4);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t>& in) {
+  assert(in.size() >= 4);
+  std::uint32_t v = 0;
+  std::memcpy(&v, in.data(), 4);
+  in = in.subspan(4);
+  return v;
+}
+
+}  // namespace
+
+void Directory::on_crash_flush(const net::Message& msg) {
+  const auto page = static_cast<std::uint32_t>(msg.a);
+  assert(page < entries_.size());
+  // The flush is its sender's death certificate and travels one hop, so it
+  // beats the master's two-hop kNodeDead broadcast: stop granting to the
+  // sender now.
+  dead_nodes_.insert(msg.src);
+  Entry& entry = entries_[page];
+  if (entry.state != PageState::kModified || entry.owner != msg.src) {
+    // The protocol already moved on (a racing recall completed): stale.
+    if (stats_ != nullptr) stats_->add("dsm.crash_flush_stale");
+    return;
+  }
+  assert(msg.data.size() == home_.page_size());
+  std::memcpy(home_.page_data(page).data(), msg.data.data(), msg.data.size());
+  record_home_update(page, 0, /*known=*/false);
+  if (stats_ != nullptr) stats_->add("dsm.crash_flushes");
+  note("dsm.crash_flush", msg.flow, page, msg.src);
+  if (entry.busy && entry.acks_outstanding > 0) {
+    // Mid-recall of the dying owner's copy (a Modified entry recalls
+    // exactly its owner): the ack will never come — this flush *is* the
+    // writeback, so it completes the transaction.
+    if (--entry.acks_outstanding == 0) complete_transaction(page);
+    return;
+  }
+  entry.state = PageState::kHome;
+  entry.owner = kInvalidNode;
+  entry.sharers.clear();
+}
+
+void Directory::on_node_dead(NodeId dead) {
+  dead_nodes_.insert(dead);
+  std::uint64_t reclaimed = 0;
+  for (std::uint32_t page = 0; page < entries_.size(); ++page) {
+    Entry& entry = entries_[page];
+    if (params_.sharded && !homed_[page]) continue;
+    // Purge the dead node's queued requests before any completion below
+    // can pop one of them.
+    const auto dropped = std::erase_if(
+        entry.queue, [dead](const Request& r) { return r.node == dead; });
+    if (stats_ != nullptr && dropped > 0) {
+      stats_->add("dir.dead_reqs_dropped", dropped);
+    }
+    if (entry.fs_last_node == dead) {
+      entry.fs_last_node = kInvalidNode;
+      entry.fs_last_shard = 0xFF;
+    }
+    const bool was_sharer = entry.sharers.contains(dead);
+    if (was_sharer) entry.sharers.remove(dead);
+    if (entry.busy && entry.acks_outstanding > 0) {
+      if (entry.state == PageState::kModified && entry.owner == dead) {
+        // The recall ack died with the owner; its last-gasp flush (if it
+        // got one out) already refreshed the home bytes. Complete with
+        // what home storage holds.
+        entry.acks_outstanding = 0;
+        complete_transaction(page);
+      } else if (entry.state == PageState::kShared && was_sharer &&
+                 (entry.splitting || entry.current.node != dead)) {
+        // One of the outstanding invalidate acks was the dead sharer's
+        // (a split recalls every sharer, a write upgrade all but the
+        // requester).
+        if (--entry.acks_outstanding == 0) complete_transaction(page);
+      }
+    }
+    if (!entry.busy && entry.state == PageState::kModified &&
+        entry.owner == dead) {
+      // Reclaim home. Without a flush the home bytes are stale: a crash
+      // with no last gasp loses unflushed writes, deterministically.
+      entry.state = PageState::kHome;
+      entry.owner = kInvalidNode;
+      entry.sharers.clear();
+      ++reclaimed;
+    } else if (!entry.busy && entry.state == PageState::kShared &&
+               entry.sharers.empty()) {
+      // The dead node was the last sharer; the home copy is fresh.
+      entry.state = PageState::kHome;
+      entry.owner = kInvalidNode;
+    }
+  }
+  if (stats_ != nullptr && reclaimed > 0) {
+    stats_->add("dsm.pages_reclaimed", reclaimed);
+  }
+}
+
+std::vector<std::uint32_t> Directory::handoff_pages() const {
+  std::vector<std::uint32_t> pages;
+  if (!params_.sharded) return pages;
+  for (std::uint32_t page = 0; page < homed_.size(); ++page) {
+    if (homed_[page]) pages.push_back(page);
+  }
+  return pages;
+}
+
+void Directory::serialize_entry(std::uint32_t page,
+                                std::vector<std::uint8_t>& out) const {
+  const Entry& entry = entries_[page];
+  put_u32(out, static_cast<std::uint32_t>(entry.state));
+  put_u32(out, entry.owner);
+  std::vector<NodeId> sharers;
+  for (NodeId n = 0; n < params_.node_count; ++n) {
+    if (entry.sharers.contains(n)) sharers.push_back(n);
+  }
+  put_u32(out, static_cast<std::uint32_t>(sharers.size()));
+  for (const NodeId n : sharers) put_u32(out, n);
+  const auto& shadows = shadow_of_[page];
+  put_u32(out, static_cast<std::uint32_t>(shadows.size()));
+  for (const std::uint32_t s : shadows) put_u32(out, s);
+  // Home bytes ship for everything but a split (retired) page. For a
+  // Modified page the home copy is exactly the owner's grant-time bytes —
+  // the diff base its eventual writeback is encoded against — so shipping
+  // it keeps diff writebacks to the adopting home sound.
+  const bool content = entry.state != PageState::kSplit;
+  put_u32(out, content ? 1u : 0u);
+  if (content) {
+    const auto data = home_.page_data(page);
+    out.insert(out.end(), data.begin(), data.end());
+  }
+}
+
+void Directory::adopt_entry(std::uint32_t page,
+                            std::span<const std::uint8_t> data) {
+  assert(page < entries_.size());
+  Entry& entry = entries_[page];
+  assert(!entry.busy && "adopted a page the adopting home was servicing");
+  const auto state = static_cast<PageState>(get_u32(data));
+  const auto owner = static_cast<NodeId>(get_u32(data));
+  const std::uint32_t nsharers = get_u32(data);
+  NodeSet sharers;
+  for (std::uint32_t i = 0; i < nsharers; ++i) {
+    sharers.add(static_cast<NodeId>(get_u32(data)));
+  }
+  const std::uint32_t nshadows = get_u32(data);
+  std::vector<std::uint32_t> shadows(nshadows);
+  for (std::uint32_t i = 0; i < nshadows; ++i) shadows[i] = get_u32(data);
+  const bool content = get_u32(data) != 0;
+
+  entry.state = state;
+  entry.owner = owner;
+  entry.sharers = sharers;
+  entry.queue.clear();
+  entry.acks_outstanding = 0;
+  entry.splitting = false;
+  entry.fs_last_node = kInvalidNode;
+  entry.fs_last_shard = 0xFF;
+  entry.fs_count = 0;
+  if (!shadows.empty()) {
+    shadow_of_[page] = shadows;
+    for (const std::uint32_t s : shadows) foreign_shadow_.insert(s);
+  }
+  // When this home's own client is the Modified owner, its mapping *is*
+  // the fresh copy — the shipped grant-time base must not clobber it.
+  if (content && !(state == PageState::kModified && owner == params_.self)) {
+    assert(data.size() == home_.page_size());
+    std::memcpy(home_.page_data(page).data(), data.data(), data.size());
+  }
+  // The adopting home's client keeps only the rights the entry grants it;
+  // anything else re-faults here.
+  if (state == PageState::kModified && owner == params_.self) {
+    home_.set_access(page, mem::PageAccess::kReadWrite);
+  } else if (state == PageState::kShared && sharers.contains(params_.self)) {
+    home_.set_access(page, mem::PageAccess::kRead);
+  } else {
+    home_.set_access(page, mem::PageAccess::kNone);
+  }
+  // No diff state survives adoption: the first transfer from here is a
+  // full one and version tracking restarts with it.
+  diff_.erase(page);
+  if (params_.sharded) homed_[page] = true;
+  if (stats_ != nullptr) stats_->add("dsm.home_handoffs_adopted");
+}
+
+std::uint64_t Directory::digest() const {
+  // Same FNV-1a recipe as core/checkpoint.hpp, restated locally so the DSM
+  // layer does not depend upward on core.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto fold = [&h](std::uint64_t v) {
+    for (unsigned i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xFF)) * 0x00000100000001B3ULL;
+    }
+  };
+  for (std::uint32_t page = 0; page < entries_.size(); ++page) {
+    if (params_.sharded && !homed_[page]) continue;
+    const Entry& entry = entries_[page];
+    // Skip pages still in their boot-default state so a quiet page costs
+    // the same whether or not this shard ever touched it.
+    const bool boot_default = entry.state == PageState::kModified &&
+                              entry.owner == kMasterNode &&
+                              entry.sharers.empty() && !entry.busy &&
+                              entry.queue.empty();
+    if (boot_default) continue;
+    fold(page);
+    fold(static_cast<std::uint64_t>(entry.state));
+    fold(entry.owner);
+    for (NodeId n = 0; n < params_.node_count; ++n) {
+      if (entry.sharers.contains(n)) fold(n);
+    }
+    fold(entry.busy ? 1 : 0);
+    fold(entry.queue.size());
+  }
+  return h;
+}
+
 bool Directory::check_invariants() const {
   for (std::uint32_t page = 0; page < entries_.size(); ++page) {
     const Entry& entry = entries_[page];
@@ -652,7 +897,7 @@ bool Directory::check_invariants() const {
           return false;
         }
         for (const std::uint32_t shadow : shadow_of_[page]) {
-          if (!in_shadow_pool(shadow)) {
+          if (!in_shadow_pool(shadow) && foreign_shadow_.count(shadow) == 0) {
             DQEMU_ERROR("invariant: shadow page %u outside pool", shadow);
             return false;
           }

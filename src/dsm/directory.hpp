@@ -19,8 +19,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/config.hpp"
@@ -106,6 +108,50 @@ class Directory {
   /// Version of the copy `node` retains, or kNoEpoch.
   [[nodiscard]] std::uint64_t node_epoch(std::uint32_t page,
                                          NodeId node) const;
+
+  // ---- whole-node fault plane (DESIGN.md §18) --------------------------
+
+  /// kCrashFlush from a dying owner's last gasp: a full-page writeback of a
+  /// kReadWrite copy. Applied iff this directory still records the sender
+  /// as the Modified owner (otherwise the protocol already moved on and the
+  /// flush is stale). When the page is mid-transaction waiting on the dying
+  /// owner's recall ack, the flush *is* that writeback and completes the
+  /// transaction; otherwise the page is reclaimed home.
+  void on_crash_flush(const net::Message& msg);
+
+  /// Dead-node sweep, run in this home's context on kNodeDead (the master
+  /// applies it directly at kCrashReport): purges the dead node's queued
+  /// requests, removes it from sharer sets, completes transactions stuck
+  /// waiting on its acks (the last-gasp flush normally got here first — one
+  /// hop beats two), and reclaims any page it still appears to own. Pages
+  /// reclaimed without a flush keep their stale home bytes: a crash without
+  /// a last gasp loses unflushed writes, deterministically.
+  void on_node_dead(NodeId dead);
+
+  /// Sorted list of pages this shard services (the last-gasp kHomeHandoff
+  /// set). Empty for an unsharded directory — the master never crashes.
+  [[nodiscard]] std::vector<std::uint32_t> handoff_pages() const;
+
+  /// Serializes one page's entry for a kHomeHandoff payload: the stable
+  /// fields only (state, owner, sharers, shadow list) plus the home bytes
+  /// when the home copy is authoritative (kHome / kShared). Transient state
+  /// (busy flag, current transaction, pending queue, diff versions, stream
+  /// and false-sharing detectors) is deliberately dropped: requesters'
+  /// watchdogs re-issue anything in flight against the adopting home, and
+  /// dropped diff state just means the first post-crash transfer is full.
+  void serialize_entry(std::uint32_t page,
+                       std::vector<std::uint8_t>& out) const;
+
+  /// Master-side adoption of one kHomeHandoff payload: installs the entry
+  /// verbatim, copies authoritative content into home storage, and marks
+  /// the page as serviced here so relays stop.
+  void adopt_entry(std::uint32_t page, std::span<const std::uint8_t> data);
+
+  /// FNV-1a fingerprint of the directory's page state (checkpoint
+  /// component, DESIGN.md §18): per serviced page, the coherence fields in
+  /// page order. Page *content* is not folded here — the nodes' address
+  /// spaces carry it, and they are digested separately.
+  [[nodiscard]] std::uint64_t digest() const;
 
   /// Structural invariants: Modified pages have no sharers, split pages
   /// are fully drained, shadow allocations stay in the pool. Returns false
@@ -228,6 +274,12 @@ class Directory {
   std::string home_msgs_counter_;
   /// page -> version bookkeeping (diff data plane only, lazily created).
   std::unordered_map<std::uint32_t, DiffState> diff_;
+  /// Nodes declared dead (DESIGN.md §18): their requests are dropped and
+  /// no page is ever granted to them.
+  std::unordered_set<NodeId> dead_nodes_;
+  /// Shadow pages adopted from a dead home's pool slice: outside this
+  /// instance's own slice, but legitimate split targets all the same.
+  std::unordered_set<std::uint32_t> foreign_shadow_;
 };
 
 }  // namespace dqemu::dsm

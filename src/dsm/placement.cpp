@@ -58,6 +58,18 @@ NodeId HomeMap::home_for(std::uint64_t page, NodeId requester) {
   return requester;
 }
 
+std::uint64_t HomeMap::repoint_dead_home(NodeId dead) {
+  if (!sharded_ || placement_ != HomePlacement::kFirstTouch) return 0;
+  std::uint64_t moved = 0;
+  for (auto& [page, home] : assigned_) {
+    if (home == dead) {
+      home = kMasterNode;
+      ++moved;
+    }
+  }
+  return moved;
+}
+
 NodeId HomeMap::home_of(std::uint64_t page) const {
   if (!sharded_) return kMasterNode;
   if (layout_.is_shadow(page)) return layout_.shadow_home(page);
@@ -83,7 +95,19 @@ NodeId HomeView::home_of(std::uint64_t page) const {
 void HomeView::learn(std::uint64_t page, NodeId home) {
   if (!sharded_ || placement_ != HomePlacement::kFirstTouch) return;
   if (layout_.is_shadow(page)) return;
+  // Never (re-)learn a route to a dead home: traffic it sent before dying
+  // can arrive after the kNodeDead notice (different link, no cross-link
+  // order), and caching it would send the next request into a black hole.
+  if (dead_.count(home) != 0) return;
   learned_[page] = home;
+}
+
+void HomeView::invalidate_home(NodeId dead) {
+  if (!sharded_ || placement_ != HomePlacement::kFirstTouch) return;
+  dead_.insert(dead);
+  for (auto it = learned_.begin(); it != learned_.end();) {
+    it = it->second == dead ? learned_.erase(it) : ++it;
+  }
 }
 
 }  // namespace dqemu::dsm

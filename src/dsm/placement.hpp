@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
@@ -98,6 +99,13 @@ class HomeMap {
   /// assigned yet (the master fields it and assigns then).
   [[nodiscard]] NodeId home_of(std::uint64_t page) const;
 
+  /// Crash recovery (DESIGN.md §18): re-points every first-touch assignment
+  /// held by `dead` to the master, which adopted the shard. A home never
+  /// moves while alive, so this is the only mutation of an existing
+  /// assignment. Returns how many pages moved. kHash placement cannot
+  /// re-home (config validation rejects that combination with crashes).
+  std::uint64_t repoint_dead_home(NodeId dead);
+
  private:
   bool sharded_ = false;
   HomePlacement placement_ = HomePlacement::kHash;
@@ -121,11 +129,20 @@ class HomeView {
   /// Records that authoritative traffic for `page` came from `home`.
   void learn(std::uint64_t page, NodeId home);
 
+  /// Crash recovery (DESIGN.md §18): drops every learned route that points
+  /// at `dead`, falling back to the master (which adopted the shard and
+  /// answers authoritatively). Without this a request to a dead home would
+  /// black-hole and the re-issue watchdog would ping-pong to it forever.
+  void invalidate_home(NodeId dead);
+
  private:
   bool sharded_ = false;
   HomePlacement placement_ = HomePlacement::kHash;
   HomeLayout layout_;
   std::unordered_map<std::uint64_t, NodeId> learned_;
+  /// Homes declared dead; learn() refuses routes to them (late in-flight
+  /// traffic from a dying home must not resurrect the stale route).
+  std::unordered_set<NodeId> dead_;
 };
 
 }  // namespace dqemu::dsm

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "net/fault/node_faults.hpp"
 
 namespace dqemu::net {
 
@@ -19,7 +20,8 @@ Network::Network(sim::EventQueue& queue, NetworkConfig config,
       channel_last_(static_cast<std::size_t>(node_count) * node_count, 0),
       node_count_(node_count),
       post_order_(node_count, 0),
-      faults_(std::move(faults)) {
+      faults_(std::move(faults)),
+      peer_dead_(static_cast<std::size_t>(node_count) * node_count, 0) {
 #if DQEMU_FAULTS_ENABLED
   if (faults_.enabled) {
     injector_ = std::make_unique<FaultInjector>(faults_, node_count);
@@ -27,6 +29,13 @@ Network::Network(sim::EventQueue& queue, NetworkConfig config,
         queue_, faults_, stats_, tracer_,
         [this](Message m, TxKind kind) { transmit(std::move(m), kind); },
         [this](Message m) { deliver(std::move(m)); });
+    // Bounded give-up: the declaring node immediately stops sending to the
+    // suspect (its own dead filter), then the embedder's hook decides what
+    // else to do (report to the fault plane, sweep state).
+    reliable_->set_peer_dead_hook([this](NodeId self, NodeId peer) {
+      peer_dead_[static_cast<std::size_t>(self) * node_count_ + peer] = 1;
+      if (user_peer_dead_) user_peer_dead_(self, peer);
+    });
   }
 #endif
 }
@@ -61,6 +70,14 @@ void Network::send(Message msg) {
               "net: send type=0x%x with out-of-range endpoint %u->%u "
               "(cluster has %u nodes)",
               msg.type, unsigned(msg.src), unsigned(msg.dst), node_count_);
+  // A sender that has seen a kNodeDead notice for the destination drops the
+  // message instead of feeding the reliable channel a backlog it would
+  // retransmit into a void. Crash-plane messages are exempt: the recovery
+  // protocol itself must still flow (net/fault/node_faults.hpp).
+  if (peer_dead(msg.src, msg.dst) && !is_crash_plane(msg.type)) {
+    if (stats_ != nullptr) stats_->add("net.dead_dropped");
+    return;
+  }
   // send() always runs in the source's execution context.
   const TimePs now = queue_for(msg.src).now();
 
@@ -180,7 +197,11 @@ void Network::transmit(Message msg, TxKind kind) {
   egress_free_[msg.src] = tx_end;
   TimePs arrival = tx_end + config_.one_way_latency + config_.endpoint_overhead;
 
-  const WireFate fate = injector_->decide(msg);
+  // Crash-plane messages are "reliable by fiat": they skip the injector
+  // entirely (no per-link counter is consumed, so every other message's
+  // fault fate is unchanged by their presence) and arrive first try.
+  const WireFate fate =
+      is_crash_plane(msg.type) ? WireFate{} : injector_->decide(msg);
   if (fate.drop) {
     if (stats_ != nullptr) stats_->add("net.dropped");
     if (msg.flow != 0 && trace::wants(tracer_, trace::Cat::kNet)) {
@@ -216,6 +237,11 @@ void Network::transmit(Message msg, TxKind kind) {
   schedule_into(src, dst, arrival, [this, m = std::move(msg)]() mutable {
     reliable_->on_wire_arrival(std::move(m));
   });
+}
+
+void Network::note_peer_dead(NodeId observer, NodeId dead) {
+  peer_dead_[static_cast<std::size_t>(observer) * node_count_ + dead] = 1;
+  if (reliable_ != nullptr) reliable_->on_peer_dead(observer, dead);
 }
 
 void Network::deliver(Message msg) {

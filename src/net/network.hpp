@@ -96,6 +96,37 @@ class Network {
   /// compile-time and the runtime gate are on).
   [[nodiscard]] bool faults_active() const { return reliable_ != nullptr; }
 
+  // ---- whole-node fault plane (DESIGN.md §18) ---------------------------
+
+  /// Installs the bounded give-up callback (fires in the suspecting node's
+  /// context when FaultConfig::giveup_retrans trips). The network's own
+  /// dead filter for that (observer, peer) pair is set before the hook
+  /// runs, so the observer is already quiet when the hook fires.
+  void set_peer_dead_hook(ReliableChannel::PeerDeadFn fn) {
+    user_peer_dead_ = std::move(fn);
+  }
+
+  /// Crash teardown, run in `dead`'s own execution context: cancels every
+  /// channel timer the dead node owns and black-holes future arrivals to
+  /// it. Part of Node::crash's last gasp.
+  void silence(NodeId dead) {
+    if (reliable_ != nullptr) reliable_->silence(dead);
+  }
+
+  /// Survivor-side reaction to a kNodeDead notice, run in `observer`'s own
+  /// execution context: future sends observer->dead are dropped (except
+  /// crash-plane messages) and the observer's halves of both links are
+  /// torn down. Each (observer, dead) entry is written only by observer's
+  /// context and read only on observer's own sends — race-free under the
+  /// partitioned kernel.
+  void note_peer_dead(NodeId observer, NodeId dead);
+
+  /// True when `observer` has been told `node` is dead.
+  [[nodiscard]] bool peer_dead(NodeId observer, NodeId node) const {
+    return peer_dead_[static_cast<std::size_t>(observer) * node_count_ +
+                      node] != 0;
+  }
+
  private:
   void deliver(Message msg);
   /// Puts one physical copy on the lossy wire: charges the egress model,
@@ -131,6 +162,12 @@ class Network {
   FaultConfig faults_;
   std::unique_ptr<FaultInjector> injector_;   ///< non-null iff faults active
   std::unique_ptr<ReliableChannel> reliable_; ///< non-null iff faults active
+  /// Per-observer dead-peer bitmap, [observer * node_count_ + node]. All
+  /// zero unless the node-fault plane declares a crash (see note_peer_dead
+  /// for the context-ownership argument).
+  std::vector<std::uint8_t> peer_dead_;
+  /// Embedder's give-up callback, run after the dead filter is set.
+  ReliableChannel::PeerDeadFn user_peer_dead_;
 };
 
 }  // namespace dqemu::net

@@ -24,6 +24,9 @@ void ReliableChannel::bind_queues(
   DQEMU_CHECK(links_.empty(),
               "net: reliable channel rebound after traffic started");
   queues_ = queues;
+  // Pre-size so silence() never reallocates while windows run concurrently;
+  // each entry is only ever written by its own node's context.
+  silenced_.assign(queues.size(), 0);
   // Eagerly create every directed link so the map never mutates while
   // windows execute concurrently; link() then always hits.
   const auto n = static_cast<NodeId>(queues_.size());
@@ -56,6 +59,13 @@ void ReliableChannel::trace_step(const Message& msg, const char* name,
 
 void ReliableChannel::send(Message msg) {
   Link& out = link(msg.src, msg.dst);
+  if (out.gone || silenced(msg.src)) {
+    // The peer is dead (or the sender itself is): queueing would retransmit
+    // into a void forever. Drop without consuming a sequence number so the
+    // link's seq space stays gapless for any later traffic audit.
+    bump("net.dead_dropped");
+    return;
+  }
   msg.seq = out.next_seq++;
   // Piggyback the cumulative ack for traffic flowing the other way; that
   // makes the pure ack the reverse receiver half owes redundant.
@@ -80,8 +90,10 @@ void ReliableChannel::process_ack(NodeId from, NodeId to, std::uint64_t ack) {
   }
   if (!progress) return;
   // New data was acknowledged: the path is alive, so restart the timer at
-  // the base timeout instead of whatever backoff a loss burst built up.
+  // the base timeout instead of whatever backoff a loss burst built up,
+  // and reset the give-up stall counter.
   l.rto = config_.retrans_timeout;
+  l.stall_rounds = 0;
   if (l.unacked.empty()) {
     l.retrans.cancel();
   } else {
@@ -92,6 +104,19 @@ void ReliableChannel::process_ack(NodeId from, NodeId to, std::uint64_t ack) {
 void ReliableChannel::retransmit_all(NodeId src, NodeId dst) {
   Link& l = link(src, dst);
   if (l.unacked.empty()) return;
+  // Bounded give-up (DESIGN.md §18): after giveup_retrans consecutive
+  // zero-progress rounds the sender declares the peer dead, abandons the
+  // backlog and stops re-arming — a crashed peer must not keep generating
+  // wire traffic forever. Opt-in (0 = retry forever, the pre-§18 behaviour)
+  // because a long pause-and-rejoin straggler would otherwise false-trip it.
+  if (config_.giveup_retrans > 0 && ++l.stall_rounds >= config_.giveup_retrans) {
+    bump("net.peer_dead");
+    bump("net.dead_dropped", l.unacked.size());
+    l.unacked.clear();
+    l.gone = true;
+    if (peer_dead_) peer_dead_(src, dst);
+    return;
+  }
   bump("net.retrans", l.unacked.size());
   Link& rev = link(dst, src);
   rev.ack_due.cancel();  // every retransmission re-advertises the ack
@@ -121,7 +146,45 @@ void ReliableChannel::schedule_ack(NodeId data_src, NodeId data_dst) {
   });
 }
 
+void ReliableChannel::silence(NodeId dead) {
+  if (silenced_.size() <= dead) silenced_.resize(dead + 1, 0);  // serial only
+  silenced_[dead] = 1;
+  // Cancel every timer the dead node's context owns: retransmits on its
+  // outgoing links (sender halves) and delayed acks on its incoming ones
+  // (receiver halves). Touching only dead-owned halves keeps this safe to
+  // run inside a parallel window — the map itself is never mutated after
+  // bind_queues, and the other half of each link belongs to the peer.
+  for (auto& [key, l] : links_) {
+    if (key.first == dead) {
+      l.retrans.cancel();
+      l.unacked.clear();
+      l.gone = true;
+    }
+    if (key.second == dead) {
+      l.ack_due.cancel();
+      l.held.clear();
+    }
+  }
+}
+
+void ReliableChannel::on_peer_dead(NodeId self, NodeId dead) {
+  Link& out = link(self, dead);
+  if (!out.unacked.empty()) bump("net.dead_dropped", out.unacked.size());
+  out.retrans.cancel();
+  out.unacked.clear();
+  out.gone = true;
+  Link& in = link(dead, self);
+  in.ack_due.cancel();
+  in.held.clear();
+}
+
 void ReliableChannel::on_wire_arrival(Message msg) {
+  // A silenced (crashed) node acks nothing and delivers nothing: black-hole
+  // anything still in flight toward it, including retransmissions and acks.
+  if (silenced(msg.dst)) {
+    bump("net.dead_black_holed");
+    return;
+  }
   // Straggler window: the destination's communicator thread is wedged, so
   // everything that lands during the pause is processed at the window end.
   // This runs in msg.dst's context; the deferral stays on its own queue.

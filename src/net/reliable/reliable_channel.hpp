@@ -44,6 +44,11 @@ class ReliableChannel {
   using TransmitFn = std::function<void(Message, TxKind)>;
   /// Hands one in-order, deduplicated message to the destination node.
   using DeliverFn = std::function<void(Message)>;
+  /// Bounded give-up fired in `self`'s execution context: after
+  /// FaultConfig::giveup_retrans consecutive zero-progress retransmit
+  /// rounds, `self` suspects `peer` is dead and abandons the link. The
+  /// fault plane uses this to report the suspected crash.
+  using PeerDeadFn = std::function<void(NodeId self, NodeId peer)>;
 
   ReliableChannel(sim::EventQueue& queue, const FaultConfig& config,
                   StatsRegistry* stats, trace::Tracer* tracer,
@@ -75,6 +80,24 @@ class ReliableChannel {
   /// mutated while windows execute concurrently. Call before any traffic.
   void bind_queues(const std::vector<sim::EventQueue*>& queues);
 
+  /// Installs the bounded give-up callback (see PeerDeadFn). No-op unless
+  /// FaultConfig::giveup_retrans > 0.
+  void set_peer_dead_hook(PeerDeadFn fn) { peer_dead_ = std::move(fn); }
+
+  /// Crash teardown, run in `dead`'s own execution context (DESIGN.md §18):
+  /// cancels every timer the dead node owns — the retransmit timers of its
+  /// outgoing links and the delayed-ack timers of its incoming ones — and
+  /// drops its send/held state so nothing fires into a dead node's handler.
+  /// After this the node neither transmits, retransmits, nor acks: arrivals
+  /// addressed to it are black-holed in on_wire_arrival.
+  void silence(NodeId dead);
+
+  /// Survivor-side link teardown, run in `self`'s own execution context on
+  /// a kNodeDead notification: abandons the self->dead sender half (cancel
+  /// retransmits, drop unacked — the peer will never ack) and the dead->self
+  /// receiver half (cancel the pending pure ack, drop held-back arrivals).
+  void on_peer_dead(NodeId self, NodeId dead);
+
  private:
   /// State of one directed link. The sender half tracks messages this link
   /// originated; the receiver half tracks what arrived on it — each half
@@ -90,6 +113,12 @@ class ReliableChannel {
     std::deque<Message> unacked;  ///< in seq order; front = oldest
     DurationPs rto;               ///< current timeout (backed off on fire)
     sim::Timer retrans;
+    /// Consecutive retransmit rounds with zero ack progress; reset whenever
+    /// process_ack pops anything. Drives the bounded give-up.
+    std::uint32_t stall_rounds = 0;
+    /// Set once the sender has given up on (or been told about) a dead
+    /// peer: sends on this link are dropped instead of queued forever.
+    bool gone = false;
 
     // Receiver half.
     std::uint64_t last_in_order = 0;  ///< cumulative ack we advertise
@@ -106,6 +135,9 @@ class ReliableChannel {
   void process_ack(NodeId from, NodeId to, std::uint64_t ack);
   void retransmit_all(NodeId src, NodeId dst);
   void schedule_ack(NodeId from, NodeId to);
+  [[nodiscard]] bool silenced(NodeId node) const {
+    return node < silenced_.size() && silenced_[node] != 0;
+  }
   void bump(const char* counter, std::uint64_t delta = 1);
   void trace_step(const Message& msg, const char* name, NodeId node);
 
@@ -115,6 +147,12 @@ class ReliableChannel {
   trace::Tracer* tracer_;
   TransmitFn transmit_;
   DeliverFn deliver_;
+  PeerDeadFn peer_dead_;
+  /// Nodes silenced by a crash. Written only in the silenced node's own
+  /// execution context and read only on that node's links, so partitioned
+  /// windows never race on an entry. Sized by bind_queues in the parallel
+  /// kernel; grown lazily (single context, safe) in the serial one.
+  std::vector<std::uint8_t> silenced_;
   /// Per-node queues when running partitioned; empty in the serial kernel.
   std::vector<sim::EventQueue*> queues_;
   /// Directed links, created on first use (serial) or all at bind_queues

@@ -1,5 +1,6 @@
 #include "serve/load_generator.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -176,6 +177,14 @@ void LoadGenerator::on_done(NodeId src, GuestTid tid, std::uint32_t checksum,
                             std::uint64_t flow) {
   const auto it = running_.find(worker_key(src, tid));
   if (it == running_.end()) {
+    if (crash_tolerant_) {
+      // At-least-once duplicate: the original kServeDone was processed but
+      // its response died with the worker's old node, so the re-homed
+      // thread re-issued the call. Acknowledge and move on.
+      if (stats_ != nullptr) stats_->add("serve.dup_done_dropped");
+      responder_(src, tid, 0, flow);
+      return;
+    }
     // kServeDone without an assigned execution: a guest bug.
     responder_(src, tid, -isa::kEINVAL, flow);
     return;
@@ -213,6 +222,72 @@ void LoadGenerator::on_done(NodeId src, GuestTid tid, std::uint32_t checksum,
   }
 
   responder_(src, tid, 0, flow);
+}
+
+void LoadGenerator::on_node_crash(NodeId dead, NodeId replacement,
+                                  std::span<const GuestTid> serveget_tids) {
+  crash_tolerant_ = true;
+
+  // Workers that died inside kServeGet: if an execution was checked out to
+  // them, its descriptor response is gone — requeue it (the re-issued
+  // kServeGet picks up fresh work, possibly this very request).
+  for (const GuestTid tid : serveget_tids) {
+    const auto it = running_.find(worker_key(dead, tid));
+    if (it == running_.end()) continue;  // was parked, or never dispatched
+    pending_.push_back(it->second);
+    running_.erase(it);
+    if (stats_ != nullptr) stats_->add("serve.requeued_executions");
+  }
+
+  // Every other execution on the dead node is mid-work on a re-homed
+  // thread: re-key it so the kServeDone arriving from the replacement node
+  // finds it. Keys are collected and sorted first (tids are cluster-unique,
+  // so the new keys cannot collide) to keep map mutation order seeded only
+  // by guest state, not by hash iteration.
+  std::vector<std::uint64_t> stale;
+  for (const auto& [key, id] : running_) {
+    if ((key >> 32) == dead) stale.push_back(key);
+  }
+  std::sort(stale.begin(), stale.end());
+  for (const std::uint64_t key : stale) {
+    const std::uint32_t id = running_.at(key);
+    running_.erase(key);
+    running_[worker_key(replacement, static_cast<GuestTid>(key))] = id;
+    if (stats_ != nullptr) stats_->add("serve.rekeyed_executions");
+  }
+
+  // Parked entries pointing at the dead node would dispatch work into the
+  // void; the re-homed workers re-park from their new node.
+  std::erase_if(parked_, [&](const Parked& p) { return p.node == dead; });
+}
+
+std::uint64_t LoadGenerator::digest() const {
+  // Same FNV-1a recipe as core/checkpoint.hpp, restated locally so the
+  // serving layer does not depend upward on core.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto fold = [&h](std::uint64_t v) {
+    for (unsigned i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xFF)) * 0x00000100000001B3ULL;
+    }
+  };
+  fold(issued_);
+  fold(retired_);
+  fold(dispatched_);
+  for (const std::uint32_t id : pending_) fold(id);
+  for (const Parked& p : parked_) {
+    fold(p.node);
+    fold(p.tid);
+  }
+  std::vector<std::uint64_t> keys;
+  keys.reserve(running_.size());
+  for (const auto& [key, id] : running_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    fold(key);
+    fold(running_.at(key));
+  }
+  for (const DurationPs latency : latencies_) fold(latency);
+  return h;
 }
 
 void LoadGenerator::release_parked_if_drained() {
@@ -264,6 +339,8 @@ void LoadGenerator::issue_request(std::uint32_t) {}
 void LoadGenerator::dispatch(std::uint32_t, const Parked&) {}
 void LoadGenerator::on_get_request(NodeId, GuestTid, std::uint64_t) {}
 void LoadGenerator::on_done(NodeId, GuestTid, std::uint32_t, std::uint64_t) {}
+void LoadGenerator::on_node_crash(NodeId, NodeId, std::span<const GuestTid>) {}
+std::uint64_t LoadGenerator::digest() const { return 0; }
 void LoadGenerator::release_parked_if_drained() {}
 void LoadGenerator::note(const char*, trace::Kind, std::uint64_t,
                          std::uint64_t, std::uint64_t) {}

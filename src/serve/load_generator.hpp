@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -67,6 +68,17 @@ class LoadGenerator {
   void on_done(NodeId src, GuestTid tid, std::uint32_t checksum,
                std::uint64_t flow);
 
+  /// Whole-node fault plane (DESIGN.md §18): node `dead` crashed and its
+  /// workers were re-homed to `replacement`. `serveget_tids` (sorted) are
+  /// the captured threads that died inside a kServeGet — their checked-out
+  /// executions (descriptor response lost with the node) go back on the
+  /// pending queue and their stale parked entries are dropped; every other
+  /// execution running on the dead node is re-keyed to the replacement,
+  /// whose re-issued kServeDone then retires it. Makes on_done tolerant of
+  /// the at-least-once duplicate a re-issued kServeDone can produce.
+  void on_node_crash(NodeId dead, NodeId replacement,
+                     std::span<const GuestTid> serveget_tids);
+
   // ---- introspection (tests / benches) ----------------------------------
   [[nodiscard]] std::uint64_t issued() const { return issued_; }
   /// Requests retired by their first reply.
@@ -81,6 +93,10 @@ class LoadGenerator {
   [[nodiscard]] const std::vector<DurationPs>& latencies() const {
     return latencies_;
   }
+
+  /// FNV-1a fingerprint of the serving plane's queues and tallies
+  /// (checkpoint component, DESIGN.md §18).
+  [[nodiscard]] std::uint64_t digest() const;
 
  private:
   struct Request {
@@ -147,6 +163,9 @@ class LoadGenerator {
   std::uint64_t retired_ = 0;
   std::uint64_t dispatched_ = 0;
   std::uint64_t think_draws_ = 0;
+  /// Set once a crash was recovered: an unknown kServeDone is then an
+  /// at-least-once duplicate (acknowledged silently), not a guest bug.
+  bool crash_tolerant_ = false;
 };
 
 }  // namespace dqemu::serve

@@ -150,6 +150,13 @@ void FutexService::forward_wake(GuestAddr addr, std::uint32_t count,
 }
 
 void FutexService::do_futex(const SyscallRequest& req) {
+  // A dead requester's op can still arrive (it was in flight, or relayed,
+  // when the crash hit). Enqueueing it would eat a wake meant for a live
+  // waiter; answering it would be black-holed anyway.
+  if (dead_nodes_.count(req.src) != 0) {
+    if (stats_ != nullptr) stats_->add("sys.dead_ops_dropped");
+    return;
+  }
   const GuestAddr addr = req.args[0];
   const std::uint32_t op = req.args[1];
   const FutexTable::LeasePhase phase = futexes_.lease_phase(addr);
@@ -218,6 +225,10 @@ void FutexService::exit_wake(const SyscallRequest& req, GuestAddr ctid) {
 void FutexService::on_lease_request(const net::Message& msg) {
   const auto addr = static_cast<GuestAddr>(msg.a);
   const NodeId requester = relayed_requester(msg, msg.c);
+  if (dead_nodes_.count(requester) != 0) {
+    if (stats_ != nullptr) stats_->add("sys.dead_ops_dropped");
+    return;  // never grant a lease to a dead node
+  }
   switch (futexes_.lease_phase(addr)) {
     case FutexTable::LeasePhase::kNone: {
       const auto queue = futexes_.grant_lease(addr, requester, queue_.now());
@@ -270,35 +281,31 @@ void FutexService::on_lease_return(const net::Message& msg) {
     if (stats_ != nullptr) stats_->add("sys.stale_lease_returns");
     return;
   }
+  complete_recall(addr, FutexTable::unpack_waiters(msg.data), msg.flow);
+}
+
+void FutexService::complete_recall(
+    GuestAddr addr, const std::vector<FutexTable::Waiter>& returned,
+    std::uint64_t fallback_flow) {
   recall_watchdogs_.erase(addr);
-  const auto returned = FutexTable::unpack_waiters(msg.data);
   const NodeId next_owner = futexes_.finish_recall(addr, returned);
 
   // Replay everything that arrived mid-recall, in arrival order, against
   // the home-owned queue (returned waiters were spliced to its front).
-  auto buffered = recall_buffer_.find(addr);
-  if (buffered != recall_buffer_.end()) {
-    for (const BufferedFutexOp& op : buffered->second) {
-      if (op.op == isa::kFutexWait) {
-        futexes_.wait(addr, FutexTable::Waiter{op.src, op.tid, op.flow});
-        if (stats_ != nullptr) stats_->add("sys.futex_waits");
-      } else {
-        const std::uint32_t woken = home_wake(addr, op.count);
-        if (op.respond) {
-          if (stats_ != nullptr) stats_->add("sys.futex_wakes", woken);
-          send_response(op.src, op.tid, woken, op.flow);
-        }
-      }
-    }
-    recall_buffer_.erase(buffered);
-  }
+  replay_buffered(addr);
 
   // Hand the lease (and whatever the queue now holds) to the recaller.
-  std::uint64_t flow = msg.flow;
+  std::uint64_t flow = fallback_flow;
   auto pending = pending_lease_flow_.find(addr);
   if (pending != pending_lease_flow_.end()) {
     flow = pending->second;
     pending_lease_flow_.erase(pending);
+  }
+  if (dead_nodes_.count(next_owner) != 0) {
+    // The requester died while its recall was in flight: the queue stays
+    // home-owned and survivors re-request if the address is still hot.
+    if (stats_ != nullptr) stats_->add("sys.dead_grants_skipped");
+    return;
   }
   const auto queue = futexes_.grant_lease(addr, next_owner, queue_.now());
   if (stats_ != nullptr) stats_->add("sys.lease_grants");
@@ -343,6 +350,213 @@ void FutexService::on_recall_timeout(GuestAddr addr) {
   const DurationPs next = std::min<DurationPs>(
       recall_watchdogs_[addr].timeout * 2, recall_timeout_ * 8);
   arm_recall_watchdog(addr, next);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-node fault plane (DESIGN.md §18)
+// ---------------------------------------------------------------------------
+
+void FutexService::replay_buffered(GuestAddr addr) {
+  auto buffered = recall_buffer_.find(addr);
+  if (buffered == recall_buffer_.end()) return;
+  for (const BufferedFutexOp& op : buffered->second) {
+    if (op.op == isa::kFutexWait) {
+      futexes_.wait(addr, FutexTable::Waiter{op.src, op.tid, op.flow});
+      if (stats_ != nullptr) stats_->add("sys.futex_waits");
+    } else {
+      const std::uint32_t woken = home_wake(addr, op.count);
+      if (op.respond) {
+        if (stats_ != nullptr) stats_->add("sys.futex_wakes", woken);
+        send_response(op.src, op.tid, woken, op.flow);
+      }
+    }
+  }
+  recall_buffer_.erase(buffered);
+}
+
+void FutexService::on_crash_lease_return(
+    NodeId src, GuestAddr addr,
+    const std::vector<FutexTable::Waiter>& returned) {
+  switch (futexes_.lease_phase(addr)) {
+    case FutexTable::LeasePhase::kGranted:
+      if (futexes_.lease_owner(addr) != src) break;  // stale
+      // A dying owner's unsolicited return: revoke the lease wholesale.
+      // The dead node's own waiters in the queue are swept when the
+      // kNodeDead notice lands (it trails this by one hop).
+      futexes_.revoke_lease(addr, returned);
+      if (stats_ != nullptr) stats_->add("sys.leases_revoked");
+      note("sys.lease_revoked", 0, addr, returned.size());
+      return;
+    case FutexTable::LeasePhase::kRecalling:
+      if (futexes_.lease_owner(addr) != src) break;  // stale
+      // The return the recall was waiting for — the original was lost with
+      // a crash (either the owner died, or the home it was sent to did and
+      // this is the agent's replay to the adopting master).
+      complete_recall(addr, returned, 0);
+      return;
+    case FutexTable::LeasePhase::kNone:
+      break;  // stale: the original return made it before the crash
+  }
+  if (stats_ != nullptr) stats_->add("sys.stale_lease_returns");
+}
+
+void FutexService::crash_revoke_local(
+    GuestAddr addr, const std::vector<FutexTable::Waiter>& returned) {
+  // Stale-safe like on_crash_lease_return: a replayed return whose lease
+  // already came home (and may since belong to someone else) is a no-op.
+  if (futexes_.lease_phase(addr) == FutexTable::LeasePhase::kNone ||
+      futexes_.lease_owner(addr) != self_) {
+    if (stats_ != nullptr) stats_->add("sys.stale_lease_returns");
+    return;
+  }
+  recall_watchdogs_.erase(addr);
+  pending_lease_flow_.erase(addr);
+  futexes_.force_revoke(addr, returned);
+  if (stats_ != nullptr) stats_->add("sys.leases_revoked");
+  // Buffered mid-recall ops stay in recall_buffer_ on purpose: they ride
+  // the handoff and the master replays them at adoption.
+}
+
+void FutexService::on_node_dead(NodeId dead) {
+  dead_nodes_.insert(dead);
+  const std::size_t dropped = futexes_.drop_node(dead);
+  if (dropped != 0 && stats_ != nullptr) {
+    stats_->add("sys.dead_waiters_dropped", dropped);
+  }
+  // Drop the dead node's buffered ops: a buffered wait would eat a wake, a
+  // buffered wake's response would be black-holed.
+  for (auto it = recall_buffer_.begin(); it != recall_buffer_.end();) {
+    auto& ops = it->second;
+    ops.erase(std::remove_if(ops.begin(), ops.end(),
+                             [dead](const BufferedFutexOp& op) {
+                               return op.src == dead;
+                             }),
+              ops.end());
+    it = ops.empty() ? recall_buffer_.erase(it) : std::next(it);
+  }
+  // Lease sweep, in sorted address order. These are fallbacks: the dying
+  // node's last gasp (one hop) normally beat this notice (two hops), so
+  // finding a lease still pinned on the dead node means its crash return
+  // was never sent (e.g. the give-up detector declared it dead).
+  for (const GuestAddr addr : futexes_.lease_addrs()) {
+    if (futexes_.lease_owner(addr) != dead) continue;
+    switch (futexes_.lease_phase(addr)) {
+      case FutexTable::LeasePhase::kGranted:
+        futexes_.revoke_lease(addr, {});
+        if (stats_ != nullptr) stats_->add("sys.leases_revoked");
+        note("sys.lease_revoked", 0, addr, 0);
+        break;
+      case FutexTable::LeasePhase::kRecalling:
+        complete_recall(addr, {}, 0);
+        break;
+      case FutexTable::LeasePhase::kNone:
+        break;
+    }
+  }
+}
+
+namespace {
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 8);
+  std::memcpy(out.data() + at, &v, 8);
+}
+std::uint32_t get_u32(std::span<const std::uint8_t> data, std::size_t& at) {
+  std::uint32_t v = 0;
+  assert(at + 4 <= data.size());
+  std::memcpy(&v, data.data() + at, 4);
+  at += 4;
+  return v;
+}
+std::uint64_t get_u64(std::span<const std::uint8_t> data, std::size_t& at) {
+  std::uint64_t v = 0;
+  assert(at + 8 <= data.size());
+  std::memcpy(&v, data.data() + at, 8);
+  at += 8;
+  return v;
+}
+}  // namespace
+
+void FutexService::serialize_for_handoff(std::vector<std::uint8_t>& out) {
+  cancel_watchdogs();  // nothing may fire into a dead node's state
+  std::vector<std::uint8_t> table;
+  futexes_.serialize(table);
+  put_u64(out, table.size());
+  out.insert(out.end(), table.begin(), table.end());
+  // Recall buffers, sorted by address; ops keep their arrival order.
+  std::vector<GuestAddr> addrs;
+  addrs.reserve(recall_buffer_.size());
+  for (const auto& [addr, ops] : recall_buffer_) addrs.push_back(addr);
+  std::sort(addrs.begin(), addrs.end());
+  put_u64(out, addrs.size());
+  for (const GuestAddr addr : addrs) {
+    const auto& ops = recall_buffer_.at(addr);
+    put_u64(out, addr);
+    put_u64(out, ops.size());
+    for (const BufferedFutexOp& op : ops) {
+      put_u32(out, op.src);
+      put_u32(out, op.tid);
+      put_u32(out, op.op);
+      put_u32(out, op.count);
+      put_u64(out, op.flow);
+      put_u32(out, op.respond ? 1 : 0);
+      put_u32(out, 0);
+    }
+  }
+  // pending_lease_flow_ is trace-only causality; it does not survive the
+  // handoff (the adopting master opens fresh chains).
+}
+
+void FutexService::adopt_handoff(std::span<const std::uint8_t> data) {
+  std::size_t at = 0;
+  const std::uint64_t table_len = get_u64(data, at);
+  futexes_.merge_from(data.subspan(at, table_len));
+  at += table_len;
+  const std::uint64_t naddrs = get_u64(data, at);
+  std::vector<GuestAddr> adopted;
+  for (std::uint64_t i = 0; i < naddrs; ++i) {
+    const auto addr = static_cast<GuestAddr>(get_u64(data, at));
+    const std::uint64_t nops = get_u64(data, at);
+    auto& ops = recall_buffer_[addr];
+    for (std::uint64_t j = 0; j < nops; ++j) {
+      BufferedFutexOp op;
+      op.src = static_cast<NodeId>(get_u32(data, at));
+      op.tid = static_cast<GuestTid>(get_u32(data, at));
+      op.op = get_u32(data, at);
+      op.count = get_u32(data, at);
+      op.flow = get_u64(data, at);
+      op.respond = get_u32(data, at) != 0;
+      get_u32(data, at);  // pad
+      ops.push_back(op);
+    }
+    adopted.push_back(addr);
+  }
+  assert(at == data.size());
+  (void)at;
+  // Addresses whose lease the dying node revoked locally before the
+  // handoff are home-owned now: replay their buffered ops immediately.
+  for (const GuestAddr addr : adopted) {
+    if (futexes_.lease_phase(addr) == FutexTable::LeasePhase::kNone) {
+      replay_buffered(addr);
+    }
+  }
+  // Adopted in-flight recalls lost their watchdog with the dead home;
+  // re-arm so a recall (or return) lost on the wire is re-driven from
+  // here. The owner's own kNodeDead replay usually completes it first.
+  if (recall_timeout_ > 0 && network_.faults_active()) {
+    for (const GuestAddr addr : futexes_.lease_addrs()) {
+      if (futexes_.lease_phase(addr) == FutexTable::LeasePhase::kRecalling &&
+          recall_watchdogs_.find(addr) == recall_watchdogs_.end()) {
+        arm_recall_watchdog(addr, recall_timeout_);
+      }
+    }
+  }
+  if (stats_ != nullptr) stats_->add("sys.futex_handoffs_adopted");
 }
 
 }  // namespace dqemu::sys

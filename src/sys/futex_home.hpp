@@ -14,6 +14,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/config.hpp"
@@ -73,6 +74,46 @@ class FutexService {
   /// the lease state exactly like a wake with nobody awaiting the count.
   void exit_wake(const SyscallRequest& req, GuestAddr ctid);
 
+  // ---- whole-node fault plane (DESIGN.md §18) ---------------------------
+
+  /// A kCrashLeaseReturn from `src`: a dying owner's unsolicited return of
+  /// a kGranted lease (revocation), a crashed-or-surviving agent's replay
+  /// of a return lost to a dead home (completes the kRecalling lease), or
+  /// stale (the protocol already moved on — dropped by the phase/owner
+  /// check, exactly like a duplicate watchdog return).
+  void on_crash_lease_return(NodeId src, GuestAddr addr,
+                             const std::vector<FutexTable::Waiter>& returned);
+
+  /// Crash revocation on the *dying node's own* home, called synchronously
+  /// from the last gasp before the shard is serialized for handoff: drops
+  /// the lease record whatever its phase and splices the returned queue
+  /// back in. Buffered mid-recall ops stay buffered and ride the handoff;
+  /// the master replays them at adoption.
+  void crash_revoke_local(GuestAddr addr,
+                          const std::vector<FutexTable::Waiter>& returned);
+
+  /// Dead-node sweep, run in this home's own context on kNodeDead: drops
+  /// the dead node's waiters and buffered ops, revokes leases it still
+  /// appears to own (fallback — its last gasp normally got here first, one
+  /// hop beats two), and completes recalls stuck on it.
+  void on_node_dead(NodeId dead);
+
+  /// Serializes this home's futex/lease state (table + recall buffers) for
+  /// the kFutexHandoff message and cancels the recall watchdogs; part of
+  /// the last gasp. Layout: u64 table length, serialized table, then the
+  /// recall buffers in sorted address order.
+  void serialize_for_handoff(std::vector<std::uint8_t>& out);
+
+  /// Master-side adoption of a dead home's handoff: merges the table,
+  /// installs the recall buffers (replaying those whose address is now
+  /// home-owned) and re-arms recall watchdogs for adopted in-flight
+  /// recalls — the dead home's watchdogs died with it.
+  void adopt_handoff(std::span<const std::uint8_t> data);
+
+  /// Crash teardown: cancels every pending recall watchdog so nothing
+  /// fires into a dead node's protocol state.
+  void cancel_watchdogs() { recall_watchdogs_.clear(); }
+
  private:
   /// A futex op that arrived while its address's lease was being recalled;
   /// replayed against the home queue when the owner returns the lease.
@@ -94,6 +135,16 @@ class FutexService {
                     GuestTid requester_tid, std::uint64_t flow);
   void on_lease_request(const net::Message& msg);
   void on_lease_return(const net::Message& msg);
+  /// Shared tail of a completed recall (normal return or crash replay):
+  /// stop the watchdog, splice the returned queue, replay the buffered
+  /// ops, grant to the pending requester — unless that requester is dead,
+  /// in which case the queue stays home-owned.
+  void complete_recall(GuestAddr addr,
+                       const std::vector<FutexTable::Waiter>& returned,
+                       std::uint64_t fallback_flow);
+  /// Replays (and clears) `addr`'s buffered mid-recall ops against the
+  /// home-owned queue, in arrival order.
+  void replay_buffered(GuestAddr addr);
   /// Arms (or re-arms after backoff) the recall watchdog for `addr`.
   void arm_recall_watchdog(GuestAddr addr, DurationPs timeout);
   /// Watchdog fire: the recall (or its return) is presumed stuck somewhere
@@ -133,6 +184,9 @@ class FutexService {
   };
   std::unordered_map<GuestAddr, RecallWatchdog> recall_watchdogs_;
   DurationPs recall_timeout_ = 0;
+  /// Nodes declared dead (DESIGN.md §18): their late-arriving ops are
+  /// dropped and no lease or wake is ever granted to them.
+  std::unordered_set<NodeId> dead_nodes_;
   /// "sys.futex_home_msgs.<self>": per-home futex-plane message counter.
   std::string home_msgs_counter_;
 };

@@ -16,6 +16,7 @@
 // during the recall), the buffer is replayed, and the lease moves on.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <deque>
@@ -140,6 +141,159 @@ class FutexTable {
   }
 
   [[nodiscard]] std::size_t leases_out() const { return leases_.size(); }
+
+  // ---- crash recovery / handoff (DESIGN.md §18) --------------------------
+
+  /// Crash revocation: a dying owner returns `addr`'s queue while the lease
+  /// is still kGranted (no recall in flight). The returned waiters are the
+  /// owner's whole local queue for the address — everything that existed
+  /// before the crash — so they become the master queue wholesale.
+  void revoke_lease(GuestAddr addr, const std::vector<Waiter>& returned) {
+    auto it = leases_.find(addr);
+    assert(it != leases_.end() && it->second.phase == LeasePhase::kGranted);
+    leases_.erase(it);
+    if (!returned.empty()) {
+      auto& queue = queues_[addr];
+      queue.insert(queue.begin(), returned.begin(), returned.end());
+    }
+  }
+
+  /// Unconditional crash revocation, used on the dying node's own home for
+  /// self-homed leases (no phase assertion: the agent and home halves can
+  /// be in any phase when the node dies): drops any lease record and
+  /// splices the returned queue to the front.
+  void force_revoke(GuestAddr addr, const std::vector<Waiter>& returned) {
+    leases_.erase(addr);
+    if (!returned.empty()) {
+      auto& queue = queues_[addr];
+      queue.insert(queue.begin(), returned.begin(), returned.end());
+    }
+  }
+
+  /// Addresses with an outstanding lease record, in sorted order (crash
+  /// sweeps need a deterministic iteration order).
+  [[nodiscard]] std::vector<GuestAddr> lease_addrs() const {
+    std::vector<GuestAddr> addrs;
+    addrs.reserve(leases_.size());
+    for (const auto& [addr, lease] : leases_) addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    return addrs;
+  }
+
+  /// Dead-node sweep: drops every waiter from `dead` out of every queue.
+  /// A dead node's threads re-issue their waits from wherever they re-home;
+  /// the stale entries would otherwise eat wakes meant for live waiters.
+  /// Lease records are swept by the owning service, which runs the recall
+  /// protocol. Returns the number of waiters dropped.
+  std::size_t drop_node(NodeId dead) {
+    std::size_t dropped = 0;
+    for (auto it = queues_.begin(); it != queues_.end();) {
+      auto& queue = it->second;
+      for (auto w = queue.begin(); w != queue.end();) {
+        if (w->node == dead) {
+          w = queue.erase(w);
+          ++dropped;
+        } else {
+          ++w;
+        }
+      }
+      it = queue.empty() ? queues_.erase(it) : std::next(it);
+    }
+    return dropped;
+  }
+
+  /// Deterministic whole-table serialization (addresses in sorted order,
+  /// little-endian fields) for the crash handoff (kFutexHandoff) and the
+  /// checkpoint digest. Layout: u64 queue count, then per queue {u64 addr,
+  /// u64 n, n packed waiters}; u64 lease count, then per lease {u64 addr,
+  /// u32 owner, u32 phase, u32 pending_requester, u32 pad, u64 granted_at}.
+  void serialize(std::vector<std::uint8_t>& out) const {
+    auto put32 = [&out](std::uint32_t v) {
+      const std::size_t at = out.size();
+      out.resize(at + 4);
+      std::memcpy(out.data() + at, &v, 4);
+    };
+    auto put64 = [&out](std::uint64_t v) {
+      const std::size_t at = out.size();
+      out.resize(at + 8);
+      std::memcpy(out.data() + at, &v, 8);
+    };
+    std::vector<GuestAddr> addrs;
+    addrs.reserve(queues_.size());
+    for (const auto& [addr, queue] : queues_) addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    put64(addrs.size());
+    for (const GuestAddr addr : addrs) {
+      const auto& queue = queues_.at(addr);
+      put64(addr);
+      put64(queue.size());
+      for (const Waiter& w : queue) {
+        put32(w.node);
+        put32(w.tid);
+        put64(w.flow);
+      }
+    }
+    addrs.clear();
+    for (const auto& [addr, lease] : leases_) addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    put64(addrs.size());
+    for (const GuestAddr addr : addrs) {
+      const LeaseInfo& lease = leases_.at(addr);
+      put64(addr);
+      put32(lease.owner);
+      put32(static_cast<std::uint32_t>(lease.phase));
+      put32(lease.pending_requester);
+      put32(0);
+      put64(lease.granted_at);
+    }
+  }
+
+  /// Installs a serialized table into this one (crash handoff adoption).
+  /// The handed-off addresses were homed at the dead node, so this table
+  /// has no state for them; queues are appended if one somehow exists.
+  void merge_from(std::span<const std::uint8_t> data) {
+    std::size_t at = 0;
+    auto get32 = [&data, &at]() {
+      std::uint32_t v = 0;
+      assert(at + 4 <= data.size());
+      std::memcpy(&v, data.data() + at, 4);
+      at += 4;
+      return v;
+    };
+    auto get64 = [&data, &at]() {
+      std::uint64_t v = 0;
+      assert(at + 8 <= data.size());
+      std::memcpy(&v, data.data() + at, 8);
+      at += 8;
+      return v;
+    };
+    const std::uint64_t nqueues = get64();
+    for (std::uint64_t i = 0; i < nqueues; ++i) {
+      const auto addr = static_cast<GuestAddr>(get64());
+      const std::uint64_t n = get64();
+      auto& queue = queues_[addr];
+      for (std::uint64_t j = 0; j < n; ++j) {
+        Waiter w;
+        w.node = static_cast<NodeId>(get32());
+        w.tid = get32();
+        w.flow = get64();
+        queue.push_back(w);
+      }
+      if (queue.empty()) queues_.erase(addr);
+    }
+    const std::uint64_t nleases = get64();
+    for (std::uint64_t i = 0; i < nleases; ++i) {
+      const auto addr = static_cast<GuestAddr>(get64());
+      LeaseInfo lease;
+      lease.owner = static_cast<NodeId>(get32());
+      lease.phase = static_cast<LeasePhase>(get32());
+      lease.pending_requester = static_cast<NodeId>(get32());
+      get32();  // pad
+      lease.granted_at = get64();
+      leases_[addr] = lease;
+    }
+    assert(at == data.size());
+  }
 
   // ---- wire packing ------------------------------------------------------
 

@@ -1,8 +1,11 @@
 #include "sys/lock_agent.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 #include <vector>
+
+#include "core/wire.hpp"
 
 namespace dqemu::sys {
 
@@ -38,6 +41,103 @@ std::size_t LockAgent::parked_waiters() const {
   std::size_t n = 0;
   for (const auto& [addr, entry] : owned_) n += entry.queue.size();
   return n;
+}
+
+// Defined outside the fast-path gate: with the fast path compiled out both
+// maps stay empty and these are no-ops, which is exactly right.
+
+void LockAgent::return_all(const LocalRevokeFn& local_revoke) {
+  std::vector<GuestAddr> addrs;
+  addrs.reserve(owned_.size());
+  for (const auto& [addr, entry] : owned_) addrs.push_back(addr);
+  std::sort(addrs.begin(), addrs.end());
+  for (const GuestAddr addr : addrs) {
+    Entry& entry = owned_[addr];
+    const std::vector<FutexTable::Waiter> queue(entry.queue.begin(),
+                                                entry.queue.end());
+    const NodeId home = home_resolver_ ? home_resolver_(addr) : kMasterNode;
+    if (stats_ != nullptr) stats_->add("sys.crash_lease_returns");
+    if (home == id_) {
+      // This node hosts the home shard too; a loopback message would land
+      // after the shard is serialized for handoff. Revoke synchronously so
+      // the handed-off table already contains the queue.
+      local_revoke(addr, queue);
+      continue;
+    }
+    net::Message ret;
+    ret.src = id_;
+    ret.dst = home;
+    ret.type = static_cast<std::uint32_t>(core::CoreMsg::kCrashLeaseReturn);
+    ret.a = addr;
+    ret.b = queue.size();
+    FutexTable::pack_waiters(queue, ret.data);
+    network_.send(std::move(ret));
+  }
+  // Replay the normal returns still in flight: silence() is about to wipe
+  // this node's retransmission state, so a kLeaseReturn the wire has not
+  // delivered yet would vanish with us — and its waiters with it. The
+  // crash-plane duplicate is stale-safe at the home (phase/owner check).
+  std::vector<GuestAddr> pending;
+  pending.reserve(sent_returns_.size());
+  for (const auto& [addr, sent] : sent_returns_) pending.push_back(addr);
+  std::sort(pending.begin(), pending.end());
+  for (const GuestAddr addr : pending) {
+    const SentReturn& sent = sent_returns_[addr];
+    if (stats_ != nullptr) stats_->add("sys.crash_lease_returns");
+    if (sent.home == id_) {
+      local_revoke(addr, sent.queue);
+      continue;
+    }
+    net::Message ret;
+    ret.src = id_;
+    ret.dst = sent.home;
+    ret.type = static_cast<std::uint32_t>(core::CoreMsg::kCrashLeaseReturn);
+    ret.a = addr;
+    ret.b = sent.queue.size();
+    FutexTable::pack_waiters(sent.queue, ret.data);
+    network_.send(std::move(ret));
+  }
+  owned_.clear();
+  delegated_ops_.clear();
+  sent_returns_.clear();
+}
+
+void LockAgent::on_peer_dead(NodeId dead) {
+  // Drop the dead node's waiters from every owned queue: granting them the
+  // lock would lose it forever (its threads re-issue waits after re-homing).
+  for (auto& [addr, entry] : owned_) {
+    auto& queue = entry.queue;
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (it->node == dead) {
+        it = queue.erase(it);
+        if (stats_ != nullptr) stats_->add("sys.dead_waiters_dropped");
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Re-send lease returns that were in flight to the dead home: the master
+  // adopted its lease records (still kRecalling, owner = this agent) and
+  // completes the recall on our behalf. Stale copies — the home processed
+  // the original before dying — are dropped by the receiver's phase check.
+  std::vector<GuestAddr> addrs;
+  for (const auto& [addr, sent] : sent_returns_) {
+    if (sent.home == dead) addrs.push_back(addr);
+  }
+  std::sort(addrs.begin(), addrs.end());
+  for (const GuestAddr addr : addrs) {
+    SentReturn& sent = sent_returns_[addr];
+    net::Message ret;
+    ret.src = id_;
+    ret.dst = kMasterNode;
+    ret.type = static_cast<std::uint32_t>(core::CoreMsg::kCrashLeaseReturn);
+    ret.a = addr;
+    ret.b = sent.queue.size();
+    FutexTable::pack_waiters(sent.queue, ret.data);
+    if (stats_ != nullptr) stats_->add("sys.crash_lease_returns");
+    network_.send(std::move(ret));
+    sent_returns_.erase(addr);
+  }
 }
 
 #if DQEMU_LOCK_FASTPATH_ENABLED
@@ -157,6 +257,7 @@ void LockAgent::on_lease_grant(const net::Message& msg) {
   entry.queue.assign(handed.begin(), handed.end());
   owned_.emplace(addr, std::move(entry));
   delegated_ops_.erase(addr);
+  sent_returns_.erase(addr);  // the protocol moved past the last return
   if (msg.flow != 0 && (msg.flow & trace::kAutoFlowBit) == 0) {
     note("sys.lease_acquire", trace::Kind::kFlowEnd, msg.flow, addr,
          handed.size());
@@ -193,6 +294,11 @@ void LockAgent::on_lease_recall(const net::Message& msg) {
          queue.size());
   }
   network_.send(std::move(ret));
+  if (network_.faults_active()) {
+    // Keep a copy so the return can be replayed to the master if the
+    // recalling home dies with it in flight (DESIGN.md §18).
+    sent_returns_[addr] = SentReturn{msg.src, std::move(queue)};
+  }
 }
 
 void LockAgent::on_wait_handoff(const net::Message& msg) {

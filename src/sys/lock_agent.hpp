@@ -110,6 +110,28 @@ class LockAgent {
   [[nodiscard]] std::size_t owned_leases() const { return owned_.size(); }
   [[nodiscard]] std::size_t parked_waiters() const;
 
+  // ---- whole-node fault plane (DESIGN.md §18) ---------------------------
+
+  /// Delivers a returned queue to a home service hosted on this same node
+  /// (a loopback message would arrive after the dying shard is serialized).
+  using LocalRevokeFn =
+      std::function<void(GuestAddr, const std::vector<FutexTable::Waiter>&)>;
+
+  /// Crash last gasp, run in this node's own execution context: returns
+  /// every owned lease — queue included, so no waiter dies with the node —
+  /// to its home as a kCrashLeaseReturn ("reliable by fiat"; a droppable
+  /// kLeaseReturn would strand the queue, because the retransmit timer dies
+  /// with the node). Self-homed leases go through `local_revoke` instead.
+  /// Addresses are processed in sorted order for run-to-run determinism.
+  void return_all(const LocalRevokeFn& local_revoke);
+
+  /// Survivor-side reaction to a kNodeDead notice, run in this node's own
+  /// context: drops the dead node's waiters from owned queues (granting
+  /// them the lock would lose it forever) and re-sends, to the master that
+  /// adopted the dead home, any lease return this agent had in flight to
+  /// it — the original was black-holed at the silenced node.
+  void on_peer_dead(NodeId dead);
+
  private:
   struct Entry {
     std::deque<FutexTable::Waiter> queue;
@@ -142,6 +164,15 @@ class LockAgent {
   std::unordered_map<GuestAddr, Entry> owned_;
   /// Delegated-op counts for addresses we do not own (reset on request).
   std::unordered_map<GuestAddr, std::uint32_t> delegated_ops_;
+  /// Last lease return sent per address (kept only while the fault plane is
+  /// active): destination home + the returned queue, so a return lost to a
+  /// crashing home can be re-sent to the master that adopted it. Replaced
+  /// by the next recall's return; cleared when the lease comes back.
+  struct SentReturn {
+    NodeId home = kInvalidNode;
+    std::vector<FutexTable::Waiter> queue;
+  };
+  std::unordered_map<GuestAddr, SentReturn> sent_returns_;
 };
 
 }  // namespace dqemu::sys

@@ -101,6 +101,9 @@ class MasterSyscalls {
   [[nodiscard]] Vfs& vfs() { return vfs_; }
   [[nodiscard]] const Vfs& vfs() const { return vfs_; }
   [[nodiscard]] FutexTable& futexes() { return futex_.table(); }
+  /// The master-resident futex home. The crash plane (DESIGN.md §18)
+  /// drives lease revocation, dead-node sweeps and shard adoption on it.
+  [[nodiscard]] FutexService& futex_service() { return futex_; }
   [[nodiscard]] GuestAddr current_brk() const { return brk_; }
 
   /// Handles a master-addressed sys message: kSyscallReq, and the lease

@@ -80,6 +80,24 @@ constexpr FlagSpec kFlags[] = {
     {"--drop-pct", "X",
      "per-transmission drop probability, percent (default 0; implies"
      " --faults when > 0)"},
+    {"--crash", "N@T",
+     "crash slave node N at virtual time T microseconds; 0 for either means"
+     " drawn from the fault seed (implies --faults; DESIGN.md §18)"},
+    {"--pause", "N@T:D",
+     "pause node N at T for D microseconds, then rejoin (0 = drawn; implies"
+     " --faults)"},
+    {"--giveup-retrans", "N",
+     "declare a peer dead after N zero-progress retransmit rounds"
+     " (default 0 = never give up)"},
+    {"--checkpoint", "T:FILE",
+     "fingerprint the cluster state at virtual time T microseconds and save"
+     " the checkpoint image to FILE"},
+    {"--restore", "FILE",
+     "re-execute to FILE's checkpoint cut, verify every state digest"
+     " matches (exit 1 on divergence), then continue the run"},
+    {"--replay", "FILE",
+     "like --restore but with the flight recorder armed: requires --trace,"
+     " producing a verified replay trace of the checkpointed run"},
     {"--serve", nullptr,
      "run the built-in request-serving workload instead of a program"
      " (DESIGN.md §14)"},
@@ -136,6 +154,27 @@ bool parse_u32(const char* text, std::uint32_t* out) {
   return true;
 }
 
+/// "N@T[:D]" — node id, virtual time in microseconds, optional duration in
+/// microseconds. Used by --crash (no :D) and --pause (requires :D).
+bool parse_node_fault(const char* text, bool want_duration,
+                      FaultConfig::NodeFault* out) {
+  char* end = nullptr;
+  const unsigned long node = std::strtoul(text, &end, 10);
+  if (end == text || *end != '@') return false;
+  const char* at_text = end + 1;
+  const unsigned long long at_us = std::strtoull(at_text, &end, 10);
+  if (end == at_text) return false;
+  out->node = static_cast<std::uint32_t>(node);
+  out->at = static_cast<TimePs>(at_us) * time_literals::kUs;
+  if (!want_duration) return *end == '\0';
+  if (*end != ':') return false;
+  const char* dur_text = end + 1;
+  const unsigned long long dur_us = std::strtoull(dur_text, &end, 10);
+  if (end == dur_text || *end != '\0' || dur_us == 0) return false;
+  out->pause_for = static_cast<DurationPs>(dur_us) * time_literals::kUs;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -151,6 +190,10 @@ int main(int argc, char** argv) {
   std::uint32_t dump_hot = 0;
   const char* trace_path = nullptr;
   trace::TraceConfig trace_config;
+  std::optional<TimePs> checkpoint_at;
+  const char* checkpoint_path = nullptr;
+  const char* restore_path = nullptr;
+  bool replay = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -236,6 +279,37 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--drop-pct") == 0) {
       config.faults.drop_pct = std::strtod(value, nullptr);
       if (config.faults.drop_pct > 0.0) config.faults.enabled = true;
+    } else if (std::strcmp(arg, "--crash") == 0) {
+      FaultConfig::NodeFault nf;
+      nf.kind = FaultConfig::NodeFault::Kind::kCrash;
+      ok = parse_node_fault(value, /*want_duration=*/false, &nf);
+      if (ok) {
+        config.faults.node_faults.push_back(nf);
+        config.faults.enabled = true;
+      }
+    } else if (std::strcmp(arg, "--pause") == 0) {
+      FaultConfig::NodeFault nf;
+      nf.kind = FaultConfig::NodeFault::Kind::kPause;
+      ok = parse_node_fault(value, /*want_duration=*/true, &nf);
+      if (ok) {
+        config.faults.node_faults.push_back(nf);
+        config.faults.enabled = true;
+      }
+    } else if (std::strcmp(arg, "--giveup-retrans") == 0) {
+      ok = parse_u32(value, &config.faults.giveup_retrans);
+    } else if (std::strcmp(arg, "--checkpoint") == 0) {
+      char* end = nullptr;
+      const unsigned long long at_us = std::strtoull(value, &end, 10);
+      ok = end != value && *end == ':' && end[1] != '\0' && at_us > 0;
+      if (ok) {
+        checkpoint_at = static_cast<TimePs>(at_us) * time_literals::kUs;
+        checkpoint_path = end + 1;
+      }
+    } else if (std::strcmp(arg, "--restore") == 0) {
+      restore_path = value;
+    } else if (std::strcmp(arg, "--replay") == 0) {
+      restore_path = value;
+      replay = true;
     } else if (std::strcmp(arg, "--serve") == 0) {
       config.serve.enabled = true;
     } else if (std::strcmp(arg, "--requests") == 0) {
@@ -315,6 +389,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad configuration: %s\n", valid.to_string().c_str());
     return 2;
   }
+  if (replay && trace_path == nullptr) {
+    std::fprintf(stderr,
+                 "--replay needs --trace FILE (it re-executes the "
+                 "checkpointed run with the flight recorder armed)\n");
+    return 2;
+  }
+  if (checkpoint_at.has_value() && restore_path != nullptr) {
+    std::fprintf(stderr, "--checkpoint and --restore/--replay are exclusive\n");
+    return 2;
+  }
+  std::optional<core::CheckpointImage> restore_image;
+  if (restore_path != nullptr) {
+    restore_image.emplace();
+    if (!restore_image->load(restore_path)) {
+      std::fprintf(stderr, "cannot read checkpoint image %s\n", restore_path);
+      return 1;
+    }
+  }
 
   Result<isa::Program> program = [&]() -> Result<isa::Program> {
     if (config.serve.enabled) {
@@ -343,6 +435,12 @@ int main(int argc, char** argv) {
   }
 
   core::Cluster cluster(config, tracer.get());
+  if (checkpoint_at.has_value()) cluster.arm_checkpoint(*checkpoint_at);
+  if (restore_image.has_value()) {
+    // Restore = deterministic re-execution to the image's cut; the armed
+    // capture there is compared digest-for-digest against the image below.
+    cluster.arm_checkpoint(restore_image->virtual_time);
+  }
   if (const Status status = cluster.load(program.value()); !status.is_ok()) {
     std::fprintf(stderr, "load: %s\n", status.to_string().c_str());
     return 1;
@@ -496,6 +594,31 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.get("net.dup_suppressed")),
         static_cast<unsigned long long>(stats.get("dsm.timeouts")));
 
+    // Whole-node fault plane (DESIGN.md §18): which nodes died and what the
+    // recovery machinery did about it.
+    if (!config.faults.node_faults.empty() ||
+        config.faults.giveup_retrans > 0) {
+      std::string dead;
+      for (const NodeId id : cluster.dead_nodes()) {
+        if (!dead.empty()) dead += ",";
+        dead += std::to_string(id);
+      }
+      std::fprintf(
+          stderr,
+          "[dqemu_run] faults: dead=[%s] crashes=%llu pauses=%llu "
+          "flushes=%llu rehomed=%llu leases_returned=%llu peer_dead=%llu\n",
+          dead.c_str(),
+          static_cast<unsigned long long>(stats.get("core.node_crashes")),
+          static_cast<unsigned long long>(stats.get("core.node_pauses")),
+          static_cast<unsigned long long>(
+              stats.get("core.crash_flushes_sent")),
+          static_cast<unsigned long long>(
+              stats.get("core.threads_rehomed_sent")),
+          static_cast<unsigned long long>(
+              stats.get("sys.crash_lease_returns")),
+          static_cast<unsigned long long>(stats.get("net.peer_dead")));
+    }
+
     // Serving-plane summary (DESIGN.md §14): offered vs served load and
     // the tail of the latency distribution.
     if (config.serve.enabled) {
@@ -582,6 +705,50 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(s.exec_count),
                    static_cast<unsigned long long>(s.side_exits));
     }
+  }
+  if (checkpoint_path != nullptr) {
+    const auto& image = cluster.checkpoint_image();
+    if (!image.has_value()) {
+      std::fprintf(stderr,
+                   "checkpoint: guest finished at %.6f s, before the armed "
+                   "%.6f s cut\n",
+                   ps_to_seconds(result.sim_time),
+                   ps_to_seconds(*checkpoint_at));
+      return 1;
+    }
+    if (!image->save(checkpoint_path)) {
+      std::fprintf(stderr, "cannot write %s\n", checkpoint_path);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "[dqemu_run] checkpoint: t=%.6f s  %zu digests -> %s\n",
+                 ps_to_seconds(image->virtual_time), image->digests.size(),
+                 checkpoint_path);
+  }
+  if (restore_image.has_value()) {
+    const char* mode = replay ? "replay" : "restore";
+    const auto& image = cluster.checkpoint_image();
+    if (!image.has_value()) {
+      std::fprintf(stderr,
+                   "%s: guest finished at %.6f s, before the image's %.6f s "
+                   "cut — wrong program or config?\n",
+                   mode, ps_to_seconds(result.sim_time),
+                   ps_to_seconds(restore_image->virtual_time));
+      return 1;
+    }
+    const std::vector<std::string> mismatched = restore_image->diff(*image);
+    if (!mismatched.empty()) {
+      std::fprintf(stderr, "%s: state diverged from the checkpoint at %.6f s:\n",
+                   mode, ps_to_seconds(image->virtual_time));
+      for (const std::string& name : mismatched) {
+        std::fprintf(stderr, "  digest mismatch: %s\n", name.c_str());
+      }
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "[dqemu_run] %s: verified %zu digests at t=%.6f s (match)\n",
+                 mode, image->digests.size(),
+                 ps_to_seconds(image->virtual_time));
   }
   return static_cast<int>(result.exit_code);
 }
